@@ -1,0 +1,54 @@
+//! Criterion: cross-domain communication primitives side by side —
+//! remote invocation vs. ownership-transferring channel send/recv.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rbs_sfi::{channel, DomainManager, RRef};
+
+fn bench_channel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_domain_comm");
+    group.throughput(Throughput::Elements(1));
+
+    group.bench_function("rref_invoke_push_pop", |b| {
+        let mgr = DomainManager::new();
+        let d = mgr.create_domain("sink").unwrap();
+        let sink: RRef<Vec<u64>> = RRef::new(&d, Vec::with_capacity(64));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            sink.invoke_mut(move |v| {
+                v.push(i);
+                v.pop()
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function("channel_send_recv", |b| {
+        let mgr = DomainManager::new();
+        let d = mgr.create_domain("consumer").unwrap();
+        let (tx, rx) = channel::<u64>(&d, 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tx.send(i).unwrap();
+            rx.recv().unwrap()
+        });
+    });
+
+    group.bench_function("channel_try_send_try_recv", |b| {
+        let mgr = DomainManager::new();
+        let d = mgr.create_domain("consumer").unwrap();
+        let (tx, rx) = channel::<u64>(&d, 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tx.try_send(i).unwrap();
+            rx.try_recv().unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion counterpart of E6 (Figure 3): checkpointing the shared-rule
+//! firewall database under the three dedup strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbs_bench::e6_checkpoint::build_database;
+use rbs_checkpoint::{checkpoint_with_mode, restore, DedupMode};
+use rbs_fwtrie::FwTrie;
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_firewall");
+    let trie = build_database(1_000, 4);
+
+    for (name, mode) in [
+        ("epoch_flag", DedupMode::EpochFlag),
+        ("address_set", DedupMode::AddressSet),
+        ("naive_duplicate", DedupMode::None),
+    ] {
+        group.bench_with_input(BenchmarkId::new("checkpoint", name), &mode, |b, &mode| {
+            b.iter(|| checkpoint_with_mode(&trie, mode))
+        });
+    }
+
+    let cp = checkpoint_with_mode(&trie, DedupMode::EpochFlag);
+    group.bench_function("restore", |b| {
+        b.iter(|| {
+            let t: FwTrie = restore(&cp).unwrap();
+            t.rule_refs()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpoint);
+criterion_main!(benches);

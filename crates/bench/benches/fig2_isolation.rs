@@ -1,0 +1,56 @@
+//! Criterion counterpart of Figure 2: batch processing cost with and
+//! without SFI isolation, plus the Maglev yardstick, per batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbs_bench::harness::test_batch;
+use rbs_maglev::{Backend, MaglevLb};
+use rbs_netfx::operators::NullFilter;
+use rbs_netfx::pipeline::{Operator, Pipeline};
+use rust_beyond_safety::IsolatedPipeline;
+use std::net::Ipv4Addr;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    for &size in &[1usize, 8, 32, 256] {
+        group.throughput(Throughput::Elements(size as u64));
+
+        group.bench_with_input(BenchmarkId::new("direct-5xnull", size), &size, |b, &n| {
+            let mut p = Pipeline::new();
+            for _ in 0..5 {
+                p.add_boxed(Box::new(NullFilter::new()));
+            }
+            let mut batch = Some(test_batch(n));
+            b.iter(|| {
+                let out = p.run_batch(batch.take().expect("recycled"));
+                batch = Some(out);
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("isolated-5xnull", size), &size, |b, &n| {
+            let mut p = IsolatedPipeline::new();
+            for i in 0..5 {
+                p.add_stage(&format!("null-{i}"), || Box::new(NullFilter::new())).unwrap();
+            }
+            let mut batch = Some(test_batch(n));
+            b.iter(|| {
+                let out = p.run_batch(batch.take().expect("recycled")).unwrap();
+                batch = Some(out);
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("maglev", size), &size, |b, &n| {
+            let backends = (0..8).map(|i| Backend::new(format!("be-{i}"))).collect();
+            let addrs = (0..8).map(|i| Ipv4Addr::new(10, 1, 0, i + 1)).collect();
+            let mut lb = MaglevLb::new(backends, addrs, 65537).unwrap();
+            let mut batch = Some(test_batch(n));
+            b.iter(|| {
+                let out = lb.process(batch.take().expect("recycled"));
+                batch = Some(out);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion counterpart of E5: move-mode analysis vs. the Andersen
+//! baseline, and monolithic inlining vs. compositional summaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbs_ifc::{alias, interp, progen, summary};
+
+fn bench_ifc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ifc_scaling");
+
+    for &n in &[32usize, 128, 512] {
+        let p = progen::alias_chain(n);
+        group.bench_with_input(BenchmarkId::new("move_mode", n), &p, |b, p| {
+            b.iter(|| interp::analyze(p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("alias_baseline", n), &p, |b, p| {
+            b.iter(|| alias::analyze_alias(p))
+        });
+    }
+
+    for &d in &[8usize, 12] {
+        let p = progen::call_diamond(d);
+        group.bench_with_input(BenchmarkId::new("monolithic_diamond", d), &p, |b, p| {
+            b.iter(|| interp::analyze(p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("summaries_diamond", d), &p, |b, p| {
+            b.iter(|| summary::analyze_with_summaries(p).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ifc);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion counterpart of E8: Maglev table construction and lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbs_maglev::{Backend, MaglevTable};
+
+fn backends(n: usize) -> Vec<Backend> {
+    (0..n).map(|i| Backend::new(format!("backend-{i}"))).collect()
+}
+
+fn bench_maglev(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maglev");
+
+    for &n in &[10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("build_65537", n), &n, |b, &n| {
+            b.iter(|| MaglevTable::new(backends(n), 65537).unwrap())
+        });
+    }
+
+    let table = MaglevTable::new(backends(100), 65537).unwrap();
+    group.bench_function("lookup", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = h.wrapping_add(0x9E3779B97F4A7C15);
+            table.lookup(h)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maglev);
+criterion_main!(benches);

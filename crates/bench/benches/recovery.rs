@@ -1,0 +1,34 @@
+//! Criterion counterpart of E3: domain fault recovery (paper: 4389
+//! cycles on average).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+use rbs_netfx::batch::PacketBatch;
+use rbs_netfx::operators::PanicAfter;
+use rbs_netfx::pipeline::Operator;
+use rbs_sfi::{Domain, DomainManager, RRef};
+use std::sync::Arc;
+
+fn bench_recovery(c: &mut Criterion) {
+    rbs_bench::harness::silence_panics();
+    c.bench_function("fault_catch_clean_recover", |b| {
+        let mgr = DomainManager::new();
+        let d = mgr.create_domain("null-filter").unwrap();
+        let slot: Arc<Mutex<Option<RRef<PanicAfter>>>> = Arc::new(Mutex::new(None));
+        {
+            let slot = Arc::clone(&slot);
+            d.set_recovery(move |dom: &Domain| {
+                *slot.lock() = Some(RRef::new(dom, PanicAfter::new(0)));
+            });
+        }
+        let mut rref = RRef::new(&d, PanicAfter::new(0));
+        b.iter(|| {
+            let err = rref.invoke_mut(|op| op.process(PacketBatch::new()).len());
+            assert!(err.is_err());
+            rref = slot.lock().take().expect("recovery ran");
+        });
+    });
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

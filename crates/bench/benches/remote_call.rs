@@ -1,0 +1,42 @@
+//! Criterion counterpart of E2: one protected method call vs. a direct
+//! call (paper: ~90 cycles of overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rbs_sfi::{DomainManager, RRef};
+
+fn bench_calls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote_call");
+
+    group.bench_function("direct", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter = counter.wrapping_add(1);
+            std::hint::black_box(counter)
+        });
+    });
+
+    group.bench_function("rref_invoke_mut", |b| {
+        let mgr = DomainManager::new();
+        let d = mgr.create_domain("counter").unwrap();
+        let rref = RRef::new(&d, 0u64);
+        b.iter(|| {
+            rref.invoke_mut(|v| {
+                *v = v.wrapping_add(1);
+                *v
+            })
+            .unwrap()
+        });
+    });
+
+    group.bench_function("rref_invoke_shared", |b| {
+        let mgr = DomainManager::new();
+        let d = mgr.create_domain("counter").unwrap();
+        let rref = RRef::new(&d, 7u64);
+        b.iter(|| rref.invoke(|v| *v).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_calls);
+criterion_main!(benches);

@@ -1,0 +1,194 @@
+//! E5 — §4: cost and precision of ownership-based IFC vs. the
+//! conventional alias-analysis pipeline, and the compositional-summary
+//! speedup.
+//!
+//! Three sweeps:
+//!
+//! 1. **Alias cost**: on `alias_chain(n)` the Andersen baseline builds a
+//!    points-to relation that grows quadratically with the chain, while
+//!    move-mode analysis stays linear;
+//! 2. **Precision**: on `rebind_churn(n)` the flow-insensitive baseline
+//!    reports `n` false positives; move-mode reports none;
+//! 3. **Summaries**: on `call_diamond(d)` monolithic inlining re-analyzes
+//!    callees 2^d times, summaries once each — the paper's
+//!    "compositional reasoning" improvement.
+
+use rbs_core::table::{fmt_f64, Table};
+use rbs_ifc::{alias, interp, progen, summary};
+use std::time::Instant;
+
+/// One alias-cost sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct AliasCostRow {
+    /// Chain length.
+    pub n: usize,
+    /// Move-mode analysis time, microseconds.
+    pub move_us: f64,
+    /// Alias-baseline analysis time, microseconds.
+    pub alias_us: f64,
+    /// Total points-to edges materialized by the baseline.
+    pub pts_edges: usize,
+}
+
+/// One summary-vs-inline sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct DiamondRow {
+    /// Diamond depth (2^depth inlined leaf visits).
+    pub depth: usize,
+    /// Monolithic (inlining) time, microseconds.
+    pub monolithic_us: f64,
+    /// Summary-based time, microseconds.
+    pub summary_us: f64,
+}
+
+fn time_us(mut f: impl FnMut()) -> f64 {
+    // Run at least a few times, keep the best (analysis is deterministic;
+    // the minimum is the least-noise estimate).
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// Sweep 1: alias-analysis cost growth.
+pub fn alias_cost_sweep(sizes: &[usize]) -> Vec<AliasCostRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let p = progen::alias_chain(n);
+            let move_us = time_us(|| {
+                interp::analyze(&p).expect("no recursion in generated programs");
+            });
+            let mut edges = 0;
+            let alias_us = time_us(|| {
+                let (_, stats) = alias::analyze_alias(&p);
+                edges = stats.pts_edges;
+            });
+            AliasCostRow { n, move_us, alias_us, pts_edges: edges }
+        })
+        .collect()
+}
+
+/// Sweep 2: precision — false positives of the baseline on safe
+/// rebinding churn. Returns `(n, move_mode_fps, alias_fps)`.
+pub fn precision_sweep(sizes: &[usize]) -> Vec<(usize, usize, usize)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let p = progen::rebind_churn(n);
+            let move_fps = interp::analyze(&p).expect("non-recursive").len();
+            let (alias_v, _) = alias::analyze_alias(&p);
+            (n, move_fps, alias_v.len())
+        })
+        .collect()
+}
+
+/// Sweep 3: compositional summaries vs. monolithic inlining.
+pub fn diamond_sweep(depths: &[usize]) -> Vec<DiamondRow> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let p = progen::call_diamond(depth);
+            let monolithic_us = time_us(|| {
+                let v = interp::analyze(&p).expect("diamond is acyclic");
+                assert_eq!(v.len(), 1);
+            });
+            let summary_us = time_us(|| {
+                let v = summary::analyze_with_summaries(&p).expect("diamond is acyclic");
+                assert_eq!(v.len(), 1);
+            });
+            DiamondRow { depth, monolithic_us, summary_us }
+        })
+        .collect()
+}
+
+/// Regenerates all three sweeps as text tables.
+pub fn run(quick: bool) -> String {
+    let chain_sizes: &[usize] = if quick { &[8, 32, 128] } else { &[8, 32, 128, 512, 1024] };
+    let depths: &[usize] = if quick { &[4, 8, 12] } else { &[4, 8, 12, 16, 18] };
+    let churn_sizes: &[usize] = &[5, 20, 80];
+
+    let mut out = String::from("E5 — IFC analysis cost and precision\n\n");
+
+    out.push_str("(a) alias-analysis cost on buffer chains:\n");
+    let mut t = Table::new(&["chain n", "move-mode us", "alias-baseline us", "pts edges"]);
+    for r in alias_cost_sweep(chain_sizes) {
+        t.row_owned(vec![
+            r.n.to_string(),
+            fmt_f64(r.move_us, 1),
+            fmt_f64(r.alias_us, 1),
+            r.pts_edges.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n(b) precision on safe rebinding churn (ground truth: 0 leaks):\n");
+    let mut t = Table::new(&["rounds", "move-mode false positives", "alias-baseline false positives"]);
+    for (n, mv, al) in precision_sweep(churn_sizes) {
+        t.row_owned(vec![n.to_string(), mv.to_string(), al.to_string()]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n(c) compositional summaries vs. monolithic inlining (call diamond):\n");
+    let mut t = Table::new(&["depth", "monolithic us", "summaries us", "speedup"]);
+    for r in diamond_sweep(depths) {
+        t.row_owned(vec![
+            r.depth.to_string(),
+            fmt_f64(r.monolithic_us, 1),
+            fmt_f64(r.summary_us, 1),
+            fmt_f64(r.monolithic_us / r.summary_us.max(0.001), 1),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_edges_grow_superlinearly() {
+        let rows = alias_cost_sweep(&[8, 32]);
+        let (small, large) = (rows[0], rows[1]);
+        // 4x the chain must give much more than 4x the edges.
+        assert!(
+            large.pts_edges > 8 * small.pts_edges,
+            "small={small:?} large={large:?}"
+        );
+    }
+
+    #[test]
+    fn precision_gap_matches_ground_truth() {
+        for (n, move_fps, alias_fps) in precision_sweep(&[3, 10]) {
+            assert_eq!(move_fps, 0, "move mode is precise at n={n}");
+            assert_eq!(alias_fps, n, "baseline pays one FP per round at n={n}");
+        }
+    }
+
+    #[test]
+    fn summaries_beat_inlining_at_depth() {
+        let rows = diamond_sweep(&[12]);
+        let r = rows[0];
+        // 2^12 leaf visits vs. 13 summaries: the gap must be large.
+        assert!(
+            r.monolithic_us > 5.0 * r.summary_us,
+            "expected a big compositional speedup: {r:?}"
+        );
+    }
+
+    #[test]
+    fn both_analyses_agree_on_diamond_verdict() {
+        // Shape guard embedded in diamond_sweep's assertions.
+        let _ = diamond_sweep(&[6]);
+    }
+
+    #[test]
+    fn run_renders_three_tables() {
+        let out = run(true);
+        assert!(out.contains("(a)") && out.contains("(b)") && out.contains("(c)"), "{out}");
+    }
+}

@@ -1,0 +1,103 @@
+//! E7 — §1: line-rate cycle budgets, and where our pipeline sits.
+//!
+//! Reproduces the introduction's napkin numbers — "to saturate a 10Gbps
+//! network link ... a budget of 835 ns per 1K packet (or 1670 cycles on
+//! a 2GHz machine)", with "the memory access latency of 96-146 ns ...
+//! a handful of cache misses in the critical path" — and then measures
+//! our Maglev pipeline's per-packet cycles against the budget.
+
+use crate::harness::{measure_batch_loop, median, test_batch};
+use rbs_core::cycles::cycles_per_ns;
+use rbs_core::table::{fmt_f64, Table};
+use rbs_maglev::{Backend, MaglevLb};
+use rbs_netfx::budget::Budget;
+use rbs_netfx::pipeline::Operator;
+use std::net::Ipv4Addr;
+
+/// The paper's budget row plus neighbours.
+pub fn budget_rows() -> Vec<(f64, usize, Budget)> {
+    [
+        (10.0, 60),   // minimum-size frames at 10G
+        (10.0, 1024), // the paper's "1K packet"
+        (10.0, 1500), // full MTU
+        (40.0, 1024), // faster links shrink the budget
+        (100.0, 1024),
+    ]
+    .iter()
+    .map(|&(gbps, frame)| (gbps, frame, Budget::new(gbps, frame, 2.0)))
+    .collect()
+}
+
+/// Measured per-packet cost of the Maglev stage at a given batch size.
+pub fn measured_cycles_per_packet(batch_size: usize, iters: usize) -> f64 {
+    let backends = (0..8).map(|i| Backend::new(format!("be-{i}"))).collect();
+    let addrs = (0..8).map(|i| Ipv4Addr::new(10, 1, 0, i + 1)).collect();
+    let mut lb = MaglevLb::new(backends, addrs, 65537).expect("valid backends");
+    let chunk = (iters / 20).max(1);
+    let per_batch = median(&measure_batch_loop(test_batch(batch_size), iters, chunk, |b| {
+        lb.process(b)
+    }));
+    per_batch / batch_size as f64
+}
+
+/// Regenerates the budget table and the measured comparison.
+pub fn run(quick: bool) -> String {
+    let mut out = String::from(
+        "E7 — line-rate budgets (paper: 835 ns / 1670 cycles per 1K packet at 10 Gb/s, 2 GHz)\n",
+    );
+    let mut t = Table::new(&[
+        "link",
+        "frame B",
+        "ns/packet",
+        "cycles/packet @2GHz",
+        "misses@96ns",
+        "misses@146ns",
+    ]);
+    for (gbps, frame, b) in budget_rows() {
+        t.row_owned(vec![
+            format!("{gbps:.0}G"),
+            frame.to_string(),
+            fmt_f64(b.ns_per_packet(), 0),
+            fmt_f64(b.cycles_per_packet(), 0),
+            fmt_f64(b.cache_misses_in_budget(96.0), 1),
+            fmt_f64(b.cache_misses_in_budget(146.0), 1),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let iters = if quick { 2_000 } else { 20_000 };
+    let measured = measured_cycles_per_packet(64, iters);
+    let budget = Budget::new(10.0, 1024, cycles_per_ns());
+    out.push_str(&format!(
+        "\nmeasured Maglev stage: {measured:.0} cycles/packet on this host \
+         ({:.1}% of the 10G/1KB budget at the host clock)\n",
+        budget.utilization(measured) * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_row_reproduced() {
+        let rows = budget_rows();
+        let (_, _, b) = rows.iter().find(|&&(g, f, _)| g == 10.0 && f == 1024).unwrap();
+        assert!((b.ns_per_packet() - 835.0).abs() / 835.0 < 0.01);
+        assert!((b.cycles_per_packet() - 1670.0).abs() / 1670.0 < 0.01);
+    }
+
+    #[test]
+    fn measured_cost_is_positive_and_finite() {
+        let c = measured_cycles_per_packet(32, 2_000);
+        assert!(c > 0.0 && c.is_finite(), "{c}");
+    }
+
+    #[test]
+    fn run_renders_budget_table() {
+        let out = run(true);
+        assert!(out.contains("1670") || out.contains("1676"), "{out}");
+        assert!(out.contains("measured Maglev stage"), "{out}");
+    }
+}

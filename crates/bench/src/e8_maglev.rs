@@ -1,0 +1,148 @@
+//! E8 — validating the Maglev substrate the way its own paper does.
+//!
+//! Figure 2 leans on Maglev as the realistic-workload yardstick, so this
+//! experiment demonstrates the substrate reproduces the Maglev paper's
+//! two headline table properties: near-uniform load across backends
+//! (imbalance → 1 as the table grows) and minimal disruption when the
+//! backend set changes (entries moved ≈ the departed/arrived share).
+
+use rbs_core::table::{fmt_f64, Table};
+use rbs_maglev::baseline::compare_removal;
+use rbs_maglev::table::next_prime;
+use rbs_maglev::{Backend, MaglevTable};
+
+/// One balance sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct BalanceRow {
+    /// Backend count.
+    pub backends: usize,
+    /// Table size (prime).
+    pub table_size: usize,
+    /// max/min normalized entry share.
+    pub imbalance: f64,
+}
+
+/// Balance as a function of table size.
+pub fn balance_sweep(backends: usize, sizes: &[usize]) -> Vec<BalanceRow> {
+    sizes
+        .iter()
+        .map(|&s| {
+            let size = next_prime(s);
+            let t = MaglevTable::new(names(backends), size).expect("valid set");
+            BalanceRow {
+                backends,
+                table_size: size,
+                imbalance: t.imbalance(),
+            }
+        })
+        .collect()
+}
+
+/// One disruption sweep point: fraction of entries that changed backend.
+#[derive(Debug, Clone, Copy)]
+pub struct DisruptionRow {
+    /// Backends before the change.
+    pub backends: usize,
+    /// Fraction moved after removing one backend.
+    pub remove_one: f64,
+    /// Fraction moved after adding one backend.
+    pub add_one: f64,
+    /// The ideal minimum for removal (the departed share, 1/n).
+    pub ideal_remove: f64,
+}
+
+/// Disruption when the backend set changes by one.
+pub fn disruption_sweep(backend_counts: &[usize], table_size: usize) -> Vec<DisruptionRow> {
+    let size = next_prime(table_size);
+    backend_counts
+        .iter()
+        .map(|&n| {
+            let full = MaglevTable::new(names(n), size).expect("valid set");
+            let mut fewer = names(n);
+            fewer.remove(n / 2);
+            let removed = MaglevTable::new(fewer, size).expect("valid set");
+            let added = MaglevTable::new(names(n + 1), size).expect("valid set");
+            DisruptionRow {
+                backends: n,
+                remove_one: full.disruption(&removed),
+                add_one: full.disruption(&added),
+                ideal_remove: 1.0 / n as f64,
+            }
+        })
+        .collect()
+}
+
+fn names(n: usize) -> Vec<Backend> {
+    (0..n).map(|i| Backend::new(format!("backend-{i}"))).collect()
+}
+
+/// Regenerates the Maglev validation tables.
+pub fn run(quick: bool) -> String {
+    let sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 65_537] };
+    let counts: &[usize] = if quick { &[10, 50] } else { &[10, 50, 100] };
+
+    let mut out = String::from("E8 — Maglev substrate validation\n\n(a) load balance vs. table size (ideal imbalance = 1.0):\n");
+    let mut t = Table::new(&["backends", "table size", "imbalance max/min"]);
+    for r in balance_sweep(16, sizes) {
+        t.row_owned(vec![
+            r.backends.to_string(),
+            r.table_size.to_string(),
+            fmt_f64(r.imbalance, 4),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n(b) disruption on backend change (ideal = departed share):\n");
+    let mut t = Table::new(&["backends", "remove one (frac)", "ideal", "add one (frac)"]);
+    for r in disruption_sweep(counts, 10_007) {
+        t.row_owned(vec![
+            r.backends.to_string(),
+            fmt_f64(r.remove_one, 4),
+            fmt_f64(r.ideal_remove, 4),
+            fmt_f64(r.add_one, 4),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n(c) consistent hashing vs. the `hash mod N` strawman (one backend removed):\n");
+    let mut t = Table::new(&["backends", "maglev moved", "mod-N moved", "ideal"]);
+    for &n in counts {
+        let c = compare_removal(n, 10_007).expect("valid comparison");
+        t.row_owned(vec![
+            c.backends.to_string(),
+            fmt_f64(c.maglev, 4),
+            fmt_f64(c.mod_n, 4),
+            fmt_f64(c.ideal, 4),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_improves_with_table_size() {
+        let rows = balance_sweep(16, &[1_000, 50_000]);
+        assert!(rows[0].imbalance >= rows[1].imbalance);
+        assert!(rows[1].imbalance < 1.01, "{rows:?}");
+    }
+
+    #[test]
+    fn disruption_near_ideal() {
+        for r in disruption_sweep(&[10, 50], 10_007) {
+            assert!(r.remove_one >= r.ideal_remove * 0.9, "{r:?}");
+            assert!(r.remove_one <= r.ideal_remove * 2.5, "collateral too high: {r:?}");
+            assert!(r.add_one <= 2.5 / (r.backends as f64 + 1.0), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn run_renders_three_tables() {
+        let out = run(true);
+        assert!(out.contains("(a)") && out.contains("(b)") && out.contains("(c)"), "{out}");
+        assert!(out.contains("mod-N moved"), "{out}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared measurement plumbing.
+
+use rbs_core::cycles::CycleTimer;
+use rbs_core::stats::Summary;
+use rbs_netfx::batch::PacketBatch;
+use rbs_netfx::pktgen::{PacketGen, TrafficConfig};
+use std::sync::Once;
+
+/// Installs a silent panic hook once, so fault-injection experiments do
+/// not spend cycles (or terminal space) printing panic messages — the
+/// measured path is catch + cleanup + recovery, not I/O.
+pub fn silence_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        std::panic::set_hook(Box::new(|_| {}));
+    });
+}
+
+/// A deterministic batch of `n` UDP packets for pipeline experiments.
+pub fn test_batch(n: usize) -> PacketBatch {
+    let mut g = PacketGen::new(TrafficConfig {
+        flows: 4096,
+        payload_len: 64,
+        seed: 0xF162,
+        ..Default::default()
+    });
+    g.next_batch(n)
+}
+
+/// Measures `iters` repetitions of a batch-consuming, batch-returning
+/// pipeline step, reusing the returned batch; reports cycles/iteration
+/// samples (one sample per `chunk` iterations, amortizing timer cost).
+pub fn measure_batch_loop(
+    mut batch: PacketBatch,
+    iters: usize,
+    chunk: usize,
+    mut step: impl FnMut(PacketBatch) -> PacketBatch,
+) -> Vec<f64> {
+    assert!(chunk > 0 && iters >= chunk);
+    // Warmup: touch caches, resolve lazy init.
+    for _ in 0..chunk {
+        batch = step(batch);
+    }
+    let mut samples = Vec::with_capacity(iters / chunk);
+    let mut done = 0;
+    while done < iters {
+        let t = CycleTimer::start();
+        for _ in 0..chunk {
+            batch = step(batch);
+        }
+        let c = t.elapsed();
+        samples.push(c as f64 / chunk as f64);
+        done += chunk;
+    }
+    samples
+}
+
+/// The median of a measured sample set (the honest point estimate on a
+/// noisy multi-tasking host).
+pub fn median(samples: &[f64]) -> f64 {
+    Summary::of(samples).map(|s| s.p50).unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_is_deterministic() {
+        let a = test_batch(8);
+        let b = test_batch(8);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
+    }
+
+    #[test]
+    fn measure_returns_expected_sample_count() {
+        let samples = measure_batch_loop(test_batch(4), 100, 10, |b| b);
+        assert_eq!(samples.len(), 10);
+        assert!(samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn median_of_known() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert!(median(&[]).is_nan());
+    }
+
+    #[test]
+    fn silence_panics_is_idempotent() {
+        silence_panics();
+        silence_panics();
+        let r = std::panic::catch_unwind(|| panic!("quiet"));
+        assert!(r.is_err());
+    }
+}

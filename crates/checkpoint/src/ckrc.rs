@@ -1,0 +1,319 @@
+//! [`CkRc`]: the alias-aware, checkpoint-capable shared pointer.
+//!
+//! `Rc` is where Rust makes aliasing explicit in the type, and therefore
+//! the exact place §5 hangs the dedup logic: "we provide a custom
+//! implementation of Checkpointable for Rc ..., which sets an internal
+//! flag the first time checkpoint() is called on the object and checks
+//! this flag to avoid creating additional copies when graph traversal
+//! hits the object again via a different alias."
+//!
+//! The "flag" here is an epoch mark `(epoch, shared_id)`: comparing it to
+//! the running checkpoint's epoch both detects "already copied in this
+//! run" and remembers *where* the copy went, with no global visited-set.
+//! Stale marks from previous runs are harmless because every run uses a
+//! fresh epoch.
+
+use crate::ctx::{CheckpointCtx, DedupMode, RestoreCtx};
+use crate::snapshot::{mismatch, Snapshot, SnapshotError};
+use crate::traits::Checkpointable;
+use std::cell::Cell;
+use std::ops::Deref;
+use std::rc::Rc;
+
+struct CkNode<T> {
+    /// `(epoch, shared_id)` of the last checkpoint run that copied this
+    /// node. Epoch 0 never matches a real run.
+    mark: Cell<(u64, usize)>,
+    value: T,
+}
+
+/// A single-threaded shared pointer whose targets checkpoint once per
+/// run regardless of how many aliases reach them.
+pub struct CkRc<T> {
+    inner: Rc<CkNode<T>>,
+}
+
+impl<T> CkRc<T> {
+    /// Wraps `value` in a new shared allocation.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: Rc::new(CkNode {
+                mark: Cell::new((0, 0)),
+                value,
+            }),
+        }
+    }
+
+    /// True when both pointers alias the same allocation.
+    pub fn ptr_eq(a: &CkRc<T>, b: &CkRc<T>) -> bool {
+        Rc::ptr_eq(&a.inner, &b.inner)
+    }
+
+    /// Number of live aliases.
+    pub fn strong_count(this: &CkRc<T>) -> usize {
+        Rc::strong_count(&this.inner)
+    }
+
+    /// The allocation's address, used as the key by
+    /// [`DedupMode::AddressSet`].
+    pub fn as_ptr_addr(this: &CkRc<T>) -> usize {
+        Rc::as_ptr(&this.inner) as *const () as usize
+    }
+}
+
+impl<T> Clone for CkRc<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Deref for CkRc<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner.value
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for CkRc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CkRc").field(&self.inner.value).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for CkRc<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.value == other.inner.value
+    }
+}
+
+impl<T: Checkpointable + 'static> Checkpointable for CkRc<T> {
+    fn checkpoint(&self, ctx: &mut CheckpointCtx) -> Snapshot {
+        match ctx.mode() {
+            DedupMode::EpochFlag => {
+                let (epoch, id) = self.inner.mark.get();
+                if epoch == ctx.epoch() {
+                    // Second (or later) alias in this run: O(1) hit.
+                    ctx.stats.shared_hits += 1;
+                    return Snapshot::Shared(id);
+                }
+                let id = ctx.alloc_shared();
+                // Mark *before* recursing so diamond patterns converge.
+                self.inner.mark.set((ctx.epoch(), id));
+                ctx.stats.shared_copied += 1;
+                let snap = self.inner.value.checkpoint(ctx);
+                ctx.fill_shared(id, snap);
+                Snapshot::Shared(id)
+            }
+            DedupMode::AddressSet => {
+                // The conventional-language emulation: a global map from
+                // object address to copy, consulted per node.
+                let addr = CkRc::as_ptr_addr(self);
+                if let Some(id) = ctx.address_lookup(addr) {
+                    ctx.stats.shared_hits += 1;
+                    return Snapshot::Shared(id);
+                }
+                let id = ctx.alloc_shared();
+                ctx.address_insert(addr, id);
+                ctx.stats.shared_copied += 1;
+                let snap = self.inner.value.checkpoint(ctx);
+                ctx.fill_shared(id, snap);
+                Snapshot::Shared(id)
+            }
+            DedupMode::None => {
+                // Figure 3b: traverse like a unique owner, duplicating
+                // the target once per alias.
+                ctx.stats.duplicate_copies += 1;
+                self.inner.value.checkpoint(ctx)
+            }
+        }
+    }
+
+    fn restore(snap: &Snapshot, ctx: &mut RestoreCtx<'_>) -> Result<Self, SnapshotError> {
+        match snap {
+            Snapshot::Shared(id) => {
+                if let Some(rc) = ctx.rebuilt_handle::<Rc<CkNode<T>>>(*id)? {
+                    return Ok(CkRc { inner: rc });
+                }
+                ctx.begin_rebuild(*id)?;
+                let inner_snap = ctx.shared_snapshot(*id)?;
+                let value = T::restore(inner_snap, ctx)?;
+                let rc = Rc::new(CkNode {
+                    mark: Cell::new((0, 0)),
+                    value,
+                });
+                ctx.finish_rebuild(*id, Rc::clone(&rc));
+                Ok(CkRc { inner: rc })
+            }
+            // A checkpoint taken without dedup inlined the value; restore
+            // it as a fresh, unshared allocation.
+            other => Ok(CkRc::new(T::restore(other, ctx)?)),
+        }
+    }
+}
+
+// Vectors of shared pointers are the common shape for rule tables.
+impl<T: Checkpointable + 'static> Checkpointable for Vec<CkRc<T>> {
+    fn checkpoint(&self, ctx: &mut CheckpointCtx) -> Snapshot {
+        Snapshot::Seq(self.iter().map(|e| e.checkpoint(ctx)).collect())
+    }
+
+    fn restore(snap: &Snapshot, ctx: &mut RestoreCtx<'_>) -> Result<Self, SnapshotError> {
+        match snap {
+            Snapshot::Seq(items) => items.iter().map(|s| CkRc::restore(s, ctx)).collect(),
+            other => Err(mismatch("vec", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{checkpoint, checkpoint_with_mode, restore};
+
+    #[test]
+    fn deref_and_identity() {
+        let a = CkRc::new(5u32);
+        let b = a.clone();
+        assert_eq!(*a, 5);
+        assert!(CkRc::ptr_eq(&a, &b));
+        assert_eq!(CkRc::strong_count(&a), 2);
+        assert!(!CkRc::ptr_eq(&a, &CkRc::new(5)));
+        assert_eq!(a, CkRc::new(5), "PartialEq compares values");
+    }
+
+    #[test]
+    fn single_alias_checkpoints_once() {
+        let a = CkRc::new(1u32);
+        let cp = checkpoint(&a);
+        assert_eq!(cp.root, Snapshot::Shared(0));
+        assert_eq!(cp.shared, vec![Snapshot::UInt(1)]);
+        assert_eq!(cp.stats.shared_copied, 1);
+        assert_eq!(cp.stats.shared_hits, 0);
+    }
+
+    #[test]
+    fn aliases_dedup_with_epoch_flag() {
+        let a = CkRc::new(String::from("rule"));
+        let v = vec![a.clone(), a.clone(), a];
+        let cp = checkpoint(&v);
+        assert_eq!(cp.stats.shared_copied, 1);
+        assert_eq!(cp.stats.shared_hits, 2);
+        assert_eq!(cp.shared.len(), 1);
+        assert_eq!(cp.stats.address_lookups, 0, "epoch flag needs no map");
+    }
+
+    #[test]
+    fn consecutive_runs_use_fresh_epochs() {
+        let a = CkRc::new(7u32);
+        let v = vec![a.clone(), a];
+        let first = checkpoint(&v);
+        let second = checkpoint(&v);
+        // Both runs must dedup identically; a stale mark from run 1 must
+        // not fool run 2.
+        assert_eq!(first.stats.shared_copied, 1);
+        assert_eq!(second.stats.shared_copied, 1);
+        assert_eq!(second.stats.shared_hits, 1);
+    }
+
+    #[test]
+    fn address_set_mode_same_result_more_lookups() {
+        let a = CkRc::new(1u64);
+        let v = vec![a.clone(), a.clone(), a];
+        let flag = checkpoint(&v);
+        let addr = checkpoint_with_mode(&v, DedupMode::AddressSet);
+        assert_eq!(flag.shared, addr.shared);
+        assert_eq!(flag.root, addr.root);
+        assert_eq!(addr.stats.shared_hits, 2);
+        assert!(addr.stats.address_lookups >= 3, "per-node map traffic");
+    }
+
+    #[test]
+    fn none_mode_duplicates_figure_3b() {
+        let rule = CkRc::new(vec![0u8; 4096]);
+        let v = vec![rule.clone(), rule.clone(), rule];
+        let dedup = checkpoint(&v);
+        let naive = checkpoint_with_mode(&v, DedupMode::None);
+        assert_eq!(naive.stats.duplicate_copies, 3);
+        assert!(naive.shared.is_empty());
+        // The naive checkpoint is ~3x the size of the deduped one.
+        assert!(
+            naive.approx_bytes() > 2 * dedup.approx_bytes(),
+            "naive={} dedup={}",
+            naive.approx_bytes(),
+            dedup.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn restore_rebuilds_sharing() {
+        let a = CkRc::new(String::from("shared"));
+        let v = vec![a.clone(), a];
+        let cp = checkpoint(&v);
+        let back: Vec<CkRc<String>> = restore(&cp).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(*back[0], "shared");
+        assert!(CkRc::ptr_eq(&back[0], &back[1]), "restored aliases must share");
+        assert_eq!(CkRc::strong_count(&back[0]), 2);
+    }
+
+    #[test]
+    fn restore_from_naive_checkpoint_loses_sharing() {
+        let a = CkRc::new(3u32);
+        let v = vec![a.clone(), a];
+        let cp = checkpoint_with_mode(&v, DedupMode::None);
+        let back: Vec<CkRc<u32>> = restore(&cp).unwrap();
+        assert_eq!(*back[0], 3);
+        assert!(
+            !CkRc::ptr_eq(&back[0], &back[1]),
+            "sharing was destroyed at checkpoint time"
+        );
+    }
+
+    /// The diamond of Figure 3a: two paths to the same rule.
+    #[test]
+    fn diamond_graph_single_copy() {
+        let rule = CkRc::new(String::from("allow"));
+        let left = CkRc::new(vec![rule.clone()]);
+        let right = CkRc::new(vec![rule]);
+        let root = (left, right);
+        let cp = checkpoint(&root);
+        // Three shared nodes total: left, right, rule — rule copied once.
+        assert_eq!(cp.shared.len(), 3);
+        assert_eq!(cp.stats.shared_copied, 3);
+        assert_eq!(cp.stats.shared_hits, 1);
+        type Side = CkRc<Vec<CkRc<String>>>;
+        let back: (Side, Side) = restore(&cp).unwrap();
+        assert!(CkRc::ptr_eq(&back.0[0], &back.1[0]));
+    }
+
+    #[test]
+    fn deep_nesting_roundtrip() {
+        let leaf = CkRc::new(1u64);
+        let mid: Vec<CkRc<u64>> = vec![leaf.clone(), leaf.clone(), leaf];
+        let cp = checkpoint(&mid);
+        assert_eq!(cp.stats.shared_copied, 1);
+        let back: Vec<CkRc<u64>> = restore(&cp).unwrap();
+        assert!(CkRc::ptr_eq(&back[0], &back[2]));
+    }
+
+    #[test]
+    fn mutation_between_checkpoints_seen_by_next_run() {
+        let cell = CkRc::new(std::cell::RefCell::new(1u32));
+        let cp1 = checkpoint(&cell);
+        *cell.borrow_mut() = 2;
+        let cp2 = checkpoint(&cell);
+        let b1: CkRc<std::cell::RefCell<u32>> = restore(&cp1).unwrap();
+        let b2: CkRc<std::cell::RefCell<u32>> = restore(&cp2).unwrap();
+        assert_eq!(*b1.borrow(), 1);
+        assert_eq!(*b2.borrow(), 2);
+    }
+
+    #[test]
+    fn debug_formats_value() {
+        let a = CkRc::new(5u32);
+        assert_eq!(format!("{a:?}"), "CkRc(5)");
+    }
+}

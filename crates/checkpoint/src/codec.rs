@@ -1,0 +1,444 @@
+//! A compact binary wire format for checkpoints.
+//!
+//! Checkpoints that only live in memory cover rollback; durability and
+//! migration (ship a domain's state to another process, write it to
+//! disk) need bytes. The format is deliberately simple and dependency-
+//! free: one tag byte per node, LEB128 varints for integers and lengths,
+//! IEEE-754 bits for floats. Shared-node structure is preserved exactly,
+//! so a decoded checkpoint restores with identical sharing.
+
+use crate::ctx::{Checkpoint, CheckpointStats};
+use crate::snapshot::Snapshot;
+use std::fmt;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended mid-value.
+    UnexpectedEof,
+    /// An unknown tag byte.
+    BadTag(u8),
+    /// A varint ran over its maximum width.
+    VarintOverflow,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A char value outside the Unicode scalar range.
+    BadChar(u32),
+    /// The magic header is missing or the version is unsupported.
+    BadHeader,
+    /// Input had trailing bytes after a complete checkpoint.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "input truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown snapshot tag {t:#04x}"),
+            CodecError::VarintOverflow => write!(f, "varint too long"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
+            CodecError::BadChar(c) => write!(f, "invalid char scalar {c:#x}"),
+            CodecError::BadHeader => write!(f, "bad magic or unsupported version"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const MAGIC: &[u8; 4] = b"RBSC";
+const VERSION: u8 = 1;
+
+mod tag {
+    pub const UNIT: u8 = 0x00;
+    pub const BOOL_FALSE: u8 = 0x01;
+    pub const BOOL_TRUE: u8 = 0x02;
+    pub const UINT: u8 = 0x03;
+    pub const INT: u8 = 0x04;
+    pub const FLOAT: u8 = 0x05;
+    pub const CHAR: u8 = 0x06;
+    pub const STR: u8 = 0x07;
+    pub const BYTES: u8 = 0x08;
+    pub const SEQ: u8 = 0x09;
+    pub const MAP: u8 = 0x0A;
+    pub const OPT_NONE: u8 = 0x0B;
+    pub const OPT_SOME: u8 = 0x0C;
+    pub const SHARED: u8 = 0x0D;
+}
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zig-zag encodes a signed value then varints it.
+pub fn write_varint_signed(out: &mut Vec<u8>, v: i64) {
+    write_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn byte(&mut self) -> Result<u8, CodecError> {
+        let b = *self.data.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::UnexpectedEof)?;
+        let s = self.data.get(self.pos..end).ok_or(CodecError::UnexpectedEof)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::VarintOverflow)
+    }
+
+    fn varint_signed(&mut self) -> Result<i64, CodecError> {
+        let raw = self.varint()?;
+        Ok(((raw >> 1) as i64) ^ -((raw & 1) as i64))
+    }
+}
+
+fn encode_snapshot(out: &mut Vec<u8>, snap: &Snapshot) {
+    match snap {
+        Snapshot::Unit => out.push(tag::UNIT),
+        Snapshot::Bool(false) => out.push(tag::BOOL_FALSE),
+        Snapshot::Bool(true) => out.push(tag::BOOL_TRUE),
+        Snapshot::UInt(v) => {
+            out.push(tag::UINT);
+            write_varint(out, *v);
+        }
+        Snapshot::Int(v) => {
+            out.push(tag::INT);
+            write_varint_signed(out, *v);
+        }
+        Snapshot::Float(v) => {
+            out.push(tag::FLOAT);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Snapshot::Char(c) => {
+            out.push(tag::CHAR);
+            write_varint(out, u64::from(u32::from(*c)));
+        }
+        Snapshot::Str(s) => {
+            out.push(tag::STR);
+            write_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Snapshot::Bytes(b) => {
+            out.push(tag::BYTES);
+            write_varint(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Snapshot::Seq(items) => {
+            out.push(tag::SEQ);
+            write_varint(out, items.len() as u64);
+            for item in items {
+                encode_snapshot(out, item);
+            }
+        }
+        Snapshot::Map(pairs) => {
+            out.push(tag::MAP);
+            write_varint(out, pairs.len() as u64);
+            for (k, v) in pairs {
+                encode_snapshot(out, k);
+                encode_snapshot(out, v);
+            }
+        }
+        Snapshot::Opt(None) => out.push(tag::OPT_NONE),
+        Snapshot::Opt(Some(inner)) => {
+            out.push(tag::OPT_SOME);
+            encode_snapshot(out, inner);
+        }
+        Snapshot::Shared(id) => {
+            out.push(tag::SHARED);
+            write_varint(out, *id as u64);
+        }
+    }
+}
+
+fn decode_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, CodecError> {
+    let t = r.byte()?;
+    Ok(match t {
+        tag::UNIT => Snapshot::Unit,
+        tag::BOOL_FALSE => Snapshot::Bool(false),
+        tag::BOOL_TRUE => Snapshot::Bool(true),
+        tag::UINT => Snapshot::UInt(r.varint()?),
+        tag::INT => Snapshot::Int(r.varint_signed()?),
+        tag::FLOAT => {
+            let bytes: [u8; 8] = r.take(8)?.try_into().expect("take returned 8 bytes");
+            Snapshot::Float(f64::from_bits(u64::from_le_bytes(bytes)))
+        }
+        tag::CHAR => {
+            let raw = u32::try_from(r.varint()?).map_err(|_| CodecError::VarintOverflow)?;
+            Snapshot::Char(char::from_u32(raw).ok_or(CodecError::BadChar(raw))?)
+        }
+        tag::STR => {
+            let len = r.varint()? as usize;
+            let bytes = r.take(len)?;
+            Snapshot::Str(std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?.to_string())
+        }
+        tag::BYTES => {
+            let len = r.varint()? as usize;
+            Snapshot::Bytes(r.take(len)?.to_vec())
+        }
+        tag::SEQ => {
+            let len = r.varint()? as usize;
+            // Guard against absurd preallocation from corrupt input.
+            let mut items = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                items.push(decode_snapshot(r)?);
+            }
+            Snapshot::Seq(items)
+        }
+        tag::MAP => {
+            let len = r.varint()? as usize;
+            let mut pairs = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                let k = decode_snapshot(r)?;
+                let v = decode_snapshot(r)?;
+                pairs.push((k, v));
+            }
+            Snapshot::Map(pairs)
+        }
+        tag::OPT_NONE => Snapshot::Opt(None),
+        tag::OPT_SOME => Snapshot::Opt(Some(Box::new(decode_snapshot(r)?))),
+        tag::SHARED => {
+            let id = usize::try_from(r.varint()?).map_err(|_| CodecError::VarintOverflow)?;
+            Snapshot::Shared(id)
+        }
+        other => return Err(CodecError::BadTag(other)),
+    })
+}
+
+/// Serializes a checkpoint (header, root, shared table). Traversal
+/// statistics are measurement artifacts and are not encoded.
+pub fn encode(cp: &Checkpoint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    encode_snapshot(&mut out, &cp.root);
+    write_varint(&mut out, cp.shared.len() as u64);
+    for s in &cp.shared {
+        encode_snapshot(&mut out, s);
+    }
+    out
+}
+
+/// Deserializes a checkpoint produced by [`encode`]; rejects trailing
+/// garbage.
+pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CodecError> {
+    let mut r = Reader { data: bytes, pos: 0 };
+    if r.take(4)? != MAGIC || r.byte()? != VERSION {
+        return Err(CodecError::BadHeader);
+    }
+    let root = decode_snapshot(&mut r)?;
+    let count = r.varint()? as usize;
+    let mut shared = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        shared.push(decode_snapshot(&mut r)?);
+    }
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
+    }
+    Ok(Checkpoint {
+        root,
+        shared,
+        stats: CheckpointStats::default(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::checkpoint;
+    use crate::CkRc;
+    use proptest::prelude::*;
+
+    fn roundtrip_snapshot(s: &Snapshot) -> Snapshot {
+        let cp = Checkpoint {
+            root: s.clone(),
+            shared: vec![],
+            stats: CheckpointStats::default(),
+        };
+        decode(&encode(&cp)).expect("roundtrip").root
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        for s in [
+            Snapshot::Unit,
+            Snapshot::Bool(true),
+            Snapshot::Bool(false),
+            Snapshot::UInt(0),
+            Snapshot::UInt(u64::MAX),
+            Snapshot::Int(i64::MIN),
+            Snapshot::Int(-1),
+            Snapshot::Float(1.5),
+            Snapshot::Float(f64::NEG_INFINITY),
+            Snapshot::Char('λ'),
+            Snapshot::Str("firewall".into()),
+            Snapshot::Str(String::new()),
+            Snapshot::Bytes(vec![0, 255, 127]),
+            Snapshot::Opt(None),
+            Snapshot::Opt(Some(Box::new(Snapshot::UInt(7)))),
+            Snapshot::Shared(12345),
+        ] {
+            assert_eq!(roundtrip_snapshot(&s), s);
+        }
+    }
+
+    #[test]
+    fn nan_float_roundtrips_bitwise() {
+        let s = Snapshot::Float(f64::NAN);
+        let back = roundtrip_snapshot(&s);
+        let Snapshot::Float(f) = back else { panic!() };
+        assert!(f.is_nan());
+    }
+
+    #[test]
+    fn full_checkpoint_roundtrip_with_sharing() {
+        let shared = CkRc::new(String::from("rule"));
+        let table = vec![shared.clone(), shared];
+        let cp = checkpoint(&table);
+        let decoded = decode(&encode(&cp)).unwrap();
+        assert_eq!(decoded.root, cp.root);
+        assert_eq!(decoded.shared, cp.shared);
+        // And the decoded checkpoint restores with sharing intact.
+        let back: Vec<CkRc<String>> = crate::ctx::restore(&decoded).unwrap();
+        assert!(CkRc::ptr_eq(&back[0], &back[1]));
+    }
+
+    #[test]
+    fn header_is_checked() {
+        let cp = checkpoint(&1u32);
+        let mut bytes = encode(&cp);
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadHeader);
+        let mut bytes = encode(&cp);
+        bytes[4] = 99; // bad version
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadHeader);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let cp = checkpoint(&vec![String::from("abcdef")]);
+        let bytes = encode(&cp);
+        for cut in 0..bytes.len() {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let cp = checkpoint(&1u32);
+        let mut bytes = encode(&cp);
+        bytes.push(0);
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let cp = checkpoint(&1u32);
+        let mut bytes = encode(&cp);
+        bytes[5] = 0xEE; // the root tag
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadTag(0xEE));
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let cp = checkpoint(&String::from("ab"));
+        let mut bytes = encode(&cp);
+        // Root is STR tag, len 2, then the two content bytes.
+        let n = bytes.len();
+        bytes[n - 3] = 0xFF;
+        bytes[n - 2] = 0xFE;
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::BadUtf8);
+    }
+
+    #[test]
+    fn varint_encoding_is_compact() {
+        let mut small = Vec::new();
+        write_varint(&mut small, 5);
+        assert_eq!(small.len(), 1);
+        let mut big = Vec::new();
+        write_varint(&mut big, u64::MAX);
+        assert_eq!(big.len(), 10);
+    }
+
+    fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+        let leaf = prop_oneof![
+            Just(Snapshot::Unit),
+            any::<bool>().prop_map(Snapshot::Bool),
+            any::<u64>().prop_map(Snapshot::UInt),
+            any::<i64>().prop_map(Snapshot::Int),
+            any::<f64>().prop_filter("nan compares oddly", |f| !f.is_nan()).prop_map(Snapshot::Float),
+            any::<char>().prop_map(Snapshot::Char),
+            ".*".prop_map(Snapshot::Str),
+            proptest::collection::vec(any::<u8>(), 0..32).prop_map(Snapshot::Bytes),
+            (0usize..1000).prop_map(Snapshot::Shared),
+        ];
+        leaf.prop_recursive(4, 64, 8, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..6).prop_map(Snapshot::Seq),
+                proptest::collection::vec((inner.clone(), inner.clone()), 0..4)
+                    .prop_map(Snapshot::Map),
+                inner.clone().prop_map(|s| Snapshot::Opt(Some(Box::new(s)))),
+                Just(Snapshot::Opt(None)),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Any snapshot tree survives encode → decode byte-exactly.
+        #[test]
+        fn arbitrary_snapshots_roundtrip(root in arb_snapshot(), shared in proptest::collection::vec(arb_snapshot(), 0..4)) {
+            let cp = Checkpoint { root, shared, stats: CheckpointStats::default() };
+            let back = decode(&encode(&cp)).unwrap();
+            prop_assert_eq!(back.root, cp.root);
+            prop_assert_eq!(back.shared, cp.shared);
+        }
+
+        /// Decoding arbitrary bytes never panics — it fails cleanly.
+        #[test]
+        fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode(&bytes);
+        }
+
+        /// Varints roundtrip for all values.
+        #[test]
+        fn varint_roundtrip(v in any::<u64>(), s in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut r = Reader { data: &buf, pos: 0 };
+            prop_assert_eq!(r.varint().unwrap(), v);
+
+            let mut buf = Vec::new();
+            write_varint_signed(&mut buf, s);
+            let mut r = Reader { data: &buf, pos: 0 };
+            prop_assert_eq!(r.varint_signed().unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Checkpoint and restore drivers.
+//!
+//! [`CheckpointCtx`] carries the traversal state: the shared-node table,
+//! the dedup policy ([`DedupMode`]), and cost counters. The default mode
+//! is the paper's epoch flag; [`DedupMode::AddressSet`] emulates what a
+//! conventional language must do (a global visited-pointer map), and
+//! [`DedupMode::None`] is the naïve traversal of Figure 3b. All three
+//! produce a checkpoint of the same structure — the experiment compares
+//! their costs and copy counts.
+
+use crate::snapshot::{Snapshot, SnapshotError};
+use crate::traits::Checkpointable;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How aliased (`CkRc`/`CkArc`) nodes are deduplicated during traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupMode {
+    /// The paper's mechanism: an epoch mark inside the shared pointer,
+    /// checked and set in O(1) with no auxiliary structure.
+    #[default]
+    EpochFlag,
+    /// The conventional-language emulation: a global map from pointer
+    /// address to shared-table id, consulted on every shared node.
+    AddressSet,
+    /// No dedup: every alias duplicates its target (Figure 3b). The
+    /// result is a tree-shaped snapshot with redundant copies; restore
+    /// cannot reconstruct sharing.
+    None,
+}
+
+/// Cost and effect counters for one checkpoint run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Shared nodes whose content was actually copied.
+    pub shared_copied: u64,
+    /// Alias hits answered without copying (dedup successes).
+    pub shared_hits: u64,
+    /// Redundant copies produced (only in [`DedupMode::None`]).
+    pub duplicate_copies: u64,
+    /// Address-map operations performed (only in
+    /// [`DedupMode::AddressSet`]).
+    pub address_lookups: u64,
+}
+
+/// A completed checkpoint: the root snapshot plus the shared-node table
+/// it refers into.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The root value's snapshot.
+    pub root: Snapshot,
+    /// Contents of shared nodes, indexed by [`Snapshot::Shared`].
+    pub shared: Vec<Snapshot>,
+    /// What the traversal did and what it cost.
+    pub stats: CheckpointStats,
+}
+
+impl Checkpoint {
+    /// Total snapshot nodes, root plus shared table — the "size" of the
+    /// checkpoint for the Figure 3 comparison.
+    pub fn total_nodes(&self) -> usize {
+        self.root.node_count() + self.shared.iter().map(Snapshot::node_count).sum::<usize>()
+    }
+
+    /// Approximate heap bytes of the whole checkpoint.
+    pub fn approx_bytes(&self) -> usize {
+        self.root.approx_bytes() + self.shared.iter().map(Snapshot::approx_bytes).sum::<usize>()
+    }
+}
+
+/// Global epoch counter: each checkpoint run gets a fresh epoch so marks
+/// from earlier runs are never mistaken for this run's.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Traversal state passed to every [`Checkpointable::checkpoint`] call.
+pub struct CheckpointCtx {
+    epoch: u64,
+    mode: DedupMode,
+    shared: Vec<Option<Snapshot>>,
+    address_map: HashMap<usize, usize>,
+    /// Exposed counters.
+    pub stats: CheckpointStats,
+}
+
+impl CheckpointCtx {
+    fn new(mode: DedupMode) -> Self {
+        Self {
+            epoch: EPOCH.fetch_add(1, Ordering::Relaxed),
+            mode,
+            shared: Vec::new(),
+            address_map: HashMap::new(),
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    /// This run's epoch (compared against `CkRc` marks).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The active dedup mode.
+    pub fn mode(&self) -> DedupMode {
+        self.mode
+    }
+
+    /// Reserves a shared-table slot, returning its id. The caller must
+    /// fill it with [`CheckpointCtx::fill_shared`] after snapshotting the
+    /// node's content (two-phase so self-referential marks are set before
+    /// recursion).
+    pub fn alloc_shared(&mut self) -> usize {
+        self.shared.push(None);
+        self.shared.len() - 1
+    }
+
+    /// Fills a previously allocated slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already filled (a driver bug, not a data
+    /// condition).
+    pub fn fill_shared(&mut self, id: usize, snap: Snapshot) {
+        assert!(self.shared[id].is_none(), "shared slot {id} filled twice");
+        self.shared[id] = Some(snap);
+    }
+
+    /// Address-map lookup for [`DedupMode::AddressSet`]: returns the
+    /// existing id for `addr`, if any, counting the lookup.
+    pub fn address_lookup(&mut self, addr: usize) -> Option<usize> {
+        self.stats.address_lookups += 1;
+        self.address_map.get(&addr).copied()
+    }
+
+    /// Records `addr` as checkpointed into slot `id`.
+    pub fn address_insert(&mut self, addr: usize, id: usize) {
+        self.stats.address_lookups += 1;
+        self.address_map.insert(addr, id);
+    }
+
+    fn finish(self, root: Snapshot) -> Checkpoint {
+        Checkpoint {
+            root,
+            shared: self
+                .shared
+                .into_iter()
+                .map(|s| s.expect("every allocated shared slot is filled before finish"))
+                .collect(),
+            stats: self.stats,
+        }
+    }
+}
+
+/// Checkpoints `value` with the default (epoch flag) dedup.
+pub fn checkpoint<T: Checkpointable>(value: &T) -> Checkpoint {
+    checkpoint_with_mode(value, DedupMode::EpochFlag)
+}
+
+/// Checkpoints `value` under an explicit [`DedupMode`].
+pub fn checkpoint_with_mode<T: Checkpointable>(value: &T, mode: DedupMode) -> Checkpoint {
+    let mut ctx = CheckpointCtx::new(mode);
+    let root = value.checkpoint(&mut ctx);
+    ctx.finish(root)
+}
+
+/// One shared node's rebuild state during restore.
+enum Slot {
+    Empty,
+    InProgress,
+    Done(Box<dyn Any>),
+}
+
+/// State passed to every [`Checkpointable::restore`] call.
+pub struct RestoreCtx<'a> {
+    shared: &'a [Snapshot],
+    rebuilt: Vec<Slot>,
+}
+
+impl<'a> RestoreCtx<'a> {
+    fn new(shared: &'a [Snapshot]) -> Self {
+        Self {
+            shared,
+            rebuilt: (0..shared.len()).map(|_| Slot::Empty).collect(),
+        }
+    }
+
+    /// The snapshot stored for shared node `id`.
+    pub fn shared_snapshot(&self, id: usize) -> Result<&'a Snapshot, SnapshotError> {
+        self.shared.get(id).ok_or(SnapshotError::DanglingShared { index: id })
+    }
+
+    /// Returns the already-rebuilt handle for `id`, if present.
+    ///
+    /// Fails with [`SnapshotError::SharedTypeConflict`] when the node was
+    /// rebuilt at a different type, and with
+    /// [`SnapshotError::CyclicSharing`] when the node is still being
+    /// rebuilt (the snapshot encodes a reference cycle).
+    pub fn rebuilt_handle<H: Clone + 'static>(
+        &self,
+        id: usize,
+    ) -> Result<Option<H>, SnapshotError> {
+        match self.rebuilt.get(id) {
+            None => Err(SnapshotError::DanglingShared { index: id }),
+            Some(Slot::Empty) => Ok(None),
+            Some(Slot::InProgress) => Err(SnapshotError::CyclicSharing),
+            Some(Slot::Done(any)) => match any.downcast_ref::<H>() {
+                Some(h) => Ok(Some(h.clone())),
+                None => Err(SnapshotError::SharedTypeConflict { index: id }),
+            },
+        }
+    }
+
+    /// Marks `id` as being rebuilt (cycle detection).
+    pub fn begin_rebuild(&mut self, id: usize) -> Result<(), SnapshotError> {
+        match self.rebuilt.get_mut(id) {
+            None => Err(SnapshotError::DanglingShared { index: id }),
+            Some(slot @ Slot::Empty) => {
+                *slot = Slot::InProgress;
+                Ok(())
+            }
+            Some(Slot::InProgress) => Err(SnapshotError::CyclicSharing),
+            Some(Slot::Done(_)) => Ok(()),
+        }
+    }
+
+    /// Stores the rebuilt handle for `id`.
+    pub fn finish_rebuild<H: Clone + 'static>(&mut self, id: usize, handle: H) {
+        self.rebuilt[id] = Slot::Done(Box::new(handle));
+    }
+}
+
+/// Restores a `T` from a checkpoint, rebuilding shared structure.
+///
+/// Checkpoints taken under [`DedupMode::None`] restore too, but aliases
+/// come back as independent copies (their sharing was lost at
+/// checkpoint time — the Figure 3b failure mode).
+pub fn restore<T: Checkpointable>(cp: &Checkpoint) -> Result<T, SnapshotError> {
+    let mut ctx = RestoreCtx::new(&cp.shared);
+    T::restore(&cp.root, &mut ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let cp = checkpoint(&42u64);
+        assert_eq!(cp.root, Snapshot::UInt(42));
+        assert!(cp.shared.is_empty());
+        assert_eq!(restore::<u64>(&cp).unwrap(), 42);
+    }
+
+    #[test]
+    fn epochs_are_distinct_per_run() {
+        let a = CheckpointCtx::new(DedupMode::EpochFlag);
+        let b = CheckpointCtx::new(DedupMode::EpochFlag);
+        assert_ne!(a.epoch(), b.epoch());
+    }
+
+    #[test]
+    fn total_nodes_includes_shared_table() {
+        let cp = Checkpoint {
+            root: Snapshot::Seq(vec![Snapshot::Shared(0)]),
+            shared: vec![Snapshot::Seq(vec![Snapshot::UInt(1), Snapshot::UInt(2)])],
+            stats: CheckpointStats::default(),
+        };
+        assert_eq!(cp.total_nodes(), 2 + 3);
+        assert!(cp.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn restore_type_mismatch_is_error() {
+        let cp = checkpoint(&42u64);
+        let e = restore::<String>(&cp).unwrap_err();
+        assert!(matches!(e, SnapshotError::TypeMismatch { expected: "string", .. }));
+    }
+
+    #[test]
+    fn dangling_shared_detected() {
+        let cp = Checkpoint {
+            root: Snapshot::Shared(3),
+            shared: vec![],
+            stats: CheckpointStats::default(),
+        };
+        let mut ctx = RestoreCtx::new(&cp.shared);
+        assert_eq!(
+            ctx.shared_snapshot(3).unwrap_err(),
+            SnapshotError::DanglingShared { index: 3 }
+        );
+        assert!(ctx.begin_rebuild(3).is_err());
+    }
+
+    #[test]
+    fn rebuild_slots_lifecycle() {
+        let shared = vec![Snapshot::UInt(7)];
+        let mut ctx = RestoreCtx::new(&shared);
+        assert_eq!(ctx.rebuilt_handle::<u32>(0).unwrap(), None);
+        ctx.begin_rebuild(0).unwrap();
+        // Re-entering while in progress is a cycle.
+        assert_eq!(ctx.begin_rebuild(0).unwrap_err(), SnapshotError::CyclicSharing);
+        assert_eq!(ctx.rebuilt_handle::<u32>(0).unwrap_err(), SnapshotError::CyclicSharing);
+        ctx.finish_rebuild(0, 99u32);
+        assert_eq!(ctx.rebuilt_handle::<u32>(0).unwrap(), Some(99));
+        // Wrong type is a conflict.
+        assert_eq!(
+            ctx.rebuilt_handle::<String>(0).unwrap_err(),
+            SnapshotError::SharedTypeConflict { index: 0 }
+        );
+    }
+
+    #[test]
+    fn address_map_counts_lookups() {
+        let mut ctx = CheckpointCtx::new(DedupMode::AddressSet);
+        assert_eq!(ctx.address_lookup(0x1000), None);
+        ctx.address_insert(0x1000, 0);
+        assert_eq!(ctx.address_lookup(0x1000), Some(0));
+        assert_eq!(ctx.stats.address_lookups, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "filled twice")]
+    fn double_fill_is_a_bug() {
+        let mut ctx = CheckpointCtx::new(DedupMode::EpochFlag);
+        let id = ctx.alloc_shared();
+        ctx.fill_shared(id, Snapshot::Unit);
+        ctx.fill_shared(id, Snapshot::Unit);
+    }
+}

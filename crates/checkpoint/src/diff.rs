@@ -1,0 +1,384 @@
+//! Structural deltas between checkpoints.
+//!
+//! §5 motivates snapshotting with checkpointing, transactions *and
+//! replication*; replication wants increments, not full copies. A
+//! [`Delta`] records the minimal set of subtree replacements that turns
+//! one checkpoint into another; shipping the delta (see
+//! [`crate::codec`] for bytes) costs space proportional to what
+//! *changed*, not to the structure's size.
+//!
+//! The diff is exact and total: `apply(base, &diff(base, next)) == next`
+//! for any two checkpoints (property-tested below).
+
+use crate::ctx::{Checkpoint, CheckpointStats};
+use crate::snapshot::{Snapshot, SnapshotError};
+use std::fmt;
+
+/// One step into a snapshot tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathSeg {
+    /// Index into a `Seq`.
+    Index(usize),
+    /// Index into a `Map`'s pair list (0 = key, 1 = value via `Side`).
+    MapEntry(usize, Side),
+    /// Into the `Some` of an `Opt`.
+    OptInner,
+}
+
+/// Which half of a map entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The key.
+    Key,
+    /// The value.
+    Value,
+}
+
+/// Where a replacement applies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Within the root snapshot.
+    Root(Vec<PathSeg>),
+    /// Within shared-table entry `id`.
+    Shared(usize, Vec<PathSeg>),
+}
+
+/// One subtree replacement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replacement {
+    /// Where the new subtree goes.
+    pub target: Target,
+    /// The new subtree.
+    pub subtree: Snapshot,
+}
+
+/// The delta between two checkpoints.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Delta {
+    /// Subtree replacements, in application order.
+    pub replacements: Vec<Replacement>,
+    /// New shared-table entries appended beyond the base's length.
+    pub appended_shared: Vec<Snapshot>,
+    /// New shared-table length when the table *shrank* (rare: only a
+    /// structurally different re-checkpoint does this).
+    pub truncate_shared_to: Option<usize>,
+}
+
+impl Delta {
+    /// True when the checkpoints were identical.
+    pub fn is_empty(&self) -> bool {
+        self.replacements.is_empty()
+            && self.appended_shared.is_empty()
+            && self.truncate_shared_to.is_none()
+    }
+
+    /// Total snapshot nodes carried by the delta — the replication
+    /// payload size metric.
+    pub fn payload_nodes(&self) -> usize {
+        self.replacements.iter().map(|r| r.subtree.node_count()).sum::<usize>()
+            + self.appended_shared.iter().map(Snapshot::node_count).sum::<usize>()
+    }
+}
+
+/// Errors from applying a delta to an incompatible base.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffError {
+    /// A path segment did not match the base's structure.
+    PathMismatch,
+    /// A shared-table index was out of range.
+    BadSharedIndex(usize),
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::PathMismatch => write!(f, "delta path does not fit the base snapshot"),
+            DiffError::BadSharedIndex(i) => write!(f, "shared index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+impl From<DiffError> for SnapshotError {
+    fn from(_: DiffError) -> Self {
+        SnapshotError::TypeMismatch { expected: "compatible base", found: "mismatched delta" }
+    }
+}
+
+/// Computes the delta from `base` to `next`.
+pub fn diff(base: &Checkpoint, next: &Checkpoint) -> Delta {
+    let mut delta = Delta::default();
+    diff_snapshot(&base.root, &next.root, &mut Vec::new(), &mut |path, subtree| {
+        delta.replacements.push(Replacement {
+            target: Target::Root(path),
+            subtree,
+        });
+    });
+    let common = base.shared.len().min(next.shared.len());
+    for id in 0..common {
+        diff_snapshot(&base.shared[id], &next.shared[id], &mut Vec::new(), &mut |path, subtree| {
+            delta.replacements.push(Replacement {
+                target: Target::Shared(id, path),
+                subtree,
+            });
+        });
+    }
+    if next.shared.len() > base.shared.len() {
+        delta.appended_shared = next.shared[base.shared.len()..].to_vec();
+    } else if next.shared.len() < base.shared.len() {
+        delta.truncate_shared_to = Some(next.shared.len());
+    }
+    delta
+}
+
+fn diff_snapshot(
+    a: &Snapshot,
+    b: &Snapshot,
+    path: &mut Vec<PathSeg>,
+    emit: &mut impl FnMut(Vec<PathSeg>, Snapshot),
+) {
+    if a == b {
+        return;
+    }
+    match (a, b) {
+        (Snapshot::Seq(xs), Snapshot::Seq(ys)) if xs.len() == ys.len() => {
+            for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+                path.push(PathSeg::Index(i));
+                diff_snapshot(x, y, path, emit);
+                path.pop();
+            }
+        }
+        (Snapshot::Map(xs), Snapshot::Map(ys)) if xs.len() == ys.len() => {
+            for (i, ((xk, xv), (yk, yv))) in xs.iter().zip(ys).enumerate() {
+                path.push(PathSeg::MapEntry(i, Side::Key));
+                diff_snapshot(xk, yk, path, emit);
+                path.pop();
+                path.push(PathSeg::MapEntry(i, Side::Value));
+                diff_snapshot(xv, yv, path, emit);
+                path.pop();
+            }
+        }
+        (Snapshot::Opt(Some(x)), Snapshot::Opt(Some(y))) => {
+            path.push(PathSeg::OptInner);
+            diff_snapshot(x, y, path, emit);
+            path.pop();
+        }
+        // Shape change (or scalar change): replace the whole subtree.
+        _ => emit(path.clone(), b.clone()),
+    }
+}
+
+/// Applies a delta, producing the `next` checkpoint it was computed for.
+pub fn apply(base: &Checkpoint, delta: &Delta) -> Result<Checkpoint, DiffError> {
+    let mut root = base.root.clone();
+    let mut shared = base.shared.clone();
+    for r in &delta.replacements {
+        match &r.target {
+            Target::Root(path) => {
+                let slot = navigate(&mut root, path)?;
+                *slot = r.subtree.clone();
+            }
+            Target::Shared(id, path) => {
+                let entry = shared.get_mut(*id).ok_or(DiffError::BadSharedIndex(*id))?;
+                let slot = navigate(entry, path)?;
+                *slot = r.subtree.clone();
+            }
+        }
+    }
+    if let Some(n) = delta.truncate_shared_to {
+        shared.truncate(n);
+    }
+    shared.extend(delta.appended_shared.iter().cloned());
+    Ok(Checkpoint {
+        root,
+        shared,
+        stats: CheckpointStats::default(),
+    })
+}
+
+fn navigate<'a>(
+    snap: &'a mut Snapshot,
+    path: &[PathSeg],
+) -> Result<&'a mut Snapshot, DiffError> {
+    let mut cur = snap;
+    for seg in path {
+        cur = match (seg, cur) {
+            (PathSeg::Index(i), Snapshot::Seq(items)) => {
+                items.get_mut(*i).ok_or(DiffError::PathMismatch)?
+            }
+            (PathSeg::MapEntry(i, side), Snapshot::Map(pairs)) => {
+                let pair = pairs.get_mut(*i).ok_or(DiffError::PathMismatch)?;
+                match side {
+                    Side::Key => &mut pair.0,
+                    Side::Value => &mut pair.1,
+                }
+            }
+            (PathSeg::OptInner, Snapshot::Opt(Some(inner))) => inner.as_mut(),
+            _ => return Err(DiffError::PathMismatch),
+        };
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::checkpoint;
+    use proptest::prelude::*;
+
+    fn cp(root: Snapshot, shared: Vec<Snapshot>) -> Checkpoint {
+        Checkpoint {
+            root,
+            shared,
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    #[test]
+    fn identical_checkpoints_empty_delta() {
+        let a = checkpoint(&vec![1u32, 2, 3]);
+        let d = diff(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(apply(&a, &d).unwrap().root, a.root);
+    }
+
+    #[test]
+    fn scalar_change_is_one_replacement() {
+        let a = checkpoint(&vec![1u32, 2, 3]);
+        let b = checkpoint(&vec![1u32, 9, 3]);
+        let d = diff(&a, &b);
+        assert_eq!(d.replacements.len(), 1);
+        assert_eq!(
+            d.replacements[0].target,
+            Target::Root(vec![PathSeg::Index(1)])
+        );
+        assert_eq!(apply(&a, &d).unwrap(), strip_stats(&b));
+    }
+
+    #[test]
+    fn length_change_replaces_the_seq() {
+        let a = checkpoint(&vec![1u32, 2]);
+        let b = checkpoint(&vec![1u32, 2, 3]);
+        let d = diff(&a, &b);
+        assert_eq!(d.replacements.len(), 1);
+        assert_eq!(d.replacements[0].target, Target::Root(vec![]));
+        assert_eq!(apply(&a, &d).unwrap(), strip_stats(&b));
+    }
+
+    #[test]
+    fn shared_table_changes_tracked() {
+        use crate::CkRc;
+        let x = CkRc::new(1u32);
+        let a = checkpoint(&vec![x.clone(), x.clone()]);
+        // Same shape, different shared content.
+        let y = CkRc::new(2u32);
+        let b = checkpoint(&vec![y.clone(), y]);
+        let d = diff(&a, &b);
+        assert_eq!(d.replacements.len(), 1);
+        assert!(matches!(d.replacements[0].target, Target::Shared(0, _)));
+        assert_eq!(apply(&a, &d).unwrap(), strip_stats(&b));
+    }
+
+    #[test]
+    fn shared_table_growth_appends() {
+        let a = cp(Snapshot::Shared(0), vec![Snapshot::UInt(1)]);
+        let b = cp(
+            Snapshot::Seq(vec![Snapshot::Shared(0), Snapshot::Shared(1)]),
+            vec![Snapshot::UInt(1), Snapshot::UInt(2)],
+        );
+        let d = diff(&a, &b);
+        assert_eq!(d.appended_shared.len(), 1);
+        assert_eq!(apply(&a, &d).unwrap(), b);
+    }
+
+    #[test]
+    fn shared_table_shrink_truncates() {
+        let a = cp(
+            Snapshot::Shared(0),
+            vec![Snapshot::UInt(1), Snapshot::UInt(2)],
+        );
+        let b = cp(Snapshot::Shared(0), vec![Snapshot::UInt(1)]);
+        let d = diff(&a, &b);
+        assert_eq!(d.truncate_shared_to, Some(1));
+        assert_eq!(apply(&a, &d).unwrap(), b);
+    }
+
+    #[test]
+    fn small_change_in_big_structure_has_small_payload() {
+        let mut big: Vec<Vec<u8>> = (0..200).map(|i| vec![i as u8; 64]).collect();
+        let a = checkpoint(&crate::traits::VecOf(big.clone()));
+        big[42][0] ^= 0xFF;
+        let b = checkpoint(&crate::traits::VecOf(big));
+        let d = diff(&a, &b);
+        assert_eq!(d.replacements.len(), 1);
+        assert!(
+            d.payload_nodes() * 20 < a.total_nodes(),
+            "delta ({}) must be tiny vs. full ({})",
+            d.payload_nodes(),
+            a.total_nodes()
+        );
+    }
+
+    #[test]
+    fn apply_to_wrong_base_fails_cleanly() {
+        let a = checkpoint(&vec![1u32, 2, 3]);
+        let b = checkpoint(&vec![1u32, 9, 3]);
+        let d = diff(&a, &b);
+        let unrelated = checkpoint(&42u32);
+        assert_eq!(apply(&unrelated, &d).unwrap_err(), DiffError::PathMismatch);
+    }
+
+    fn strip_stats(c: &Checkpoint) -> Checkpoint {
+        Checkpoint {
+            root: c.root.clone(),
+            shared: c.shared.clone(),
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+        let leaf = prop_oneof![
+            any::<u64>().prop_map(Snapshot::UInt),
+            any::<i64>().prop_map(Snapshot::Int),
+            any::<bool>().prop_map(Snapshot::Bool),
+            "[a-z]{0,6}".prop_map(Snapshot::Str),
+            (0usize..4).prop_map(Snapshot::Shared),
+            Just(Snapshot::Opt(None)),
+        ];
+        leaf.prop_recursive(3, 48, 6, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..5).prop_map(Snapshot::Seq),
+                proptest::collection::vec((inner.clone(), inner.clone()), 0..3)
+                    .prop_map(Snapshot::Map),
+                inner.prop_map(|s| Snapshot::Opt(Some(Box::new(s)))),
+            ]
+        })
+    }
+
+    proptest! {
+        /// The delta law: apply(base, diff(base, next)) == next.
+        #[test]
+        fn diff_apply_roundtrip(
+            root_a in arb_snapshot(),
+            root_b in arb_snapshot(),
+            shared_a in proptest::collection::vec(arb_snapshot(), 0..4),
+            shared_b in proptest::collection::vec(arb_snapshot(), 0..4),
+        ) {
+            let a = cp(root_a, shared_a);
+            let b = cp(root_b, shared_b);
+            let d = diff(&a, &b);
+            prop_assert_eq!(apply(&a, &d).unwrap(), b);
+        }
+
+        /// Deltas of identical checkpoints are empty, and empty deltas
+        /// are identity transformations.
+        #[test]
+        fn empty_delta_laws(root in arb_snapshot(), shared in proptest::collection::vec(arb_snapshot(), 0..3)) {
+            let a = cp(root, shared);
+            let d = diff(&a, &a);
+            prop_assert!(d.is_empty());
+            prop_assert_eq!(apply(&a, &d).unwrap(), a);
+        }
+    }
+}

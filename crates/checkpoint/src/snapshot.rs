@@ -1,0 +1,205 @@
+//! The snapshot value representation.
+//!
+//! A [`Snapshot`] is an owned, self-contained tree; sharing in the source
+//! structure is encoded as [`Snapshot::Shared`] indices into the
+//! checkpoint's shared-node table, so a checkpoint of a DAG stays a DAG
+//! (no duplicated subtrees) and restore can rebuild the exact sharing.
+
+use std::fmt;
+
+/// A checkpointed value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Snapshot {
+    /// `()` and other zero-sized values.
+    Unit,
+    /// Booleans.
+    Bool(bool),
+    /// All unsigned integers (widened).
+    UInt(u64),
+    /// All signed integers (widened).
+    Int(i64),
+    /// Both float widths (widened).
+    Float(f64),
+    /// A single character.
+    Char(char),
+    /// Strings.
+    Str(String),
+    /// Raw bytes (`Vec<u8>` takes this compact form, not `Seq`).
+    Bytes(Vec<u8>),
+    /// Sequences: vectors, deques, arrays, tuples, struct fields.
+    Seq(Vec<Snapshot>),
+    /// Key-value collections.
+    Map(Vec<(Snapshot, Snapshot)>),
+    /// `Option`.
+    Opt(Option<Box<Snapshot>>),
+    /// A reference to entry `usize` of the checkpoint's shared-node
+    /// table (an aliased `CkRc`/`CkArc` target).
+    Shared(usize),
+}
+
+impl Snapshot {
+    /// Number of nodes in this snapshot tree (shared references count as
+    /// one node; the referenced content is counted once, in the shared
+    /// table). This is the metric Figure 3 is about: naïve traversal
+    /// inflates it, dedup keeps it equal to the object graph's size.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Snapshot::Seq(items) => 1 + items.iter().map(Snapshot::node_count).sum::<usize>(),
+            Snapshot::Map(pairs) => {
+                1 + pairs
+                    .iter()
+                    .map(|(k, v)| k.node_count() + v.node_count())
+                    .sum::<usize>()
+            }
+            Snapshot::Opt(Some(inner)) => 1 + inner.node_count(),
+            _ => 1,
+        }
+    }
+
+    /// Approximate heap bytes held by this snapshot.
+    pub fn approx_bytes(&self) -> usize {
+        let own = std::mem::size_of::<Snapshot>();
+        match self {
+            Snapshot::Str(s) => own + s.len(),
+            Snapshot::Bytes(b) => own + b.len(),
+            Snapshot::Seq(items) => own + items.iter().map(Snapshot::approx_bytes).sum::<usize>(),
+            Snapshot::Map(pairs) => {
+                own + pairs
+                    .iter()
+                    .map(|(k, v)| k.approx_bytes() + v.approx_bytes())
+                    .sum::<usize>()
+            }
+            Snapshot::Opt(Some(inner)) => own + inner.approx_bytes(),
+            _ => own,
+        }
+    }
+}
+
+/// Failures during restore (and cycle detection during checkpoint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot's shape does not match the requested type.
+    TypeMismatch {
+        /// What the restoring type expected.
+        expected: &'static str,
+        /// A description of what the snapshot held.
+        found: &'static str,
+    },
+    /// A `Shared` index points outside the shared table.
+    DanglingShared {
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// Two aliases restored the same shared node at different types, or
+    /// the node was visited while still being rebuilt (a cycle).
+    SharedTypeConflict {
+        /// The shared-table index.
+        index: usize,
+    },
+    /// A sequence had the wrong number of elements for a fixed-size
+    /// target (array, tuple, struct).
+    WrongLength {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        got: usize,
+    },
+    /// A checkpoint traversal re-entered a node it is still copying —
+    /// the structure contains a reference cycle, which checkpointing
+    /// does not support (the paper's workloads are DAGs).
+    CyclicSharing,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::TypeMismatch { expected, found } => {
+                write!(f, "snapshot type mismatch: expected {expected}, found {found}")
+            }
+            SnapshotError::DanglingShared { index } => {
+                write!(f, "shared reference {index} points outside the shared table")
+            }
+            SnapshotError::SharedTypeConflict { index } => {
+                write!(f, "shared node {index} restored at conflicting types")
+            }
+            SnapshotError::WrongLength { expected, got } => {
+                write!(f, "expected {expected} elements, got {got}")
+            }
+            SnapshotError::CyclicSharing => {
+                write!(f, "cyclic sharing detected during checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Shorthand used by trait impls to build mismatch errors.
+pub(crate) fn mismatch(expected: &'static str, found: &Snapshot) -> SnapshotError {
+    let found = match found {
+        Snapshot::Unit => "unit",
+        Snapshot::Bool(_) => "bool",
+        Snapshot::UInt(_) => "uint",
+        Snapshot::Int(_) => "int",
+        Snapshot::Float(_) => "float",
+        Snapshot::Char(_) => "char",
+        Snapshot::Str(_) => "string",
+        Snapshot::Bytes(_) => "bytes",
+        Snapshot::Seq(_) => "seq",
+        Snapshot::Map(_) => "map",
+        Snapshot::Opt(_) => "option",
+        Snapshot::Shared(_) => "shared",
+    };
+    SnapshotError::TypeMismatch { expected, found }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_counts_tree_nodes() {
+        assert_eq!(Snapshot::Unit.node_count(), 1);
+        let seq = Snapshot::Seq(vec![Snapshot::UInt(1), Snapshot::UInt(2)]);
+        assert_eq!(seq.node_count(), 3);
+        let nested = Snapshot::Seq(vec![seq.clone(), Snapshot::Opt(Some(Box::new(seq)))]);
+        assert_eq!(nested.node_count(), 1 + 3 + (1 + 3));
+    }
+
+    #[test]
+    fn shared_counts_as_one_node() {
+        let s = Snapshot::Seq(vec![Snapshot::Shared(0), Snapshot::Shared(0)]);
+        assert_eq!(s.node_count(), 3);
+    }
+
+    #[test]
+    fn map_node_count() {
+        let m = Snapshot::Map(vec![(Snapshot::UInt(1), Snapshot::Str("x".into()))]);
+        assert_eq!(m.node_count(), 3);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_content() {
+        let small = Snapshot::Bytes(vec![0; 8]);
+        let big = Snapshot::Bytes(vec![0; 800]);
+        assert!(big.approx_bytes() > small.approx_bytes() + 700);
+        let s = Snapshot::Str("hello".into());
+        assert!(s.approx_bytes() >= 5);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SnapshotError::TypeMismatch { expected: "u64", found: "string" };
+        assert_eq!(e.to_string(), "snapshot type mismatch: expected u64, found string");
+        assert!(SnapshotError::DanglingShared { index: 7 }.to_string().contains('7'));
+        assert!(SnapshotError::CyclicSharing.to_string().contains("cyclic"));
+        assert!(SnapshotError::WrongLength { expected: 2, got: 3 }.to_string().contains("2"));
+        assert!(SnapshotError::SharedTypeConflict { index: 1 }.to_string().contains("conflicting"));
+    }
+
+    #[test]
+    fn mismatch_names_variants() {
+        let e = mismatch("vec", &Snapshot::Map(vec![]));
+        assert_eq!(e, SnapshotError::TypeMismatch { expected: "vec", found: "map" });
+    }
+}

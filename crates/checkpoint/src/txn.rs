@@ -1,0 +1,244 @@
+//! Transactions on checkpointable state.
+//!
+//! §5 lists transactions first among the techniques that "involve
+//! snapshotting parts of program state". With [`crate::Checkpointable`]
+//! in hand, a transaction is small: snapshot on begin, mutate freely,
+//! commit by dropping the snapshot or abort by restoring it. Ownership
+//! makes the API airtight — the value *moves into* the transaction, so
+//! no alias can observe intermediate state or race the rollback:
+//!
+//! ```compile_fail
+//! use rbs_checkpoint::txn::Transaction;
+//!
+//! let value = vec![1u32, 2, 3];
+//! let txn = Transaction::begin(value);
+//! // ERROR: `value` moved into the transaction; only the transaction's
+//! // accessors can reach it until commit or abort.
+//! let _ = value.len();
+//! ```
+
+use crate::ctx::{checkpoint, restore, Checkpoint};
+use crate::snapshot::SnapshotError;
+use crate::traits::Checkpointable;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// An in-flight transaction over a checkpointable value.
+#[derive(Debug)]
+pub struct Transaction<T: Checkpointable> {
+    value: T,
+    begin_snapshot: Checkpoint,
+    /// Nested savepoints (named, LIFO).
+    savepoints: Vec<(String, Checkpoint)>,
+}
+
+impl<T: Checkpointable> Transaction<T> {
+    /// Starts a transaction, taking ownership of the value and
+    /// snapshotting its state.
+    pub fn begin(value: T) -> Self {
+        let begin_snapshot = checkpoint(&value);
+        Self {
+            value,
+            begin_snapshot,
+            savepoints: Vec::new(),
+        }
+    }
+
+    /// Read access to the working value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Write access to the working value.
+    pub fn get_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+
+    /// Creates a named savepoint at the current state.
+    pub fn savepoint(&mut self, name: impl Into<String>) {
+        self.savepoints.push((name.into(), checkpoint(&self.value)));
+    }
+
+    /// Rolls back to (and discards) the most recent savepoint named
+    /// `name`, along with any savepoints stacked above it. Returns
+    /// `false` if no such savepoint exists (state untouched).
+    pub fn rollback_to(&mut self, name: &str) -> Result<bool, SnapshotError> {
+        let Some(idx) = self.savepoints.iter().rposition(|(n, _)| n == name) else {
+            return Ok(false);
+        };
+        let (_, snap) = self.savepoints.swap_remove(idx);
+        self.savepoints.truncate(idx);
+        self.value = restore(&snap)?;
+        Ok(true)
+    }
+
+    /// Number of live savepoints.
+    pub fn savepoint_count(&self) -> usize {
+        self.savepoints.len()
+    }
+
+    /// Commits: the mutations stand, the snapshots are dropped, and the
+    /// value moves back to the caller.
+    pub fn commit(self) -> T {
+        self.value
+    }
+
+    /// Aborts: the begin-time snapshot is restored and returned.
+    pub fn abort(self) -> Result<T, SnapshotError> {
+        restore(&self.begin_snapshot)
+    }
+
+    /// The begin-time snapshot (e.g. to persist via [`crate::codec`]).
+    pub fn begin_snapshot(&self) -> &Checkpoint {
+        &self.begin_snapshot
+    }
+}
+
+/// Runs `f` transactionally over `value`: if `f` returns `Ok`, its
+/// mutations commit; on `Err` *or panic*, the value rolls back to its
+/// state before the call. The error (or a [`TxnAborted::Panicked`]
+/// marker) is reported alongside the restored value.
+pub fn with_transaction<T, R, E>(
+    value: T,
+    f: impl FnOnce(&mut T) -> Result<R, E>,
+) -> (T, Result<R, TxnAborted<E>>)
+where
+    T: Checkpointable,
+{
+    let mut txn = Transaction::begin(value);
+    let outcome = catch_unwind(AssertUnwindSafe(|| f(txn.get_mut())));
+    match outcome {
+        Ok(Ok(r)) => (txn.commit(), Ok(r)),
+        Ok(Err(e)) => {
+            let restored = txn.abort().expect("begin snapshot restores its own type");
+            (restored, Err(TxnAborted::Rolled(e)))
+        }
+        Err(_) => {
+            let restored = txn.abort().expect("begin snapshot restores its own type");
+            (restored, Err(TxnAborted::Panicked))
+        }
+    }
+}
+
+/// Why a [`with_transaction`] closure's changes were rolled back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnAborted<E> {
+    /// The closure returned this error.
+    Rolled(E),
+    /// The closure panicked; the panic was caught at the transaction
+    /// boundary (mirroring the domain-boundary unwinding of §3).
+    Panicked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CkRc;
+
+    #[test]
+    fn commit_keeps_mutations() {
+        let mut txn = Transaction::begin(vec![1u32, 2]);
+        txn.get_mut().push(3);
+        assert_eq!(txn.get().len(), 3);
+        assert_eq!(txn.commit(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn abort_restores_begin_state() {
+        let mut txn = Transaction::begin(vec![1u32, 2]);
+        txn.get_mut().clear();
+        assert!(txn.get().is_empty());
+        assert_eq!(txn.abort().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn savepoints_nest_lifo() {
+        let mut txn = Transaction::begin(vec![1u32]);
+        txn.get_mut().push(2);
+        txn.savepoint("after-2");
+        txn.get_mut().push(3);
+        txn.savepoint("after-3");
+        txn.get_mut().push(4);
+        assert_eq!(txn.savepoint_count(), 2);
+
+        assert!(txn.rollback_to("after-3").unwrap());
+        assert_eq!(txn.get(), &vec![1, 2, 3]);
+        assert_eq!(txn.savepoint_count(), 1);
+
+        assert!(txn.rollback_to("after-2").unwrap());
+        assert_eq!(txn.get(), &vec![1, 2]);
+        assert_eq!(txn.savepoint_count(), 0);
+
+        assert!(!txn.rollback_to("gone").unwrap());
+        assert_eq!(txn.commit(), vec![1, 2]);
+    }
+
+    #[test]
+    fn rollback_to_earlier_discards_later_savepoints() {
+        let mut txn = Transaction::begin(0u64);
+        txn.savepoint("a");
+        *txn.get_mut() = 1;
+        txn.savepoint("b");
+        *txn.get_mut() = 2;
+        assert!(txn.rollback_to("a").unwrap());
+        assert_eq!(*txn.get(), 0);
+        assert_eq!(txn.savepoint_count(), 0, "b was above a and is gone");
+    }
+
+    #[test]
+    fn with_transaction_commits_on_ok() {
+        let (value, result) = with_transaction(vec![1u32], |v| {
+            v.push(2);
+            Ok::<_, ()>(v.len())
+        });
+        assert_eq!(value, vec![1, 2]);
+        assert_eq!(result, Ok(2));
+    }
+
+    #[test]
+    fn with_transaction_rolls_back_on_err() {
+        let (value, result) = with_transaction(vec![1u32], |v| {
+            v.push(2);
+            v.push(3);
+            Err::<(), _>("validation failed")
+        });
+        assert_eq!(value, vec![1], "mutations rolled back");
+        assert_eq!(result, Err(TxnAborted::Rolled("validation failed")));
+    }
+
+    #[test]
+    fn with_transaction_rolls_back_on_panic() {
+        std::panic::set_hook(Box::new(|_| {}));
+        let (value, result) = with_transaction(vec![1u32], |v| {
+            v.clear();
+            panic!("bug in the middle of the transaction");
+            #[allow(unreachable_code)]
+            Ok::<(), ()>(())
+        });
+        let _ = std::panic::take_hook();
+        assert_eq!(value, vec![1]);
+        assert_eq!(result, Err(TxnAborted::Panicked));
+    }
+
+    #[test]
+    fn shared_structure_transacts_correctly() {
+        // Aliased nodes: the rollback must restore sharing, not flatten it.
+        let shared = CkRc::new(std::cell::RefCell::new(10u32));
+        let pair = vec![shared.clone(), shared];
+        let (restored, result) = with_transaction(pair, |v| {
+            *v[0].borrow_mut() = 99;
+            Err::<(), _>("abort")
+        });
+        assert!(matches!(result, Err(TxnAborted::Rolled("abort"))));
+        assert_eq!(*restored[0].borrow(), 10, "value rolled back");
+        assert!(CkRc::ptr_eq(&restored[0], &restored[1]), "sharing survived");
+    }
+
+    #[test]
+    fn begin_snapshot_is_exposed_for_persistence() {
+        let txn = Transaction::begin(7u32);
+        let bytes = crate::codec::encode(txn.begin_snapshot());
+        let decoded = crate::codec::decode(&bytes).unwrap();
+        let v: u32 = crate::ctx::restore(&decoded).unwrap();
+        assert_eq!(v, 7);
+    }
+}

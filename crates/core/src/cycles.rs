@@ -1,0 +1,226 @@
+//! Cycle-accurate timing via the x86 time-stamp counter.
+//!
+//! All quantitative results in the paper are reported in CPU cycles. On
+//! x86_64 we read the TSC directly; `rdtscp` plus an `lfence` gives a
+//! serialized read suitable for bracketing short regions (Intel's
+//! recommended benchmarking discipline). On other architectures we fall
+//! back to [`std::time::Instant`] scaled by a calibrated cycles-per-ns
+//! factor so the rest of the workspace stays portable.
+//!
+//! Modern TSCs are *invariant*: they tick at a constant rate independent of
+//! frequency scaling, so cycle counts here are really "reference cycles".
+//! That matches how the paper reports its numbers (wall time expressed in
+//! cycles of the nominal clock).
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Reads the time-stamp counter without serialization.
+///
+/// Suitable for long regions (microseconds and up) where out-of-order
+/// leakage at the edges is noise. For short regions prefer
+/// [`rdtscp_serialized`].
+#[inline(always)]
+pub fn rdtsc() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: `_rdtsc` has no preconditions; it is available on every
+        // x86_64 CPU this workspace targets.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        fallback_cycles()
+    }
+}
+
+/// Reads the time-stamp counter with serialization against earlier and
+/// later instructions.
+///
+/// `rdtscp` waits for all previous instructions to retire, and the trailing
+/// `lfence` keeps later instructions from starting before the read. This is
+/// the bracketing read used by the per-call overhead experiments (E1/E2),
+/// where the measured region is only tens of cycles long.
+#[inline(always)]
+pub fn rdtscp_serialized() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut aux = 0u32;
+        // SAFETY: `__rdtscp` and `_mm_lfence` have no preconditions on
+        // x86_64; `aux` is a valid out-pointer for the processor ID.
+        unsafe {
+            let t = core::arch::x86_64::__rdtscp(&mut aux);
+            core::arch::x86_64::_mm_lfence();
+            t
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        fallback_cycles()
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn fallback_cycles() -> u64 {
+    use std::time::Duration;
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    let ns = Instant::now().saturating_duration_since(epoch).as_nanos() as f64;
+    (ns * cycles_per_ns()) as u64
+}
+
+/// Returns the calibrated TSC rate in cycles per nanosecond.
+///
+/// Calibrated once per process by timing a busy loop of TSC reads against
+/// [`Instant`]. The result is cached; repeated calls are a load.
+pub fn cycles_per_ns() -> f64 {
+    static RATE: OnceLock<f64> = OnceLock::new();
+    *RATE.get_or_init(calibrate)
+}
+
+fn calibrate() -> f64 {
+    // Three rounds, keep the median, to shrug off a descheduling blip.
+    let mut rates = [0.0f64; 3];
+    for rate in &mut rates {
+        let wall0 = Instant::now();
+        let t0 = rdtsc();
+        // Spin for ~2ms of wall time: long enough to swamp Instant overhead,
+        // short enough not to slow the test suite down.
+        while wall0.elapsed().as_micros() < 2_000 {
+            std::hint::spin_loop();
+        }
+        let t1 = rdtsc();
+        let ns = wall0.elapsed().as_nanos() as f64;
+        *rate = (t1.wrapping_sub(t0)) as f64 / ns;
+    }
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[1]
+}
+
+/// Converts a cycle count to nanoseconds using the calibrated TSC rate.
+pub fn cycles_to_ns(cycles: u64) -> f64 {
+    cycles as f64 / cycles_per_ns()
+}
+
+/// A timer that measures elapsed cycles between construction and
+/// [`CycleTimer::elapsed`], using serialized TSC reads.
+///
+/// # Examples
+///
+/// ```
+/// let t = rbs_core::CycleTimer::start();
+/// let v: u64 = (0..100).sum();
+/// assert!(v > 0);
+/// let cycles = t.elapsed();
+/// assert!(cycles < 1_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CycleTimer {
+    start: u64,
+}
+
+impl CycleTimer {
+    /// Starts a new timer.
+    #[inline(always)]
+    pub fn start() -> Self {
+        Self {
+            start: rdtscp_serialized(),
+        }
+    }
+
+    /// Returns cycles elapsed since [`CycleTimer::start`].
+    ///
+    /// Saturates at zero if the TSC appears to run backwards (possible
+    /// only across badly-synchronized sockets; we clamp rather than wrap).
+    #[inline(always)]
+    pub fn elapsed(&self) -> u64 {
+        rdtscp_serialized().saturating_sub(self.start)
+    }
+}
+
+/// Measures the cycles taken by `f`, returning `(cycles, result)`.
+#[inline]
+pub fn time_cycles<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let t = CycleTimer::start();
+    let out = f();
+    (t.elapsed(), out)
+}
+
+/// Runs `f` `iters` times and returns the average cycles per run.
+///
+/// The whole batch is bracketed by one pair of serialized reads so the
+/// measurement overhead is amortized, which is how the paper computes
+/// per-invocation costs (total batch cycles divided by work items).
+pub fn average_cycles(iters: u64, mut f: impl FnMut()) -> f64 {
+    assert!(iters > 0, "average over zero iterations is undefined");
+    let t = CycleTimer::start();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed() as f64 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsc_is_monotonic_within_thread() {
+        let a = rdtscp_serialized();
+        let b = rdtscp_serialized();
+        assert!(b >= a, "serialized TSC reads must not go backwards");
+    }
+
+    #[test]
+    fn calibration_is_plausible() {
+        let rate = cycles_per_ns();
+        // Any machine this runs on clocks between 0.5 and 6 GHz.
+        assert!(rate > 0.3 && rate < 8.0, "implausible TSC rate {rate}");
+    }
+
+    #[test]
+    fn calibration_is_cached() {
+        assert_eq!(cycles_per_ns().to_bits(), cycles_per_ns().to_bits());
+    }
+
+    #[test]
+    fn timer_measures_something() {
+        let t = CycleTimer::start();
+        let mut acc = 0u64;
+        for i in 0..10_000u64 {
+            acc = acc.wrapping_add(std::hint::black_box(i));
+        }
+        std::hint::black_box(acc);
+        let c = t.elapsed();
+        assert!(c > 0, "10k additions cannot take zero cycles");
+    }
+
+    #[test]
+    fn cycles_to_ns_roundtrips_scale() {
+        let ns = cycles_to_ns(1_000_000);
+        // A million cycles is between 0.1ms and 5ms of wall time.
+        assert!(ns > 100_000.0 && ns < 5_000_000.0, "{ns}");
+    }
+
+    #[test]
+    fn average_cycles_amortizes() {
+        let avg = average_cycles(1000, || {
+            std::hint::black_box(1u64 + 1);
+        });
+        // An empty-ish closure costs far less than 10k cycles per iteration.
+        assert!(avg < 10_000.0, "{avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero iterations")]
+    fn average_cycles_rejects_zero() {
+        average_cycles(0, || {});
+    }
+
+    #[test]
+    fn time_cycles_returns_result() {
+        let (c, v) = time_cycles(|| 42);
+        assert_eq!(v, 42);
+        assert!(c < 1_000_000_000);
+    }
+}

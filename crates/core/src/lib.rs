@@ -1,0 +1,20 @@
+//! Shared foundations for the `rust-beyond-safety` workspace.
+//!
+//! The paper's evaluation reports CPU cycles measured with the time-stamp
+//! counter on an Intel Xeon E5530; every experiment crate in this workspace
+//! measures the same way through [`cycles`]. The remaining modules provide
+//! statistics ([`stats`], [`histogram`]), plain-text result tables
+//! ([`table`]), and the [`exchange`] linearity marker used by the SFI layer
+//! to constrain what may cross a protection-domain boundary.
+
+pub mod cycles;
+pub mod exchange;
+pub mod histogram;
+pub mod stats;
+pub mod table;
+
+pub use cycles::{cycles_per_ns, rdtsc, rdtscp_serialized, CycleTimer};
+pub use exchange::Exchangeable;
+pub use histogram::LogHistogram;
+pub use stats::Summary;
+pub use table::Table;

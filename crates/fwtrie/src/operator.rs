@@ -1,0 +1,200 @@
+//! The firewall as a pipeline stage.
+//!
+//! Wraps [`FwTrie`] as a `rbs-netfx` [`Operator`] so it can run inside
+//! the (optionally SFI-isolated) pipelines of §3, and exposes the
+//! checkpoint hooks so a running firewall can be snapshotted and rolled
+//! back — the §5 scenario end to end.
+
+use crate::rule::Action;
+use crate::trie::FwTrie;
+use rbs_checkpoint::{checkpoint, restore, Checkpoint, SnapshotError};
+use rbs_netfx::batch::PacketBatch;
+use rbs_netfx::flow::FiveTuple;
+use rbs_netfx::pipeline::Operator;
+
+/// Packet-filtering pipeline stage backed by the rule trie.
+pub struct FirewallOp {
+    trie: FwTrie,
+    /// Applied when no rule matches.
+    default_action: Action,
+    allowed: u64,
+    denied: u64,
+    rate_limited: u64,
+}
+
+impl FirewallOp {
+    /// Wraps `trie` with a default action for unmatched packets.
+    pub fn new(trie: FwTrie, default_action: Action) -> Self {
+        Self {
+            trie,
+            default_action,
+            allowed: 0,
+            denied: 0,
+            rate_limited: 0,
+        }
+    }
+
+    /// The decision for one flow.
+    pub fn decide(&self, flow: &FiveTuple) -> Action {
+        self.trie
+            .lookup(flow)
+            .map(|r| r.action)
+            .unwrap_or(self.default_action)
+    }
+
+    /// Read access to the rule database.
+    pub fn trie(&self) -> &FwTrie {
+        &self.trie
+    }
+
+    /// Mutable access to the rule database (control plane).
+    pub fn trie_mut(&mut self) -> &mut FwTrie {
+        &mut self.trie
+    }
+
+    /// Packets forwarded so far.
+    pub fn allowed(&self) -> u64 {
+        self.allowed
+    }
+
+    /// Packets dropped so far.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+
+    /// Packets forwarded under a rate-limit rule.
+    pub fn rate_limited(&self) -> u64 {
+        self.rate_limited
+    }
+
+    /// Snapshots the rule database (counters are data-path state, not
+    /// configuration, and are not part of the checkpoint).
+    pub fn checkpoint_rules(&self) -> Checkpoint {
+        checkpoint(&self.trie)
+    }
+
+    /// Replaces the rule database from a checkpoint — §3's recovery
+    /// function uses this to re-initialize a failed firewall domain.
+    pub fn restore_rules(&mut self, cp: &Checkpoint) -> Result<(), SnapshotError> {
+        self.trie = restore(cp)?;
+        Ok(())
+    }
+}
+
+impl Operator for FirewallOp {
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+        let mut out = PacketBatch::with_capacity(batch.len());
+        for packet in batch {
+            let action = match FiveTuple::of(&packet) {
+                Ok(flow) => self.decide(&flow),
+                // Non-flow traffic is dropped, like any default-deny box.
+                Err(_) => Action::Deny,
+            };
+            match action {
+                Action::Allow => {
+                    self.allowed += 1;
+                    out.push(packet);
+                }
+                Action::Deny => {
+                    self.denied += 1;
+                }
+                Action::RateLimit(_) => {
+                    self.rate_limited += 1;
+                    out.push(packet);
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "firewall"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use rbs_netfx::headers::ethernet::MacAddr;
+    use rbs_netfx::headers::IpProto;
+    use rbs_netfx::packet::Packet;
+    use std::net::Ipv4Addr;
+
+    fn packet(dst: Ipv4Addr, dport: u16) -> Packet {
+        Packet::build_udp(MacAddr::ZERO, MacAddr::ZERO, Ipv4Addr::new(1, 1, 1, 1), dst, 999, dport, 0)
+    }
+
+    fn firewall() -> FirewallOp {
+        let mut t = FwTrie::new();
+        t.insert(Rule::new(1, "allow-dns", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow).dports(53, 53));
+        t.insert(Rule::new(2, "deny-ten", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Deny));
+        t.insert(
+            Rule::new(3, "limit-web", Ipv4Addr::new(20, 0, 0, 0), 8, Action::RateLimit(100))
+                .dports(80, 80)
+                .proto(IpProto::Udp),
+        );
+        FirewallOp::new(t, Action::Deny)
+    }
+
+    #[test]
+    fn filtering_by_action() {
+        let mut fw = firewall();
+        let batch: PacketBatch = vec![
+            packet(Ipv4Addr::new(10, 1, 1, 1), 53), // allow (id 1, dns)
+            packet(Ipv4Addr::new(10, 1, 1, 1), 80), // deny (id 2)
+            packet(Ipv4Addr::new(20, 1, 1, 1), 80), // rate-limit (id 3)
+            packet(Ipv4Addr::new(30, 1, 1, 1), 80), // default deny
+        ]
+        .into_iter()
+        .collect();
+        let out = fw.process(batch);
+        assert_eq!(out.len(), 2);
+        assert_eq!(fw.allowed(), 1);
+        assert_eq!(fw.denied(), 2);
+        assert_eq!(fw.rate_limited(), 1);
+    }
+
+    #[test]
+    fn default_action_applies_when_no_match() {
+        let mut t = FwTrie::new();
+        t.insert(Rule::new(1, "r", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Deny));
+        let mut fw = FirewallOp::new(t, Action::Allow);
+        let out = fw.process(vec![packet(Ipv4Addr::new(99, 9, 9, 9), 1)].into_iter().collect());
+        assert_eq!(out.len(), 1);
+        assert_eq!(fw.allowed(), 1);
+    }
+
+    #[test]
+    fn non_flow_traffic_dropped() {
+        let mut fw = FirewallOp::new(FwTrie::new(), Action::Allow);
+        let mut p = packet(Ipv4Addr::new(10, 0, 0, 1), 1);
+        p.ipv4_mut().unwrap().set_protocol(IpProto::Icmp);
+        let out = fw.process(vec![p].into_iter().collect());
+        assert_eq!(out.len(), 0);
+        assert_eq!(fw.denied(), 1);
+    }
+
+    #[test]
+    fn checkpoint_rollback_cycle() {
+        let mut fw = firewall();
+        let cp = fw.checkpoint_rules();
+        // Control plane mutates: everything to 30/8 allowed.
+        fw.trie_mut().insert(Rule::new(4, "new", Ipv4Addr::new(30, 0, 0, 0), 8, Action::Allow));
+        let f = FiveTuple {
+            src_ip: Ipv4Addr::new(1, 1, 1, 1),
+            dst_ip: Ipv4Addr::new(30, 1, 1, 1),
+            src_port: 9,
+            dst_port: 9,
+            proto: IpProto::Udp,
+        };
+        assert_eq!(fw.decide(&f), Action::Allow);
+        fw.restore_rules(&cp).unwrap();
+        assert_eq!(fw.decide(&f), Action::Deny, "rolled back to default deny");
+    }
+
+    #[test]
+    fn operator_name() {
+        assert_eq!(firewall().name(), "firewall");
+    }
+}

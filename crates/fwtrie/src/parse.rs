@@ -1,0 +1,265 @@
+//! A textual firewall configuration format.
+//!
+//! One rule per line, iptables-flavoured but tiny:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! allow dst 10.0.0.0/8 dport 80-443 proto tcp        # web in
+//! deny  dst 10.0.0.0/8                               # default for the net
+//! limit 500 dst 20.0.0.0/8 src 172.16.0.0/12         # rate-limited peering
+//! ```
+//!
+//! Rule ids are assigned in file order (earlier = higher priority at
+//! equal prefix length), so a config file reads top-down like most
+//! firewall languages.
+
+use crate::rule::{Action, Rule};
+use crate::trie::FwTrie;
+use rbs_netfx::headers::IpProto;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A configuration parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Line the error occurred on.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, msg: impl Into<String>) -> ConfigError {
+    ConfigError { line, msg: msg.into() }
+}
+
+fn parse_prefix(line: usize, s: &str) -> Result<(Ipv4Addr, u8), ConfigError> {
+    let (addr, len) = match s.split_once('/') {
+        Some((a, l)) => (
+            a,
+            l.parse::<u8>().map_err(|_| err(line, format!("bad prefix length {l:?}")))?,
+        ),
+        None => (s, 32),
+    };
+    if len > 32 {
+        return Err(err(line, format!("prefix length {len} out of range")));
+    }
+    let ip: Ipv4Addr = addr
+        .parse()
+        .map_err(|_| err(line, format!("bad IPv4 address {addr:?}")))?;
+    Ok((ip, len))
+}
+
+fn parse_port_range(line: usize, s: &str) -> Result<(u16, u16), ConfigError> {
+    let (lo, hi) = match s.split_once('-') {
+        Some((a, b)) => (
+            a.parse::<u16>().map_err(|_| err(line, format!("bad port {a:?}")))?,
+            b.parse::<u16>().map_err(|_| err(line, format!("bad port {b:?}")))?,
+        ),
+        None => {
+            let p = s.parse::<u16>().map_err(|_| err(line, format!("bad port {s:?}")))?;
+            (p, p)
+        }
+    };
+    if lo > hi {
+        return Err(err(line, format!("empty port range {lo}-{hi}")));
+    }
+    Ok((lo, hi))
+}
+
+/// Parses one rule line (without comments); `id` is its priority.
+fn parse_rule(line_num: usize, id: u32, line: &str) -> Result<Rule, ConfigError> {
+    let mut tokens = line.split_whitespace();
+    let action = match tokens.next() {
+        Some("allow") => Action::Allow,
+        Some("deny") => Action::Deny,
+        Some("limit") => {
+            let pps = tokens
+                .next()
+                .ok_or_else(|| err(line_num, "limit needs a packets/sec argument"))?;
+            Action::RateLimit(
+                pps.parse::<u64>()
+                    .map_err(|_| err(line_num, format!("bad rate {pps:?}")))?,
+            )
+        }
+        Some(other) => {
+            return Err(err(line_num, format!("unknown action {other:?}")));
+        }
+        None => return Err(err(line_num, "empty rule")),
+    };
+
+    let mut dst: Option<(Ipv4Addr, u8)> = None;
+    let mut src: Option<(Ipv4Addr, u8)> = None;
+    let mut dports: Option<(u16, u16)> = None;
+    let mut proto: Option<IpProto> = None;
+
+    while let Some(key) = tokens.next() {
+        let value = tokens
+            .next()
+            .ok_or_else(|| err(line_num, format!("{key} needs a value")))?;
+        match key {
+            "dst" => dst = Some(parse_prefix(line_num, value)?),
+            "src" => src = Some(parse_prefix(line_num, value)?),
+            "dport" => dports = Some(parse_port_range(line_num, value)?),
+            "proto" => {
+                proto = Some(match value {
+                    "tcp" => IpProto::Tcp,
+                    "udp" => IpProto::Udp,
+                    "icmp" => IpProto::Icmp,
+                    other => {
+                        return Err(err(line_num, format!("unknown protocol {other:?}")));
+                    }
+                });
+            }
+            other => return Err(err(line_num, format!("unknown keyword {other:?}"))),
+        }
+    }
+
+    let (dst_ip, dst_len) = dst.ok_or_else(|| err(line_num, "rule needs a dst prefix"))?;
+    let mut rule = Rule::new(id, format!("line-{line_num}"), dst_ip, dst_len, action);
+    if let Some((ip, len)) = src {
+        rule = rule.src(ip, len);
+    }
+    if let Some((lo, hi)) = dports {
+        rule = rule.dports(lo, hi);
+    }
+    if let Some(p) = proto {
+        rule = rule.proto(p);
+    }
+    Ok(rule)
+}
+
+/// Parses a whole configuration into rules (file order = priority order).
+pub fn parse_rules(config: &str) -> Result<Vec<Rule>, ConfigError> {
+    let mut rules = Vec::new();
+    for (i, raw) in config.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let id = rules.len() as u32;
+        rules.push(parse_rule(i + 1, id, line)?);
+    }
+    Ok(rules)
+}
+
+/// Parses a configuration straight into a lookup trie.
+pub fn parse_config(config: &str) -> Result<FwTrie, ConfigError> {
+    let mut trie = FwTrie::new();
+    for rule in parse_rules(config)? {
+        trie.insert(rule);
+    }
+    Ok(trie)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_netfx::flow::FiveTuple;
+
+    fn flow(dst: [u8; 4], dport: u16, proto: IpProto) -> FiveTuple {
+        FiveTuple {
+            src_ip: Ipv4Addr::new(172, 16, 1, 1),
+            dst_ip: Ipv4Addr::from(dst),
+            src_port: 999,
+            dst_port: dport,
+            proto,
+        }
+    }
+
+    const SAMPLE: &str = "
+        # corporate egress policy
+        allow dst 10.0.0.0/8 dport 80-443 proto tcp
+        allow dst 10.0.0.0/8 dport 53 proto udp      # dns
+        limit 500 dst 20.0.0.0/8 src 172.16.0.0/12
+        deny  dst 0.0.0.0/0
+    ";
+
+    #[test]
+    fn sample_config_parses_and_classifies() {
+        let trie = parse_config(SAMPLE).unwrap();
+        assert_eq!(trie.rule_refs(), 4);
+        assert_eq!(
+            trie.lookup(&flow([10, 1, 1, 1], 443, IpProto::Tcp)).unwrap().action,
+            Action::Allow
+        );
+        assert_eq!(
+            trie.lookup(&flow([10, 1, 1, 1], 53, IpProto::Udp)).unwrap().action,
+            Action::Allow
+        );
+        assert_eq!(
+            trie.lookup(&flow([20, 1, 1, 1], 9, IpProto::Udp)).unwrap().action,
+            Action::RateLimit(500)
+        );
+        // Port 22 to 10/8 falls through to the catch-all deny.
+        assert_eq!(
+            trie.lookup(&flow([10, 1, 1, 1], 22, IpProto::Tcp)).unwrap().action,
+            Action::Deny
+        );
+    }
+
+    #[test]
+    fn file_order_is_priority_order() {
+        let rules = parse_rules("deny dst 10.0.0.0/8\nallow dst 10.0.0.0/8").unwrap();
+        assert_eq!(rules[0].id, 0);
+        assert_eq!(rules[1].id, 1);
+        let trie = parse_config("deny dst 10.0.0.0/8\nallow dst 10.0.0.0/8").unwrap();
+        // Equal specificity: the earlier (lower-id) rule wins.
+        assert_eq!(
+            trie.lookup(&flow([10, 0, 0, 1], 1, IpProto::Udp)).unwrap().action,
+            Action::Deny
+        );
+    }
+
+    #[test]
+    fn host_rule_without_slash() {
+        let rules = parse_rules("deny dst 8.8.8.8").unwrap();
+        assert_eq!(rules[0].dst_len, 32);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_rules("allow dst 10.0.0.0/8\nbogus dst 1.2.3.4").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("unknown action"), "{e}");
+
+        let e = parse_rules("allow dst 10.0.0.0/40").unwrap_err();
+        assert!(e.msg.contains("out of range"), "{e}");
+
+        let e = parse_rules("allow dport 80").unwrap_err();
+        assert!(e.msg.contains("needs a dst prefix"), "{e}");
+
+        let e = parse_rules("allow dst 10.0.0.0/8 dport 90-80").unwrap_err();
+        assert!(e.msg.contains("empty port range"), "{e}");
+
+        let e = parse_rules("limit x dst 10.0.0.0/8").unwrap_err();
+        assert!(e.msg.contains("bad rate"), "{e}");
+
+        let e = parse_rules("allow dst 10.0.0.0/8 proto gre").unwrap_err();
+        assert!(e.msg.contains("unknown protocol"), "{e}");
+
+        let e = parse_rules("allow dst").unwrap_err();
+        assert!(e.msg.contains("needs a value"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let rules = parse_rules("\n# only a comment\n\nallow dst 1.0.0.0/8 # trailing\n").unwrap();
+        assert_eq!(rules.len(), 1);
+    }
+
+    #[test]
+    fn parsed_rules_checkpoint() {
+        use rbs_checkpoint::{checkpoint, restore};
+        let trie = parse_config(SAMPLE).unwrap();
+        let back: FwTrie = restore(&checkpoint(&trie)).unwrap();
+        assert_eq!(back.rule_refs(), trie.rule_refs());
+    }
+}

@@ -1,0 +1,228 @@
+//! Firewall rules.
+
+use rbs_checkpoint::checkpointable;
+use rbs_netfx::flow::FiveTuple;
+use rbs_netfx::headers::IpProto;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// What to do with a matching packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Forward the packet.
+    Allow,
+    /// Drop the packet.
+    Deny,
+    /// Forward but mark for rate limiting at the given packets/sec.
+    RateLimit(u64),
+}
+
+checkpointable!(enum Action { Allow, Deny, RateLimit(u64) });
+
+/// One filter rule. The destination prefix is the trie index key; the
+/// remaining fields are checked on candidate rules at lookup time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Unique id; doubles as priority (lower id wins among equally
+    /// specific matches).
+    pub id: u32,
+    /// Human-readable name.
+    pub name: String,
+    /// Destination network (host-order bits) and prefix length.
+    pub dst_net: u32,
+    /// Destination prefix length (0..=32).
+    pub dst_len: u8,
+    /// Source network (host-order bits) and prefix length.
+    pub src_net: u32,
+    /// Source prefix length (0..=32).
+    pub src_len: u8,
+    /// Destination port range, inclusive.
+    pub dport_lo: u16,
+    /// Destination port range, inclusive.
+    pub dport_hi: u16,
+    /// Transport protocol, `None` = any (stored as a raw protocol number
+    /// so the rule stays checkpointable with the stock macro).
+    pub proto: Option<u8>,
+    /// The action to take.
+    pub action: Action,
+}
+
+checkpointable!(struct Rule {
+    id,
+    name,
+    dst_net,
+    dst_len,
+    src_net,
+    src_len,
+    dport_lo,
+    dport_hi,
+    proto,
+    action,
+});
+
+impl Rule {
+    /// A permissive rule matching everything to `dst` with the given
+    /// action; refine with the builder methods.
+    pub fn new(id: u32, name: impl Into<String>, dst: Ipv4Addr, dst_len: u8, action: Action) -> Rule {
+        assert!(dst_len <= 32, "prefix length {dst_len} out of range");
+        Rule {
+            id,
+            name: name.into(),
+            dst_net: mask_net(u32::from(dst), dst_len),
+            dst_len,
+            src_net: 0,
+            src_len: 0,
+            dport_lo: 0,
+            dport_hi: u16::MAX,
+            proto: None,
+            action,
+        }
+    }
+
+    /// Restricts the source prefix.
+    pub fn src(mut self, src: Ipv4Addr, src_len: u8) -> Rule {
+        assert!(src_len <= 32, "prefix length {src_len} out of range");
+        self.src_net = mask_net(u32::from(src), src_len);
+        self.src_len = src_len;
+        self
+    }
+
+    /// Restricts the destination port range (inclusive).
+    pub fn dports(mut self, lo: u16, hi: u16) -> Rule {
+        assert!(lo <= hi, "empty port range {lo}..={hi}");
+        self.dport_lo = lo;
+        self.dport_hi = hi;
+        self
+    }
+
+    /// Restricts the transport protocol.
+    pub fn proto(mut self, proto: IpProto) -> Rule {
+        self.proto = Some(u8::from(proto));
+        self
+    }
+
+    /// True when the rule's non-index fields accept this flow. The
+    /// destination prefix is assumed already matched by trie position.
+    pub fn matches_residual(&self, flow: &FiveTuple) -> bool {
+        prefix_contains(self.src_net, self.src_len, u32::from(flow.src_ip))
+            && (self.dport_lo..=self.dport_hi).contains(&flow.dst_port)
+            && self.proto.is_none_or(|p| p == u8::from(flow.proto))
+    }
+
+    /// Full match check, including the destination prefix (used by the
+    /// linear-scan reference implementation in tests).
+    pub fn matches(&self, flow: &FiveTuple) -> bool {
+        prefix_contains(self.dst_net, self.dst_len, u32::from(flow.dst_ip))
+            && self.matches_residual(flow)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} {}: dst {}/{} ports {}-{} -> {:?}",
+            self.id,
+            self.name,
+            Ipv4Addr::from(self.dst_net),
+            self.dst_len,
+            self.dport_lo,
+            self.dport_hi,
+            self.action
+        )
+    }
+}
+
+/// Zeroes the host bits of `net` beyond `len`.
+pub fn mask_net(net: u32, len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        net & (u32::MAX << (32 - u32::from(len)))
+    }
+}
+
+/// True when `addr` is inside `net/len`.
+pub fn prefix_contains(net: u32, len: u8, addr: u32) -> bool {
+    mask_net(addr, len) == net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_checkpoint::{checkpoint, restore};
+
+    fn flow(src: [u8; 4], dst: [u8; 4], dport: u16, proto: IpProto) -> FiveTuple {
+        FiveTuple {
+            src_ip: Ipv4Addr::from(src),
+            dst_ip: Ipv4Addr::from(dst),
+            src_port: 1000,
+            dst_port: dport,
+            proto,
+        }
+    }
+
+    #[test]
+    fn mask_and_contains() {
+        assert_eq!(mask_net(u32::from(Ipv4Addr::new(10, 1, 2, 3)), 8), u32::from(Ipv4Addr::new(10, 0, 0, 0)));
+        assert_eq!(mask_net(0xFFFF_FFFF, 0), 0);
+        assert_eq!(mask_net(0x1234_5678, 32), 0x1234_5678);
+        assert!(prefix_contains(u32::from(Ipv4Addr::new(10, 0, 0, 0)), 8, u32::from(Ipv4Addr::new(10, 255, 0, 1))));
+        assert!(!prefix_contains(u32::from(Ipv4Addr::new(10, 0, 0, 0)), 8, u32::from(Ipv4Addr::new(11, 0, 0, 1))));
+        assert!(prefix_contains(0, 0, u32::MAX), "/0 contains everything");
+    }
+
+    #[test]
+    fn builder_and_matching() {
+        let r = Rule::new(1, "web", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow)
+            .dports(80, 443)
+            .proto(IpProto::Tcp)
+            .src(Ipv4Addr::new(192, 168, 0, 0), 16);
+        assert!(r.matches(&flow([192, 168, 1, 1], [10, 9, 8, 7], 80, IpProto::Tcp)));
+        assert!(!r.matches(&flow([192, 168, 1, 1], [10, 9, 8, 7], 80, IpProto::Udp)), "wrong proto");
+        assert!(!r.matches(&flow([192, 168, 1, 1], [10, 9, 8, 7], 8080, IpProto::Tcp)), "port out of range");
+        assert!(!r.matches(&flow([172, 16, 1, 1], [10, 9, 8, 7], 80, IpProto::Tcp)), "wrong src");
+        assert!(!r.matches(&flow([192, 168, 1, 1], [11, 9, 8, 7], 80, IpProto::Tcp)), "wrong dst");
+    }
+
+    #[test]
+    fn any_proto_and_any_src_by_default() {
+        let r = Rule::new(2, "any", Ipv4Addr::new(0, 0, 0, 0), 0, Action::Deny);
+        assert!(r.matches(&flow([1, 1, 1, 1], [2, 2, 2, 2], 9, IpProto::Udp)));
+        assert!(r.matches(&flow([3, 3, 3, 3], [4, 4, 4, 4], 65535, IpProto::Tcp)));
+    }
+
+    #[test]
+    fn constructor_masks_host_bits() {
+        let r = Rule::new(3, "m", Ipv4Addr::new(10, 1, 2, 3), 8, Action::Allow);
+        assert_eq!(r.dst_net, u32::from(Ipv4Addr::new(10, 0, 0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_prefix_rejected() {
+        Rule::new(1, "x", Ipv4Addr::UNSPECIFIED, 33, Action::Allow);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty port range")]
+    fn inverted_ports_rejected() {
+        Rule::new(1, "x", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(100, 10);
+    }
+
+    #[test]
+    fn rule_checkpoints() {
+        let r = Rule::new(7, "ckpt", Ipv4Addr::new(172, 16, 0, 0), 12, Action::RateLimit(500))
+            .dports(53, 53)
+            .proto(IpProto::Udp);
+        let back: Rule = restore(&checkpoint(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Rule::new(1, "ssh", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Deny).dports(22, 22);
+        let s = r.to_string();
+        assert!(s.contains("ssh") && s.contains("10.0.0.0/8") && s.contains("22-22"), "{s}");
+    }
+}

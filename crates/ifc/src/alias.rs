@@ -1,0 +1,704 @@
+//! The conventional-language baseline: taint over alias analysis.
+//!
+//! "In conventional programing languages, information flow analysis is
+//! complicated by pointer aliasing. ... detecting such leaks in a
+//! conventional language requires tracking all pointer aliases and
+//! reflecting any change in the security label made via one alias to all
+//! others." (§4)
+//!
+//! This module is that conventional analysis, for the same IR interpreted
+//! under *aliasing* semantics (assignments of heap values alias rather
+//! than move; `append` may adopt the source buffer's storage, the paper's
+//! line 6):
+//!
+//! 1. [`points_to`] computes a flow-insensitive, Andersen-style
+//!    (inclusion-based) points-to relation per function — the expensive,
+//!    imprecise step Rust's ownership makes unnecessary;
+//! 2. [`analyze_alias`] runs the same label abstract interpretation as
+//!    [`crate::interp`], but heap labels live on *allocation-site cells*
+//!    and every store joins into **all** cells its target may alias.
+//!
+//! [`analyze_naive`] is the strawman that skips step 1: per-variable
+//! taint with aliasing semantics, which *misses* the paper's line-17
+//! exploit (a false negative) — demonstrating why the conventional
+//! analysis cannot do without the points-to step.
+//!
+//! The flow-insensitive points-to relation buys termination and speed at
+//! the price of precision: a variable rebound to a different buffer
+//! conflates both allocation sites forever, yielding false positives the
+//! move-mode analysis does not have. Experiment E5 measures both costs.
+
+use crate::interp::{expr_label, Violation};
+use crate::ir::{Expr, Function, Loc, Program, Stmt, Var, VarKind};
+use crate::label::Label;
+use std::collections::BTreeMap;
+
+/// A compact grow-only bitset for points-to sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `bit`; returns true if it was newly set.
+    pub fn insert(&mut self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, b) = (bit / 64, bit % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Unions `other` into `self`; returns true if `self` grew.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut grew = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let merged = *a | b;
+            if merged != *a {
+                *a = merged;
+                grew = true;
+            }
+        }
+        grew
+    }
+
+    /// Iterates over set bits.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64).filter_map(move |b| (word & (1 << b) != 0).then_some(wi * 64 + b))
+        })
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// The points-to relation for one function.
+#[derive(Debug, Clone, Default)]
+pub struct PointsTo {
+    /// Variable -> set of allocation-site cells it may reference.
+    pub pts: BTreeMap<Var, BitSet>,
+    /// Number of allocation sites (cells).
+    pub cells: usize,
+    /// Fixpoint iterations the solver took.
+    pub iterations: usize,
+}
+
+/// Computes the flow-insensitive inclusion-based points-to relation for
+/// a function's body under aliasing semantics.
+pub fn points_to(program: &Program, f: &Function) -> PointsTo {
+    let kinds = program.var_kinds(f);
+    // Pass 1: number allocation sites and collect copy/adopt constraints.
+    let mut next_cell = 0usize;
+    let mut base: Vec<(Var, usize)> = Vec::new(); // pts(v) ∋ cell
+    let mut copies: Vec<(Var, Var)> = Vec::new(); // pts(dst) ⊇ pts(src)
+    collect_constraints(&f.body, &kinds, &mut next_cell, &mut base, &mut copies);
+
+    let mut pt = PointsTo {
+        pts: BTreeMap::new(),
+        cells: next_cell,
+        iterations: 0,
+    };
+    for (v, c) in &base {
+        pt.pts.entry(v.clone()).or_default().insert(*c);
+    }
+    // Pass 2: iterate inclusion constraints to a fixpoint. Quadratic in
+    // the worst case per round — deliberately the textbook algorithm,
+    // whose cost E5 contrasts with the move-mode analysis.
+    loop {
+        pt.iterations += 1;
+        let mut changed = false;
+        for (dst, src) in &copies {
+            let src_set = pt.pts.get(src).cloned().unwrap_or_default();
+            if pt.pts.entry(dst.clone()).or_default().union_with(&src_set) {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    pt
+}
+
+fn collect_constraints(
+    stmts: &[Stmt],
+    kinds: &BTreeMap<Var, VarKind>,
+    next_cell: &mut usize,
+    base: &mut Vec<(Var, usize)>,
+    copies: &mut Vec<(Var, Var)>,
+) {
+    let is_heap = |v: &Var| kinds.get(v).copied() == Some(VarKind::Heap);
+    for s in stmts {
+        match s {
+            Stmt::Alloc { var } => {
+                base.push((var.clone(), *next_cell));
+                *next_cell += 1;
+            }
+            Stmt::Let { var, expr, .. } | Stmt::Assign { var, expr } => match expr {
+                Expr::VecLit(_) => {
+                    base.push((var.clone(), *next_cell));
+                    *next_cell += 1;
+                }
+                // Aliasing semantics: a heap dst may point wherever src
+                // does. Scalar copies carry no pointers.
+                Expr::Var(src) if is_heap(src) => {
+                    copies.push((var.clone(), src.clone()));
+                }
+                _ => {}
+            },
+            // The paper's line 6: an empty buffer adopts the appended
+            // vector as its internal storage — obj may alias src.
+            Stmt::Append { obj, src } => {
+                if is_heap(src) {
+                    copies.push((obj.clone(), src.clone()));
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect_constraints(then_branch, kinds, next_cell, base, copies);
+                collect_constraints(else_branch, kinds, next_cell, base, copies);
+            }
+            Stmt::While { body, .. } => {
+                collect_constraints(body, kinds, next_cell, base, copies);
+            }
+            Stmt::Read { .. } | Stmt::Output { .. } | Stmt::Call { .. }
+            | Stmt::Declassify { .. } => {}
+        }
+    }
+}
+
+/// Statistics from the aliasing analysis, for the scaling experiment.
+#[derive(Debug, Clone, Default)]
+pub struct AliasStats {
+    /// Allocation cells across all functions.
+    pub cells: usize,
+    /// Total points-to edges (Σ |pts(v)|).
+    pub pts_edges: usize,
+    /// Points-to solver iterations summed over functions.
+    pub solver_iterations: usize,
+}
+
+struct AliasCtx<'p> {
+    program: &'p Program,
+    pts: BTreeMap<Var, BitSet>,
+    kinds: BTreeMap<Var, VarKind>,
+    cell_labels: Vec<Label>,
+    violations: Vec<Violation>,
+    authority: Label,
+    record: bool,
+}
+
+impl AliasCtx<'_> {
+    fn is_heap(&self, v: &Var) -> bool {
+        self.kinds.get(v).copied() == Some(VarKind::Heap)
+    }
+}
+
+/// Runs the conventional-language analysis on `main`: Andersen points-to
+/// followed by taint with alias updates. Returns violations plus cost
+/// statistics.
+///
+/// Calls are not followed (the exploits and generated workloads are
+/// intra-procedural in the heap; scalar calls would analyze as in
+/// [`crate::interp`]).
+pub fn analyze_alias(program: &Program) -> (Vec<Violation>, AliasStats) {
+    let main = program.function("main").expect("validated program has main");
+    let pt = points_to(program, main);
+    let stats = AliasStats {
+        cells: pt.cells,
+        pts_edges: pt.pts.values().map(BitSet::len).sum(),
+        solver_iterations: pt.iterations,
+    };
+    let mut ctx = AliasCtx {
+        program,
+        pts: pt.pts,
+        kinds: program.var_kinds(main),
+        cell_labels: vec![Label::PUBLIC; pt.cells],
+        violations: Vec::new(),
+        authority: main.authority,
+        record: true,
+    };
+    let mut scalars: BTreeMap<Var, Label> = main
+        .params
+        .iter()
+        .map(|(p, l)| (p.clone(), l.unwrap_or(Label::PUBLIC)))
+        .collect();
+    alias_block(&main.body, &mut scalars, Label::PUBLIC, &main.name, &mut ctx);
+    (ctx.violations, stats)
+}
+
+/// The label of a variable under aliasing semantics: scalars from the
+/// flow-sensitive environment, heap variables as the join over all cells
+/// they may point to.
+fn var_label_alias(v: &Var, scalars: &BTreeMap<Var, Label>, ctx: &AliasCtx<'_>) -> Label {
+    if ctx.is_heap(v) {
+        return match ctx.pts.get(v) {
+            Some(set) => set
+                .iter()
+                .fold(Label::PUBLIC, |acc, c| acc.join(ctx.cell_labels[c])),
+            None => Label::PUBLIC,
+        };
+    }
+    scalars.get(v).copied().unwrap_or(Label::PUBLIC)
+}
+
+fn expr_label_alias(e: &Expr, scalars: &BTreeMap<Var, Label>, ctx: &AliasCtx<'_>) -> Label {
+    match e {
+        Expr::Const(_) | Expr::VecLit(_) => Label::PUBLIC,
+        Expr::Var(v) => var_label_alias(v, scalars, ctx),
+        Expr::Bin(_, l, r) => {
+            expr_label_alias(l, scalars, ctx).join(expr_label_alias(r, scalars, ctx))
+        }
+    }
+}
+
+fn alias_block(
+    stmts: &[Stmt],
+    scalars: &mut BTreeMap<Var, Label>,
+    pc: Label,
+    path: &str,
+    ctx: &mut AliasCtx<'_>,
+) {
+    for (i, s) in stmts.iter().enumerate() {
+        let loc = Loc(format!("{path}[{i}]"));
+        match s {
+            Stmt::Let { var, expr, label } => {
+                let computed = expr_label_alias(expr, scalars, ctx);
+                let l = label.map_or(computed, |ann| ann.join(computed)).join(pc);
+                if ctx.is_heap(var) {
+                    // Heap binding: the annotation/initial label lands on
+                    // every cell the variable may name.
+                    write_through(var, l, ctx);
+                } else {
+                    scalars.insert(var.clone(), l);
+                }
+            }
+            Stmt::Assign { var, expr } => {
+                let l = expr_label_alias(expr, scalars, ctx).join(pc);
+                if ctx.is_heap(var) {
+                    write_through(var, l, ctx);
+                } else {
+                    scalars.insert(var.clone(), l);
+                }
+            }
+            Stmt::Alloc { .. } => {}
+            Stmt::Append { obj, src } => {
+                // The alias-correct store: the appended label reaches
+                // every cell `obj` may alias — including, after the
+                // paper's line 6, the caller's original vector.
+                let l = var_label_alias(src, scalars, ctx).join(pc);
+                write_through(obj, l, ctx);
+            }
+            Stmt::Read { dst, obj } => {
+                let l = var_label_alias(obj, scalars, ctx).join(pc);
+                scalars.insert(dst.clone(), l);
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let pc2 = pc.join(expr_label_alias(cond, scalars, ctx));
+                let outer: Vec<Var> = scalars.keys().cloned().collect();
+                let mut then_env = scalars.clone();
+                alias_block(then_branch, &mut then_env, pc2, &format!("{loc}.then"), ctx);
+                let mut else_env = scalars.clone();
+                alias_block(else_branch, &mut else_env, pc2, &format!("{loc}.else"), ctx);
+                for var in outer {
+                    let t = then_env.get(&var).copied().unwrap_or(Label::PUBLIC);
+                    let e = else_env.get(&var).copied().unwrap_or(Label::PUBLIC);
+                    scalars.insert(var, t.join(e));
+                }
+            }
+            Stmt::While { cond, body } => {
+                let outer: Vec<Var> = scalars.keys().cloned().collect();
+                let was_recording = ctx.record;
+                ctx.record = false;
+                for _ in 0..130 {
+                    let pc2 = pc.join(expr_label_alias(cond, scalars, ctx));
+                    let mut body_env = scalars.clone();
+                    let before_cells = ctx.cell_labels.clone();
+                    alias_block(body, &mut body_env, pc2, &format!("{loc}.body"), ctx);
+                    let mut changed = ctx.cell_labels != before_cells;
+                    for var in &outer {
+                        let before = scalars.get(var).copied().unwrap_or(Label::PUBLIC);
+                        let after = body_env.get(var).copied().unwrap_or(Label::PUBLIC);
+                        let joined = before.join(after);
+                        if joined != before {
+                            scalars.insert(var.clone(), joined);
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                ctx.record = was_recording;
+                let pc2 = pc.join(expr_label_alias(cond, scalars, ctx));
+                let mut body_env = scalars.clone();
+                alias_block(body, &mut body_env, pc2, &format!("{loc}.body"), ctx);
+            }
+            Stmt::Declassify { dst, expr } => {
+                if ctx.record && !pc.flows_to(ctx.authority) {
+                    ctx.violations.push(Violation {
+                        loc: loc.clone(),
+                        channel: format!("<declassify {dst}>"),
+                        label: pc,
+                        bound: ctx.authority,
+                    });
+                }
+                let observed = expr_label_alias(expr, scalars, ctx).join(pc);
+                let stripped = Label::from_bits(observed.bits() & !ctx.authority.bits());
+                scalars.insert(dst.clone(), stripped);
+            }
+            Stmt::Output { channel, arg } => {
+                let label = expr_label_alias(arg, scalars, ctx).join(pc);
+                let bound = *ctx
+                    .program
+                    .channels
+                    .get(channel)
+                    .expect("validated program declares its channels");
+                if ctx.record && !label.flows_to(bound) {
+                    ctx.violations.push(Violation {
+                        loc,
+                        channel: channel.clone(),
+                        label,
+                        bound,
+                    });
+                }
+            }
+            Stmt::Call { dst, .. } => {
+                if let Some(d) = dst {
+                    scalars.insert(d.clone(), pc);
+                }
+            }
+        }
+    }
+}
+
+fn write_through(var: &Var, label: Label, ctx: &mut AliasCtx<'_>) {
+    if let Some(set) = ctx.pts.get(var) {
+        // Collect first: `set` borrows ctx.pts immutably.
+        let cells: Vec<usize> = set.iter().collect();
+        for c in cells {
+            ctx.cell_labels[c] = ctx.cell_labels[c].join(label);
+        }
+    }
+}
+
+/// The strawman: taint with aliasing semantics but *without* a points-to
+/// analysis — heap labels are kept per variable, so a store through one
+/// alias never reaches the others. Misses the paper's line-17 exploit.
+pub fn analyze_naive(program: &Program) -> Vec<Violation> {
+    let main = program.function("main").expect("validated program has main");
+    let mut env: BTreeMap<Var, Label> = main
+        .params
+        .iter()
+        .map(|(p, l)| (p.clone(), l.unwrap_or(Label::PUBLIC)))
+        .collect();
+    let mut violations = Vec::new();
+    naive_block(&main.body, &mut env, Label::PUBLIC, &main.name, program, &mut violations);
+    violations
+}
+
+fn naive_block(
+    stmts: &[Stmt],
+    env: &mut BTreeMap<Var, Label>,
+    pc: Label,
+    path: &str,
+    program: &Program,
+    violations: &mut Vec<Violation>,
+) {
+    for (i, s) in stmts.iter().enumerate() {
+        let loc = Loc(format!("{path}[{i}]"));
+        match s {
+            Stmt::Let { var, expr, label } => {
+                let computed = expr_label(expr, env);
+                let l = label.map_or(computed, |ann| ann.join(computed));
+                env.insert(var.clone(), l.join(pc));
+            }
+            Stmt::Assign { var, expr } => {
+                env.insert(var.clone(), expr_label(expr, env).join(pc));
+            }
+            Stmt::Alloc { var } => {
+                env.insert(var.clone(), pc);
+            }
+            Stmt::Append { obj, src } => {
+                // Per-variable only: `src`'s label flows into `obj`, but
+                // the alias created by adoption is invisible here.
+                let l = env.get(src).copied().unwrap_or(Label::PUBLIC);
+                let o = env.get(obj).copied().unwrap_or(Label::PUBLIC);
+                env.insert(obj.clone(), o.join(l).join(pc));
+            }
+            Stmt::Read { dst, obj } => {
+                let l = env.get(obj).copied().unwrap_or(Label::PUBLIC);
+                env.insert(dst.clone(), l.join(pc));
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let pc2 = pc.join(expr_label(cond, env));
+                let outer: Vec<Var> = env.keys().cloned().collect();
+                let mut t = env.clone();
+                naive_block(then_branch, &mut t, pc2, &format!("{loc}.then"), program, violations);
+                let mut e = env.clone();
+                naive_block(else_branch, &mut e, pc2, &format!("{loc}.else"), program, violations);
+                for var in outer {
+                    let tl = t.get(&var).copied().unwrap_or(Label::PUBLIC);
+                    let el = e.get(&var).copied().unwrap_or(Label::PUBLIC);
+                    env.insert(var, tl.join(el));
+                }
+            }
+            Stmt::While { cond, body } => {
+                for _ in 0..130 {
+                    let pc2 = pc.join(expr_label(cond, env));
+                    let mut body_env = env.clone();
+                    let mut scratch = Vec::new();
+                    naive_block(body, &mut body_env, pc2, &format!("{loc}.body"), program, &mut scratch);
+                    let mut changed = false;
+                    let outer: Vec<Var> = env.keys().cloned().collect();
+                    for var in outer {
+                        let before = env.get(&var).copied().unwrap_or(Label::PUBLIC);
+                        let after = body_env.get(&var).copied().unwrap_or(Label::PUBLIC);
+                        if before.join(after) != before {
+                            env.insert(var, before.join(after));
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                let pc2 = pc.join(expr_label(cond, env));
+                let mut body_env = env.clone();
+                naive_block(body, &mut body_env, pc2, &format!("{loc}.body"), program, violations);
+            }
+            Stmt::Declassify { dst, expr } => {
+                // The naive baseline honors declassification with main's
+                // authority (it has no notion of per-function scopes).
+                let auth = program.function("main").map(|f| f.authority).unwrap_or(Label::PUBLIC);
+                let observed = expr_label(expr, env).join(pc);
+                env.insert(dst.clone(), Label::from_bits(observed.bits() & !auth.bits()));
+            }
+            Stmt::Output { channel, arg } => {
+                let label = expr_label(arg, env).join(pc);
+                let bound = *program
+                    .channels
+                    .get(channel)
+                    .expect("validated program declares its channels");
+                if !label.flows_to(bound) {
+                    violations.push(Violation { loc, channel: channel.clone(), label, bound });
+                }
+            }
+            Stmt::Call { dst, .. } => {
+                if let Some(d) = dst {
+                    env.insert(d.clone(), pc);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ProgramBuilder;
+
+    fn v(name: &str) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    fn secret_vec(name: &str) -> Stmt {
+        Stmt::Let {
+            var: name.into(),
+            expr: Expr::VecLit(vec![4, 5, 6]),
+            label: Some(Label::SECRET),
+        }
+    }
+
+    /// The paper's line-17 exploit under aliasing semantics: write
+    /// non-secret vector into the empty buffer (adopted as storage),
+    /// append secret data, print the *original* non-secret variable.
+    fn exploit_program() -> Program {
+        ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .main(vec![
+                Stmt::Alloc { var: "buf".into() },
+                Stmt::Let {
+                    var: "nonsec".into(),
+                    expr: Expr::VecLit(vec![1, 2, 3]),
+                    label: None,
+                },
+                secret_vec("sec"),
+                Stmt::Append { obj: "buf".into(), src: "nonsec".into() }, // line 14
+                Stmt::Append { obj: "buf".into(), src: "sec".into() },    // line 15
+                Stmt::Output { channel: "term".into(), arg: v("nonsec") }, // line 17
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(100));
+        assert!(s.contains(3) && s.contains(100) && !s.contains(4));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 100]);
+        let mut t = BitSet::new();
+        t.insert(5);
+        assert!(t.union_with(&s));
+        assert!(!t.union_with(&s), "second union adds nothing");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn points_to_tracks_adoption() {
+        let p = exploit_program();
+        let pt = points_to(&p, p.function("main").unwrap());
+        // Cells: buf's alloc, nonsec's literal, sec's literal.
+        assert_eq!(pt.cells, 3);
+        let buf = &pt.pts["buf"];
+        let nonsec = &pt.pts["nonsec"];
+        // buf adopted both vectors: it may alias nonsec's cell.
+        assert!(nonsec.iter().all(|c| buf.contains(c)), "buf must cover nonsec");
+        assert!(buf.len() >= 2);
+    }
+
+    #[test]
+    fn alias_analysis_catches_the_line17_exploit() {
+        let p = exploit_program();
+        let (violations, stats) = analyze_alias(&p);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].loc.0, "main[5]");
+        assert!(stats.cells == 3 && stats.pts_edges >= 4);
+    }
+
+    #[test]
+    fn naive_analysis_misses_the_exploit() {
+        let p = exploit_program();
+        let violations = analyze_naive(&p);
+        assert!(
+            violations.is_empty(),
+            "the per-variable strawman cannot see the alias: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn naive_still_catches_direct_leak() {
+        let p = ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .main(vec![
+                secret_vec("sec"),
+                Stmt::Output { channel: "term".into(), arg: v("sec") },
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(analyze_naive(&p).len(), 1);
+        assert_eq!(analyze_alias(&p).0.len(), 1);
+    }
+
+    /// Flow-insensitive points-to conflates a variable's successive
+    /// bindings, producing a false positive the move-mode analysis does
+    /// not have — the precision cost of the conventional approach.
+    #[test]
+    fn alias_analysis_false_positive_on_rebinding() {
+        let p = ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .main(vec![
+                Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
+                secret_vec("sec"),
+                Stmt::Append { obj: "x".into(), src: "sec".into() },
+                // Rebind x to a fresh public vector, then print it.
+                Stmt::Assign { var: "x".into(), expr: Expr::VecLit(vec![2]) },
+                Stmt::Output { channel: "term".into(), arg: v("x") },
+            ])
+            .build()
+            .unwrap();
+        let (alias_violations, _) = analyze_alias(&p);
+        assert_eq!(
+            alias_violations.len(),
+            1,
+            "flow-insensitive pts conflates both bindings of x"
+        );
+        // Move-mode analysis is precise here: after the reassignment x
+        // is a fresh public buffer. (The append consumed `sec`, and the
+        // rebinding of x is legal.)
+        let move_violations = crate::interp::analyze(&p).unwrap();
+        assert!(move_violations.is_empty(), "{move_violations:?}");
+    }
+
+    #[test]
+    fn implicit_flows_still_tracked_in_alias_mode() {
+        let p = ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .main(vec![
+                Stmt::Let {
+                    var: "s".into(),
+                    expr: Expr::Const(1),
+                    label: Some(Label::SECRET),
+                },
+                Stmt::Let { var: "x".into(), expr: Expr::Const(0), label: None },
+                Stmt::If {
+                    cond: v("s"),
+                    then_branch: vec![Stmt::Assign { var: "x".into(), expr: Expr::Const(1) }],
+                    else_branch: vec![],
+                },
+                Stmt::Output { channel: "term".into(), arg: v("x") },
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(analyze_alias(&p).0.len(), 1);
+    }
+
+    #[test]
+    fn loops_taint_cells_to_fixpoint() {
+        // Repeatedly append a secret into a buffer inside a loop.
+        let p = ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .main(vec![
+                Stmt::Alloc { var: "buf".into() },
+                Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+                Stmt::While {
+                    cond: v("c"),
+                    body: vec![
+                        secret_vec("sec"),
+                        Stmt::Append { obj: "buf".into(), src: "sec".into() },
+                    ],
+                },
+                Stmt::Output { channel: "term".into(), arg: v("buf") },
+            ])
+            .build()
+            .unwrap();
+        let (violations, _) = analyze_alias(&p);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].loc.0, "main[3]");
+    }
+
+    #[test]
+    fn solver_iteration_count_reported() {
+        let p = exploit_program();
+        let pt = points_to(&p, p.function("main").unwrap());
+        assert!(pt.iterations >= 1);
+    }
+}

@@ -1,0 +1,533 @@
+//! A concrete interpreter with dynamic taint.
+//!
+//! Runs programs for real — integer arithmetic, buffers, calls, bounded
+//! loops — while propagating labels on *values* (dynamic taint along the
+//! executed path, plus the taken branch's pc). Its role is to anchor the
+//! static analysis:
+//!
+//! - **soundness direction**: dynamic labels only track the executed
+//!   path, so they are a lower bound on the static abstraction. If the
+//!   static verifier says *Safe*, then on every concrete run, every
+//!   output's dynamic label must flow to its channel bound — a property
+//!   test in this module checks exactly that over generated programs and
+//!   random inputs;
+//! - the executor also powers end-to-end demos: verify a program, then
+//!   actually run it.
+
+use crate::ir::{BinOp, Expr, Function, Loc, Program, Stmt, Var};
+use crate::label::Label;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A runtime value: concrete data plus its dynamic label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A scalar.
+    Int(i64, Label),
+    /// A buffer (vector contents, one label for the whole buffer).
+    Buf(Vec<i64>, Label),
+}
+
+impl Value {
+    /// The value's dynamic label.
+    pub fn label(&self) -> Label {
+        match self {
+            Value::Int(_, l) | Value::Buf(_, l) => *l,
+        }
+    }
+
+    fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v, _) => *v,
+            Value::Buf(items, _) => items.iter().sum(),
+        }
+    }
+}
+
+/// One observed output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emission {
+    /// The channel written to.
+    pub channel: String,
+    /// The concrete value (buffers flattened to their contents).
+    pub data: Vec<i64>,
+    /// The dynamic label at the write, pc included.
+    pub label: Label,
+    /// Where the write happened.
+    pub loc: Loc,
+}
+
+/// Runtime failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The step budget was exhausted (runaway loop).
+    StepBudget,
+    /// A moved buffer was touched (the static ownership checker rejects
+    /// such programs; this guards direct executor use).
+    MovedValue {
+        /// The offending variable.
+        var: Var,
+    },
+    /// Recursive call at runtime.
+    Recursion {
+        /// The re-entered function.
+        func: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::StepBudget => write!(f, "step budget exhausted"),
+            ExecError::MovedValue { var } => write!(f, "use of moved value {var}"),
+            ExecError::Recursion { func } => write!(f, "recursive call to {func}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Variable slots: `None` marks a moved-out buffer.
+type Env = BTreeMap<Var, Option<Value>>;
+
+struct Machine<'p> {
+    program: &'p Program,
+    emissions: Vec<Emission>,
+    steps: u64,
+    budget: u64,
+    call_stack: Vec<String>,
+}
+
+/// Executes `main` with the given scalar arguments (labels taken from the
+/// parameter annotations). Returns everything written to output channels.
+pub fn execute(program: &Program, args: &[i64]) -> Result<Vec<Emission>, ExecError> {
+    execute_with_budget(program, args, 200_000)
+}
+
+/// [`execute`] with an explicit step budget.
+pub fn execute_with_budget(
+    program: &Program,
+    args: &[i64],
+    budget: u64,
+) -> Result<Vec<Emission>, ExecError> {
+    let main = program.function("main").expect("validated program has main");
+    let mut m = Machine {
+        program,
+        emissions: Vec::new(),
+        steps: 0,
+        budget,
+        call_stack: Vec::new(),
+    };
+    let mut env: Env = main
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, (p, ann))| {
+            let v = args.get(i).copied().unwrap_or(0);
+            (p.clone(), Some(Value::Int(v, ann.unwrap_or(Label::PUBLIC))))
+        })
+        .collect();
+    m.run_function(main, &mut env, Label::PUBLIC)?;
+    Ok(m.emissions)
+}
+
+impl Machine<'_> {
+    fn tick(&mut self) -> Result<(), ExecError> {
+        self.steps += 1;
+        if self.steps > self.budget {
+            return Err(ExecError::StepBudget);
+        }
+        Ok(())
+    }
+
+    fn run_function(
+        &mut self,
+        f: &Function,
+        env: &mut Env,
+        pc: Label,
+    ) -> Result<Value, ExecError> {
+        if self.call_stack.iter().any(|s| s == &f.name) {
+            return Err(ExecError::Recursion { func: f.name.clone() });
+        }
+        self.call_stack.push(f.name.clone());
+        self.run_block(&f.body, env, pc, &f.name, f.authority)?;
+        let ret = match &f.ret {
+            Some(e) => self.eval(e, env)?,
+            None => Value::Int(0, Label::PUBLIC),
+        };
+        self.call_stack.pop();
+        Ok(ret)
+    }
+
+    fn eval(&mut self, e: &Expr, env: &Env) -> Result<Value, ExecError> {
+        Ok(match e {
+            Expr::Const(n) => Value::Int(*n, Label::PUBLIC),
+            Expr::VecLit(items) => Value::Buf(items.clone(), Label::PUBLIC),
+            Expr::Var(v) => match env.get(v) {
+                Some(Some(val)) => val.clone(),
+                Some(None) => return Err(ExecError::MovedValue { var: v.clone() }),
+                None => Value::Int(0, Label::PUBLIC),
+            },
+            Expr::Bin(op, l, r) => {
+                let lv = self.eval(l, env)?;
+                let rv = self.eval(r, env)?;
+                let label = lv.label().join(rv.label());
+                let (a, b) = (lv.as_int(), rv.as_int());
+                let out = match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Eq => i64::from(a == b),
+                    BinOp::Lt => i64::from(a < b),
+                };
+                Value::Int(out, label)
+            }
+        })
+    }
+
+    fn run_block(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut Env,
+        pc: Label,
+        path: &str,
+        authority: Label,
+    ) -> Result<(), ExecError> {
+        for (i, s) in stmts.iter().enumerate() {
+            self.tick()?;
+            let loc = Loc(format!("{path}[{i}]"));
+            match s {
+                Stmt::Let { var, expr, label } => {
+                    let mut v = self.eval(expr, env)?;
+                    if let Some(ann) = label {
+                        v = match v {
+                            Value::Int(n, l) => Value::Int(n, l.join(*ann)),
+                            Value::Buf(b, l) => Value::Buf(b, l.join(*ann)),
+                        };
+                    }
+                    // Binding a bare heap variable moves it.
+                    self.maybe_move_source(expr, env);
+                    env.insert(var.clone(), Some(taint(v, pc)));
+                }
+                Stmt::Assign { var, expr } => {
+                    let v = self.eval(expr, env)?;
+                    self.maybe_move_source(expr, env);
+                    env.insert(var.clone(), Some(taint(v, pc)));
+                }
+                Stmt::Alloc { var } => {
+                    env.insert(var.clone(), Some(Value::Buf(Vec::new(), pc)));
+                }
+                Stmt::Append { obj, src } => {
+                    let src_val = match env.get(src) {
+                        Some(Some(v)) => v.clone(),
+                        Some(None) => return Err(ExecError::MovedValue { var: src.clone() }),
+                        None => Value::Int(0, Label::PUBLIC),
+                    };
+                    // Consume heap sources (move semantics).
+                    if matches!(src_val, Value::Buf(..)) {
+                        env.insert(src.clone(), None);
+                    }
+                    let Some(Some(Value::Buf(items, label))) = env.get_mut(obj) else {
+                        return Err(ExecError::MovedValue { var: obj.clone() });
+                    };
+                    match src_val {
+                        Value::Buf(mut more, l) => {
+                            items.append(&mut more);
+                            *label = label.join(l).join(pc);
+                        }
+                        Value::Int(n, l) => {
+                            items.push(n);
+                            *label = label.join(l).join(pc);
+                        }
+                    }
+                }
+                Stmt::Read { dst, obj } => {
+                    let v = match env.get(obj) {
+                        Some(Some(Value::Buf(items, l))) => {
+                            Value::Int(items.iter().sum(), l.join(pc))
+                        }
+                        Some(Some(Value::Int(n, l))) => Value::Int(*n, l.join(pc)),
+                        Some(None) => return Err(ExecError::MovedValue { var: obj.clone() }),
+                        None => Value::Int(0, pc),
+                    };
+                    env.insert(dst.clone(), Some(v));
+                }
+                Stmt::Declassify { dst, expr } => {
+                    let v = self.eval(expr, env)?;
+                    let observed = v.label().join(pc);
+                    let stripped = Label::from_bits(observed.bits() & !authority.bits());
+                    env.insert(dst.clone(), Some(Value::Int(v.as_int(), stripped)));
+                }
+                Stmt::If { cond, then_branch, else_branch } => {
+                    let c = self.eval(cond, env)?;
+                    let pc2 = pc.join(c.label());
+                    let branch = if c.as_int() != 0 { then_branch } else { else_branch };
+                    let tag = if c.as_int() != 0 { "then" } else { "else" };
+                    self.run_block(branch, env, pc2, &format!("{loc}.{tag}"), authority)?;
+                }
+                Stmt::While { cond, body } => {
+                    loop {
+                        self.tick()?;
+                        let c = self.eval(cond, env)?;
+                        if c.as_int() == 0 {
+                            break;
+                        }
+                        let pc2 = pc.join(c.label());
+                        self.run_block(body, env, pc2, &format!("{loc}.body"), authority)?;
+                    }
+                }
+                Stmt::Output { channel, arg } => {
+                    let v = self.eval(arg, env)?;
+                    let data = match &v {
+                        Value::Int(n, _) => vec![*n],
+                        Value::Buf(items, _) => items.clone(),
+                    };
+                    self.emissions.push(Emission {
+                        channel: channel.clone(),
+                        data,
+                        label: v.label().join(pc),
+                        loc,
+                    });
+                }
+                Stmt::Call { dst, func, args } => {
+                    let callee = self.program.function(func).expect("validated program");
+                    let mut callee_env: Env = BTreeMap::new();
+                    for ((p, ann), a) in callee.params.iter().zip(args) {
+                        let mut v = self.eval(a, env)?;
+                        if let Some(l) = ann {
+                            v = Value::Int(v.as_int(), v.label().join(*l));
+                        }
+                        callee_env.insert(p.clone(), Some(taint(v, pc)));
+                    }
+                    let ret = self.run_function(callee, &mut callee_env, pc)?;
+                    if let Some(d) = dst {
+                        env.insert(d.clone(), Some(taint(ret, pc)));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Bare heap-variable right-hand sides move their source.
+    fn maybe_move_source(&self, expr: &Expr, env: &mut Env) {
+        if let Expr::Var(src) = expr {
+            if matches!(env.get(src), Some(Some(Value::Buf(..)))) {
+                env.insert(src.clone(), None);
+            }
+        }
+    }
+}
+
+fn taint(v: Value, pc: Label) -> Value {
+    match v {
+        Value::Int(n, l) => Value::Int(n, l.join(pc)),
+        Value::Buf(b, l) => Value::Buf(b, l.join(pc)),
+    }
+}
+
+/// Checks one run's emissions against the channel bounds: the dynamic
+/// counterpart of the static verifier's property.
+pub fn dynamic_violations(program: &Program, emissions: &[Emission]) -> Vec<Emission> {
+    emissions
+        .iter()
+        .filter(|e| {
+            let bound = program.channels.get(&e.channel).copied().unwrap_or(Label::PUBLIC);
+            !e.label.flows_to(bound)
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::verify::{verify, Verdict};
+    use proptest::prelude::*;
+
+    #[test]
+    fn arithmetic_and_output() {
+        let p = parse(
+            "channel t public;
+             fn main() { let x = 2 + 3 * 4; output t, x; }",
+        )
+        .unwrap();
+        let out = execute(&p, &[]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].data, vec![14]);
+        assert_eq!(out[0].label, Label::PUBLIC);
+    }
+
+    #[test]
+    fn buffers_append_and_read() {
+        let p = parse(
+            "channel t public;
+             fn main() {
+                 let buf = alloc;
+                 let v = vec[1, 2, 3];
+                 append buf, v;
+                 let sum = read buf;
+                 output t, sum;
+                 output t, buf;
+             }",
+        )
+        .unwrap();
+        let out = execute(&p, &[]).unwrap();
+        assert_eq!(out[0].data, vec![6]);
+        assert_eq!(out[1].data, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn taint_follows_data_and_pc() {
+        let p = parse(
+            "channel t public;
+             fn main(secret_in label secret) {
+                 let doubled = secret_in * 2;
+                 output t, doubled;
+                 if secret_in { output t, 1; }
+             }",
+        )
+        .unwrap();
+        let out = execute(&p, &[21]).unwrap();
+        assert_eq!(out[0].data, vec![42]);
+        assert_eq!(out[0].label, Label::SECRET, "explicit flow");
+        assert_eq!(out[1].label, Label::SECRET, "implicit flow via taken branch");
+        assert_eq!(dynamic_violations(&p, &out).len(), 2);
+    }
+
+    #[test]
+    fn loops_execute_and_terminate() {
+        let p = parse(
+            "channel t public;
+             fn main(n) {
+                 let acc = 0;
+                 let i = 0;
+                 while i < n { acc = acc + i; i = i + 1; }
+                 output t, acc;
+             }",
+        )
+        .unwrap();
+        let out = execute(&p, &[5]).unwrap();
+        assert_eq!(out[0].data, vec![10]);
+    }
+
+    #[test]
+    fn runaway_loop_hits_budget() {
+        let p = parse(
+            "fn main() { let c = 1; while c { c = 1; } }",
+        )
+        .unwrap();
+        assert_eq!(
+            execute_with_budget(&p, &[], 1_000).unwrap_err(),
+            ExecError::StepBudget
+        );
+    }
+
+    #[test]
+    fn calls_pass_values_and_labels() {
+        let p = parse(
+            "channel t public;
+             fn double(x) { return x + x; }
+             fn main(s label secret) {
+                 let r = call double(s);
+                 output t, r;
+             }",
+        )
+        .unwrap();
+        let out = execute(&p, &[7]).unwrap();
+        assert_eq!(out[0].data, vec![14]);
+        assert_eq!(out[0].label, Label::SECRET);
+    }
+
+    #[test]
+    fn declassify_strips_at_runtime() {
+        let p = parse(
+            "channel t public;
+             fn main() authority secret {
+                 let s = 99 label secret;
+                 let d = declassify s;
+                 output t, d;
+             }",
+        )
+        .unwrap();
+        let out = execute(&p, &[]).unwrap();
+        assert_eq!(out[0].data, vec![99]);
+        assert_eq!(out[0].label, Label::PUBLIC);
+        assert!(dynamic_violations(&p, &out).is_empty());
+    }
+
+    #[test]
+    fn moved_buffer_is_gone_at_runtime_too() {
+        // Built directly (the static checker would reject this source).
+        use crate::ir::{ProgramBuilder};
+        let p = ProgramBuilder::new()
+            .channel("t", Label::PUBLIC)
+            .main(vec![
+                Stmt::Alloc { var: "a".into() },
+                Stmt::Alloc { var: "b".into() },
+                Stmt::Append { obj: "b".into(), src: "a".into() },
+                Stmt::Output { channel: "t".into(), arg: Expr::Var("a".into()) },
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(
+            execute(&p, &[]).unwrap_err(),
+            ExecError::MovedValue { var: "a".into() }
+        );
+    }
+
+    #[test]
+    fn recursion_detected_at_runtime() {
+        let p = parse("fn main() { call main(); }").unwrap();
+        assert!(matches!(execute(&p, &[]), Err(ExecError::Recursion { .. })));
+    }
+
+    /// The anchor property: static Safe ⟹ no dynamic violation, on the
+    /// paper's own examples with concrete inputs.
+    #[test]
+    fn static_safe_implies_dynamic_safe_on_store() {
+        let p = crate::examples::secure_store_source();
+        assert!(verify(&p).is_safe());
+        for input in [0i64, 1, -3, 42] {
+            let out = execute(&p, &[input]).unwrap();
+            assert!(
+                dynamic_violations(&p, &out).is_empty(),
+                "input {input}: {out:?}"
+            );
+        }
+        // And the buggy store leaks dynamically on the non-privileged path.
+        let buggy = crate::examples::secure_store_buggy_source();
+        let out = execute(&buggy, &[0]).unwrap();
+        assert!(!dynamic_violations(&buggy, &out).is_empty());
+    }
+
+    proptest! {
+        /// Soundness over generated programs: whenever the static verdict
+        /// is Safe, no concrete run produces a dynamic violation.
+        #[test]
+        fn static_safe_implies_dynamic_safe(
+            n in 1usize..40,
+            seed in any::<i64>(),
+            which in 0u8..3,
+        ) {
+            let p = match which {
+                0 => crate::progen::straightline(n),
+                1 => crate::progen::call_diamond((n % 6) + 1),
+                _ => crate::progen::rebind_churn((n % 10) + 1),
+            };
+            if let Verdict::Safe = verify(&p) {
+                let out = execute_with_budget(&p, &[seed], 500_000).unwrap();
+                prop_assert!(dynamic_violations(&p, &out).is_empty());
+            }
+        }
+
+        /// The executor is total on generated programs (no panics, only
+        /// typed errors).
+        #[test]
+        fn executor_is_total(n in 1usize..30, a in any::<i64>(), b in any::<i64>()) {
+            let p = crate::progen::call_diamond((n % 8) + 1);
+            let _ = execute_with_budget(&p, &[a, b], 200_000);
+        }
+    }
+}

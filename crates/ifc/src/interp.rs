@@ -1,0 +1,599 @@
+//! The label abstract interpreter (move mode).
+//!
+//! "We represent the value of each variable in the abstract domain by its
+//! security label. ... Arithmetic expressions over secure values are
+//! abstracted by computing the upper bound of their arguments. An
+//! auxiliary program counter variable is introduced to track the flow of
+//! information via branching on labeled variables." (§4)
+//!
+//! Because heap values are uniquely owned in move mode, a buffer's label
+//! lives with the one variable that owns it — there is no points-to
+//! relation, no alias sets, nothing to resolve. That is the paper's
+//! entire performance argument and it is visible in the shape of this
+//! file: the transfer function for `append` is a single map update.
+//!
+//! Loops run to a label fixpoint (labels only grow in a finite lattice,
+//! so convergence is guaranteed); violations are recorded in a final
+//! pass over the converged state so each faulty statement is reported
+//! once, with its stable label.
+
+use crate::ir::{Expr, Function, Loc, Program, Stmt, Var};
+use crate::label::Label;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The abstract state: each variable's security label. For heap
+/// variables this is the label of the buffer's *content*.
+pub type LabelState = BTreeMap<Var, Label>;
+
+/// A channel-bound violation: the verified property failed at `loc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending statement.
+    pub loc: Loc,
+    /// The channel written to.
+    pub channel: String,
+    /// The label of the written data (incl. pc taint).
+    pub label: Label,
+    /// The channel's declared bound.
+    pub bound: Label,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: output of {} data to channel {} (bound {})",
+            self.loc, self.label, self.channel, self.bound
+        )
+    }
+}
+
+/// Analysis failures (as opposed to property violations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The call graph is recursive; summaries or inlining would not
+    /// terminate. (The paper's prototype had the same restriction — its
+    /// abstract programs were loop-bounded for SMACK.)
+    Recursion {
+        /// The function that called itself (possibly indirectly).
+        func: String,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Recursion { func } => {
+                write!(f, "recursive call chain through {func} is not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+struct Ctx<'p> {
+    program: &'p Program,
+    violations: Vec<Violation>,
+    /// Call stack for recursion detection.
+    stack: Vec<String>,
+    /// Authority of the function currently being interpreted (for
+    /// declassification).
+    authority: Label,
+    /// When false (fixpoint warm-up iterations), skip recording
+    /// violations; the converged pass records them.
+    record: bool,
+}
+
+/// Runs the abstract interpretation of `program` starting at `main`,
+/// with annotated entry labels. Returns the violations found.
+///
+/// The program must already validate.
+pub fn analyze(program: &Program) -> Result<Vec<Violation>, InterpError> {
+    let main = program.function("main").expect("validated program has main");
+    let mut ctx = Ctx {
+        program,
+        violations: Vec::new(),
+        stack: Vec::new(),
+        authority: main.authority,
+        record: true,
+    };
+    let mut env: LabelState = main
+        .params
+        .iter()
+        .map(|(p, l)| (p.clone(), l.unwrap_or(Label::PUBLIC)))
+        .collect();
+    interpret_function(main, &mut env, Label::PUBLIC, &mut ctx)?;
+    Ok(ctx.violations)
+}
+
+/// Analyzes `main` and also returns the final abstract state — useful in
+/// tests and for the secure-store walkthrough.
+pub fn analyze_with_state(program: &Program) -> Result<(Vec<Violation>, LabelState), InterpError> {
+    let main = program.function("main").expect("validated program has main");
+    let mut ctx = Ctx {
+        program,
+        violations: Vec::new(),
+        stack: Vec::new(),
+        authority: main.authority,
+        record: true,
+    };
+    let mut env: LabelState = main
+        .params
+        .iter()
+        .map(|(p, l)| (p.clone(), l.unwrap_or(Label::PUBLIC)))
+        .collect();
+    interpret_function(main, &mut env, Label::PUBLIC, &mut ctx)?;
+    Ok((ctx.violations, env))
+}
+
+fn interpret_function(
+    f: &Function,
+    env: &mut LabelState,
+    pc: Label,
+    ctx: &mut Ctx<'_>,
+) -> Result<Label, InterpError> {
+    if ctx.stack.iter().any(|s| s == &f.name) {
+        return Err(InterpError::Recursion { func: f.name.clone() });
+    }
+    ctx.stack.push(f.name.clone());
+    let saved_authority = ctx.authority;
+    ctx.authority = f.authority;
+    interpret_block(&f.body, env, pc, &f.name, ctx)?;
+    ctx.authority = saved_authority;
+    let ret = f
+        .ret
+        .as_ref()
+        .map(|e| expr_label(e, env).join(pc))
+        .unwrap_or(Label::PUBLIC);
+    ctx.stack.pop();
+    Ok(ret)
+}
+
+/// The label of an expression: the join of its parts.
+pub fn expr_label(e: &Expr, env: &LabelState) -> Label {
+    match e {
+        Expr::Const(_) | Expr::VecLit(_) => Label::PUBLIC,
+        Expr::Var(v) => env.get(v).copied().unwrap_or(Label::PUBLIC),
+        Expr::Bin(_, l, r) => expr_label(l, env).join(expr_label(r, env)),
+    }
+}
+
+fn interpret_block(
+    stmts: &[Stmt],
+    env: &mut LabelState,
+    pc: Label,
+    path: &str,
+    ctx: &mut Ctx<'_>,
+) -> Result<(), InterpError> {
+    for (i, s) in stmts.iter().enumerate() {
+        let loc = Loc(format!("{path}[{i}]"));
+        match s {
+            Stmt::Let { var, expr, label } => {
+                let computed = expr_label(expr, env);
+                let annotated = label.map_or(computed, |ann| ann.join(computed));
+                env.insert(var.clone(), annotated.join(pc));
+            }
+            Stmt::Assign { var, expr } => {
+                env.insert(var.clone(), expr_label(expr, env).join(pc));
+            }
+            Stmt::Alloc { var } => {
+                env.insert(var.clone(), pc);
+            }
+            Stmt::Append { obj, src } => {
+                let src_label = env.get(src).copied().unwrap_or(Label::PUBLIC);
+                let obj_label = env.get(obj).copied().unwrap_or(Label::PUBLIC);
+                // The one-line transfer function unique ownership buys:
+                // no alias set to update, just this variable's label.
+                env.insert(obj.clone(), obj_label.join(src_label).join(pc));
+            }
+            Stmt::Read { dst, obj } => {
+                let obj_label = env.get(obj).copied().unwrap_or(Label::PUBLIC);
+                env.insert(dst.clone(), obj_label.join(pc));
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                // Implicit flows: both branches execute under a pc raised
+                // by the condition's label.
+                let pc2 = pc.join(expr_label(cond, env));
+                let outer: Vec<Var> = env.keys().cloned().collect();
+                let mut then_env = env.clone();
+                interpret_block(then_branch, &mut then_env, pc2, &format!("{loc}.then"), ctx)?;
+                let mut else_env = env.clone();
+                interpret_block(else_branch, &mut else_env, pc2, &format!("{loc}.else"), ctx)?;
+                // Join the branch states on the variables that survive.
+                for var in outer {
+                    let t = then_env.get(&var).copied().unwrap_or(Label::PUBLIC);
+                    let e = else_env.get(&var).copied().unwrap_or(Label::PUBLIC);
+                    env.insert(var, t.join(e));
+                }
+            }
+            Stmt::While { cond, body } => {
+                // Fixpoint: iterate the body transfer function until the
+                // outer state stabilizes. Violations are suppressed during
+                // warm-up and recorded in one converged pass.
+                let outer: Vec<Var> = env.keys().cloned().collect();
+                let was_recording = ctx.record;
+                ctx.record = false;
+                for _ in 0..130 {
+                    let pc2 = pc.join(expr_label(cond, env));
+                    let mut body_env = env.clone();
+                    interpret_block(body, &mut body_env, pc2, &format!("{loc}.body"), ctx)?;
+                    let mut changed = false;
+                    for var in &outer {
+                        let before = env.get(var).copied().unwrap_or(Label::PUBLIC);
+                        let after = body_env.get(var).copied().unwrap_or(Label::PUBLIC);
+                        let joined = before.join(after);
+                        if joined != before {
+                            env.insert(var.clone(), joined);
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                ctx.record = was_recording;
+                // Converged pass: record violations inside the body once.
+                let pc2 = pc.join(expr_label(cond, env));
+                let mut body_env = env.clone();
+                interpret_block(body, &mut body_env, pc2, &format!("{loc}.body"), ctx)?;
+            }
+            Stmt::Declassify { dst, expr } => {
+                // Robust declassification: the decision to declassify
+                // must itself not be controlled by data outside the
+                // authority; otherwise report it like a leak.
+                if ctx.record && !pc.flows_to(ctx.authority) {
+                    ctx.violations.push(Violation {
+                        loc: loc.clone(),
+                        channel: format!("<declassify {dst}>"),
+                        label: pc,
+                        bound: ctx.authority,
+                    });
+                }
+                // Strip the authority's atoms from the value *as observed
+                // here* — pc influence within the authority is part of
+                // what is being released; anything beyond it survives
+                // (and was flagged above).
+                let observed = expr_label(expr, env).join(pc);
+                let stripped = Label::from_bits(observed.bits() & !ctx.authority.bits());
+                env.insert(dst.clone(), stripped);
+            }
+            Stmt::Output { channel, arg } => {
+                let label = expr_label(arg, env).join(pc);
+                let bound = *ctx
+                    .program
+                    .channels
+                    .get(channel)
+                    .expect("validated program declares its channels");
+                if ctx.record && !label.flows_to(bound) {
+                    ctx.violations.push(Violation {
+                        loc,
+                        channel: channel.clone(),
+                        label,
+                        bound,
+                    });
+                }
+            }
+            Stmt::Call { dst, func, args } => {
+                let callee = ctx
+                    .program
+                    .function(func)
+                    .expect("validated program resolves calls");
+                let mut callee_env: LabelState = callee
+                    .params
+                    .iter()
+                    .zip(args)
+                    .map(|((p, ann), a)| {
+                        let base = expr_label(a, env).join(pc);
+                        (p.clone(), ann.map_or(base, |l| l.join(base)))
+                    })
+                    .collect();
+                let ret = interpret_function(callee, &mut callee_env, pc, ctx)?;
+                if let Some(d) = dst {
+                    env.insert(d.clone(), ret.join(pc));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Function, ProgramBuilder};
+
+    fn v(name: &str) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    fn secret_let(name: &str) -> Stmt {
+        Stmt::Let {
+            var: name.into(),
+            expr: Expr::Const(42),
+            label: Some(Label::SECRET),
+        }
+    }
+
+    fn build(body: Vec<Stmt>) -> Program {
+        ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .channel("vault", Label::SECRET)
+            .main(body)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn public_to_public_is_safe() {
+        let p = build(vec![
+            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
+            Stmt::Output { channel: "term".into(), arg: v("x") },
+        ]);
+        assert!(analyze(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn secret_to_public_violates() {
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::Output { channel: "term".into(), arg: v("s") },
+        ]);
+        let vs = analyze(&p).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].channel, "term");
+        assert_eq!(vs[0].label, Label::SECRET);
+        assert_eq!(vs[0].bound, Label::PUBLIC);
+        assert_eq!(vs[0].loc.0, "main[1]");
+    }
+
+    #[test]
+    fn secret_to_secret_channel_is_safe() {
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::Output { channel: "vault".into(), arg: v("s") },
+        ]);
+        assert!(analyze(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn taint_propagates_through_arithmetic() {
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "y".into(),
+                expr: Expr::bin(BinOp::Add, v("s"), v("x")),
+                label: None,
+            },
+            Stmt::Output { channel: "term".into(), arg: v("y") },
+        ]);
+        assert_eq!(analyze(&p).unwrap().len(), 1);
+    }
+
+    /// The paper's main buffer scenario: append non-secret then secret
+    /// data, printing the buffer leaks (line 16).
+    #[test]
+    fn buffer_becomes_tainted_on_append() {
+        let p = build(vec![
+            Stmt::Alloc { var: "buf".into() },
+            Stmt::Let { var: "nonsec".into(), expr: Expr::VecLit(vec![1, 2, 3]), label: None },
+            secret_let("sec"),
+            Stmt::Append { obj: "buf".into(), src: "nonsec".into() },
+            Stmt::Output { channel: "term".into(), arg: v("buf") }, // still fine here
+            Stmt::Append { obj: "buf".into(), src: "sec".into() },
+            Stmt::Output { channel: "term".into(), arg: v("buf") }, // leaks
+        ]);
+        let vs = analyze(&p).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].loc.0, "main[6]");
+    }
+
+    #[test]
+    fn implicit_flow_through_branch() {
+        // if (secret) { x = 1 } else { x = 0 }; output(term, x)
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::Let { var: "x".into(), expr: Expr::Const(0), label: None },
+            Stmt::If {
+                cond: v("s"),
+                then_branch: vec![Stmt::Assign { var: "x".into(), expr: Expr::Const(1) }],
+                else_branch: vec![],
+            },
+            Stmt::Output { channel: "term".into(), arg: v("x") },
+        ]);
+        let vs = analyze(&p).unwrap();
+        assert_eq!(vs.len(), 1, "implicit flow must be caught");
+    }
+
+    #[test]
+    fn output_inside_secret_branch_is_implicit_leak() {
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::If {
+                cond: v("s"),
+                then_branch: vec![Stmt::Output {
+                    channel: "term".into(),
+                    arg: Expr::Const(1),
+                }],
+                else_branch: vec![],
+            },
+        ]);
+        let vs = analyze(&p).unwrap();
+        assert_eq!(vs.len(), 1, "outputting under a secret pc leaks one bit");
+    }
+
+    #[test]
+    fn branch_join_keeps_untouched_vars_clean() {
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::Let { var: "clean".into(), expr: Expr::Const(7), label: None },
+            Stmt::If {
+                cond: v("s"),
+                then_branch: vec![],
+                else_branch: vec![],
+            },
+            Stmt::Output { channel: "term".into(), arg: v("clean") },
+        ]);
+        assert!(analyze(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn loop_fixpoint_converges_and_taints() {
+        // x starts public; the loop mixes s into x transitively:
+        // while (c) { t = x + s; x = t }
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::Let { var: "x".into(), expr: Expr::Const(0), label: None },
+            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::While {
+                cond: v("c"),
+                body: vec![
+                    Stmt::Let {
+                        var: "t".into(),
+                        expr: Expr::bin(BinOp::Add, v("x"), v("s")),
+                        label: None,
+                    },
+                    Stmt::Assign { var: "x".into(), expr: v("t") },
+                ],
+            },
+            Stmt::Output { channel: "term".into(), arg: v("x") },
+        ]);
+        let vs = analyze(&p).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].loc.0, "main[4]");
+    }
+
+    #[test]
+    fn loop_violations_reported_once() {
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::While {
+                cond: v("c"),
+                body: vec![Stmt::Output { channel: "term".into(), arg: v("s") }],
+            },
+        ]);
+        let vs = analyze(&p).unwrap();
+        assert_eq!(vs.len(), 1, "one report per faulty statement, got {vs:?}");
+    }
+
+    #[test]
+    fn secret_loop_condition_taints_body_writes() {
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::Let { var: "x".into(), expr: Expr::Const(0), label: None },
+            Stmt::While {
+                cond: v("s"),
+                body: vec![Stmt::Assign { var: "x".into(), expr: Expr::Const(1) }],
+            },
+            Stmt::Output { channel: "term".into(), arg: v("x") },
+        ]);
+        assert_eq!(analyze(&p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn calls_propagate_labels_through_return() {
+        let id = Function {
+            name: "id".into(),
+            params: vec![("a".into(), None)],
+            authority: Label::PUBLIC,
+            body: vec![],
+            ret: Some(v("a")),
+        };
+        let p = ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .function(id)
+            .main(vec![
+                secret_let("s"),
+                Stmt::Call { dst: Some("r".into()), func: "id".into(), args: vec![v("s")] },
+                Stmt::Output { channel: "term".into(), arg: v("r") },
+            ])
+            .build()
+            .unwrap();
+        assert_eq!(analyze(&p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn callee_outputs_are_checked() {
+        let leaky = Function {
+            name: "leak".into(),
+            params: vec![("a".into(), None)],
+            authority: Label::PUBLIC,
+            body: vec![Stmt::Output { channel: "term".into(), arg: v("a") }],
+            ret: None,
+        };
+        let p = ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .function(leaky)
+            .main(vec![
+                secret_let("s"),
+                Stmt::Call { dst: None, func: "leak".into(), args: vec![v("s")] },
+            ])
+            .build()
+            .unwrap();
+        let vs = analyze(&p).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].loc.0.starts_with("leak["), "{:?}", vs[0].loc);
+    }
+
+    #[test]
+    fn recursion_is_reported() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![],
+            authority: Label::PUBLIC,
+            body: vec![Stmt::Call { dst: None, func: "f".into(), args: vec![] }],
+            ret: None,
+        };
+        let p = ProgramBuilder::new()
+            .function(f)
+            .main(vec![Stmt::Call { dst: None, func: "f".into(), args: vec![] }])
+            .build()
+            .unwrap();
+        assert_eq!(analyze(&p).unwrap_err(), InterpError::Recursion { func: "f".into() });
+    }
+
+    #[test]
+    fn annotations_on_entry_params() {
+        let p = ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .function(Function {
+                name: "main".into(),
+                params: vec![("input".into(), Some(Label::SECRET))],
+                authority: Label::PUBLIC,
+                body: vec![Stmt::Output { channel: "term".into(), arg: v("input") }],
+                ret: None,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(analyze(&p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn final_state_reflects_labels() {
+        let p = build(vec![
+            secret_let("s"),
+            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
+        ]);
+        let (vs, state) = analyze_with_state(&p).unwrap();
+        assert!(vs.is_empty());
+        assert_eq!(state["s"], Label::SECRET);
+        assert_eq!(state["x"], Label::PUBLIC);
+    }
+
+    #[test]
+    fn violation_display() {
+        let viol = Violation {
+            loc: Loc("main[6]".into()),
+            channel: "term".into(),
+            label: Label::SECRET,
+            bound: Label::PUBLIC,
+        };
+        assert_eq!(
+            viol.to_string(),
+            "main[6]: output of secret data to channel term (bound public)"
+        );
+    }
+}

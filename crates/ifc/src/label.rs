@@ -1,0 +1,196 @@
+//! The security-label lattice.
+//!
+//! A [`Label`] is a finite set of *secrecy atoms*, represented as a
+//! bitmask. Joins are unions: data derived from both `{alice}` and
+//! `{bob}` inputs carries `{alice, bob}`. The flows-to order is subset
+//! inclusion: data may be written to a channel iff the data's atoms are
+//! all covered by the channel's bound.
+//!
+//! The two-point public/secret lattice of the paper's buffer example is
+//! the special case with one atom ([`Label::SECRET`]); the secure data
+//! store uses one atom per client. Sixty-four atoms are enough for every
+//! workload in this reproduction while keeping join/leq single
+//! instructions — the analysis speed claims of E5 are about algorithmic
+//! structure, not lattice bit-width.
+
+use std::fmt;
+
+/// A security label: a set of up to 64 secrecy atoms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Label(u64);
+
+impl Label {
+    /// The bottom of the lattice: public data, writable anywhere.
+    pub const PUBLIC: Label = Label(0);
+
+    /// The conventional single secrecy atom for two-point examples.
+    pub const SECRET: Label = Label(1);
+
+    /// The top of the lattice: joins everything, flows nowhere (except
+    /// a top-bounded channel).
+    pub const TOP: Label = Label(u64::MAX);
+
+    /// The label carrying exactly atom `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 64`.
+    pub const fn atom(n: u32) -> Label {
+        assert!(n < 64, "at most 64 secrecy atoms are supported");
+        Label(1 << n)
+    }
+
+    /// Constructs a label from a raw bitmask.
+    pub const fn from_bits(bits: u64) -> Label {
+        Label(bits)
+    }
+
+    /// The raw bitmask.
+    pub const fn bits(&self) -> u64 {
+        self.0
+    }
+
+    /// The least upper bound: data influenced by both operands.
+    #[inline]
+    pub const fn join(self, other: Label) -> Label {
+        Label(self.0 | other.0)
+    }
+
+    /// The greatest lower bound.
+    #[inline]
+    pub const fn meet(self, other: Label) -> Label {
+        Label(self.0 & other.0)
+    }
+
+    /// The flows-to relation: `self ⊑ bound` iff every atom of `self`
+    /// is permitted by `bound`.
+    #[inline]
+    pub const fn flows_to(self, bound: Label) -> bool {
+        self.0 & !bound.0 == 0
+    }
+
+    /// True for the public (bottom) label.
+    pub const fn is_public(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of atoms in the label.
+    pub const fn atom_count(&self) -> u32 {
+        self.0.count_ones()
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_public() {
+            return write!(f, "public");
+        }
+        if *self == Label::SECRET {
+            return write!(f, "secret");
+        }
+        write!(f, "{{")?;
+        let mut first = true;
+        for n in 0..64 {
+            if self.0 & (1 << n) != 0 {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "a{n}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constants() {
+        assert!(Label::PUBLIC.is_public());
+        assert!(!Label::SECRET.is_public());
+        assert_eq!(Label::SECRET, Label::atom(0));
+        assert_eq!(Label::TOP.atom_count(), 64);
+    }
+
+    #[test]
+    fn flows_to_basics() {
+        let a = Label::atom(1);
+        let b = Label::atom(2);
+        assert!(Label::PUBLIC.flows_to(Label::PUBLIC));
+        assert!(Label::PUBLIC.flows_to(a));
+        assert!(!a.flows_to(Label::PUBLIC));
+        assert!(a.flows_to(a));
+        assert!(!a.flows_to(b));
+        assert!(a.flows_to(a.join(b)));
+        assert!(a.join(b).flows_to(Label::TOP));
+    }
+
+    #[test]
+    fn join_collects_influences() {
+        let ab = Label::atom(1).join(Label::atom(2));
+        assert_eq!(ab.atom_count(), 2);
+        assert!(Label::atom(1).flows_to(ab));
+        assert!(Label::atom(2).flows_to(ab));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", Label::PUBLIC), "public");
+        assert_eq!(format!("{:?}", Label::SECRET), "secret");
+        assert_eq!(format!("{:?}", Label::atom(3).join(Label::atom(5))), "{a3,a5}");
+    }
+
+    #[test]
+    #[should_panic(expected = "64 secrecy atoms")]
+    fn atom_out_of_range() {
+        Label::atom(64);
+    }
+
+    proptest! {
+        /// Join is commutative, associative, idempotent — lattice laws.
+        #[test]
+        fn join_lattice_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            let (a, b, c) = (Label::from_bits(a), Label::from_bits(b), Label::from_bits(c));
+            prop_assert_eq!(a.join(b), b.join(a));
+            prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+            prop_assert_eq!(a.join(a), a);
+            prop_assert_eq!(a.join(Label::PUBLIC), a);
+            prop_assert_eq!(a.join(Label::TOP), Label::TOP);
+        }
+
+        /// Meet laws and absorption.
+        #[test]
+        fn meet_lattice_laws(a in any::<u64>(), b in any::<u64>()) {
+            let (a, b) = (Label::from_bits(a), Label::from_bits(b));
+            prop_assert_eq!(a.meet(b), b.meet(a));
+            prop_assert_eq!(a.meet(a), a);
+            prop_assert_eq!(a.join(a.meet(b)), a);
+            prop_assert_eq!(a.meet(a.join(b)), a);
+        }
+
+        /// flows_to is a partial order consistent with join.
+        #[test]
+        fn flows_to_is_order(a in any::<u64>(), b in any::<u64>()) {
+            let (a, b) = (Label::from_bits(a), Label::from_bits(b));
+            prop_assert!(a.flows_to(a.join(b)));
+            prop_assert!(b.flows_to(a.join(b)));
+            // a ⊑ b and b ⊑ a implies a = b.
+            if a.flows_to(b) && b.flows_to(a) {
+                prop_assert_eq!(a, b);
+            }
+            // Join is the least upper bound: any upper bound contains it.
+            let ub = Label::from_bits(a.bits() | b.bits() | 0xF0F0);
+            prop_assert!(a.join(b).flows_to(ub));
+        }
+    }
+}

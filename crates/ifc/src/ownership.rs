@@ -1,0 +1,440 @@
+//! The ownership (move) checker — the borrow-checker stand-in.
+//!
+//! In Rust mode, heap values are affine: passing a buffer to `append`
+//! consumes it, and binding a heap variable to a new name moves it. This
+//! pass rejects any later use of a moved variable, which is exactly how
+//! the compiler kills the paper's line-17 exploit: "line 17 is rejected
+//! by the compiler, as it attempts to access the nonsec variable, whose
+//! ownership was transferred to the append method in line 14."
+//!
+//! The checker is conservative in the same places Rust is:
+//!
+//! - a variable moved in *either* branch of an `if` is unusable after it;
+//! - a variable defined outside a loop must not be moved inside the body
+//!   (the second iteration would observe it moved).
+
+use crate::ir::{Expr, Function, Loc, Program, Stmt, Var, VarKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ownership violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnershipError {
+    /// The variable used after its value was moved away.
+    pub var: Var,
+    /// Where the offending use is.
+    pub use_loc: Loc,
+    /// Where the value was moved.
+    pub moved_at: Loc,
+}
+
+impl fmt::Display for OwnershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: use of {} after it was moved at {}",
+            self.use_loc, self.var, self.moved_at
+        )
+    }
+}
+
+impl std::error::Error for OwnershipError {}
+
+/// Per-variable ownership state.
+#[derive(Debug, Clone, PartialEq)]
+enum Own {
+    /// Scalar: copyable, never moves.
+    Scalar,
+    /// Heap value, currently owned here.
+    Live,
+    /// Heap value moved away at the recorded location.
+    Moved(Loc),
+}
+
+/// Checks every function of the program; returns all violations (empty =
+/// ownership-clean).
+///
+/// The program must already validate (see [`Program::validate`]).
+pub fn check_program(program: &Program) -> Vec<OwnershipError> {
+    let mut errors = Vec::new();
+    for f in &program.functions {
+        check_function(f, &mut errors);
+    }
+    errors
+}
+
+fn check_function(f: &Function, errors: &mut Vec<OwnershipError>) {
+    let mut env: BTreeMap<Var, Own> = BTreeMap::new();
+    for (p, _) in &f.params {
+        env.insert(p.clone(), Own::Scalar);
+    }
+    check_block(&f.body, &mut env, &f.name, errors);
+    if let Some(ret) = &f.ret {
+        let loc = Loc(format!("{}.ret", f.name));
+        use_expr(ret, &env, &loc, errors);
+    }
+}
+
+fn kind_of_expr(e: &Expr, env: &BTreeMap<Var, Own>) -> VarKind {
+    match e {
+        Expr::Const(_) | Expr::Bin(..) => VarKind::Scalar,
+        Expr::VecLit(_) => VarKind::Heap,
+        Expr::Var(v) => match env.get(v) {
+            Some(Own::Scalar) => VarKind::Scalar,
+            _ => VarKind::Heap,
+        },
+    }
+}
+
+/// Records a *read* (borrow/copy) of every variable in `e`.
+fn use_expr(e: &Expr, env: &BTreeMap<Var, Own>, loc: &Loc, errors: &mut Vec<OwnershipError>) {
+    for v in e.vars() {
+        if let Some(Own::Moved(moved_at)) = env.get(v) {
+            errors.push(OwnershipError {
+                var: v.to_string(),
+                use_loc: loc.clone(),
+                moved_at: moved_at.clone(),
+            });
+        }
+    }
+}
+
+/// Records a *move* of `v` if it is a live heap value; reading a moved
+/// value is reported as an error.
+fn move_var(v: &Var, env: &mut BTreeMap<Var, Own>, loc: &Loc, errors: &mut Vec<OwnershipError>) {
+    match env.get(v) {
+        Some(Own::Live) => {
+            env.insert(v.clone(), Own::Moved(loc.clone()));
+        }
+        Some(Own::Moved(moved_at)) => {
+            errors.push(OwnershipError {
+                var: v.clone(),
+                use_loc: loc.clone(),
+                moved_at: moved_at.clone(),
+            });
+        }
+        // Scalars copy; undefined vars were caught by validation.
+        Some(Own::Scalar) | None => {}
+    }
+}
+
+fn check_block(
+    stmts: &[Stmt],
+    env: &mut BTreeMap<Var, Own>,
+    path: &str,
+    errors: &mut Vec<OwnershipError>,
+) {
+    for (i, s) in stmts.iter().enumerate() {
+        let loc = Loc(format!("{path}[{i}]"));
+        match s {
+            Stmt::Let { var, expr, .. } => {
+                use_expr_shallow(expr, env, &loc, errors);
+                // A heap RHS that is a bare variable moves it.
+                if let Expr::Var(src) = expr {
+                    if kind_of_expr(expr, env) == VarKind::Heap {
+                        move_var(src, env, &loc, errors);
+                    }
+                }
+                let own = match kind_of_expr(expr, env) {
+                    VarKind::Scalar => Own::Scalar,
+                    VarKind::Heap => Own::Live,
+                };
+                env.insert(var.clone(), own);
+            }
+            Stmt::Assign { var, expr } => {
+                use_expr_shallow(expr, env, &loc, errors);
+                if let Expr::Var(src) = expr {
+                    if kind_of_expr(expr, env) == VarKind::Heap {
+                        move_var(src, env, &loc, errors);
+                    }
+                }
+                // Reassignment makes the target live again (the old value
+                // is dropped).
+                if matches!(env.get(var), Some(Own::Moved(_)) | Some(Own::Live)) {
+                    env.insert(var.clone(), Own::Live);
+                }
+            }
+            Stmt::Alloc { var } => {
+                env.insert(var.clone(), Own::Live);
+            }
+            Stmt::Append { obj, src } => {
+                // `obj` is borrowed mutably: must not be moved.
+                if let Some(Own::Moved(moved_at)) = env.get(obj) {
+                    errors.push(OwnershipError {
+                        var: obj.clone(),
+                        use_loc: loc.clone(),
+                        moved_at: moved_at.clone(),
+                    });
+                }
+                // `src` is consumed (the paper's `append` takes `mut v` by
+                // value) — scalars copy, heap values move.
+                move_var(src, env, &loc, errors);
+            }
+            Stmt::Read { dst, obj } => {
+                if let Some(Own::Moved(moved_at)) = env.get(obj) {
+                    errors.push(OwnershipError {
+                        var: obj.clone(),
+                        use_loc: loc.clone(),
+                        moved_at: moved_at.clone(),
+                    });
+                }
+                env.insert(dst.clone(), Own::Scalar);
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                use_expr(cond, env, &loc, errors);
+                let outer: Vec<Var> = env.keys().cloned().collect();
+                let mut then_env = env.clone();
+                check_block(then_branch, &mut then_env, &format!("{loc}.then"), errors);
+                let mut else_env = env.clone();
+                check_block(else_branch, &mut else_env, &format!("{loc}.else"), errors);
+                // A variable moved on either path is moved afterwards.
+                for var in outer {
+                    let moved = [&then_env, &else_env]
+                        .iter()
+                        .find_map(|e| match e.get(&var) {
+                            Some(Own::Moved(at)) => Some(at.clone()),
+                            _ => None,
+                        });
+                    if let Some(at) = moved {
+                        env.insert(var, Own::Moved(at));
+                    }
+                }
+            }
+            Stmt::While { cond, body } => {
+                use_expr(cond, env, &loc, errors);
+                let outer: Vec<Var> = env.keys().cloned().collect();
+                let mut body_env = env.clone();
+                check_block(body, &mut body_env, &format!("{loc}.body"), errors);
+                // Moving an outer variable inside a loop body is an error
+                // in its own right: iteration two would use a moved value.
+                for var in outer {
+                    if let Some(Own::Moved(at)) = body_env.get(&var) {
+                        errors.push(OwnershipError {
+                            var: var.clone(),
+                            use_loc: Loc(format!("{loc}.body")),
+                            moved_at: at.clone(),
+                        });
+                        env.insert(var, Own::Moved(at.clone()));
+                    }
+                }
+            }
+            Stmt::Declassify { dst, expr } => {
+                use_expr(expr, env, &loc, errors);
+                env.insert(dst.clone(), Own::Scalar);
+            }
+            Stmt::Output { arg, .. } => {
+                // Output borrows its argument (like println!), so using a
+                // moved variable here is the paper's line-16/17 error.
+                use_expr(arg, env, &loc, errors);
+            }
+            Stmt::Call { dst, args, .. } => {
+                for a in args {
+                    use_expr(a, env, &loc, errors);
+                }
+                if let Some(d) = dst {
+                    env.insert(d.clone(), Own::Scalar);
+                }
+            }
+        }
+    }
+}
+
+/// Like [`use_expr`] but skips a bare `Var` at the top level — those are
+/// handled by the caller as moves (for heap) or copies (for scalars).
+fn use_expr_shallow(
+    e: &Expr,
+    env: &BTreeMap<Var, Own>,
+    loc: &Loc,
+    errors: &mut Vec<OwnershipError>,
+) {
+    match e {
+        Expr::Var(_) => { /* handled by the caller */ }
+        other => use_expr(other, env, loc, errors),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, ProgramBuilder};
+    use crate::label::Label;
+
+    fn v(name: &str) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    fn check(body: Vec<Stmt>) -> Vec<OwnershipError> {
+        let p = ProgramBuilder::new()
+            .channel("term", Label::PUBLIC)
+            .main(body)
+            .build()
+            .unwrap();
+        check_program(&p)
+    }
+
+    #[test]
+    fn scalars_copy_freely() {
+        let errs = check(vec![
+            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let { var: "y".into(), expr: v("x"), label: None },
+            Stmt::Output { channel: "term".into(), arg: v("x") },
+            Stmt::Output { channel: "term".into(), arg: v("y") },
+        ]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    /// The paper's intro example: `take(v1)` then `println!(v1)` errors,
+    /// `borrow(&v2)` then `println!(v2)` is fine. Our `append` plays the
+    /// role of `take`, `output` the role of the borrowing `println!`.
+    #[test]
+    fn use_after_move_detected() {
+        let errs = check(vec![
+            Stmt::Alloc { var: "sink".into() },
+            Stmt::Let { var: "v1".into(), expr: Expr::VecLit(vec![1, 2, 3]), label: None },
+            Stmt::Append { obj: "sink".into(), src: "v1".into() }, // take(v1)
+            Stmt::Output { channel: "term".into(), arg: v("v1") }, // ERROR
+        ]);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].var, "v1");
+        assert_eq!(errs[0].use_loc.0, "main[3]");
+        assert_eq!(errs[0].moved_at.0, "main[2]");
+    }
+
+    #[test]
+    fn borrow_in_output_is_fine() {
+        let errs = check(vec![
+            Stmt::Let { var: "v2".into(), expr: Expr::VecLit(vec![1]), label: None },
+            Stmt::Output { channel: "term".into(), arg: v("v2") },
+            Stmt::Output { channel: "term".into(), arg: v("v2") },
+        ]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn rebind_moves_heap_value() {
+        let errs = check(vec![
+            Stmt::Let { var: "a".into(), expr: Expr::VecLit(vec![1]), label: None },
+            Stmt::Let { var: "b".into(), expr: v("a"), label: None },
+            Stmt::Output { channel: "term".into(), arg: v("a") },
+        ]);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].var, "a");
+    }
+
+    #[test]
+    fn double_move_detected() {
+        let errs = check(vec![
+            Stmt::Alloc { var: "s1".into() },
+            Stmt::Alloc { var: "s2".into() },
+            Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
+            Stmt::Append { obj: "s1".into(), src: "x".into() },
+            Stmt::Append { obj: "s2".into(), src: "x".into() },
+        ]);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].use_loc.0, "main[4]");
+    }
+
+    #[test]
+    fn move_in_one_branch_poisons_after() {
+        let errs = check(vec![
+            Stmt::Alloc { var: "sink".into() },
+            Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
+            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::If {
+                cond: v("c"),
+                then_branch: vec![Stmt::Append { obj: "sink".into(), src: "x".into() }],
+                else_branch: vec![],
+            },
+            Stmt::Output { channel: "term".into(), arg: v("x") },
+        ]);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].var, "x");
+        assert_eq!(errs[0].use_loc.0, "main[4]");
+    }
+
+    #[test]
+    fn move_in_loop_body_of_outer_var_detected() {
+        let errs = check(vec![
+            Stmt::Alloc { var: "sink".into() },
+            Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
+            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::While {
+                cond: v("c"),
+                body: vec![Stmt::Append { obj: "sink".into(), src: "x".into() }],
+            },
+        ]);
+        assert_eq!(errs.len(), 1, "{errs:?}");
+        assert_eq!(errs[0].var, "x");
+    }
+
+    #[test]
+    fn loop_local_moves_are_fine() {
+        let errs = check(vec![
+            Stmt::Alloc { var: "sink".into() },
+            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::While {
+                cond: v("c"),
+                body: vec![
+                    Stmt::Let { var: "tmp".into(), expr: Expr::VecLit(vec![1]), label: None },
+                    Stmt::Append { obj: "sink".into(), src: "tmp".into() },
+                ],
+            },
+        ]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn reassignment_revives_variable() {
+        let errs = check(vec![
+            Stmt::Alloc { var: "sink".into() },
+            Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
+            Stmt::Append { obj: "sink".into(), src: "x".into() },
+            Stmt::Assign { var: "x".into(), expr: Expr::VecLit(vec![2]) },
+            Stmt::Output { channel: "term".into(), arg: v("x") },
+        ]);
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn append_into_moved_buffer_detected() {
+        let errs = check(vec![
+            Stmt::Alloc { var: "a".into() },
+            Stmt::Alloc { var: "b".into() },
+            Stmt::Let { var: "x".into(), expr: v("a"), label: None }, // moves a
+            Stmt::Let { var: "y".into(), expr: Expr::VecLit(vec![1]), label: None },
+            Stmt::Append { obj: "a".into(), src: "y".into() }, // ERROR: a moved
+        ]);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].var, "a");
+        // b and x untouched
+        let _ = errs;
+    }
+
+    #[test]
+    fn scalar_args_never_move() {
+        let errs = check(vec![
+            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "y".into(),
+                expr: Expr::bin(BinOp::Add, v("x"), v("x")),
+                label: None,
+            },
+            Stmt::Output { channel: "term".into(), arg: v("x") },
+            Stmt::Output { channel: "term".into(), arg: v("y") },
+        ]);
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = OwnershipError {
+            var: "nonsec".into(),
+            use_loc: Loc("main[8]".into()),
+            moved_at: Loc("main[5]".into()),
+        };
+        assert_eq!(
+            e.to_string(),
+            "main[8]: use of nonsec after it was moved at main[5]"
+        );
+    }
+}

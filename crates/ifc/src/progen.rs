@@ -1,0 +1,239 @@
+//! Synthetic program families for the scaling experiments (E5).
+//!
+//! Each generator is deterministic in its size parameter and comes with
+//! a known ground truth (expected violation count), so the experiment can
+//! check correctness while measuring cost:
+//!
+//! - [`straightline`]: linear programs — the baseline cost of a pass;
+//! - [`call_diamond`]: a call DAG where every function calls the next
+//!   level **twice**. Monolithic inlining re-analyzes the shared callee
+//!   exponentially often; summaries analyze each function once —
+//!   the paper's compositional-reasoning speedup, made measurable;
+//! - [`alias_chain`]: buffers that successively adopt each other,
+//!   producing quadratically many points-to facts for the Andersen
+//!   baseline while move-mode analysis stays linear;
+//! - [`rebind_churn`]: repeated rebinding that is perfectly safe, on
+//!   which the flow-insensitive alias baseline reports false positives.
+
+use crate::ir::{Expr, Function, Program, ProgramBuilder, Stmt};
+use crate::label::Label;
+
+fn v(name: &str) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// A straight-line program with `n` scalar statements; every 10th value
+/// is secret and sent to the vault channel (never leaks). Ground truth:
+/// zero violations.
+pub fn straightline(n: usize) -> Program {
+    let mut body = Vec::with_capacity(n + 1);
+    body.push(Stmt::Let { var: "acc".into(), expr: Expr::Const(0), label: None });
+    for i in 0..n {
+        let var = format!("x{i}");
+        let label = (i % 10 == 9).then_some(Label::SECRET);
+        body.push(Stmt::Let { var: var.clone(), expr: Expr::Const(i as i64), label });
+        if i % 10 == 9 {
+            body.push(Stmt::Output { channel: "vault".into(), arg: v(&var) });
+        } else {
+            body.push(Stmt::Assign {
+                var: "acc".into(),
+                expr: Expr::bin(crate::ir::BinOp::Add, v("acc"), v(&var)),
+            });
+        }
+    }
+    body.push(Stmt::Output { channel: "term".into(), arg: v("acc") });
+    ProgramBuilder::new()
+        .channel("term", Label::PUBLIC)
+        .channel("vault", Label::SECRET)
+        .main(body)
+        .build()
+        .expect("generated straightline program is valid")
+}
+
+/// A diamond-shaped call DAG of the given `depth`: `f0` calls `f1`
+/// twice, `f1` calls `f2` twice, ... The deepest function returns its
+/// argument; `main` feeds a secret in and leaks the result. Ground
+/// truth: exactly one violation.
+///
+/// Monolithic inlining visits `f_depth` 2^depth times; summary-based
+/// analysis visits every function once.
+pub fn call_diamond(depth: usize) -> Program {
+    assert!(depth >= 1, "diamond needs at least one level");
+    let mut b = ProgramBuilder::new()
+        .channel("term", Label::PUBLIC)
+        .channel("vault", Label::SECRET);
+    // Leaf: identity.
+    b = b.function(Function {
+        name: format!("f{depth}"),
+        params: vec![("x".into(), None)],
+        authority: Label::PUBLIC,
+        body: vec![],
+        ret: Some(v("x")),
+    });
+    // Interior levels: two calls to the next level.
+    for i in (0..depth).rev() {
+        let next = format!("f{}", i + 1);
+        b = b.function(Function {
+            name: format!("f{i}"),
+            params: vec![("x".into(), None)],
+            authority: Label::PUBLIC,
+            body: vec![
+                Stmt::Call { dst: Some("a".into()), func: next.clone(), args: vec![v("x")] },
+                Stmt::Call { dst: Some("b".into()), func: next, args: vec![v("a")] },
+            ],
+            ret: Some(Expr::bin(crate::ir::BinOp::Add, v("a"), v("b"))),
+        });
+    }
+    b.main(vec![
+        Stmt::Let { var: "s".into(), expr: Expr::Const(1), label: Some(Label::SECRET) },
+        Stmt::Call { dst: Some("r".into()), func: "f0".into(), args: vec![v("s")] },
+        Stmt::Output { channel: "term".into(), arg: v("r") }, // the one leak
+    ])
+    .build()
+    .expect("generated diamond program is valid")
+}
+
+/// `n` buffers where buffer `i+1` absorbs buffer `i` (a chain), then one
+/// secret append at the tail and a public output of the tail. Ground
+/// truth: one violation, found by *both* pipelines — but the aliasing
+/// baseline additionally pays for a points-to relation that grows
+/// quadratically along the chain (under aliasing semantics, `b_{i+1}`
+/// may alias every earlier buffer), while the move-mode analysis never
+/// materializes any such relation. This program is legal Rust: each
+/// buffer is moved exactly once and never used afterwards.
+pub fn alias_chain(n: usize) -> Program {
+    assert!(n >= 2, "a chain needs at least two buffers");
+    let mut body = Vec::new();
+    for i in 0..n {
+        body.push(Stmt::Alloc { var: format!("b{i}") });
+    }
+    // Chain adoptions: b1 adopts b0, b2 adopts b1, ...
+    for i in 1..n {
+        body.push(Stmt::Append { obj: format!("b{i}"), src: format!("b{}", i - 1) });
+    }
+    body.push(Stmt::Let {
+        var: "sec".into(),
+        expr: Expr::VecLit(vec![42]),
+        label: Some(Label::SECRET),
+    });
+    body.push(Stmt::Append { obj: format!("b{}", n - 1), src: "sec".into() });
+    body.push(Stmt::Output { channel: "term".into(), arg: v(&format!("b{}", n - 1)) });
+    ProgramBuilder::new()
+        .channel("term", Label::PUBLIC)
+        .main(body)
+        .build()
+        .expect("generated alias chain is valid")
+}
+
+/// `n` rounds of: bind a buffer, taint it with a secret, *rebind* the
+/// variable to a fresh public buffer, output it. Ground truth: zero
+/// violations (each output prints a fresh public buffer) — but the
+/// flow-insensitive alias baseline conflates the bindings and reports
+/// `n` false positives.
+pub fn rebind_churn(n: usize) -> Program {
+    assert!(n >= 1);
+    let mut body = Vec::new();
+    body.push(Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![0]), label: None });
+    for i in 0..n {
+        body.push(Stmt::Let {
+            var: format!("sec{i}"),
+            expr: Expr::VecLit(vec![i as i64]),
+            label: Some(Label::SECRET),
+        });
+        body.push(Stmt::Append { obj: "x".into(), src: format!("sec{i}") });
+        // Rebind to a fresh public buffer and print that.
+        body.push(Stmt::Assign { var: "x".into(), expr: Expr::VecLit(vec![i as i64]) });
+        body.push(Stmt::Output { channel: "term".into(), arg: v("x") });
+    }
+    ProgramBuilder::new()
+        .channel("term", Label::PUBLIC)
+        .main(body)
+        .build()
+        .expect("generated rebind churn is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alias;
+    use crate::interp;
+    use crate::ownership;
+    use crate::summary;
+    use crate::verify::{self, Verdict};
+
+    #[test]
+    fn straightline_ground_truth() {
+        for n in [1, 10, 100] {
+            let p = straightline(n);
+            assert!(verify::verify(&p).is_safe(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn straightline_scales_statement_count() {
+        assert!(straightline(100).stmt_count() > straightline(10).stmt_count());
+    }
+
+    #[test]
+    fn diamond_ground_truth_both_analyses() {
+        for depth in [1, 3, 6] {
+            let p = call_diamond(depth);
+            let mono = interp::analyze(&p).unwrap();
+            assert_eq!(mono.len(), 1, "depth={depth}");
+            let comp = summary::analyze_with_summaries(&p).unwrap();
+            assert_eq!(comp.len(), 1, "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn diamond_summary_table_is_linear_in_depth() {
+        let p = call_diamond(8);
+        let t = summary::SummaryTable::build(&p).unwrap();
+        assert_eq!(t.len(), 10); // f0..f8 + main
+    }
+
+    #[test]
+    fn alias_chain_is_legal_rust_and_leaky() {
+        // Each buffer is moved exactly once (into its successor) and
+        // never touched again, so ownership is clean; the secret append
+        // at the tail then leaks through the final output.
+        let p = alias_chain(4);
+        let Verdict::Leaky(vs) = verify::verify(&p) else {
+            panic!("expected the tail output to leak: {:?}", verify::verify(&p));
+        };
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn alias_chain_caught_by_alias_analysis() {
+        let p = alias_chain(6);
+        let (violations, stats) = alias::analyze_alias(&p);
+        assert_eq!(violations.len(), 1);
+        // Quadratic-ish points-to growth along the chain.
+        assert!(stats.pts_edges >= 6 + 5, "edges = {}", stats.pts_edges);
+    }
+
+    #[test]
+    fn alias_chain_pts_grows_quadratically() {
+        let small = alias::analyze_alias(&alias_chain(8)).1;
+        let large = alias::analyze_alias(&alias_chain(16)).1;
+        // Doubling the chain should much-more-than-double the edges.
+        assert!(
+            large.pts_edges as f64 > 3.0 * small.pts_edges as f64,
+            "small={} large={}",
+            small.pts_edges,
+            large.pts_edges
+        );
+    }
+
+    #[test]
+    fn rebind_churn_precision_gap() {
+        let p = rebind_churn(5);
+        // Ground truth: safe. Move-mode analysis agrees.
+        assert!(ownership::check_program(&p).is_empty());
+        assert!(interp::analyze(&p).unwrap().is_empty());
+        // The alias baseline reports n false positives.
+        let (fps, _) = alias::analyze_alias(&p);
+        assert_eq!(fps.len(), 5, "expected one false positive per round");
+    }
+}

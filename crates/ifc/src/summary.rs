@@ -1,0 +1,584 @@
+//! Compositional analysis via function summaries.
+//!
+//! "Further improvements can be achieved through compositional reasoning:
+//! in the absence of aliasing, the effect of every function on security
+//! labels is confined to its input arguments and can be summarized by
+//! analyzing the code of the function in isolation from the rest of the
+//! program." (§4)
+//!
+//! A [`Summary`] records, for one function analyzed *once* in isolation:
+//!
+//! - which parameters the return value depends on (plus any constant
+//!   label picked up from annotations inside the function), and
+//! - for every output statement reachable in the function (directly or
+//!   through callees), which parameters flow into it and to which
+//!   channel.
+//!
+//! The abstract value here is a [`SymLabel`]: a concrete label component
+//! joined with a parameter-dependency bitmask. Instantiating a summary at
+//! a call site substitutes the caller's argument labels into the mask —
+//! no re-analysis of the callee. The whole-program verdict is then just
+//! the instantiation of `main`'s summary, and a differential test checks
+//! it agrees with the monolithic interpreter of [`crate::interp`].
+
+use crate::interp::Violation;
+use crate::ir::{Expr, Function, Loc, Program, Stmt, Var};
+use crate::label::Label;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The summarization abstract value: a concrete label joined with a set
+/// of parameter dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SymLabel {
+    /// Labels from annotations and other non-parametric sources.
+    pub concrete: Label,
+    /// Bit `i` set ⇔ the value depends on parameter `i`.
+    pub deps: u64,
+}
+
+impl SymLabel {
+    /// The public, dependency-free bottom.
+    pub const BOTTOM: SymLabel = SymLabel {
+        concrete: Label::PUBLIC,
+        deps: 0,
+    };
+
+    /// A value that is exactly parameter `i`.
+    pub fn param(i: usize) -> SymLabel {
+        assert!(i < 64, "at most 64 parameters are summarizable");
+        SymLabel {
+            concrete: Label::PUBLIC,
+            deps: 1 << i,
+        }
+    }
+
+    /// A constant concrete label.
+    pub fn concrete(label: Label) -> SymLabel {
+        SymLabel {
+            concrete: label,
+            deps: 0,
+        }
+    }
+
+    /// Pointwise join.
+    pub fn join(self, other: SymLabel) -> SymLabel {
+        SymLabel {
+            concrete: self.concrete.join(other.concrete),
+            deps: self.deps | other.deps,
+        }
+    }
+
+    /// Substitutes actual argument labels for parameter dependencies.
+    pub fn instantiate(&self, args: &[Label]) -> Label {
+        let mut out = self.concrete;
+        for (i, &a) in args.iter().enumerate() {
+            if self.deps & (1 << i) != 0 {
+                out = out.join(a);
+            }
+        }
+        out
+    }
+}
+
+/// One potentially-leaking output site inside a summarized function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputSite {
+    /// The channel written to.
+    pub channel: String,
+    /// What flows there.
+    pub label: SymLabel,
+    /// Where (callee-relative path).
+    pub loc: Loc,
+}
+
+/// The label behaviour of one function, computed once.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Summary {
+    /// The return value's label as a function of the parameters.
+    pub ret: SymLabel,
+    /// All reachable output statements (including those in callees,
+    /// already instantiated into this function's parameter space).
+    pub outputs: Vec<OutputSite>,
+}
+
+/// Errors from summary construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SummaryError {
+    /// The call graph is recursive.
+    Recursion {
+        /// A function on the cycle.
+        func: String,
+    },
+    /// A function has more parameters than the dependency mask holds.
+    TooManyParams {
+        /// The offending function.
+        func: String,
+    },
+}
+
+impl fmt::Display for SummaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SummaryError::Recursion { func } => {
+                write!(f, "recursive call chain through {func}")
+            }
+            SummaryError::TooManyParams { func } => {
+                write!(f, "{func} has more than 64 parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SummaryError {}
+
+/// All function summaries of a program.
+#[derive(Debug, Default)]
+pub struct SummaryTable {
+    summaries: BTreeMap<String, Summary>,
+}
+
+impl SummaryTable {
+    /// Builds summaries bottom-up over the call graph.
+    pub fn build(program: &Program) -> Result<SummaryTable, SummaryError> {
+        let mut table = SummaryTable::default();
+        let mut in_progress: Vec<String> = Vec::new();
+        for f in &program.functions {
+            build_one(program, f, &mut table, &mut in_progress)?;
+        }
+        Ok(table)
+    }
+
+    /// The summary for `func`, if present.
+    pub fn get(&self, func: &str) -> Option<&Summary> {
+        self.summaries.get(func)
+    }
+
+    /// Number of summarized functions.
+    pub fn len(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// True when no function has been summarized.
+    pub fn is_empty(&self) -> bool {
+        self.summaries.is_empty()
+    }
+}
+
+fn build_one(
+    program: &Program,
+    f: &Function,
+    table: &mut SummaryTable,
+    in_progress: &mut Vec<String>,
+) -> Result<(), SummaryError> {
+    if table.summaries.contains_key(&f.name) {
+        return Ok(());
+    }
+    if in_progress.contains(&f.name) {
+        return Err(SummaryError::Recursion { func: f.name.clone() });
+    }
+    if f.params.len() > 64 {
+        return Err(SummaryError::TooManyParams { func: f.name.clone() });
+    }
+    in_progress.push(f.name.clone());
+    // Summarize callees first (bottom-up).
+    collect_callees(&f.body, program, table, in_progress)?;
+
+    let mut env: BTreeMap<Var, SymLabel> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, (p, ann))| {
+            let base = SymLabel::param(i);
+            let with_ann = ann.map_or(base, |l| base.join(SymLabel::concrete(l)));
+            (p.clone(), with_ann)
+        })
+        .collect();
+    let mut outputs = Vec::new();
+    sym_block(
+        &f.body,
+        &mut env,
+        SymLabel::BOTTOM,
+        &f.name,
+        table,
+        f.authority,
+        &mut outputs,
+        true,
+    );
+    let ret = f
+        .ret
+        .as_ref()
+        .map(|e| sym_expr(e, &env))
+        .unwrap_or(SymLabel::BOTTOM);
+    in_progress.pop();
+    table.summaries.insert(f.name.clone(), Summary { ret, outputs });
+    Ok(())
+}
+
+fn collect_callees(
+    stmts: &[Stmt],
+    program: &Program,
+    table: &mut SummaryTable,
+    in_progress: &mut Vec<String>,
+) -> Result<(), SummaryError> {
+    for s in stmts {
+        match s {
+            Stmt::Call { func, .. } => {
+                let callee = program.function(func).expect("validated program");
+                build_one(program, callee, table, in_progress)?;
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect_callees(then_branch, program, table, in_progress)?;
+                collect_callees(else_branch, program, table, in_progress)?;
+            }
+            Stmt::While { body, .. } => {
+                collect_callees(body, program, table, in_progress)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn sym_expr(e: &Expr, env: &BTreeMap<Var, SymLabel>) -> SymLabel {
+    match e {
+        Expr::Const(_) | Expr::VecLit(_) => SymLabel::BOTTOM,
+        Expr::Var(v) => env.get(v).copied().unwrap_or(SymLabel::BOTTOM),
+        Expr::Bin(_, l, r) => sym_expr(l, env).join(sym_expr(r, env)),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sym_block(
+    stmts: &[Stmt],
+    env: &mut BTreeMap<Var, SymLabel>,
+    pc: SymLabel,
+    path: &str,
+    table: &SummaryTable,
+    authority: Label,
+    outputs: &mut Vec<OutputSite>,
+    record: bool,
+) {
+    for (i, s) in stmts.iter().enumerate() {
+        let loc = Loc(format!("{path}[{i}]"));
+        match s {
+            Stmt::Let { var, expr, label } => {
+                let computed = sym_expr(expr, env);
+                let l = label.map_or(computed, |ann| computed.join(SymLabel::concrete(ann)));
+                env.insert(var.clone(), l.join(pc));
+            }
+            Stmt::Assign { var, expr } => {
+                env.insert(var.clone(), sym_expr(expr, env).join(pc));
+            }
+            Stmt::Alloc { var } => {
+                env.insert(var.clone(), pc);
+            }
+            Stmt::Append { obj, src } => {
+                let s_l = env.get(src).copied().unwrap_or(SymLabel::BOTTOM);
+                let o_l = env.get(obj).copied().unwrap_or(SymLabel::BOTTOM);
+                env.insert(obj.clone(), o_l.join(s_l).join(pc));
+            }
+            Stmt::Read { dst, obj } => {
+                let l = env.get(obj).copied().unwrap_or(SymLabel::BOTTOM);
+                env.insert(dst.clone(), l.join(pc));
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let pc2 = pc.join(sym_expr(cond, env));
+                let outer: Vec<Var> = env.keys().cloned().collect();
+                let mut t = env.clone();
+                sym_block(then_branch, &mut t, pc2, &format!("{loc}.then"), table, authority, outputs, record);
+                let mut e = env.clone();
+                sym_block(else_branch, &mut e, pc2, &format!("{loc}.else"), table, authority, outputs, record);
+                for var in outer {
+                    let tl = t.get(&var).copied().unwrap_or(SymLabel::BOTTOM);
+                    let el = e.get(&var).copied().unwrap_or(SymLabel::BOTTOM);
+                    env.insert(var, tl.join(el));
+                }
+            }
+            Stmt::While { cond, body } => {
+                let outer: Vec<Var> = env.keys().cloned().collect();
+                for _ in 0..200 {
+                    let pc2 = pc.join(sym_expr(cond, env));
+                    let mut body_env = env.clone();
+                    let mut scratch = Vec::new();
+                    sym_block(body, &mut body_env, pc2, &format!("{loc}.body"), table, authority, &mut scratch, false);
+                    let mut changed = false;
+                    for var in &outer {
+                        let before = env.get(var).copied().unwrap_or(SymLabel::BOTTOM);
+                        let after = body_env.get(var).copied().unwrap_or(SymLabel::BOTTOM);
+                        let joined = before.join(after);
+                        if joined != before {
+                            env.insert(var.clone(), joined);
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                let pc2 = pc.join(sym_expr(cond, env));
+                let mut body_env = env.clone();
+                sym_block(body, &mut body_env, pc2, &format!("{loc}.body"), table, authority, outputs, record);
+            }
+            Stmt::Declassify { dst, expr } => {
+                // Conservative: strip authority atoms from the concrete
+                // component; parameter dependencies cannot be stripped at
+                // summary time (their labels are unknown), so they stay.
+                let raw = sym_expr(expr, env);
+                let stripped = SymLabel {
+                    concrete: Label::from_bits(raw.concrete.bits() & !authority.bits()),
+                    deps: raw.deps,
+                };
+                env.insert(dst.clone(), stripped.join(pc));
+            }
+            Stmt::Output { channel, arg } => {
+                if record {
+                    outputs.push(OutputSite {
+                        channel: channel.clone(),
+                        label: sym_expr(arg, env).join(pc),
+                        loc,
+                    });
+                }
+            }
+            Stmt::Call { dst, func, args } => {
+                // Apply the callee's summary — the whole point: no
+                // re-analysis, just substitution.
+                let summary = table.get(func).expect("callees summarized bottom-up");
+                let arg_labels: Vec<SymLabel> =
+                    args.iter().map(|a| sym_expr(a, env).join(pc)).collect();
+                if record {
+                    for site in &summary.outputs {
+                        outputs.push(OutputSite {
+                            channel: site.channel.clone(),
+                            label: instantiate_sym(site.label, &arg_labels).join(pc),
+                            loc: Loc(format!("{loc}->{}", site.loc)),
+                        });
+                    }
+                }
+                if let Some(d) = dst {
+                    let ret = instantiate_sym(summary.ret, &arg_labels).join(pc);
+                    env.insert(d.clone(), ret);
+                }
+            }
+        }
+    }
+}
+
+/// Substitutes caller-side symbolic argument labels into a callee-side
+/// symbolic label.
+fn instantiate_sym(l: SymLabel, args: &[SymLabel]) -> SymLabel {
+    let mut out = SymLabel::concrete(l.concrete);
+    for (i, &a) in args.iter().enumerate() {
+        if l.deps & (1 << i) != 0 {
+            out = out.join(a);
+        }
+    }
+    out
+}
+
+/// Whole-program verification by summary instantiation: builds all
+/// summaries, then instantiates `main`'s with its annotated entry labels.
+pub fn analyze_with_summaries(program: &Program) -> Result<Vec<Violation>, SummaryError> {
+    let table = SummaryTable::build(program)?;
+    let main = program.function("main").expect("validated program has main");
+    let entry: Vec<Label> = main
+        .params
+        .iter()
+        .map(|(_, l)| l.unwrap_or(Label::PUBLIC))
+        .collect();
+    let summary = table.get("main").expect("main was summarized");
+    let mut violations = Vec::new();
+    for site in &summary.outputs {
+        let label = site.label.instantiate(&entry);
+        let bound = *program
+            .channels
+            .get(&site.channel)
+            .expect("validated program declares its channels");
+        if !label.flows_to(bound) {
+            violations.push(Violation {
+                loc: site.loc.clone(),
+                channel: site.channel.clone(),
+                label,
+                bound,
+            });
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use crate::parse::parse;
+
+    #[test]
+    fn sym_label_algebra() {
+        let p0 = SymLabel::param(0);
+        let p1 = SymLabel::param(1);
+        let c = SymLabel::concrete(Label::SECRET);
+        let j = p0.join(p1).join(c);
+        assert_eq!(j.deps, 0b11);
+        assert_eq!(j.concrete, Label::SECRET);
+        assert_eq!(j.join(j), j, "join is idempotent");
+        // Instantiation substitutes argument labels.
+        let l = j.instantiate(&[Label::atom(5), Label::PUBLIC]);
+        assert_eq!(l, Label::SECRET.join(Label::atom(5)));
+    }
+
+    #[test]
+    fn identity_function_summary() {
+        let p = parse(
+            "channel t public;
+             fn id(a) { return a; }
+             fn main() { let r = call id(1); output t, r; }",
+        )
+        .unwrap();
+        let table = SummaryTable::build(&p).unwrap();
+        let s = table.get("id").unwrap();
+        assert_eq!(s.ret, SymLabel::param(0));
+        assert!(s.outputs.is_empty());
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn leaky_callee_summary_has_output_site() {
+        let p = parse(
+            "channel t public;
+             fn leak(a) { output t, a; }
+             fn main() { let s = 1 label secret; call leak(s); }",
+        )
+        .unwrap();
+        let table = SummaryTable::build(&p).unwrap();
+        let s = table.get("leak").unwrap();
+        assert_eq!(s.outputs.len(), 1);
+        assert_eq!(s.outputs[0].label.deps, 1);
+        // Whole-program check finds the violation with a call-path loc.
+        let vs = analyze_with_summaries(&p).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].loc.0.contains("->"), "{:?}", vs[0].loc);
+    }
+
+    #[test]
+    fn nested_calls_compose() {
+        let p = parse(
+            "channel t public;
+             fn inner(x) { return x + 1; }
+             fn outer(y) { let r = call inner(y); return r * 2; }
+             fn main() {
+                 let s = 1 label secret;
+                 let r = call outer(s);
+                 output t, r;
+             }",
+        )
+        .unwrap();
+        let vs = analyze_with_summaries(&p).unwrap();
+        assert_eq!(vs.len(), 1, "secret flows through two levels of calls");
+    }
+
+    #[test]
+    fn annotation_inside_callee_is_constant_component() {
+        let p = parse(
+            "channel t public;
+             fn gen() { let s = 7 label secret; return s; }
+             fn main() { let r = call gen(); output t, r; }",
+        )
+        .unwrap();
+        let table = SummaryTable::build(&p).unwrap();
+        assert_eq!(table.get("gen").unwrap().ret, SymLabel::concrete(Label::SECRET));
+        assert_eq!(analyze_with_summaries(&p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let p = parse(
+            "fn a() { call b(); }
+             fn b() { call a(); }
+             fn main() { call a(); }",
+        )
+        .unwrap();
+        let e = SummaryTable::build(&p).unwrap_err();
+        assert!(matches!(e, SummaryError::Recursion { .. }));
+    }
+
+    #[test]
+    fn implicit_flow_through_callee_pc() {
+        // The callee outputs under a branch on its parameter.
+        let p = parse(
+            "channel t public;
+             fn maybe_ping(c) { if c { output t, 1; } }
+             fn main() {
+                 let s = 1 label secret;
+                 call maybe_ping(s);
+             }",
+        )
+        .unwrap();
+        let vs = analyze_with_summaries(&p).unwrap();
+        assert_eq!(vs.len(), 1, "pc-dependency on the parameter must be summarized");
+    }
+
+    /// Differential test: on call-heavy programs, summary-based analysis
+    /// agrees with the monolithic interpreter statement-for-statement.
+    #[test]
+    fn agrees_with_monolithic_interpreter() {
+        for (i, src) in [
+            "channel t public; channel v secret;
+             fn f(a, b) { output v, a; return a + b; }
+             fn main() {
+                 let s = 1 label secret;
+                 let x = 2;
+                 let r1 = call f(s, x);
+                 let r2 = call f(x, x);
+                 output t, r1;
+                 output t, r2;
+             }",
+            "channel t public;
+             fn double(x) { return x + x; }
+             fn main() {
+                 let p = 3;
+                 let r = call double(p);
+                 output t, r;
+                 let s = 4 label secret;
+                 if s < 5 { output t, 7; }
+             }",
+            "channel t public;
+             fn noisy(a) { while a { a = a - 1; } output t, a; }
+             fn main() { let s = 2 label secret; call noisy(s); call noisy(0); }",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let p = parse(src).unwrap();
+            let mono = interp::analyze(&p).unwrap();
+            let comp = analyze_with_summaries(&p).unwrap();
+            assert_eq!(
+                mono.len(),
+                comp.len(),
+                "program {i}: monolithic={mono:?} compositional={comp:?}"
+            );
+            for (m, c) in mono.iter().zip(&comp) {
+                assert_eq!(m.channel, c.channel, "program {i}");
+                assert_eq!(m.label, c.label, "program {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn summary_is_reused_not_recomputed() {
+        // Build a program where `leaf` is called by many intermediates;
+        // the table holds exactly one summary per function.
+        let mut src = String::from("channel t public;\nfn leaf(x) { return x; }\n");
+        for i in 0..10 {
+            src.push_str(&format!("fn mid{i}(x) {{ let r = call leaf(x); return r; }}\n"));
+        }
+        src.push_str("fn main() {\n");
+        for i in 0..10 {
+            src.push_str(&format!("let r{i} = call mid{i}({i});\n"));
+        }
+        src.push_str("output t, r0;\n}\n");
+        let p = parse(&src).unwrap();
+        let table = SummaryTable::build(&p).unwrap();
+        assert_eq!(table.len(), 12);
+        assert!(!table.is_empty());
+    }
+}

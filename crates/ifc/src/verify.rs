@@ -1,0 +1,192 @@
+//! The verification driver — the SMACK-substitute front door.
+//!
+//! [`verify`] runs the Rust-mode pipeline the paper describes: the
+//! ownership discipline first (a program that uses moved values never
+//! reaches the label analysis, exactly as rustc rejects it before any
+//! IFC tooling runs), then the label abstract interpretation. The result
+//! is a [`Verdict`] with a renderable [`Report`], playing the role of
+//! SMACK's verification output in the paper's workflow ("SMACK
+//! discovered the injected bug, thereby increasing our confidence").
+
+use crate::interp::{self, InterpError};
+pub use crate::interp::Violation;
+use crate::ir::Program;
+use crate::ownership::{self, OwnershipError};
+use crate::parse::{self, ParseError};
+use std::fmt;
+
+/// The outcome of verifying a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// No ownership errors and every output respects its channel bound.
+    Safe,
+    /// The program is not valid Rust-mode code: it uses moved values.
+    /// Label analysis is not run (the compiler would have stopped here).
+    OwnershipRejected(Vec<OwnershipError>),
+    /// Ownership-clean, but information leaks were found.
+    Leaky(Vec<Violation>),
+    /// The analysis could not complete (e.g. recursion).
+    AnalysisFailed(InterpError),
+}
+
+impl Verdict {
+    /// True only for [`Verdict::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Verdict::Safe)
+    }
+}
+
+/// Runs ownership checking then label analysis on a validated program.
+pub fn verify(program: &Program) -> Verdict {
+    let ownership_errors = ownership::check_program(program);
+    if !ownership_errors.is_empty() {
+        return Verdict::OwnershipRejected(ownership_errors);
+    }
+    match interp::analyze(program) {
+        Ok(violations) if violations.is_empty() => Verdict::Safe,
+        Ok(violations) => Verdict::Leaky(violations),
+        Err(e) => Verdict::AnalysisFailed(e),
+    }
+}
+
+/// Parses and verifies program text.
+pub fn verify_source(src: &str) -> Result<Verdict, ParseError> {
+    let program = parse::parse(src)?;
+    Ok(verify(&program))
+}
+
+/// A human-readable verification report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The verdict being rendered.
+    pub verdict: Verdict,
+    /// Statements analyzed (a size measure for context).
+    pub statements: usize,
+}
+
+impl Report {
+    /// Builds a report for `program`.
+    pub fn for_program(program: &Program) -> Report {
+        Report {
+            verdict: verify(program),
+            statements: program.stmt_count(),
+        }
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "verified {} statements", self.statements)?;
+        match &self.verdict {
+            Verdict::Safe => writeln!(f, "result: SAFE — all channel bounds respected"),
+            Verdict::OwnershipRejected(errors) => {
+                writeln!(f, "result: REJECTED — ownership violations:")?;
+                for e in errors {
+                    writeln!(f, "  {e}")?;
+                }
+                Ok(())
+            }
+            Verdict::Leaky(violations) => {
+                writeln!(f, "result: UNSAFE — information leaks:")?;
+                for v in violations {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
+            }
+            Verdict::AnalysisFailed(e) => writeln!(f, "result: ERROR — {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safe_program() {
+        let v = verify_source(
+            "channel t public; fn main() { let x = 1; output t, x; }",
+        )
+        .unwrap();
+        assert!(v.is_safe());
+    }
+
+    #[test]
+    fn leaky_program() {
+        let v = verify_source(
+            "channel t public;
+             fn main() { let s = 1 label secret; output t, s; }",
+        )
+        .unwrap();
+        let Verdict::Leaky(vs) = v else {
+            panic!("expected leak, got {v:?}");
+        };
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn ownership_rejected_before_labels() {
+        // This program both uses-after-move AND leaks; the verdict is the
+        // ownership rejection, mirroring compilation order.
+        let v = verify_source(
+            "channel t public;
+             fn main() {
+                 let sink = alloc;
+                 let s = vec[1] label secret;
+                 append sink, s;
+                 output t, s;
+             }",
+        )
+        .unwrap();
+        let Verdict::OwnershipRejected(errors) = v else {
+            panic!("expected ownership rejection, got {v:?}");
+        };
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].var, "s");
+    }
+
+    #[test]
+    fn analysis_failure_surfaces() {
+        let v = verify_source("fn main() { call main(); }").unwrap();
+        assert!(matches!(v, Verdict::AnalysisFailed(_)));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(verify_source("fn main() {").is_err());
+    }
+
+    #[test]
+    fn report_rendering() {
+        let p = parse::parse(
+            "channel t public;
+             fn main() { let s = 1 label secret; output t, s; }",
+        )
+        .unwrap();
+        let r = Report::for_program(&p);
+        let text = r.to_string();
+        assert!(text.contains("UNSAFE"), "{text}");
+        assert!(text.contains("verified 2 statements"), "{text}");
+
+        let safe = parse::parse("channel t public; fn main() { output t, 1; }").unwrap();
+        let text = Report::for_program(&safe).to_string();
+        assert!(text.contains("SAFE"), "{text}");
+    }
+
+    #[test]
+    fn report_renders_ownership_rejection() {
+        let p = parse::parse(
+            "channel t public;
+             fn main() {
+                 let sink = alloc;
+                 let v = vec[1];
+                 append sink, v;
+                 output t, v;
+             }",
+        )
+        .unwrap();
+        let text = Report::for_program(&p).to_string();
+        assert!(text.contains("REJECTED"), "{text}");
+        assert!(text.contains("after it was moved"), "{text}");
+    }
+}

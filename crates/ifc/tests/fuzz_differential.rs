@@ -1,0 +1,201 @@
+//! Randomized differential testing of the IFC toolchain.
+//!
+//! A proptest strategy generates *well-formed* programs (scoped
+//! variables, declared channels, stratified calls so the call graph is
+//! acyclic), then checks the cross-cutting laws:
+//!
+//! 1. generated programs validate;
+//! 2. the pretty-printer's output re-parses to an analysis-equivalent
+//!    program (print is a fixpoint of parse∘print);
+//! 3. monolithic interpretation and compositional summaries agree on
+//!    ownership-clean scalar programs;
+//! 4. static *Safe* implies no dynamic violation on concrete runs
+//!    (dynamic taint under-approximates the static abstraction);
+//! 5. every analysis is total — no panics on any generated input.
+
+use proptest::prelude::*;
+use rbs_ifc::exec;
+use rbs_ifc::interp;
+use rbs_ifc::ir::{BinOp, Expr, Function, Program, Stmt};
+use rbs_ifc::label::Label;
+use rbs_ifc::parse;
+use rbs_ifc::pretty::print_program;
+use rbs_ifc::summary;
+use rbs_ifc::verify::{verify, Verdict};
+
+/// Scalar-only statement generator over a fixed variable universe
+/// (`v0..v5` pre-declared), with channels `pub_ch` (public) and
+/// `sec_ch` (secret) and callee functions `g0`/`g1` available.
+fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+    let var = (0usize..6).prop_map(|i| format!("v{i}"));
+    let expr = arb_expr();
+    let leaf = prop_oneof![
+        (var.clone(), expr.clone()).prop_map(|(var, expr)| Stmt::Assign { var, expr }),
+        (expr.clone(), prop_oneof![Just("pub_ch"), Just("sec_ch")]).prop_map(|(arg, ch)| {
+            Stmt::Output { channel: ch.to_string(), arg }
+        }),
+        (var.clone(), prop_oneof![Just("g0"), Just("g1")], expr.clone()).prop_map(
+            |(_, func, arg)| Stmt::Call {
+                dst: None,
+                func: func.to_string(),
+                args: vec![arg],
+            },
+        ),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let nested = prop_oneof![
+        (
+            arb_expr(),
+            proptest::collection::vec(arb_stmt(depth - 1), 0..3),
+            proptest::collection::vec(arb_stmt(depth - 1), 0..3),
+        )
+            .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
+                cond,
+                then_branch,
+                else_branch
+            }),
+        leaf.clone(),
+    ];
+    prop_oneof![3 => leaf, 1 => nested].boxed()
+}
+
+fn arb_expr() -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(Expr::Const),
+        (0usize..6).prop_map(|i| Expr::Var(format!("v{i}"))),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        (
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Eq),
+                Just(BinOp::Lt)
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, l, r)| Expr::bin(op, l, r))
+    })
+    .boxed()
+}
+
+/// A complete generated program: pre-declared locals (some secret),
+/// two callees, and a generated body.
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(arb_stmt(2), 1..10),
+        proptest::collection::vec(any::<bool>(), 6),
+    )
+        .prop_map(|(generated, secret_mask)| {
+            let mut body = Vec::new();
+            for (i, secret) in secret_mask.iter().enumerate() {
+                body.push(Stmt::Let {
+                    var: format!("v{i}"),
+                    expr: Expr::Const(i as i64),
+                    label: secret.then_some(Label::SECRET),
+                });
+            }
+            body.extend(generated);
+
+            let g0 = Function {
+                name: "g0".into(),
+                params: vec![("x".into(), None)],
+                authority: Label::PUBLIC,
+                body: vec![Stmt::Output {
+                    channel: "sec_ch".into(),
+                    arg: Expr::Var("x".into()),
+                }],
+                ret: Some(Expr::Var("x".into())),
+            };
+            let g1 = Function {
+                name: "g1".into(),
+                params: vec![("x".into(), None)],
+                authority: Label::PUBLIC,
+                body: vec![],
+                ret: Some(Expr::bin(BinOp::Add, Expr::Var("x".into()), Expr::Const(1))),
+            };
+            let main = Function {
+                name: "main".into(),
+                params: vec![],
+                authority: Label::PUBLIC,
+                body,
+                ret: None,
+            };
+            let mut p = Program::default();
+            p.channels.insert("pub_ch".into(), Label::PUBLIC);
+            p.channels.insert("sec_ch".into(), Label::SECRET);
+            p.functions.push(g0);
+            p.functions.push(g1);
+            p.functions.push(main);
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Law 1: the generator only produces valid programs.
+    #[test]
+    fn generated_programs_validate(p in arb_program()) {
+        prop_assert!(p.validate().is_ok());
+    }
+
+    /// Law 2: print∘parse∘print is print, and the verdict is stable
+    /// across the round trip.
+    #[test]
+    fn pretty_roundtrip(p in arb_program()) {
+        let text = print_program(&p);
+        let reparsed = parse::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(print_program(&reparsed), text.clone());
+        prop_assert_eq!(
+            verify(&p).is_safe(),
+            verify(&reparsed).is_safe(),
+            "verdict changed across round trip:\n{}", text
+        );
+    }
+
+    /// Law 3: monolithic and compositional analyses agree exactly on
+    /// scalar programs.
+    #[test]
+    fn monolithic_equals_compositional(p in arb_program()) {
+        let mono = interp::analyze(&p).expect("acyclic by construction");
+        let comp = summary::analyze_with_summaries(&p).expect("acyclic by construction");
+        prop_assert_eq!(mono.len(), comp.len(), "{:?} vs {:?}", mono, comp);
+        for (m, c) in mono.iter().zip(&comp) {
+            prop_assert_eq!(&m.channel, &c.channel);
+            prop_assert_eq!(m.label, c.label);
+        }
+    }
+
+    /// Law 4: static Safe ⟹ dynamically clean, for any generated program
+    /// and any concrete seed.
+    #[test]
+    fn static_safe_implies_dynamic_safe(p in arb_program(), seed in any::<i64>()) {
+        if let Verdict::Safe = verify(&p) {
+            let emissions = exec::execute_with_budget(&p, &[seed], 300_000)
+                .expect("generated programs are loop-free and non-recursive");
+            let dyn_violations = exec::dynamic_violations(&p, &emissions);
+            prop_assert!(
+                dyn_violations.is_empty(),
+                "static Safe but dynamic leak: {:?}\n{}",
+                dyn_violations,
+                print_program(&p)
+            );
+        }
+    }
+
+    /// Law 5: totality of every pass (parse of printed text included).
+    #[test]
+    fn all_passes_are_total(p in arb_program(), seed in any::<i64>()) {
+        let _ = verify(&p);
+        let _ = rbs_ifc::alias::analyze_alias(&p);
+        let _ = rbs_ifc::alias::analyze_naive(&p);
+        let _ = rbs_ifc::ownership::check_program(&p);
+        let _ = exec::execute_with_budget(&p, &[seed], 300_000);
+    }
+}

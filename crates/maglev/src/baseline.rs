@@ -1,0 +1,152 @@
+//! The naive load-balancing baseline: `hash mod N`.
+//!
+//! The point of consistent hashing is what it *avoids*; this module
+//! implements the thing it avoids. A mod-N table is perfectly balanced
+//! and trivially cheap — and reassigns almost every flow whenever the
+//! backend count changes. Experiment E8 contrasts its disruption with
+//! Maglev's.
+
+use crate::table::{Backend, MaglevTable, TableError};
+
+/// A `hash mod N` "table" over an ordered backend list.
+#[derive(Debug, Clone)]
+pub struct ModNTable {
+    backends: Vec<Backend>,
+}
+
+impl ModNTable {
+    /// Builds the baseline over `backends`.
+    pub fn new(backends: Vec<Backend>) -> Result<Self, TableError> {
+        if backends.is_empty() {
+            return Err(TableError::NoBackends);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for b in &backends {
+            if !seen.insert(b.name.as_str()) {
+                return Err(TableError::DuplicateName(b.name.clone()));
+            }
+        }
+        Ok(Self { backends })
+    }
+
+    /// The backends, in construction order.
+    pub fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+
+    /// Backend index for a flow hash.
+    #[inline]
+    pub fn lookup(&self, flow_hash: u64) -> usize {
+        (flow_hash % self.backends.len() as u64) as usize
+    }
+
+    /// Fraction of `samples` uniformly-spaced hash values that map to a
+    /// different backend *name* in `other` — the disruption metric,
+    /// comparable to [`MaglevTable::disruption`].
+    pub fn disruption(&self, other: &ModNTable, samples: u64) -> f64 {
+        assert!(samples > 0, "sampling zero hashes is undefined");
+        let moved = (0..samples)
+            .filter(|&i| {
+                let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                self.backends[self.lookup(h)].name != other.backends[other.lookup(h)].name
+            })
+            .count();
+        moved as f64 / samples as f64
+    }
+}
+
+/// Disruption of a Maglev table pair and a mod-N pair over the *same*
+/// backend change, for side-by-side reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct DisruptionComparison {
+    /// Backends before the change.
+    pub backends: usize,
+    /// Maglev: fraction of table entries that changed backend.
+    pub maglev: f64,
+    /// Mod-N: fraction of sampled flows that changed backend.
+    pub mod_n: f64,
+    /// The unavoidable minimum (the departed/arrived share).
+    pub ideal: f64,
+}
+
+/// Removes the middle backend from a set of `n` and reports both
+/// schemes' disruption.
+pub fn compare_removal(n: usize, table_size: usize) -> Result<DisruptionComparison, TableError> {
+    let names: Vec<Backend> = (0..n).map(|i| Backend::new(format!("backend-{i}"))).collect();
+    let mut fewer = names.clone();
+    fewer.remove(n / 2);
+
+    let maglev_full = MaglevTable::new(names.clone(), table_size)?;
+    let maglev_less = MaglevTable::new(fewer.clone(), table_size)?;
+    let modn_full = ModNTable::new(names)?;
+    let modn_less = ModNTable::new(fewer)?;
+
+    Ok(DisruptionComparison {
+        backends: n,
+        maglev: maglev_full.disruption(&maglev_less),
+        mod_n: modn_full.disruption(&modn_less, 100_000),
+        ideal: 1.0 / n as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<Backend> {
+        (0..n).map(|i| Backend::new(format!("b{i}"))).collect()
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(ModNTable::new(vec![]).unwrap_err(), TableError::NoBackends);
+        assert!(matches!(
+            ModNTable::new(vec![Backend::new("x"), Backend::new("x")]),
+            Err(TableError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn lookup_is_uniform_and_in_range() {
+        let t = ModNTable::new(names(7)).unwrap();
+        let mut counts = [0u32; 7];
+        for i in 0..70_000u64 {
+            counts[t.lookup(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.1, "mod-N is near-perfectly balanced: {counts:?}");
+    }
+
+    #[test]
+    fn identical_tables_have_zero_disruption() {
+        let a = ModNTable::new(names(5)).unwrap();
+        assert_eq!(a.disruption(&a.clone(), 10_000), 0.0);
+    }
+
+    /// The headline contrast: removing one backend moves ~1/n of flows
+    /// under Maglev but the vast majority under mod-N.
+    #[test]
+    fn mod_n_disruption_dwarfs_maglev() {
+        let c = compare_removal(10, 10_007).unwrap();
+        assert!(c.maglev < 2.0 * c.ideal, "maglev near the ideal: {c:?}");
+        assert!(c.mod_n > 0.7, "mod-N reshuffles almost everything: {c:?}");
+        assert!(c.mod_n > 5.0 * c.maglev, "{c:?}");
+    }
+
+    #[test]
+    fn comparison_scales_with_n() {
+        let small = compare_removal(5, 1_009).unwrap();
+        let large = compare_removal(50, 10_007).unwrap();
+        assert!(large.maglev < small.maglev, "bigger pools move less under maglev");
+        // Mod-N stays catastrophic regardless of pool size.
+        assert!(large.mod_n > 0.7 && small.mod_n > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero hashes")]
+    fn zero_samples_rejected() {
+        let a = ModNTable::new(names(2)).unwrap();
+        let _ = a.disruption(&a.clone(), 0);
+    }
+}

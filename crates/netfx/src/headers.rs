@@ -1,0 +1,21 @@
+//! Typed, bounds-checked views of packet headers.
+//!
+//! Each header type is a thin view over a byte slice: zero-copy, with all
+//! multi-byte fields converted to/from network byte order at the accessor.
+//! Views are constructed through [`crate::packet::Packet`], which computes
+//! offsets; they can also be built directly from slices for unit testing.
+//!
+//! Only the protocols the paper's workloads need are implemented:
+//! Ethernet II, IPv4 (with options), TCP and UDP.
+
+pub mod ethernet;
+pub mod icmp;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use ethernet::{EtherType, EthernetHdr, EthernetHdrMut, MacAddr, ETHERNET_HDR_LEN};
+pub use icmp::{IcmpHdr, IcmpHdrMut, IcmpType, ICMP_ECHO_HDR_LEN};
+pub use ipv4::{IpProto, Ipv4Hdr, Ipv4HdrMut, IPV4_MIN_HDR_LEN};
+pub use tcp::{TcpHdr, TcpHdrMut, TCP_MIN_HDR_LEN};
+pub use udp::{UdpHdr, UdpHdrMut, UDP_HDR_LEN};

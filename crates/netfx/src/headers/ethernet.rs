@@ -1,0 +1,254 @@
+//! Ethernet II framing.
+
+use crate::packet::PacketError;
+use std::fmt;
+
+/// Length of an Ethernet II header (no 802.1Q tag): dst + src + ethertype.
+pub const ETHERNET_HDR_LEN: usize = 14;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// The all-zero address, conventionally "unset".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// True if the multicast bit (LSB of the first octet) is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values this framework understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4, `0x0800`.
+    Ipv4,
+    /// ARP, `0x0806` (recognized, not parsed further).
+    Arp,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(raw: u16) -> Self {
+        match raw {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(et: EtherType) -> u16 {
+        match et {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(raw) => raw,
+        }
+    }
+}
+
+/// Immutable view of an Ethernet II header.
+#[derive(Debug, Clone, Copy)]
+pub struct EthernetHdr<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> EthernetHdr<'a> {
+    /// Wraps `data`, which must start at the first byte of the header.
+    ///
+    /// Fails with [`PacketError::Truncated`] if fewer than
+    /// [`ETHERNET_HDR_LEN`] bytes are available.
+    pub fn parse(data: &'a [u8]) -> Result<Self, PacketError> {
+        if data.len() < ETHERNET_HDR_LEN {
+            return Err(PacketError::Truncated {
+                header: "ethernet",
+                needed: ETHERNET_HDR_LEN,
+                have: data.len(),
+            });
+        }
+        Ok(Self { data })
+    }
+
+    /// Destination MAC.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr(self.data[0..6].try_into().expect("length checked in parse"))
+    }
+
+    /// Source MAC.
+    pub fn src(&self) -> MacAddr {
+        MacAddr(self.data[6..12].try_into().expect("length checked in parse"))
+    }
+
+    /// EtherType of the payload.
+    pub fn ethertype(&self) -> EtherType {
+        u16::from_be_bytes([self.data[12], self.data[13]]).into()
+    }
+}
+
+/// Mutable view of an Ethernet II header.
+#[derive(Debug)]
+pub struct EthernetHdrMut<'a> {
+    data: &'a mut [u8],
+}
+
+impl<'a> EthernetHdrMut<'a> {
+    /// Wraps `data`; see [`EthernetHdr::parse`].
+    pub fn parse(data: &'a mut [u8]) -> Result<Self, PacketError> {
+        if data.len() < ETHERNET_HDR_LEN {
+            return Err(PacketError::Truncated {
+                header: "ethernet",
+                needed: ETHERNET_HDR_LEN,
+                have: data.len(),
+            });
+        }
+        Ok(Self { data })
+    }
+
+    /// Sets the destination MAC.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.data[0..6].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the source MAC.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.data[6..12].copy_from_slice(&mac.0);
+    }
+
+    /// Sets the EtherType.
+    pub fn set_ethertype(&mut self, et: EtherType) {
+        self.data[12..14].copy_from_slice(&u16::from(et).to_be_bytes());
+    }
+
+    /// Reborrows as an immutable view.
+    pub fn as_ref(&self) -> EthernetHdr<'_> {
+        EthernetHdr { data: self.data }
+    }
+
+    /// Swaps source and destination MACs (the classic "bounce" operation).
+    pub fn swap_addrs(&mut self) {
+        for i in 0..6 {
+            self.data.swap(i, i + 6);
+        }
+    }
+}
+
+/// Writes a complete Ethernet header into `data`, returning the header
+/// length.
+pub fn emit(data: &mut [u8], src: MacAddr, dst: MacAddr, ethertype: EtherType) -> usize {
+    let mut hdr = EthernetHdrMut::parse(data).expect("caller provides >= 14 bytes");
+    hdr.set_dst(dst);
+    hdr.set_src(src);
+    hdr.set_ethertype(ethertype);
+    ETHERNET_HDR_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> [u8; 14] {
+        let mut b = [0u8; 14];
+        b[0..6].copy_from_slice(&[0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01]);
+        b[6..12].copy_from_slice(&[0x02, 0x00, 0x00, 0x00, 0x00, 0x02]);
+        b[12..14].copy_from_slice(&0x0800u16.to_be_bytes());
+        b
+    }
+
+    #[test]
+    fn parse_fields() {
+        let b = sample();
+        let h = EthernetHdr::parse(&b).unwrap();
+        assert_eq!(h.dst(), MacAddr([0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01]));
+        assert_eq!(h.src(), MacAddr([0x02, 0, 0, 0, 0, 0x02]));
+        assert_eq!(h.ethertype(), EtherType::Ipv4);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let b = [0u8; 13];
+        match EthernetHdr::parse(&b) {
+            Err(PacketError::Truncated { header, needed, have }) => {
+                assert_eq!(header, "ethernet");
+                assert_eq!(needed, 14);
+                assert_eq!(have, 13);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutate_roundtrip() {
+        let mut b = sample();
+        let mut h = EthernetHdrMut::parse(&mut b).unwrap();
+        h.set_dst(MacAddr::BROADCAST);
+        h.set_ethertype(EtherType::Arp);
+        let r = h.as_ref();
+        assert!(r.dst().is_broadcast());
+        assert_eq!(r.ethertype(), EtherType::Arp);
+    }
+
+    #[test]
+    fn swap_addrs() {
+        let mut b = sample();
+        let (orig_dst, orig_src) = {
+            let h = EthernetHdr::parse(&b).unwrap();
+            (h.dst(), h.src())
+        };
+        let mut h = EthernetHdrMut::parse(&mut b).unwrap();
+        h.swap_addrs();
+        let r = h.as_ref();
+        assert_eq!(r.dst(), orig_src);
+        assert_eq!(r.src(), orig_dst);
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        assert_eq!(EtherType::from(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x86DD), EtherType::Other(0x86DD));
+        assert_eq!(u16::from(EtherType::Ipv4), 0x0800);
+        assert_eq!(u16::from(EtherType::Other(0x1234)), 0x1234);
+    }
+
+    #[test]
+    fn mac_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::ZERO.is_multicast());
+        assert!(MacAddr([0x01, 0, 0x5E, 0, 0, 1]).is_multicast());
+        assert_eq!(MacAddr([0xAB, 0, 0, 0, 0, 0xCD]).to_string(), "ab:00:00:00:00:cd");
+    }
+
+    #[test]
+    fn emit_writes_header() {
+        let mut b = [0u8; 20];
+        let n = emit(&mut b, MacAddr::ZERO, MacAddr::BROADCAST, EtherType::Ipv4);
+        assert_eq!(n, ETHERNET_HDR_LEN);
+        let h = EthernetHdr::parse(&b).unwrap();
+        assert!(h.dst().is_broadcast());
+        assert_eq!(h.ethertype(), EtherType::Ipv4);
+    }
+}

@@ -1,0 +1,227 @@
+//! ICMP (RFC 792): echo request/reply, plus an answering network
+//! function.
+//!
+//! Enough ICMP to make pipelines ping-able: typed views of the echo
+//! header, builders for requests, and in-place request→reply conversion
+//! (type rewrite, checksum fix, IP/MAC swap) used by
+//! [`crate::operators::EchoResponder`].
+
+use crate::checksum;
+use crate::packet::PacketError;
+
+/// ICMP header length for echo messages (type, code, checksum, id, seq).
+pub const ICMP_ECHO_HDR_LEN: usize = 8;
+
+/// ICMP message types this framework understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Echo request (8).
+    EchoRequest,
+    /// Anything else, carried verbatim.
+    Other(u8),
+}
+
+impl From<u8> for IcmpType {
+    fn from(raw: u8) -> Self {
+        match raw {
+            0 => IcmpType::EchoReply,
+            8 => IcmpType::EchoRequest,
+            other => IcmpType::Other(other),
+        }
+    }
+}
+
+impl From<IcmpType> for u8 {
+    fn from(t: IcmpType) -> u8 {
+        match t {
+            IcmpType::EchoReply => 0,
+            IcmpType::EchoRequest => 8,
+            IcmpType::Other(raw) => raw,
+        }
+    }
+}
+
+fn check_icmp(data: &[u8]) -> Result<(), PacketError> {
+    if data.len() < ICMP_ECHO_HDR_LEN {
+        return Err(PacketError::Truncated {
+            header: "icmp",
+            needed: ICMP_ECHO_HDR_LEN,
+            have: data.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Immutable view of an ICMP echo header.
+#[derive(Debug, Clone, Copy)]
+pub struct IcmpHdr<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> IcmpHdr<'a> {
+    /// Wraps `data`, which must start at the ICMP type byte and span the
+    /// whole ICMP message (for checksum verification).
+    pub fn parse(data: &'a [u8]) -> Result<Self, PacketError> {
+        check_icmp(data)?;
+        Ok(Self { data })
+    }
+
+    /// Message type.
+    pub fn icmp_type(&self) -> IcmpType {
+        self.data[0].into()
+    }
+
+    /// Code byte.
+    pub fn code(&self) -> u8 {
+        self.data[1]
+    }
+
+    /// Identifier (echo messages).
+    pub fn identifier(&self) -> u16 {
+        u16::from_be_bytes([self.data[4], self.data[5]])
+    }
+
+    /// Sequence number (echo messages).
+    pub fn sequence(&self) -> u16 {
+        u16::from_be_bytes([self.data[6], self.data[7]])
+    }
+
+    /// Echo payload (after the 8-byte header).
+    pub fn payload(&self) -> &'a [u8] {
+        &self.data[ICMP_ECHO_HDR_LEN..]
+    }
+
+    /// True when the message checksum is consistent.
+    pub fn checksum_ok(&self) -> bool {
+        checksum::verify(self.data)
+    }
+}
+
+/// Mutable view of an ICMP echo header.
+#[derive(Debug)]
+pub struct IcmpHdrMut<'a> {
+    data: &'a mut [u8],
+}
+
+impl<'a> IcmpHdrMut<'a> {
+    /// Wraps `data`; see [`IcmpHdr::parse`].
+    pub fn parse(data: &'a mut [u8]) -> Result<Self, PacketError> {
+        check_icmp(data)?;
+        Ok(Self { data })
+    }
+
+    /// Reborrows as an immutable view.
+    pub fn as_ref(&self) -> IcmpHdr<'_> {
+        IcmpHdr { data: self.data }
+    }
+
+    /// Sets the message type.
+    pub fn set_type(&mut self, t: IcmpType) {
+        self.data[0] = t.into();
+    }
+
+    /// Sets the sequence number.
+    pub fn set_sequence(&mut self, seq: u16) {
+        self.data[6..8].copy_from_slice(&seq.to_be_bytes());
+    }
+
+    /// Recomputes the checksum over the whole message.
+    pub fn update_checksum(&mut self) {
+        self.data[2] = 0;
+        self.data[3] = 0;
+        let sum = checksum::checksum(self.data);
+        self.data[2..4].copy_from_slice(&sum.to_be_bytes());
+    }
+}
+
+/// Writes an echo message into `data` (which must span the whole
+/// message), returning [`ICMP_ECHO_HDR_LEN`].
+///
+/// # Panics
+///
+/// Panics if `data` is shorter than the echo header.
+pub fn emit(data: &mut [u8], t: IcmpType, identifier: u16, sequence: u16) -> usize {
+    assert!(data.len() >= ICMP_ECHO_HDR_LEN, "icmp emit needs 8 bytes");
+    data[0] = t.into();
+    data[1] = 0;
+    data[2] = 0;
+    data[3] = 0;
+    data[4..6].copy_from_slice(&identifier.to_be_bytes());
+    data[6..8].copy_from_slice(&sequence.to_be_bytes());
+    let sum = checksum::checksum(data);
+    data[2..4].copy_from_slice(&sum.to_be_bytes());
+    ICMP_ECHO_HDR_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = vec![0u8; 16];
+        b[8..].copy_from_slice(b"pingdata");
+        emit(&mut b, IcmpType::EchoRequest, 0x1234, 7);
+        b
+    }
+
+    #[test]
+    fn emit_then_parse() {
+        let b = sample();
+        let h = IcmpHdr::parse(&b).unwrap();
+        assert_eq!(h.icmp_type(), IcmpType::EchoRequest);
+        assert_eq!(h.code(), 0);
+        assert_eq!(h.identifier(), 0x1234);
+        assert_eq!(h.sequence(), 7);
+        assert_eq!(h.payload(), b"pingdata");
+        assert!(h.checksum_ok());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            IcmpHdr::parse(&[0u8; 7]),
+            Err(PacketError::Truncated { header: "icmp", .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut b = sample();
+        *b.last_mut().unwrap() ^= 1;
+        assert!(!IcmpHdr::parse(&b).unwrap().checksum_ok());
+    }
+
+    #[test]
+    fn request_to_reply_conversion() {
+        let mut b = sample();
+        let mut h = IcmpHdrMut::parse(&mut b).unwrap();
+        h.set_type(IcmpType::EchoReply);
+        h.update_checksum();
+        let r = h.as_ref();
+        assert_eq!(r.icmp_type(), IcmpType::EchoReply);
+        assert_eq!(r.identifier(), 0x1234, "id preserved");
+        assert_eq!(r.sequence(), 7, "seq preserved");
+        assert!(r.checksum_ok());
+    }
+
+    #[test]
+    fn type_conversions() {
+        assert_eq!(IcmpType::from(0), IcmpType::EchoReply);
+        assert_eq!(IcmpType::from(8), IcmpType::EchoRequest);
+        assert_eq!(IcmpType::from(3), IcmpType::Other(3));
+        assert_eq!(u8::from(IcmpType::EchoRequest), 8);
+        assert_eq!(u8::from(IcmpType::Other(11)), 11);
+    }
+
+    #[test]
+    fn set_sequence_and_rechecksum() {
+        let mut b = sample();
+        let mut h = IcmpHdrMut::parse(&mut b).unwrap();
+        h.set_sequence(99);
+        h.update_checksum();
+        assert_eq!(h.as_ref().sequence(), 99);
+        assert!(h.as_ref().checksum_ok());
+    }
+}

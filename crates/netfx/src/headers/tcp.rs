@@ -1,0 +1,318 @@
+//! TCP header (RFC 793), enough for classification and load balancing.
+
+use crate::headers::ipv4::{pseudo_header_checksum, IpProto};
+use crate::packet::PacketError;
+use std::net::Ipv4Addr;
+
+/// Minimum TCP header length (data offset = 5, no options).
+pub const TCP_MIN_HDR_LEN: usize = 20;
+
+/// TCP flag bits, in wire order within the flags byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+    /// URG flag.
+    pub const URG: u8 = 0x20;
+
+    /// True if `bit` is set.
+    pub fn has(&self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// True for a connection-opening SYN (SYN set, ACK clear).
+    pub fn is_syn_only(&self) -> bool {
+        self.has(Self::SYN) && !self.has(Self::ACK)
+    }
+}
+
+fn check_tcp(data: &[u8]) -> Result<usize, PacketError> {
+    if data.len() < TCP_MIN_HDR_LEN {
+        return Err(PacketError::Truncated {
+            header: "tcp",
+            needed: TCP_MIN_HDR_LEN,
+            have: data.len(),
+        });
+    }
+    let data_offset = (data[12] >> 4) as usize;
+    if data_offset < 5 {
+        return Err(PacketError::BadField {
+            header: "tcp",
+            field: "data_offset",
+            value: data_offset as u64,
+        });
+    }
+    let hdr_len = data_offset * 4;
+    if data.len() < hdr_len {
+        return Err(PacketError::Truncated {
+            header: "tcp-options",
+            needed: hdr_len,
+            have: data.len(),
+        });
+    }
+    Ok(hdr_len)
+}
+
+/// Immutable view of a TCP header.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpHdr<'a> {
+    data: &'a [u8],
+    hdr_len: usize,
+}
+
+impl<'a> TcpHdr<'a> {
+    /// Wraps `data`, which must start at the TCP source-port byte.
+    pub fn parse(data: &'a [u8]) -> Result<Self, PacketError> {
+        let hdr_len = check_tcp(data)?;
+        Ok(Self { data, hdr_len })
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.data[0], self.data[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.data[2], self.data[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        u32::from_be_bytes(self.data[4..8].try_into().expect("length checked"))
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        u32::from_be_bytes(self.data[8..12].try_into().expect("length checked"))
+    }
+
+    /// Header length in bytes (20..=60).
+    pub fn header_len(&self) -> usize {
+        self.hdr_len
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.data[13] & 0x3F)
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.data[14], self.data[15]])
+    }
+
+    /// Checksum field as stored.
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.data[16], self.data[17]])
+    }
+
+    /// Options bytes (empty when data offset = 5).
+    pub fn options(&self) -> &'a [u8] {
+        &self.data[TCP_MIN_HDR_LEN..self.hdr_len]
+    }
+
+    /// Verifies the checksum; `data` at parse time must span the whole
+    /// segment and `seg_len` must be its length (header + payload).
+    pub fn checksum_ok(&self, src: Ipv4Addr, dst: Ipv4Addr, seg_len: u16) -> bool {
+        let len = seg_len as usize;
+        if len < self.hdr_len || len > self.data.len() {
+            return false;
+        }
+        let mut c = pseudo_header_checksum(src, dst, IpProto::Tcp, seg_len);
+        c.push(&self.data[..len]);
+        c.finish() == 0
+    }
+}
+
+/// Mutable view of a TCP header.
+#[derive(Debug)]
+pub struct TcpHdrMut<'a> {
+    data: &'a mut [u8],
+    hdr_len: usize,
+}
+
+impl<'a> TcpHdrMut<'a> {
+    /// Wraps `data`; see [`TcpHdr::parse`].
+    pub fn parse(data: &'a mut [u8]) -> Result<Self, PacketError> {
+        let hdr_len = check_tcp(data)?;
+        Ok(Self { data, hdr_len })
+    }
+
+    /// Reborrows as an immutable view.
+    pub fn as_ref(&self) -> TcpHdr<'_> {
+        TcpHdr {
+            data: self.data,
+            hdr_len: self.hdr_len,
+        }
+    }
+
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.data[0..2].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.data[2..4].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Sets the flag bits (lower 6 bits honored).
+    pub fn set_flags(&mut self, flags: TcpFlags) {
+        self.data[13] = (self.data[13] & !0x3F) | (flags.0 & 0x3F);
+    }
+
+    /// Recomputes the checksum over pseudo-header + segment of `seg_len`
+    /// bytes.
+    pub fn update_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr, seg_len: u16) {
+        self.data[16] = 0;
+        self.data[17] = 0;
+        let len = (seg_len as usize).min(self.data.len());
+        let mut c = pseudo_header_checksum(src, dst, IpProto::Tcp, seg_len);
+        c.push(&self.data[..len]);
+        let sum = c.finish();
+        self.data[16..18].copy_from_slice(&sum.to_be_bytes());
+    }
+}
+
+/// Writes a minimal TCP header into `data` (which must span the whole
+/// segment), returning [`TCP_MIN_HDR_LEN`].
+///
+/// # Panics
+///
+/// Panics if `data` is shorter than [`TCP_MIN_HDR_LEN`].
+pub fn emit(
+    data: &mut [u8],
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    seq: u32,
+    flags: TcpFlags,
+) -> usize {
+    assert!(data.len() >= TCP_MIN_HDR_LEN, "tcp emit needs 20 bytes");
+    let seg_len = u16::try_from(data.len()).expect("segment fits u16");
+    data[0..2].copy_from_slice(&src_port.to_be_bytes());
+    data[2..4].copy_from_slice(&dst_port.to_be_bytes());
+    data[4..8].copy_from_slice(&seq.to_be_bytes());
+    data[8..12].copy_from_slice(&0u32.to_be_bytes());
+    data[12] = 5 << 4; // data offset 5
+    data[13] = flags.0 & 0x3F;
+    data[14..16].copy_from_slice(&0xFFFFu16.to_be_bytes());
+    data[16] = 0;
+    data[17] = 0;
+    data[18..20].copy_from_slice(&0u16.to_be_bytes());
+    let mut h = TcpHdrMut::parse(data).expect("header just written is valid");
+    h.update_checksum(src, dst, seg_len);
+    TCP_MIN_HDR_LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(172, 16, 0, 2);
+
+    fn sample() -> Vec<u8> {
+        let mut b = vec![0u8; 24];
+        b[20..].copy_from_slice(b"data");
+        emit(&mut b, SRC, DST, 4321, 443, 0x01020304, TcpFlags(TcpFlags::SYN));
+        b
+    }
+
+    #[test]
+    fn emit_then_parse() {
+        let b = sample();
+        let h = TcpHdr::parse(&b).unwrap();
+        assert_eq!(h.src_port(), 4321);
+        assert_eq!(h.dst_port(), 443);
+        assert_eq!(h.seq(), 0x01020304);
+        assert_eq!(h.ack(), 0);
+        assert_eq!(h.header_len(), 20);
+        assert!(h.flags().is_syn_only());
+        assert_eq!(h.window(), 0xFFFF);
+        assert!(h.options().is_empty());
+        assert!(h.checksum_ok(SRC, DST, 24));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            TcpHdr::parse(&[0u8; 19]),
+            Err(PacketError::Truncated { header: "tcp", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut b = sample();
+        b[12] = 4 << 4;
+        assert!(matches!(
+            TcpHdr::parse(&b),
+            Err(PacketError::BadField { field: "data_offset", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_options_rejected() {
+        let mut b = sample();
+        b[12] = 15 << 4; // 60-byte header in a 24-byte buffer
+        assert!(matches!(
+            TcpHdr::parse(&b),
+            Err(PacketError::Truncated { header: "tcp-options", .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_segment_fails_checksum() {
+        let mut b = sample();
+        *b.last_mut().unwrap() ^= 1;
+        let h = TcpHdr::parse(&b).unwrap();
+        assert!(!h.checksum_ok(SRC, DST, 24));
+    }
+
+    #[test]
+    fn flags_manipulation() {
+        let mut b = sample();
+        let mut h = TcpHdrMut::parse(&mut b).unwrap();
+        h.set_flags(TcpFlags(TcpFlags::ACK | TcpFlags::PSH));
+        h.update_checksum(SRC, DST, 24);
+        let r = h.as_ref();
+        assert!(r.flags().has(TcpFlags::ACK));
+        assert!(r.flags().has(TcpFlags::PSH));
+        assert!(!r.flags().has(TcpFlags::SYN));
+        assert!(!r.flags().is_syn_only());
+        assert!(r.checksum_ok(SRC, DST, 24));
+    }
+
+    #[test]
+    fn port_rewrite_with_checksum() {
+        let mut b = sample();
+        let mut h = TcpHdrMut::parse(&mut b).unwrap();
+        h.set_src_port(1);
+        h.set_dst_port(2);
+        h.update_checksum(SRC, DST, 24);
+        let r = h.as_ref();
+        assert_eq!((r.src_port(), r.dst_port()), (1, 2));
+        assert!(r.checksum_ok(SRC, DST, 24));
+    }
+
+    #[test]
+    fn seg_len_out_of_range_fails() {
+        let b = sample();
+        let h = TcpHdr::parse(&b).unwrap();
+        assert!(!h.checksum_ok(SRC, DST, 19)); // below header length
+        assert!(!h.checksum_ok(SRC, DST, 100)); // beyond buffer
+    }
+}

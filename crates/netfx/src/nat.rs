@@ -1,0 +1,414 @@
+//! Stateful source NAT.
+//!
+//! A realistic stateful network function for the isolated pipelines: it
+//! owns a translation table (exactly the kind of state the SFI layer
+//! protects and the checkpoint layer can snapshot), rewrites headers in
+//! place, and handles both traffic directions through a single operator.
+//!
+//! Outbound packets (source inside `inside_net`) get their source
+//! rewritten to `(nat_ip, allocated port)`; inbound packets addressed to
+//! `nat_ip` are translated back to the original endpoint. Checksums are
+//! fixed on every rewrite.
+
+use crate::batch::PacketBatch;
+use crate::flow::FiveTuple;
+use crate::headers::ipv4::IpProto;
+use crate::packet::Packet;
+use crate::pipeline::Operator;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// True when `addr` lies inside `net/len` (host-order network bits).
+fn prefix_contains_addr(net: u32, len: u8, addr: Ipv4Addr) -> bool {
+    let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+    (u32::from(addr) & mask) == net & mask
+}
+
+/// One direction's translation key: the *original* inside endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct InsideKey {
+    ip: Ipv4Addr,
+    port: u16,
+    proto: IpProto,
+}
+
+/// Statistics for the NAT data path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NatStats {
+    /// Outbound packets translated.
+    pub outbound: u64,
+    /// Inbound packets translated back.
+    pub inbound: u64,
+    /// Packets forwarded untouched (neither direction applies).
+    pub passed: u64,
+    /// Packets dropped: port pool exhausted or unknown inbound mapping.
+    pub dropped: u64,
+}
+
+/// A stateful source-NAT operator.
+pub struct SourceNat {
+    nat_ip: Ipv4Addr,
+    inside_net: u32,
+    inside_len: u8,
+    /// inside endpoint -> allocated NAT port.
+    out_map: HashMap<InsideKey, u16>,
+    /// NAT port (+proto) -> inside endpoint.
+    in_map: HashMap<(u16, IpProto), InsideKey>,
+    next_port: u16,
+    port_lo: u16,
+    port_hi: u16,
+    stats: NatStats,
+}
+
+impl SourceNat {
+    /// NATs traffic from `inside_net/inside_len` to `nat_ip`, allocating
+    /// external ports from `ports` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty port range or a prefix length over 32.
+    pub fn new(
+        nat_ip: Ipv4Addr,
+        inside_net: Ipv4Addr,
+        inside_len: u8,
+        ports: std::ops::RangeInclusive<u16>,
+    ) -> Self {
+        assert!(inside_len <= 32, "prefix length {inside_len} out of range");
+        assert!(!ports.is_empty(), "port pool must be non-empty");
+        let (port_lo, port_hi) = (*ports.start(), *ports.end());
+        Self {
+            nat_ip,
+            inside_net: u32::from(inside_net),
+            inside_len,
+            out_map: HashMap::new(),
+            in_map: HashMap::new(),
+            next_port: port_lo,
+            port_lo,
+            port_hi,
+            stats: NatStats::default(),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> NatStats {
+        self.stats
+    }
+
+    /// Active translations.
+    pub fn active_mappings(&self) -> usize {
+        self.out_map.len()
+    }
+
+    /// Releases a translation (connection teardown / timeout driven by
+    /// the control plane). Returns true if a mapping existed.
+    pub fn release(&mut self, inside_ip: Ipv4Addr, inside_port: u16, proto: IpProto) -> bool {
+        let key = InsideKey { ip: inside_ip, port: inside_port, proto };
+        if let Some(port) = self.out_map.remove(&key) {
+            self.in_map.remove(&(port, proto));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn allocate_port(&mut self, key: InsideKey) -> Option<u16> {
+        if let Some(&p) = self.out_map.get(&key) {
+            return Some(p);
+        }
+        let pool = u32::from(self.port_hi) - u32::from(self.port_lo) + 1;
+        for _ in 0..pool {
+            let candidate = self.next_port;
+            self.next_port = if self.next_port == self.port_hi {
+                self.port_lo
+            } else {
+                self.next_port + 1
+            };
+            if !self.in_map.contains_key(&(candidate, key.proto)) {
+                self.out_map.insert(key, candidate);
+                self.in_map.insert((candidate, key.proto), key);
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Rewrites one packet; `true` means forward, `false` means drop.
+    fn translate(&mut self, packet: &mut Packet) -> bool {
+        let Ok(flow) = FiveTuple::of(packet) else {
+            self.stats.passed += 1;
+            return true;
+        };
+        if prefix_contains_addr(self.inside_net, self.inside_len, flow.src_ip) {
+            // Outbound: rewrite source to the NAT endpoint.
+            let key = InsideKey { ip: flow.src_ip, port: flow.src_port, proto: flow.proto };
+            let Some(nat_port) = self.allocate_port(key) else {
+                self.stats.dropped += 1;
+                return false;
+            };
+            rewrite(packet, Rewrite {
+                src: Some((self.nat_ip, nat_port)),
+                dst: None,
+            });
+            self.stats.outbound += 1;
+            true
+        } else if flow.dst_ip == self.nat_ip {
+            // Inbound: translate the NAT endpoint back to the original.
+            let Some(&key) = self.in_map.get(&(flow.dst_port, flow.proto)) else {
+                self.stats.dropped += 1;
+                return false;
+            };
+            rewrite(packet, Rewrite {
+                src: None,
+                dst: Some((key.ip, key.port)),
+            });
+            self.stats.inbound += 1;
+            true
+        } else {
+            self.stats.passed += 1;
+            true
+        }
+    }
+}
+
+struct Rewrite {
+    src: Option<(Ipv4Addr, u16)>,
+    dst: Option<(Ipv4Addr, u16)>,
+}
+
+/// Applies address/port rewrites and re-checksums IP + transport.
+fn rewrite(packet: &mut Packet, rw: Rewrite) {
+    let proto = packet.ipv4().expect("translate() validated the tuple").protocol();
+    {
+        let mut ip = packet.ipv4_mut().expect("validated");
+        if let Some((addr, _)) = rw.src {
+            ip.set_src(addr);
+        }
+        if let Some((addr, _)) = rw.dst {
+            ip.set_dst(addr);
+        }
+        ip.update_checksum();
+    }
+    let (src_ip, dst_ip, seg_len) = {
+        let ip = packet.ipv4().expect("validated");
+        (ip.src(), ip.dst(), (ip.total_len() as usize - ip.header_len()) as u16)
+    };
+    match proto {
+        IpProto::Udp => {
+            let mut udp = packet.udp_mut().expect("tuple implies UDP");
+            if let Some((_, port)) = rw.src {
+                udp.set_src_port(port);
+            }
+            if let Some((_, port)) = rw.dst {
+                udp.set_dst_port(port);
+            }
+            udp.update_checksum(src_ip, dst_ip);
+        }
+        IpProto::Tcp => {
+            let mut tcp = packet.tcp_mut().expect("tuple implies TCP");
+            if let Some((_, port)) = rw.src {
+                tcp.set_src_port(port);
+            }
+            if let Some((_, port)) = rw.dst {
+                tcp.set_dst_port(port);
+            }
+            tcp.update_checksum(src_ip, dst_ip, seg_len);
+        }
+        _ => {}
+    }
+}
+
+impl Operator for SourceNat {
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+        let mut out = PacketBatch::with_capacity(batch.len());
+        for mut p in batch {
+            if self.translate(&mut p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &str {
+        "source-nat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::ethernet::MacAddr;
+
+    const NAT_IP: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+
+    fn nat() -> SourceNat {
+        SourceNat::new(NAT_IP, Ipv4Addr::new(10, 0, 0, 0), 8, 40_000..=40_003)
+    }
+
+    fn outbound(src_port: u16) -> Packet {
+        Packet::build_udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(10, 1, 2, 3),
+            Ipv4Addr::new(8, 8, 8, 8),
+            src_port,
+            53,
+            8,
+        )
+    }
+
+    #[test]
+    fn outbound_rewrites_source_and_checksums() {
+        let mut n = nat();
+        let mut p = outbound(5555);
+        assert!(n.translate(&mut p));
+        let ip = p.ipv4().unwrap();
+        assert_eq!(ip.src(), NAT_IP);
+        assert!(ip.checksum_ok());
+        let udp = p.udp().unwrap();
+        assert_eq!(udp.src_port(), 40_000);
+        assert!(udp.checksum_ok(ip.src(), ip.dst()));
+        assert_eq!(n.stats().outbound, 1);
+        assert_eq!(n.active_mappings(), 1);
+    }
+
+    #[test]
+    fn same_connection_reuses_port() {
+        let mut n = nat();
+        let mut a = outbound(5555);
+        let mut b = outbound(5555);
+        n.translate(&mut a);
+        n.translate(&mut b);
+        assert_eq!(a.udp().unwrap().src_port(), b.udp().unwrap().src_port());
+        assert_eq!(n.active_mappings(), 1);
+    }
+
+    #[test]
+    fn inbound_translates_back() {
+        let mut n = nat();
+        let mut out = outbound(5555);
+        n.translate(&mut out);
+        let nat_port = out.udp().unwrap().src_port();
+
+        // Return traffic to the NAT endpoint.
+        let mut back = Packet::build_udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(8, 8, 8, 8),
+            NAT_IP,
+            53,
+            nat_port,
+            8,
+        );
+        assert!(n.translate(&mut back));
+        let ip = back.ipv4().unwrap();
+        assert_eq!(ip.dst(), Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(back.udp().unwrap().dst_port(), 5555);
+        assert!(back.udp().unwrap().checksum_ok(ip.src(), ip.dst()));
+        assert_eq!(n.stats().inbound, 1);
+    }
+
+    #[test]
+    fn unknown_inbound_dropped() {
+        let mut n = nat();
+        let mut stray = Packet::build_udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(8, 8, 8, 8),
+            NAT_IP,
+            53,
+            40_002,
+            0,
+        );
+        assert!(!n.translate(&mut stray));
+        assert_eq!(n.stats().dropped, 1);
+    }
+
+    #[test]
+    fn unrelated_traffic_passes_untouched() {
+        let mut n = nat();
+        let mut p = Packet::build_udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(172, 16, 0, 1),
+            Ipv4Addr::new(8, 8, 4, 4),
+            1234,
+            53,
+            0,
+        );
+        let before = p.as_slice().to_vec();
+        assert!(n.translate(&mut p));
+        assert_eq!(p.as_slice(), &before[..]);
+        assert_eq!(n.stats().passed, 1);
+    }
+
+    #[test]
+    fn port_pool_exhaustion_drops() {
+        let mut n = nat();
+        // Pool holds 4 ports (40000..=40003); the fifth connection fails.
+        for i in 0..4 {
+            let mut p = outbound(6000 + i);
+            assert!(n.translate(&mut p), "connection {i}");
+        }
+        let mut fifth = outbound(6004);
+        assert!(!n.translate(&mut fifth));
+        assert_eq!(n.stats().dropped, 1);
+        // Releasing one frees a port for a new connection.
+        assert!(n.release(Ipv4Addr::new(10, 1, 2, 3), 6000, IpProto::Udp));
+        let mut again = outbound(6004);
+        assert!(n.translate(&mut again));
+        assert!(!n.release(Ipv4Addr::new(10, 1, 2, 3), 9999, IpProto::Udp));
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        use crate::headers::tcp::TcpFlags;
+        let mut n = nat();
+        let mut syn = Packet::build_tcp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(10, 9, 9, 9),
+            Ipv4Addr::new(1, 1, 1, 1),
+            43210,
+            443,
+            TcpFlags(TcpFlags::SYN),
+            0,
+        );
+        assert!(n.translate(&mut syn));
+        let ip = syn.ipv4().unwrap();
+        assert_eq!(ip.src(), NAT_IP);
+        let nat_port = syn.tcp().unwrap().src_port();
+        let seg = (ip.total_len() as usize - ip.header_len()) as u16;
+        assert!(syn.tcp().unwrap().checksum_ok(ip.src(), ip.dst(), seg));
+
+        let mut ack = Packet::build_tcp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(1, 1, 1, 1),
+            NAT_IP,
+            443,
+            nat_port,
+            TcpFlags(TcpFlags::ACK),
+            0,
+        );
+        assert!(n.translate(&mut ack));
+        assert_eq!(ack.ipv4().unwrap().dst(), Ipv4Addr::new(10, 9, 9, 9));
+        assert_eq!(ack.tcp().unwrap().dst_port(), 43210);
+    }
+
+    #[test]
+    fn operator_batch_roundtrip_via_pipeline() {
+        use crate::pipeline::Pipeline;
+        let mut p = Pipeline::new().add(nat());
+        let batch: PacketBatch = (0..3).map(|i| outbound(7000 + i)).collect();
+        let out = p.run_batch(batch);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|pk| pk.ipv4().unwrap().src() == NAT_IP));
+    }
+
+    #[test]
+    #[should_panic(expected = "port pool")]
+    fn empty_pool_rejected() {
+        #[allow(clippy::reversed_empty_ranges)]
+        SourceNat::new(NAT_IP, Ipv4Addr::new(10, 0, 0, 0), 8, 2..=1);
+    }
+}

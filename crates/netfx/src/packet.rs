@@ -1,0 +1,426 @@
+//! The owned [`Packet`] type.
+//!
+//! A packet is a uniquely-owned byte buffer ([`bytes::BytesMut`]) plus
+//! cached layer offsets. Ownership is the isolation mechanism: a packet
+//! handed to another pipeline stage (or protection domain) is *moved*, so
+//! the sender can neither observe nor modify it afterwards — the property
+//! §3 of the paper builds zero-copy SFI on.
+
+use crate::headers::ethernet::{self, EtherType, EthernetHdr, EthernetHdrMut, MacAddr};
+use crate::headers::icmp::{self, IcmpHdr, IcmpHdrMut, IcmpType, ICMP_ECHO_HDR_LEN};
+use crate::headers::ipv4::{self, IpProto, Ipv4Hdr, Ipv4HdrMut, IPV4_MIN_HDR_LEN};
+use crate::headers::tcp::{self, TcpFlags, TcpHdr, TcpHdrMut, TCP_MIN_HDR_LEN};
+use crate::headers::udp::{self, UdpHdr, UdpHdrMut, UDP_HDR_LEN};
+use crate::headers::ETHERNET_HDR_LEN;
+use bytes::BytesMut;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Errors from parsing or constructing packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// A header needs more bytes than the buffer holds.
+    Truncated {
+        /// Which header was being parsed.
+        header: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A header field holds an illegal value.
+    BadField {
+        /// Which header was being parsed.
+        header: &'static str,
+        /// Which field was invalid.
+        field: &'static str,
+        /// The offending value, widened.
+        value: u64,
+    },
+    /// The packet's actual next-layer protocol differs from the requested
+    /// view (e.g. asking for UDP on a TCP packet).
+    WrongProtocol {
+        /// The view that was requested.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PacketError::Truncated { header, needed, have } => {
+                write!(f, "{header} header truncated: need {needed} bytes, have {have}")
+            }
+            PacketError::BadField { header, field, value } => {
+                write!(f, "{header} header has invalid {field} = {value}")
+            }
+            PacketError::WrongProtocol { expected } => {
+                write!(f, "packet does not carry {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// An owned network packet: Ethernet frame bytes plus parse metadata.
+pub struct Packet {
+    buf: BytesMut,
+}
+
+impl Packet {
+    /// Wraps raw frame bytes; no validation is performed until a header
+    /// view is requested.
+    pub fn from_bytes(buf: BytesMut) -> Self {
+        Self { buf }
+    }
+
+    /// Wraps a byte slice by copying it into a fresh buffer.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        Self {
+            buf: BytesMut::from(bytes),
+        }
+    }
+
+    /// Total frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True for a zero-length buffer (never a valid frame).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The raw frame bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// The raw frame bytes, mutably.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Consumes the packet, returning its buffer.
+    pub fn into_bytes(self) -> BytesMut {
+        self.buf
+    }
+
+    /// Ethernet header view.
+    pub fn ethernet(&self) -> Result<EthernetHdr<'_>, PacketError> {
+        EthernetHdr::parse(&self.buf)
+    }
+
+    /// Mutable Ethernet header view.
+    pub fn ethernet_mut(&mut self) -> Result<EthernetHdrMut<'_>, PacketError> {
+        EthernetHdrMut::parse(&mut self.buf)
+    }
+
+    /// IPv4 header view (validates the EtherType first).
+    pub fn ipv4(&self) -> Result<Ipv4Hdr<'_>, PacketError> {
+        let eth = self.ethernet()?;
+        if eth.ethertype() != EtherType::Ipv4 {
+            return Err(PacketError::WrongProtocol { expected: "ipv4" });
+        }
+        Ipv4Hdr::parse(&self.buf[ETHERNET_HDR_LEN..])
+    }
+
+    /// Mutable IPv4 header view.
+    pub fn ipv4_mut(&mut self) -> Result<Ipv4HdrMut<'_>, PacketError> {
+        let eth = self.ethernet()?;
+        if eth.ethertype() != EtherType::Ipv4 {
+            return Err(PacketError::WrongProtocol { expected: "ipv4" });
+        }
+        Ipv4HdrMut::parse(&mut self.buf[ETHERNET_HDR_LEN..])
+    }
+
+    /// Byte offset of the L4 header, validating L2/L3 on the way.
+    fn l4_offset(&self, want: IpProto, name: &'static str) -> Result<usize, PacketError> {
+        let ip = self.ipv4()?;
+        if ip.protocol() != want {
+            return Err(PacketError::WrongProtocol { expected: name });
+        }
+        Ok(ETHERNET_HDR_LEN + ip.header_len())
+    }
+
+    /// UDP header view (validates EtherType and IP protocol).
+    pub fn udp(&self) -> Result<UdpHdr<'_>, PacketError> {
+        let off = self.l4_offset(IpProto::Udp, "udp")?;
+        UdpHdr::parse(&self.buf[off..])
+    }
+
+    /// Mutable UDP header view.
+    pub fn udp_mut(&mut self) -> Result<UdpHdrMut<'_>, PacketError> {
+        let off = self.l4_offset(IpProto::Udp, "udp")?;
+        UdpHdrMut::parse(&mut self.buf[off..])
+    }
+
+    /// TCP header view (validates EtherType and IP protocol).
+    pub fn tcp(&self) -> Result<TcpHdr<'_>, PacketError> {
+        let off = self.l4_offset(IpProto::Tcp, "tcp")?;
+        TcpHdr::parse(&self.buf[off..])
+    }
+
+    /// Mutable TCP header view.
+    pub fn tcp_mut(&mut self) -> Result<TcpHdrMut<'_>, PacketError> {
+        let off = self.l4_offset(IpProto::Tcp, "tcp")?;
+        TcpHdrMut::parse(&mut self.buf[off..])
+    }
+
+    /// ICMP message view (validates EtherType and IP protocol).
+    pub fn icmp(&self) -> Result<IcmpHdr<'_>, PacketError> {
+        let off = self.l4_offset(IpProto::Icmp, "icmp")?;
+        IcmpHdr::parse(&self.buf[off..])
+    }
+
+    /// Mutable ICMP message view.
+    pub fn icmp_mut(&mut self) -> Result<IcmpHdrMut<'_>, PacketError> {
+        let off = self.l4_offset(IpProto::Icmp, "icmp")?;
+        IcmpHdrMut::parse(&mut self.buf[off..])
+    }
+
+    /// The L4 payload of a UDP packet.
+    pub fn udp_payload(&self) -> Result<&[u8], PacketError> {
+        let off = self.l4_offset(IpProto::Udp, "udp")?;
+        UdpHdr::parse(&self.buf[off..])?;
+        Ok(&self.buf[off + UDP_HDR_LEN..])
+    }
+
+    /// Builds a complete Ethernet/IPv4/UDP packet with `payload_len` zero
+    /// bytes of payload; all checksums valid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_udp(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload_len: usize,
+    ) -> Packet {
+        let udp_len = UDP_HDR_LEN + payload_len;
+        let ip_len = IPV4_MIN_HDR_LEN + udp_len;
+        let total = ETHERNET_HDR_LEN + ip_len;
+        let mut buf = BytesMut::zeroed(total);
+        ethernet::emit(&mut buf, src_mac, dst_mac, EtherType::Ipv4);
+        ipv4::emit(
+            &mut buf[ETHERNET_HDR_LEN..],
+            src_ip,
+            dst_ip,
+            IpProto::Udp,
+            ip_len as u16,
+            64,
+        );
+        udp::emit(
+            &mut buf[ETHERNET_HDR_LEN + IPV4_MIN_HDR_LEN..],
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+        );
+        Packet { buf }
+    }
+
+    /// Builds a complete Ethernet/IPv4/ICMP echo packet with
+    /// `payload_len` zero bytes of echo payload; all checksums valid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_icmp_echo(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        icmp_type: IcmpType,
+        identifier: u16,
+        sequence: u16,
+        payload_len: usize,
+    ) -> Packet {
+        let icmp_len = ICMP_ECHO_HDR_LEN + payload_len;
+        let ip_len = IPV4_MIN_HDR_LEN + icmp_len;
+        let total = ETHERNET_HDR_LEN + ip_len;
+        let mut buf = BytesMut::zeroed(total);
+        ethernet::emit(&mut buf, src_mac, dst_mac, EtherType::Ipv4);
+        ipv4::emit(
+            &mut buf[ETHERNET_HDR_LEN..],
+            src_ip,
+            dst_ip,
+            IpProto::Icmp,
+            ip_len as u16,
+            64,
+        );
+        icmp::emit(
+            &mut buf[ETHERNET_HDR_LEN + IPV4_MIN_HDR_LEN..],
+            icmp_type,
+            identifier,
+            sequence,
+        );
+        Packet { buf }
+    }
+
+    /// Builds a complete Ethernet/IPv4/TCP packet with `payload_len` zero
+    /// bytes of payload; all checksums valid.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_tcp(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        flags: TcpFlags,
+        payload_len: usize,
+    ) -> Packet {
+        let tcp_len = TCP_MIN_HDR_LEN + payload_len;
+        let ip_len = IPV4_MIN_HDR_LEN + tcp_len;
+        let total = ETHERNET_HDR_LEN + ip_len;
+        let mut buf = BytesMut::zeroed(total);
+        ethernet::emit(&mut buf, src_mac, dst_mac, EtherType::Ipv4);
+        ipv4::emit(
+            &mut buf[ETHERNET_HDR_LEN..],
+            src_ip,
+            dst_ip,
+            IpProto::Tcp,
+            ip_len as u16,
+            64,
+        );
+        tcp::emit(
+            &mut buf[ETHERNET_HDR_LEN + IPV4_MIN_HDR_LEN..],
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            0,
+            flags,
+        );
+        Packet { buf }
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Packet");
+        d.field("len", &self.len());
+        if let Ok(ip) = self.ipv4() {
+            d.field("src", &ip.src())
+                .field("dst", &ip.dst())
+                .field("proto", &ip.protocol());
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn udp_packet() -> Packet {
+        Packet::build_udp(
+            MacAddr([2, 0, 0, 0, 0, 1]),
+            MacAddr([2, 0, 0, 0, 0, 2]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            53,
+            16,
+        )
+    }
+
+    #[test]
+    fn build_udp_is_wellformed() {
+        let p = udp_packet();
+        assert_eq!(p.len(), 14 + 20 + 8 + 16);
+        let eth = p.ethernet().unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Ipv4);
+        let ip = p.ipv4().unwrap();
+        assert!(ip.checksum_ok());
+        assert_eq!(ip.total_len() as usize, p.len() - 14);
+        let u = p.udp().unwrap();
+        assert_eq!(u.src_port(), 5000);
+        assert_eq!(u.dst_port(), 53);
+        assert!(u.checksum_ok(ip.src(), ip.dst()));
+        assert_eq!(p.udp_payload().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn build_tcp_is_wellformed() {
+        let p = Packet::build_tcp(
+            MacAddr::ZERO,
+            MacAddr::BROADCAST,
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            80,
+            12345,
+            TcpFlags(TcpFlags::SYN),
+            0,
+        );
+        let ip = p.ipv4().unwrap();
+        assert_eq!(ip.protocol(), IpProto::Tcp);
+        let t = p.tcp().unwrap();
+        assert!(t.flags().is_syn_only());
+        let seg_len = (ip.total_len() as usize - ip.header_len()) as u16;
+        assert!(t.checksum_ok(ip.src(), ip.dst(), seg_len));
+    }
+
+    #[test]
+    fn wrong_protocol_views_rejected() {
+        let p = udp_packet();
+        assert_eq!(p.tcp().unwrap_err(), PacketError::WrongProtocol { expected: "tcp" });
+        let mut p = p;
+        assert!(p.tcp_mut().is_err());
+    }
+
+    #[test]
+    fn non_ipv4_rejected() {
+        let mut p = udp_packet();
+        p.ethernet_mut().unwrap().set_ethertype(EtherType::Arp);
+        assert_eq!(p.ipv4().unwrap_err(), PacketError::WrongProtocol { expected: "ipv4" });
+        assert!(p.udp().is_err());
+    }
+
+    #[test]
+    fn empty_packet() {
+        let p = Packet::from_slice(&[]);
+        assert!(p.is_empty());
+        assert!(p.ethernet().is_err());
+    }
+
+    #[test]
+    fn mutation_via_views() {
+        let mut p = udp_packet();
+        {
+            let mut ip = p.ipv4_mut().unwrap();
+            ip.set_ttl(1);
+            ip.update_checksum();
+        }
+        assert_eq!(p.ipv4().unwrap().ttl(), 1);
+        assert!(p.ipv4().unwrap().checksum_ok());
+    }
+
+    #[test]
+    fn into_bytes_roundtrip() {
+        let p = udp_packet();
+        let len = p.len();
+        let buf = p.into_bytes();
+        let p2 = Packet::from_bytes(buf);
+        assert_eq!(p2.len(), len);
+        assert!(p2.udp().is_ok());
+    }
+
+    #[test]
+    fn debug_includes_addresses() {
+        let p = udp_packet();
+        let s = format!("{p:?}");
+        assert!(s.contains("10.0.0.1"), "{s}");
+        assert!(s.contains("10.0.0.2"), "{s}");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PacketError::Truncated { header: "udp", needed: 8, have: 3 };
+        assert_eq!(e.to_string(), "udp header truncated: need 8 bytes, have 3");
+        let e = PacketError::WrongProtocol { expected: "tcp" };
+        assert_eq!(e.to_string(), "packet does not carry tcp");
+        let e = PacketError::BadField { header: "ipv4", field: "ihl", value: 3 };
+        assert_eq!(e.to_string(), "ipv4 header has invalid ihl = 3");
+    }
+}

@@ -1,0 +1,254 @@
+//! Reading and writing the classic libpcap capture format.
+//!
+//! Dependency-free support for the venerable `.pcap` file layout
+//! (magic `0xa1b2c3d4`, microsecond timestamps, LINKTYPE_ETHERNET), so
+//! generated or processed traffic can be inspected with standard tools
+//! and captures can feed the pipeline as a traffic source.
+
+use crate::batch::PacketBatch;
+use crate::packet::Packet;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: u32 = 0xA1B2_C3D4;
+const VERSION_MAJOR: u16 = 2;
+const VERSION_MINOR: u16 = 4;
+const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Errors from capture parsing.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic number (including the byte-swapped variant, which this
+    /// minimal reader does not support).
+    BadMagic(u32),
+    /// A record header claims more bytes than the capture holds.
+    Truncated,
+    /// Unsupported link type (only Ethernet is handled).
+    BadLinkType(u32),
+}
+
+impl fmt::Display for PcapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PcapError::Io(e) => write!(f, "I/O error: {e}"),
+            PcapError::BadMagic(m) => write!(f, "bad pcap magic {m:#010x}"),
+            PcapError::Truncated => write!(f, "capture truncated mid-record"),
+            PcapError::BadLinkType(l) => write!(f, "unsupported link type {l}"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<io::Error> for PcapError {
+    fn from(e: io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+/// Writes packets to a pcap stream.
+pub struct PcapWriter<W: Write> {
+    out: W,
+    packets: u64,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the global header and returns the writer.
+    pub fn new(mut out: W) -> Result<Self, PcapError> {
+        out.write_all(&MAGIC.to_le_bytes())?;
+        out.write_all(&VERSION_MAJOR.to_le_bytes())?;
+        out.write_all(&VERSION_MINOR.to_le_bytes())?;
+        out.write_all(&0i32.to_le_bytes())?; // thiszone
+        out.write_all(&0u32.to_le_bytes())?; // sigfigs
+        out.write_all(&65535u32.to_le_bytes())?; // snaplen
+        out.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+        Ok(Self { out, packets: 0 })
+    }
+
+    /// Appends one packet with the given timestamp.
+    pub fn write_packet(&mut self, packet: &Packet, ts_sec: u32, ts_usec: u32) -> Result<(), PcapError> {
+        let data = packet.as_slice();
+        let len = u32::try_from(data.len()).map_err(|_| PcapError::Truncated)?;
+        self.out.write_all(&ts_sec.to_le_bytes())?;
+        self.out.write_all(&ts_usec.to_le_bytes())?;
+        self.out.write_all(&len.to_le_bytes())?; // incl_len
+        self.out.write_all(&len.to_le_bytes())?; // orig_len
+        self.out.write_all(data)?;
+        self.packets += 1;
+        Ok(())
+    }
+
+    /// Appends a whole batch, spacing timestamps by `usec_step`.
+    pub fn write_batch(
+        &mut self,
+        batch: &PacketBatch,
+        start_sec: u32,
+        usec_step: u32,
+    ) -> Result<(), PcapError> {
+        for (i, p) in batch.iter().enumerate() {
+            let usec = (i as u32).saturating_mul(usec_step);
+            self.write_packet(p, start_sec + usec / 1_000_000, usec % 1_000_000)?;
+        }
+        Ok(())
+    }
+
+    /// Packets written so far.
+    pub fn packets_written(&self) -> u64 {
+        self.packets
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W, PcapError> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// One parsed capture record.
+#[derive(Debug)]
+pub struct PcapRecord {
+    /// Timestamp seconds.
+    pub ts_sec: u32,
+    /// Timestamp microseconds.
+    pub ts_usec: u32,
+    /// The captured frame.
+    pub packet: Packet,
+}
+
+/// Reads a pcap stream fully into records.
+pub fn read_all<R: Read>(mut input: R) -> Result<Vec<PcapRecord>, PcapError> {
+    let mut bytes = Vec::new();
+    input.read_to_end(&mut bytes)?;
+    if bytes.len() < 24 {
+        return Err(PcapError::Truncated);
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
+    if magic != MAGIC {
+        return Err(PcapError::BadMagic(magic));
+    }
+    let linktype = u32::from_le_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(PcapError::BadLinkType(linktype));
+    }
+    let mut records = Vec::new();
+    let mut pos = 24usize;
+    while pos < bytes.len() {
+        if pos + 16 > bytes.len() {
+            return Err(PcapError::Truncated);
+        }
+        let u32_at = |off: usize| -> u32 {
+            u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
+        };
+        let ts_sec = u32_at(pos);
+        let ts_usec = u32_at(pos + 4);
+        let incl = u32_at(pos + 8) as usize;
+        pos += 16;
+        if pos + incl > bytes.len() {
+            return Err(PcapError::Truncated);
+        }
+        records.push(PcapRecord {
+            ts_sec,
+            ts_usec,
+            packet: Packet::from_slice(&bytes[pos..pos + incl]),
+        });
+        pos += incl;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pktgen::{PacketGen, TrafficConfig};
+
+    fn sample_batch(n: usize) -> PacketBatch {
+        PacketGen::new(TrafficConfig::default()).next_batch(n)
+    }
+
+    #[test]
+    fn roundtrip_batch() {
+        let batch = sample_batch(10);
+        let originals: Vec<Vec<u8>> = batch.iter().map(|p| p.as_slice().to_vec()).collect();
+
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_batch(&batch, 1_700_000_000, 10).unwrap();
+        assert_eq!(w.packets_written(), 10);
+        let bytes = w.finish().unwrap();
+
+        let records = read_all(&bytes[..]).unwrap();
+        assert_eq!(records.len(), 10);
+        for (r, orig) in records.iter().zip(&originals) {
+            assert_eq!(r.packet.as_slice(), &orig[..]);
+            assert_eq!(r.ts_sec, 1_700_000_000);
+            assert!(r.packet.ipv4().unwrap().checksum_ok());
+        }
+        // Timestamps advance by the step.
+        assert_eq!(records[3].ts_usec, 30);
+    }
+
+    #[test]
+    fn header_layout_is_canonical() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let bytes = w.finish().unwrap();
+        assert_eq!(bytes.len(), 24);
+        assert_eq!(&bytes[0..4], &0xA1B2_C3D4u32.to_le_bytes());
+        assert_eq!(&bytes[20..24], &1u32.to_le_bytes());
+    }
+
+    #[test]
+    fn microsecond_carry() {
+        let batch = sample_batch(3);
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        // 600000us step: the second packet carries into the seconds field.
+        w.write_batch(&batch, 100, 600_000).unwrap();
+        let records = read_all(&w.finish().unwrap()[..]).unwrap();
+        assert_eq!((records[0].ts_sec, records[0].ts_usec), (100, 0));
+        assert_eq!((records[1].ts_sec, records[1].ts_usec), (100, 600_000));
+        assert_eq!((records[2].ts_sec, records[2].ts_usec), (101, 200_000));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = {
+            let w = PcapWriter::new(Vec::new()).unwrap();
+            w.finish().unwrap()
+        };
+        bytes[0] = 0;
+        assert!(matches!(read_all(&bytes[..]), Err(PcapError::BadMagic(_))));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let batch = sample_batch(1);
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_batch(&batch, 0, 0).unwrap();
+        let bytes = w.finish().unwrap();
+        for cut in [10, 30, bytes.len() - 1] {
+            assert!(read_all(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn wrong_linktype_rejected() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let mut bytes = w.finish().unwrap();
+        bytes[20] = 101; // LINKTYPE_RAW
+        assert!(matches!(read_all(&bytes[..]), Err(PcapError::BadLinkType(101))));
+    }
+
+    #[test]
+    fn captured_traffic_reenters_the_pipeline() {
+        use crate::operators::Counter;
+        use crate::pipeline::Pipeline;
+        let batch = sample_batch(5);
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        w.write_batch(&batch, 0, 1).unwrap();
+        let records = read_all(&w.finish().unwrap()[..]).unwrap();
+        let replay: PacketBatch = records.into_iter().map(|r| r.packet).collect();
+        let mut p = Pipeline::new().add(Counter::new());
+        let out = p.run_batch(replay);
+        assert_eq!(out.len(), 5);
+    }
+}

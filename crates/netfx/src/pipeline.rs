@@ -1,0 +1,201 @@
+//! The operator abstraction and pipeline composition.
+//!
+//! A pipeline is an ordered sequence of [`Operator`]s. A batch enters at
+//! stage 0 and is processed *to completion* — each stage consumes the
+//! batch by value and returns (usually the same) batch, exactly the
+//! NetBricks execution model Figure 2 measures. Passing by value is what
+//! lets the SFI layer later replace these calls with remote invocations
+//! without copying a single packet.
+
+use crate::batch::PacketBatch;
+
+/// A pipeline stage: consumes a batch, returns the batch to forward.
+///
+/// Implementations may drop packets (returning a smaller batch), rewrite
+/// headers in place, or synthesize new packets. The batch is taken by
+/// value: after calling `process`, the caller provably holds no reference
+/// to any packet in it.
+pub trait Operator {
+    /// Processes one batch to completion.
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch;
+
+    /// A short human-readable stage name for diagnostics.
+    fn name(&self) -> &str {
+        "operator"
+    }
+}
+
+// Closures are operators too; handy in tests and examples.
+impl<F: FnMut(PacketBatch) -> PacketBatch> Operator for F {
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+        self(batch)
+    }
+
+    fn name(&self) -> &str {
+        "closure"
+    }
+}
+
+/// An ordered chain of boxed operators.
+#[derive(Default)]
+pub struct Pipeline {
+    stages: Vec<Box<dyn Operator>>,
+    batches_processed: u64,
+    packets_in: u64,
+    packets_out: u64,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline (the identity function on batches).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stage; builder style.
+    #[expect(clippy::should_implement_trait, reason = "builder-style add, not arithmetic")]
+    pub fn add(mut self, op: impl Operator + 'static) -> Self {
+        self.stages.push(Box::new(op));
+        self
+    }
+
+    /// Appends a boxed stage.
+    pub fn add_boxed(&mut self, op: Box<dyn Operator>) {
+        self.stages.push(op);
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Stage names, in order.
+    pub fn stage_names(&self) -> Vec<&str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Runs one batch through every stage, batch-to-completion.
+    pub fn run_batch(&mut self, batch: PacketBatch) -> PacketBatch {
+        self.batches_processed += 1;
+        self.packets_in += batch.len() as u64;
+        let mut batch = batch;
+        for stage in &mut self.stages {
+            batch = stage.process(batch);
+        }
+        self.packets_out += batch.len() as u64;
+        batch
+    }
+
+    /// Batches processed since construction.
+    pub fn batches_processed(&self) -> u64 {
+        self.batches_processed
+    }
+
+    /// Packets that entered stage 0.
+    pub fn packets_in(&self) -> u64 {
+        self.packets_in
+    }
+
+    /// Packets that left the last stage.
+    pub fn packets_out(&self) -> u64 {
+        self.packets_out
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("stages", &self.stage_names())
+            .field("batches_processed", &self.batches_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::ethernet::MacAddr;
+    use crate::operators::NullFilter;
+    use crate::packet::Packet;
+    use std::net::Ipv4Addr;
+
+    fn batch(n: usize) -> PacketBatch {
+        (0..n)
+            .map(|i| {
+                Packet::build_udp(
+                    MacAddr::ZERO,
+                    MacAddr::ZERO,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                    Ipv4Addr::new(10, 0, 0, 2),
+                    1000 + i as u16,
+                    80,
+                    0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_pipeline_is_identity() {
+        let mut p = Pipeline::new();
+        assert!(p.is_empty());
+        let out = p.run_batch(batch(3));
+        assert_eq!(out.len(), 3);
+        assert_eq!(p.packets_in(), 3);
+        assert_eq!(p.packets_out(), 3);
+    }
+
+    #[test]
+    fn stages_run_in_order() {
+        let mut p = Pipeline::new()
+            .add(|mut b: PacketBatch| {
+                for pk in b.iter_mut() {
+                    pk.ipv4_mut().unwrap().set_ttl(10);
+                }
+                b
+            })
+            .add(|mut b: PacketBatch| {
+                for pk in b.iter_mut() {
+                    let cur = pk.ipv4().unwrap().ttl();
+                    pk.ipv4_mut().unwrap().set_ttl(cur + 1);
+                }
+                b
+            });
+        let out = p.run_batch(batch(2));
+        assert!(out.iter().all(|pk| pk.ipv4().unwrap().ttl() == 11));
+    }
+
+    #[test]
+    fn dropping_stage_shrinks_output_count() {
+        let mut p = Pipeline::new().add(|mut b: PacketBatch| {
+            b.retain(|pk| pk.udp().unwrap().src_port() % 2 == 0);
+            b
+        });
+        let out = p.run_batch(batch(10));
+        assert_eq!(out.len(), 5);
+        assert_eq!(p.packets_in(), 10);
+        assert_eq!(p.packets_out(), 5);
+    }
+
+    #[test]
+    fn null_filter_chain_preserves_batch() {
+        let mut p = Pipeline::new();
+        for _ in 0..5 {
+            p.add_boxed(Box::new(NullFilter::new()));
+        }
+        assert_eq!(p.len(), 5);
+        let out = p.run_batch(batch(7));
+        assert_eq!(out.len(), 7);
+        assert_eq!(p.batches_processed(), 1);
+    }
+
+    #[test]
+    fn stage_names_reported() {
+        let p = Pipeline::new().add(NullFilter::new());
+        assert_eq!(p.stage_names(), vec!["null-filter"]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Synthetic traffic generation — the DPDK stand-in.
+//!
+//! The paper's testbed pulls packets from DPDK in user-defined batch
+//! sizes. This module generates equivalent batches in memory: a fixed
+//! population of flows (5-tuples), a flow-popularity distribution
+//! (uniform or Zipf, matching how load-balancer evaluations model
+//! traffic), and configurable payload sizes. Generation is seeded and
+//! fully deterministic so experiments are reproducible run-to-run.
+
+use crate::batch::PacketBatch;
+use crate::headers::ethernet::MacAddr;
+use crate::headers::ipv4::IpProto;
+use crate::headers::tcp::TcpFlags;
+use crate::packet::Packet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// How flow popularity is distributed across the flow population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FlowDistribution {
+    /// Every flow equally likely.
+    Uniform,
+    /// Zipf with the given exponent (`s > 0`); `s ≈ 1` models typical
+    /// heavy-tailed Internet traffic.
+    Zipf(f64),
+}
+
+/// Traffic generator configuration.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Number of distinct flows in the population.
+    pub flows: usize,
+    /// Flow-popularity distribution.
+    pub distribution: FlowDistribution,
+    /// Transport protocol for generated packets.
+    pub proto: IpProto,
+    /// UDP/TCP payload length in bytes.
+    pub payload_len: usize,
+    /// RNG seed; same seed ⇒ same packet stream.
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            flows: 1024,
+            distribution: FlowDistribution::Uniform,
+            proto: IpProto::Udp,
+            payload_len: 64,
+            seed: 0xBEEF_CAFE,
+        }
+    }
+}
+
+/// A deterministic synthetic packet source.
+#[derive(Debug)]
+pub struct PacketGen {
+    config: TrafficConfig,
+    rng: StdRng,
+    /// Pre-materialized flow endpoints, indexed by flow id.
+    endpoints: Vec<(Ipv4Addr, Ipv4Addr, u16, u16)>,
+    /// Cumulative probability table for Zipf sampling (empty for uniform).
+    zipf_cdf: Vec<f64>,
+    generated: u64,
+}
+
+impl PacketGen {
+    /// Creates a generator for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.flows` is zero or a Zipf exponent is not
+    /// positive and finite.
+    pub fn new(config: TrafficConfig) -> Self {
+        assert!(config.flows > 0, "flow population must be non-empty");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let endpoints = (0..config.flows)
+            .map(|i| {
+                let src = Ipv4Addr::from(0x0A00_0000 | (i as u32 & 0x00FF_FFFF));
+                let dst = Ipv4Addr::new(192, 0, 2, 1); // the VIP, TEST-NET-1
+                let sport = rng.gen_range(1024..=u16::MAX);
+                let dport = 80;
+                (src, dst, sport, dport)
+            })
+            .collect();
+        let zipf_cdf = match config.distribution {
+            FlowDistribution::Uniform => Vec::new(),
+            FlowDistribution::Zipf(s) => {
+                assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive, got {s}");
+                let mut weights: Vec<f64> =
+                    (1..=config.flows).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+                let total: f64 = weights.iter().sum();
+                let mut acc = 0.0;
+                for w in &mut weights {
+                    acc += *w / total;
+                    *w = acc;
+                }
+                // Guard against floating-point shortfall at the end.
+                *weights.last_mut().expect("flows > 0") = 1.0;
+                weights
+            }
+        };
+        Self {
+            config,
+            rng,
+            endpoints,
+            zipf_cdf,
+            generated: 0,
+        }
+    }
+
+    /// Draws the next flow id according to the configured distribution.
+    pub fn next_flow_id(&mut self) -> usize {
+        match self.config.distribution {
+            FlowDistribution::Uniform => self.rng.gen_range(0..self.config.flows),
+            FlowDistribution::Zipf(_) => {
+                let u: f64 = self.rng.gen();
+                // First index whose CDF value reaches `u`.
+                self.zipf_cdf.partition_point(|&c| c < u)
+            }
+        }
+    }
+
+    /// Generates one packet.
+    pub fn next_packet(&mut self) -> Packet {
+        let flow = self.next_flow_id();
+        let (src, dst, sport, dport) = self.endpoints[flow];
+        self.generated += 1;
+        match self.config.proto {
+            IpProto::Tcp => Packet::build_tcp(
+                MacAddr([2, 0, 0, 0, 0, 1]),
+                MacAddr([2, 0, 0, 0, 0, 2]),
+                src,
+                dst,
+                sport,
+                dport,
+                TcpFlags(TcpFlags::ACK),
+                self.config.payload_len,
+            ),
+            _ => Packet::build_udp(
+                MacAddr([2, 0, 0, 0, 0, 1]),
+                MacAddr([2, 0, 0, 0, 0, 2]),
+                src,
+                dst,
+                sport,
+                dport,
+                self.config.payload_len,
+            ),
+        }
+    }
+
+    /// Generates a batch of `n` packets.
+    pub fn next_batch(&mut self, n: usize) -> PacketBatch {
+        (0..n).map(|_| self.next_packet()).collect()
+    }
+
+    /// Total packets generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FiveTuple;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TrafficConfig::default();
+        let mut a = PacketGen::new(cfg.clone());
+        let mut b = PacketGen::new(cfg);
+        for _ in 0..100 {
+            assert_eq!(a.next_packet().as_slice(), b.next_packet().as_slice());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = PacketGen::new(TrafficConfig { seed: 1, ..Default::default() });
+        let mut b = PacketGen::new(TrafficConfig { seed: 2, ..Default::default() });
+        let same = (0..50)
+            .filter(|_| a.next_packet().as_slice() == b.next_packet().as_slice())
+            .count();
+        assert!(same < 50, "independent seeds produced identical streams");
+    }
+
+    #[test]
+    fn batch_size_and_wellformedness() {
+        let mut g = PacketGen::new(TrafficConfig::default());
+        let batch = g.next_batch(32);
+        assert_eq!(batch.len(), 32);
+        assert_eq!(g.generated(), 32);
+        for p in batch.iter() {
+            assert!(p.ipv4().unwrap().checksum_ok());
+            assert!(FiveTuple::of(p).is_ok());
+        }
+    }
+
+    #[test]
+    fn uniform_covers_flows() {
+        let mut g = PacketGen::new(TrafficConfig {
+            flows: 16,
+            ..Default::default()
+        });
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(g.next_flow_id());
+        }
+        assert_eq!(seen.len(), 16, "uniform draw should hit every flow");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_ranked() {
+        let mut g = PacketGen::new(TrafficConfig {
+            flows: 100,
+            distribution: FlowDistribution::Zipf(1.2),
+            ..Default::default()
+        });
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            *counts.entry(g.next_flow_id()).or_default() += 1;
+        }
+        let c0 = counts.get(&0).copied().unwrap_or(0);
+        let c9 = counts.get(&9).copied().unwrap_or(0);
+        assert!(c0 > 4 * c9, "rank 0 ({c0}) should dwarf rank 9 ({c9})");
+        // All sampled ids must be within the population.
+        assert!(counts.keys().all(|&id| id < 100));
+    }
+
+    #[test]
+    fn zipf_cdf_extreme_u_in_range() {
+        let mut g = PacketGen::new(TrafficConfig {
+            flows: 3,
+            distribution: FlowDistribution::Zipf(0.5),
+            ..Default::default()
+        });
+        for _ in 0..1000 {
+            assert!(g.next_flow_id() < 3);
+        }
+    }
+
+    #[test]
+    fn tcp_traffic_generates_tcp() {
+        let mut g = PacketGen::new(TrafficConfig {
+            proto: IpProto::Tcp,
+            payload_len: 10,
+            ..Default::default()
+        });
+        let p = g.next_packet();
+        assert!(p.tcp().is_ok());
+        assert_eq!(FiveTuple::of(&p).unwrap().proto, IpProto::Tcp);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_flows_rejected() {
+        PacketGen::new(TrafficConfig { flows: 0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf exponent")]
+    fn bad_zipf_rejected() {
+        PacketGen::new(TrafficConfig {
+            distribution: FlowDistribution::Zipf(0.0),
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,86 @@
+//! Errors surfaced by cross-domain invocation.
+
+use crate::tls::DomainId;
+use std::fmt;
+
+/// Why a remote invocation did not run (or did not finish).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// The reference was revoked: its proxy is gone from the home
+    /// domain's reference table, so the weak pointer no longer upgrades.
+    /// This is also what every pre-fault `RRef` returns after a domain
+    /// has been recovered.
+    Revoked,
+    /// The target domain is in the failed state and has no recovery
+    /// function to bring it back.
+    DomainFailed {
+        /// The failed domain.
+        domain: DomainId,
+    },
+    /// The target domain was destroyed by its manager.
+    DomainDestroyed {
+        /// The destroyed domain.
+        domain: DomainId,
+    },
+    /// The domain's interposition policy rejected the call.
+    AccessDenied {
+        /// The calling domain.
+        caller: DomainId,
+        /// The method name presented to the policy.
+        method: &'static str,
+    },
+    /// The callee panicked during this invocation. The stack has been
+    /// unwound to the domain boundary and fault handling (table clear +
+    /// recovery) has already run by the time the caller sees this.
+    Fault {
+        /// The domain that faulted.
+        domain: DomainId,
+    },
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Revoked => write!(f, "remote reference has been revoked"),
+            RpcError::DomainFailed { domain } => {
+                write!(f, "domain {domain:?} has failed and was not recovered")
+            }
+            RpcError::DomainDestroyed { domain } => {
+                write!(f, "domain {domain:?} has been destroyed")
+            }
+            RpcError::AccessDenied { caller, method } => {
+                write!(f, "policy denied {caller:?} calling {method}")
+            }
+            RpcError::Fault { domain } => {
+                write!(f, "callee in domain {domain:?} panicked during the call")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let d = DomainId::new(3);
+        assert!(RpcError::Revoked.to_string().contains("revoked"));
+        assert!(RpcError::DomainFailed { domain: d }.to_string().contains("failed"));
+        assert!(RpcError::DomainDestroyed { domain: d }.to_string().contains("destroyed"));
+        assert!(RpcError::Fault { domain: d }.to_string().contains("panicked"));
+        let denied = RpcError::AccessDenied { caller: d, method: "method1" };
+        assert!(denied.to_string().contains("method1"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(RpcError::Revoked, RpcError::Revoked);
+        assert_ne!(
+            RpcError::Revoked,
+            RpcError::Fault { domain: DomainId::new(1) }
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Interposition on cross-domain calls.
+//!
+//! "Proxying remote invocations through the reference table gives the
+//! owner of the domain complete control over its interfaces ... they can
+//! intercept remote invocations for fine-grained access control" (§3).
+//! A domain may install a [`Policy`]; every remote invocation consults it
+//! with the caller's identity and a method name before the call runs.
+
+use crate::tls::DomainId;
+use std::collections::HashSet;
+
+/// Decides whether a cross-domain call may proceed.
+pub trait Policy: Send + Sync {
+    /// Returns true when `caller` may invoke `method` on objects of the
+    /// policy's domain.
+    fn allow(&self, caller: DomainId, method: &str) -> bool;
+}
+
+/// Permits every call (the default when no policy is installed).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllowAll;
+
+impl Policy for AllowAll {
+    fn allow(&self, _caller: DomainId, _method: &str) -> bool {
+        true
+    }
+}
+
+/// Denies every call — useful to quarantine a domain without destroying
+/// it (existing state stays intact, nothing can reach it).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DenyAll;
+
+impl Policy for DenyAll {
+    fn allow(&self, _caller: DomainId, _method: &str) -> bool {
+        false
+    }
+}
+
+/// An allowlist of `(caller, method)` pairs, with per-caller and
+/// per-method wildcards.
+#[derive(Debug, Default)]
+pub struct AclPolicy {
+    /// Exact (caller, method) grants.
+    exact: HashSet<(DomainId, String)>,
+    /// Callers allowed to invoke any method.
+    any_method: HashSet<DomainId>,
+    /// Methods any caller may invoke.
+    any_caller: HashSet<String>,
+}
+
+impl AclPolicy {
+    /// Creates an empty (deny-everything) ACL.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants `caller` access to `method`; builder style.
+    pub fn grant(mut self, caller: DomainId, method: impl Into<String>) -> Self {
+        self.exact.insert((caller, method.into()));
+        self
+    }
+
+    /// Grants `caller` access to every method.
+    pub fn grant_all_methods(mut self, caller: DomainId) -> Self {
+        self.any_method.insert(caller);
+        self
+    }
+
+    /// Grants every caller access to `method`.
+    pub fn grant_all_callers(mut self, method: impl Into<String>) -> Self {
+        self.any_caller.insert(method.into());
+        self
+    }
+}
+
+impl Policy for AclPolicy {
+    fn allow(&self, caller: DomainId, method: &str) -> bool {
+        self.any_method.contains(&caller)
+            || self.any_caller.contains(method)
+            || self.exact.contains(&(caller, method.to_string()))
+    }
+}
+
+// Closures over (caller, method) are policies too.
+impl<F: Fn(DomainId, &str) -> bool + Send + Sync> Policy for F {
+    fn allow(&self, caller: DomainId, method: &str) -> bool {
+        self(caller, method)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: DomainId = DomainId::new(1);
+    const B: DomainId = DomainId::new(2);
+
+    #[test]
+    fn allow_all_allows() {
+        assert!(AllowAll.allow(A, "anything"));
+    }
+
+    #[test]
+    fn deny_all_denies() {
+        assert!(!DenyAll.allow(A, "anything"));
+    }
+
+    #[test]
+    fn empty_acl_denies() {
+        assert!(!AclPolicy::new().allow(A, "read"));
+    }
+
+    #[test]
+    fn exact_grant() {
+        let p = AclPolicy::new().grant(A, "read");
+        assert!(p.allow(A, "read"));
+        assert!(!p.allow(A, "write"));
+        assert!(!p.allow(B, "read"));
+    }
+
+    #[test]
+    fn caller_wildcard() {
+        let p = AclPolicy::new().grant_all_methods(A);
+        assert!(p.allow(A, "read"));
+        assert!(p.allow(A, "write"));
+        assert!(!p.allow(B, "read"));
+    }
+
+    #[test]
+    fn method_wildcard() {
+        let p = AclPolicy::new().grant_all_callers("ping");
+        assert!(p.allow(A, "ping"));
+        assert!(p.allow(B, "ping"));
+        assert!(!p.allow(A, "write"));
+    }
+
+    #[test]
+    fn closure_policy() {
+        let p = |caller: DomainId, method: &str| caller == A && method.starts_with("get_");
+        assert!(p.allow(A, "get_stats"));
+        assert!(!p.allow(A, "set_stats"));
+        assert!(!p.allow(B, "get_stats"));
+    }
+}

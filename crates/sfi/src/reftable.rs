@@ -1,0 +1,253 @@
+//! The per-domain reference table.
+//!
+//! Every object a domain exports lives behind an entry here: the table
+//! holds the *strong* reference (an `Arc` to the object's mutex), and the
+//! [`crate::RRef`] handed to other domains holds only a *weak* one. That
+//! asymmetry is the whole revocation mechanism: removing the entry drops
+//! the strong count to zero, after which every outstanding weak pointer
+//! fails to upgrade and the object is deallocated. Clearing the table
+//! therefore "automatically deallocate[s] all memory and resources owned
+//! by the domain" (§3), which is the first step of fault recovery.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::Arc;
+
+/// A type-erased strong entry: the `Arc<Mutex<T>>` an `RRef<T>` weakly
+/// points at.
+type Entry = Arc<dyn Any + Send + Sync>;
+
+/// A slotted table of strong object references.
+///
+/// Slots are reused via a free list so long-lived domains exporting and
+/// revoking many objects do not grow without bound.
+#[derive(Default)]
+pub struct RefTable {
+    inner: Mutex<Slots>,
+}
+
+#[derive(Default)]
+struct Slots {
+    entries: Vec<Option<Entry>>,
+    free: Vec<usize>,
+    /// Bumped on every `clear`, so stale slot handles from before a
+    /// recovery can be told apart from fresh ones.
+    epoch: u64,
+}
+
+/// A handle naming a slot in a specific table epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotHandle {
+    /// Slot index.
+    pub index: usize,
+    /// Table epoch the slot was allocated in.
+    pub epoch: u64,
+}
+
+impl RefTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a strong entry, returning its slot handle.
+    pub fn insert(&self, entry: Entry) -> SlotHandle {
+        let mut slots = self.inner.lock();
+        let epoch = slots.epoch;
+        let index = match slots.free.pop() {
+            Some(i) => {
+                slots.entries[i] = Some(entry);
+                i
+            }
+            None => {
+                slots.entries.push(Some(entry));
+                slots.entries.len() - 1
+            }
+        };
+        SlotHandle { index, epoch }
+    }
+
+    /// Removes one entry (revoking the capability). Returns the strong
+    /// reference if the slot was live in the handle's epoch.
+    pub fn remove(&self, handle: SlotHandle) -> Option<Entry> {
+        let mut slots = self.inner.lock();
+        if handle.epoch != slots.epoch || handle.index >= slots.entries.len() {
+            return None;
+        }
+        let taken = slots.entries[handle.index].take();
+        if taken.is_some() {
+            slots.free.push(handle.index);
+        }
+        taken
+    }
+
+    /// Drops every entry and starts a new epoch. Returns how many live
+    /// entries were revoked.
+    ///
+    /// This is the bulk-deallocation step of domain recovery: objects
+    /// whose only strong reference was the table are freed here, and all
+    /// outstanding weak references die together.
+    pub fn clear(&self) -> usize {
+        let mut slots = self.inner.lock();
+        let live = slots.entries.iter().filter(|e| e.is_some()).count();
+        slots.entries.clear();
+        slots.free.clear();
+        slots.epoch += 1;
+        live
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current epoch (bumped by [`RefTable::clear`]).
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().epoch
+    }
+}
+
+impl std::fmt::Debug for RefTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let slots = self.inner.lock();
+        f.debug_struct("RefTable")
+            .field("live", &slots.entries.iter().filter(|e| e.is_some()).count())
+            .field("capacity", &slots.entries.len())
+            .field("epoch", &slots.epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Weak;
+
+    fn entry(v: u32) -> (Entry, Weak<parking_lot::Mutex<u32>>) {
+        let strong = Arc::new(parking_lot::Mutex::new(v));
+        let weak = Arc::downgrade(&strong);
+        (strong as Entry, weak)
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let t = RefTable::new();
+        assert!(t.is_empty());
+        let (e, _) = entry(1);
+        t.insert(e);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn remove_revokes_weak() {
+        let t = RefTable::new();
+        let (e, weak) = entry(1);
+        let h = t.insert(e);
+        assert!(weak.upgrade().is_some());
+        assert!(t.remove(h).is_some());
+        assert!(weak.upgrade().is_none(), "weak must die with the table entry");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let t = RefTable::new();
+        let (e, _) = entry(1);
+        let h = t.insert(e);
+        assert!(t.remove(h).is_some());
+        assert!(t.remove(h).is_none());
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let t = RefTable::new();
+        let (e1, _) = entry(1);
+        let h1 = t.insert(e1);
+        t.remove(h1);
+        let (e2, _) = entry(2);
+        let h2 = t.insert(e2);
+        assert_eq!(h1.index, h2.index, "freed slot should be reused");
+        assert_eq!(h1.epoch, h2.epoch);
+    }
+
+    #[test]
+    fn clear_kills_everything_and_bumps_epoch() {
+        let t = RefTable::new();
+        let weaks: Vec<_> = (0..5)
+            .map(|i| {
+                let (e, w) = entry(i);
+                t.insert(e);
+                w
+            })
+            .collect();
+        assert_eq!(t.epoch(), 0);
+        assert_eq!(t.clear(), 5);
+        assert_eq!(t.epoch(), 1);
+        assert!(t.is_empty());
+        for w in weaks {
+            assert!(w.upgrade().is_none());
+        }
+    }
+
+    #[test]
+    fn stale_epoch_handle_cannot_remove() {
+        let t = RefTable::new();
+        let (e, _) = entry(1);
+        let h = t.insert(e);
+        t.clear();
+        let (e2, w2) = entry(2);
+        let h2 = t.insert(e2);
+        // Old handle may alias the same index but its epoch is stale.
+        assert_eq!(h.index, h2.index);
+        assert!(t.remove(h).is_none());
+        assert!(w2.upgrade().is_some(), "stale handle must not revoke a fresh entry");
+    }
+
+    #[test]
+    fn clear_counts_only_live() {
+        let t = RefTable::new();
+        let (e1, _) = entry(1);
+        let (e2, _) = entry(2);
+        let h = t.insert(e1);
+        t.insert(e2);
+        t.remove(h);
+        assert_eq!(t.clear(), 1);
+    }
+
+    #[test]
+    fn debug_format_mentions_counts() {
+        let t = RefTable::new();
+        let (e, _) = entry(1);
+        t.insert(e);
+        let s = format!("{t:?}");
+        assert!(s.contains("live: 1"), "{s}");
+    }
+
+    #[test]
+    fn concurrent_insert_remove() {
+        let t = Arc::new(RefTable::new());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..100 {
+                    let (e, _) = entry(i * 100 + j);
+                    let h = t.insert(e);
+                    if j % 2 == 0 {
+                        t.remove(h);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 8 * 50);
+    }
+}

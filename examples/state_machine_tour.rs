@@ -1,0 +1,81 @@
+//! A tour of the checkpoint crate's state-management stack on one
+//! realistic object: the firewall rule database.
+//!
+//! checkpoint → mutate → transaction with savepoints → panic rollback →
+//! binary persistence → incremental delta.
+//!
+//! ```sh
+//! cargo run --release --example state_machine_tour
+//! ```
+
+use rust_beyond_safety::checkpoint::txn::{with_transaction, Transaction, TxnAborted};
+use rust_beyond_safety::checkpoint::{checkpoint, decode, diff, encode, restore};
+use rust_beyond_safety::fwtrie::{Action, FwTrie, Rule};
+use std::net::Ipv4Addr;
+
+fn base_rules() -> FwTrie {
+    let mut t = FwTrie::new();
+    let shared = t.insert(Rule::new(1, "allow-web", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow).dports(80, 443));
+    t.alias_at(Ipv4Addr::new(172, 16, 0, 0), 12, shared);
+    t.insert(Rule::new(2, "deny-telnet", Ipv4Addr::UNSPECIFIED, 0, Action::Deny).dports(23, 23));
+    t
+}
+
+fn main() {
+    // 1. Transactions with savepoints.
+    let mut txn = Transaction::begin(base_rules());
+    txn.get_mut().insert(Rule::new(3, "allow-dns", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(53, 53));
+    txn.savepoint("dns-added");
+    txn.get_mut().insert(Rule::new(4, "oops-allow-all", Ipv4Addr::UNSPECIFIED, 0, Action::Allow));
+    println!(
+        "during txn: {} rule refs ({} savepoints live)",
+        txn.get().rule_refs(),
+        txn.savepoint_count()
+    );
+    txn.rollback_to("dns-added").expect("savepoint restores");
+    let db = txn.commit();
+    println!("after rollback_to + commit: {} rule refs (rule 4 gone)", db.rule_refs());
+
+    // 2. Closure-style transaction with panic rollback.
+    std::panic::set_hook(Box::new(|_| {}));
+    let (db, outcome) = with_transaction(db, |t| {
+        t.remove_rule(2);
+        panic!("control-plane bug mid-update");
+        #[allow(unreachable_code)]
+        Ok::<(), ()>(())
+    });
+    let _ = std::panic::take_hook();
+    println!(
+        "panicking update: outcome {:?}, deny-telnet still present: {}",
+        matches!(outcome, Err(TxnAborted::Panicked)),
+        db.iter_refs().iter().any(|r| r.id == 2)
+    );
+
+    // 3. Binary persistence.
+    let cp = checkpoint(&db);
+    let bytes = encode(&cp);
+    println!(
+        "\npersisted checkpoint: {} snapshot nodes -> {} bytes on the wire",
+        cp.total_nodes(),
+        bytes.len()
+    );
+    let reloaded: FwTrie = restore(&decode(&bytes).expect("valid header")).expect("restores");
+    println!("reloaded database: {} rule refs", reloaded.rule_refs());
+
+    // 4. Incremental deltas: one small change, tiny payload.
+    let mut next = reloaded;
+    next.insert(Rule::new(9, "allow-ntp", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(123, 123));
+    let after = checkpoint(&next);
+    let delta = diff(&cp, &after);
+    println!(
+        "after one rule change: delta carries {} nodes vs {} for a full snapshot ({}x smaller)",
+        delta.payload_nodes(),
+        after.total_nodes(),
+        after.total_nodes() / delta.payload_nodes().max(1)
+    );
+    let rebuilt = rust_beyond_safety::checkpoint::apply(&cp, &delta).expect("delta applies");
+    println!(
+        "replica after applying the delta matches: {}",
+        rebuilt.root == after.root && rebuilt.shared == after.shared
+    );
+}

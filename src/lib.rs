@@ -1,0 +1,51 @@
+//! # rust-beyond-safety
+//!
+//! A reproduction of *System Programming in Rust: Beyond Safety* (HotOS '17).
+//!
+//! The paper argues that Rust's linear type system enables capabilities that go
+//! beyond memory safety and that are impractical to implement efficiently in
+//! conventional languages. This workspace builds the paper's three prototypes,
+//! plus every substrate they depend on:
+//!
+//! - **Isolation** ([`sfi`]): zero-copy software fault isolation. Protection
+//!   domains share a heap but exchange data only by *moving* ownership across
+//!   [`sfi::RRef`] remote references; a failed domain is recovered by clearing
+//!   its reference table and re-initialising it.
+//! - **Analysis** ([`ifc`]): static information flow control by verifying an
+//!   abstract interpretation of the program in which every value is a security
+//!   label. Move semantics make the analysis precise without alias analysis.
+//! - **Automation** ([`checkpoint`]): automatic checkpointing of arbitrary
+//!   pointer-linked data structures. Unique ownership makes traversal trivially
+//!   correct; only explicitly aliased [`checkpoint::CkRc`] nodes need (O(1))
+//!   dedup handling.
+//!
+//! Substrates: [`netfx`] is a NetBricks-style packet-processing framework with
+//! a synthetic traffic generator, [`maglev`] is a Maglev consistent-hashing
+//! load balancer network function, and [`fwtrie`] is the firewall rule trie of
+//! the paper's Figure 3.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rust_beyond_safety::sfi::{DomainManager, RRef};
+//!
+//! let mgr = DomainManager::new();
+//! let domain = mgr.create_domain("counter").unwrap();
+//! let rref: RRef<u64> = domain.execute(|| RRef::new(&domain, 0u64)).unwrap();
+//! let value = rref.invoke_mut(|v| { *v += 1; *v }).unwrap();
+//! assert_eq!(value, 1);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! experiment harness that regenerates the paper's figures.
+
+pub mod isolated;
+
+pub use isolated::IsolatedPipeline;
+pub use rbs_checkpoint as checkpoint;
+pub use rbs_core as core;
+pub use rbs_fwtrie as fwtrie;
+pub use rbs_ifc as ifc;
+pub use rbs_maglev as maglev;
+pub use rbs_netfx as netfx;
+pub use rbs_sfi as sfi;

@@ -1,0 +1,193 @@
+//! Integration: a full NFV service chain — firewall → per-flow rate
+//! limiter → source NAT — each stage in its own protection domain,
+//! with bidirectional traffic and translated return flows.
+
+use rust_beyond_safety::fwtrie::{Action, FirewallOp, FwTrie, Rule};
+use rust_beyond_safety::netfx::batch::PacketBatch;
+use rust_beyond_safety::netfx::headers::ethernet::MacAddr;
+use rust_beyond_safety::netfx::nat::SourceNat;
+use rust_beyond_safety::netfx::packet::Packet;
+use rust_beyond_safety::netfx::ratelimit::PerFlowRateLimiter;
+use rust_beyond_safety::IsolatedPipeline;
+use std::net::Ipv4Addr;
+
+const NAT_IP: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+
+fn outbound_packet(host: u8, sport: u16) -> Packet {
+    Packet::build_udp(
+        MacAddr::ZERO,
+        MacAddr::ZERO,
+        Ipv4Addr::new(10, 0, 0, host),
+        Ipv4Addr::new(8, 8, 8, 8),
+        sport,
+        53,
+        16,
+    )
+}
+
+fn egress_chain() -> IsolatedPipeline {
+    let mut p = IsolatedPipeline::new();
+    p.add_stage("firewall", || {
+        let mut trie = FwTrie::new();
+        // Only DNS egress is allowed.
+        trie.insert(
+            Rule::new(1, "allow-dns", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(53, 53),
+        );
+        Box::new(FirewallOp::new(trie, Action::Deny))
+    })
+    .unwrap();
+    p.add_stage("limiter", || {
+        Box::new(PerFlowRateLimiter::new(1_000_000.0, 100.0, 10_000))
+    })
+    .unwrap();
+    p.add_stage("nat", || {
+        Box::new(SourceNat::new(NAT_IP, Ipv4Addr::new(10, 0, 0, 0), 8, 40_000..=50_000))
+    })
+    .unwrap();
+    p
+}
+
+#[test]
+fn outbound_traffic_is_filtered_limited_and_translated() {
+    let mut chain = egress_chain();
+    let batch: PacketBatch = vec![
+        outbound_packet(1, 1111), // DNS, allowed
+        outbound_packet(2, 2222), // DNS, allowed
+        {
+            // HTTP, denied by the firewall before NAT ever sees it.
+            let mut p = outbound_packet(3, 3333);
+            p.udp_mut().unwrap().set_dst_port(80);
+            let (src, dst) = {
+                let ip = p.ipv4().unwrap();
+                (ip.src(), ip.dst())
+            };
+            p.udp_mut().unwrap().update_checksum(src, dst);
+            p
+        },
+    ]
+    .into_iter()
+    .collect();
+
+    let out = chain.run_batch(batch).expect("healthy chain");
+    assert_eq!(out.len(), 2, "only the DNS flows survive");
+    for p in out.iter() {
+        let ip = p.ipv4().unwrap();
+        assert_eq!(ip.src(), NAT_IP, "source translated");
+        assert!(ip.checksum_ok());
+        let udp = p.udp().unwrap();
+        assert!((40_000..=50_000).contains(&udp.src_port()));
+        assert!(udp.checksum_ok(ip.src(), ip.dst()));
+    }
+}
+
+#[test]
+fn per_flow_limit_enforced_through_domains() {
+    let mut chain = IsolatedPipeline::new();
+    chain
+        .add_stage("limiter", || Box::new(PerFlowRateLimiter::new(1.0, 2.0, 100)))
+        .unwrap();
+    // Five packets of one flow in one burst: the 2-token bucket admits 2.
+    let batch: PacketBatch = (0..5).map(|_| outbound_packet(1, 7777)).collect();
+    let out = chain.run_batch(batch).expect("healthy");
+    assert_eq!(out.len(), 2);
+}
+
+#[test]
+fn nat_fault_recovery_loses_mappings_but_not_service() {
+    std::panic::set_hook(Box::new(|_| {}));
+    // A NAT whose first instance crashes on the third batch; the rebuilt
+    // instance starts with an empty translation table — return traffic
+    // for pre-fault connections is dropped (correct fail-closed
+    // behaviour), while new connections translate fine.
+    let built = std::sync::atomic::AtomicUsize::new(0);
+    let mut chain = IsolatedPipeline::new();
+    chain
+        .add_stage("nat", move || {
+            let first = built.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 0;
+            let nat = SourceNat::new(NAT_IP, Ipv4Addr::new(10, 0, 0, 0), 8, 40_000..=50_000);
+            if first {
+                struct CrashAfter {
+                    inner: SourceNat,
+                    remaining: u32,
+                }
+                impl rust_beyond_safety::netfx::pipeline::Operator for CrashAfter {
+                    fn process(&mut self, b: PacketBatch) -> PacketBatch {
+                        assert!(self.remaining > 0, "injected NAT crash");
+                        self.remaining -= 1;
+                        self.inner.process(b)
+                    }
+                }
+                Box::new(CrashAfter { inner: nat, remaining: 2 })
+            } else {
+                Box::new(nat)
+            }
+        })
+        .unwrap();
+
+    // Two successful batches establish a mapping.
+    let out = chain
+        .run_batch(vec![outbound_packet(1, 1234)].into_iter().collect())
+        .unwrap();
+    let nat_port = out.iter().next().unwrap().udp().unwrap().src_port();
+    chain
+        .run_batch(vec![outbound_packet(1, 1234)].into_iter().collect())
+        .unwrap();
+
+    // Third batch trips the crash; heal and continue.
+    assert!(chain
+        .run_batch_healing(vec![outbound_packet(1, 1234)].into_iter().collect())
+        .is_err());
+
+    // Return traffic to the old mapping: dropped (table was lost with
+    // the domain — SFI contained the fault, state did not leak across).
+    let back = Packet::build_udp(
+        MacAddr::ZERO,
+        MacAddr::ZERO,
+        Ipv4Addr::new(8, 8, 8, 8),
+        NAT_IP,
+        53,
+        nat_port,
+        0,
+    );
+    let out = chain.run_batch(vec![back].into_iter().collect()).unwrap();
+    assert_eq!(out.len(), 0, "stale inbound mapping fails closed");
+
+    // New outbound connections work immediately.
+    let out = chain
+        .run_batch(vec![outbound_packet(2, 999)].into_iter().collect())
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.iter().next().unwrap().ipv4().unwrap().src(), NAT_IP);
+}
+
+#[test]
+fn channels_feed_an_isolated_consumer() {
+    use rust_beyond_safety::sfi::{channel, DomainManager, RRef};
+
+    let mgr = DomainManager::new();
+    let consumer = mgr.create_domain("consumer").unwrap();
+    let (tx, rx) = channel::<PacketBatch>(&consumer, 8);
+    let sink = RRef::new(&consumer, rust_beyond_safety::netfx::operators::Counter::new());
+
+    // Producer thread moves batches into the domain through the channel.
+    let producer = std::thread::spawn(move || {
+        for i in 0..10u16 {
+            let batch: PacketBatch = (0..4).map(|j| outbound_packet(1, i * 10 + j)).collect();
+            tx.send(batch).unwrap();
+        }
+    });
+
+    let mut seen = 0u64;
+    while seen < 40 {
+        let batch = rx.recv().expect("producer still running");
+        seen += sink
+            .invoke_mut(move |c| {
+                use rust_beyond_safety::netfx::pipeline::Operator;
+                c.process(batch).len() as u64
+            })
+            .unwrap();
+    }
+    producer.join().unwrap();
+    assert_eq!(seen, 40);
+    assert_eq!(sink.invoke(|c| c.packets()).unwrap(), 40);
+}

@@ -1,0 +1,117 @@
+//! Cross-crate property tests: invariants that only show up when the
+//! pieces are composed.
+
+use proptest::prelude::*;
+use rust_beyond_safety::checkpoint::{checkpoint, restore};
+use rust_beyond_safety::fwtrie::{Action, FirewallOp, FwTrie, Rule};
+use rust_beyond_safety::maglev::{Backend, MaglevTable};
+use rust_beyond_safety::netfx::batch::PacketBatch;
+use rust_beyond_safety::netfx::headers::ethernet::MacAddr;
+use rust_beyond_safety::netfx::operators::{DstPortFilter, TtlDecrement};
+use rust_beyond_safety::netfx::packet::Packet;
+use rust_beyond_safety::netfx::pipeline::Pipeline;
+use rust_beyond_safety::IsolatedPipeline;
+use std::net::Ipv4Addr;
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), 1u16..=1000, 0usize..64, any::<u8>()).prop_map(
+        |(src, dst, sport, dport, payload, ttl)| {
+            let mut p = Packet::build_udp(
+                MacAddr::ZERO,
+                MacAddr::BROADCAST,
+                Ipv4Addr::from(src),
+                Ipv4Addr::from(dst),
+                sport,
+                dport,
+                payload,
+            );
+            {
+                let mut ip = p.ipv4_mut().unwrap();
+                ip.set_ttl(ttl);
+                ip.update_checksum();
+            }
+            p
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Direct and SFI-isolated pipelines are observationally equivalent
+    /// on arbitrary traffic — isolation really is zero-cost in semantics.
+    #[test]
+    fn isolation_preserves_semantics(packets in proptest::collection::vec(arb_packet(), 0..40)) {
+        let mirror: Vec<Packet> = packets.iter().map(|p| Packet::from_slice(p.as_slice())).collect();
+
+        let mut direct = Pipeline::new()
+            .add(TtlDecrement::new())
+            .add(DstPortFilter::new(vec![53, 80, 443]));
+        let direct_out = direct.run_batch(packets.into_iter().collect());
+
+        let mut isolated = IsolatedPipeline::new();
+        isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+        isolated
+            .add_stage("ports", || Box::new(DstPortFilter::new(vec![53, 80, 443])))
+            .unwrap();
+        let isolated_out = isolated
+            .run_batch(mirror.into_iter().collect())
+            .expect("healthy stages");
+
+        let bytes = |b: &PacketBatch| -> Vec<Vec<u8>> {
+            b.iter().map(|p| p.as_slice().to_vec()).collect()
+        };
+        prop_assert_eq!(bytes(&direct_out), bytes(&isolated_out));
+    }
+
+    /// A checkpointed-and-restored firewall classifies arbitrary packets
+    /// identically to the original.
+    #[test]
+    fn restored_firewall_is_equivalent(
+        rules in proptest::collection::vec((any::<u32>(), 0u8..=32, 1u16..100, 100u16..1000), 1..15),
+        packets in proptest::collection::vec(arb_packet(), 1..30),
+    ) {
+        let mut trie = FwTrie::new();
+        for (i, (net, len, lo, hi)) in rules.iter().enumerate() {
+            let action = if i % 2 == 0 { Action::Allow } else { Action::Deny };
+            trie.insert(
+                Rule::new(i as u32, format!("r{i}"), Ipv4Addr::from(*net), *len, action)
+                    .dports(*lo, *hi),
+            );
+        }
+        let restored: FwTrie = restore(&checkpoint(&trie)).expect("roundtrip");
+
+        let mut original = FirewallOp::new(trie, Action::Deny);
+        let mut rebuilt = FirewallOp::new(restored, Action::Deny);
+        for p in &packets {
+            if let Ok(flow) = rust_beyond_safety::netfx::flow::FiveTuple::of(p) {
+                prop_assert_eq!(original.decide(&flow), rebuilt.decide(&flow));
+            }
+        }
+        // Batch-level check too.
+        let copies: Vec<Packet> = packets.iter().map(|p| Packet::from_slice(p.as_slice())).collect();
+        let out_a = rust_beyond_safety::netfx::pipeline::Operator::process(
+            &mut original, packets.into_iter().collect());
+        let out_b = rust_beyond_safety::netfx::pipeline::Operator::process(
+            &mut rebuilt, copies.into_iter().collect());
+        prop_assert_eq!(out_a.len(), out_b.len());
+    }
+
+    /// Maglev steering is a pure function of the flow: any packet of the
+    /// same flow lands on the same backend, for arbitrary backend sets.
+    #[test]
+    fn maglev_consistency(
+        n_backends in 1usize..20,
+        hashes in proptest::collection::vec(any::<u64>(), 1..50),
+    ) {
+        let backends: Vec<Backend> =
+            (0..n_backends).map(|i| Backend::new(format!("b{i}"))).collect();
+        let t1 = MaglevTable::new(backends.clone(), 1009).unwrap();
+        let t2 = MaglevTable::new(backends, 1009).unwrap();
+        for h in hashes {
+            let choice = t1.lookup(h);
+            prop_assert!(choice < n_backends);
+            prop_assert_eq!(choice, t2.lookup(h), "construction is deterministic");
+        }
+    }
+}

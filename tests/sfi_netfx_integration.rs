@@ -1,0 +1,149 @@
+//! Integration: the SFI layer running real netfx workloads.
+//!
+//! Verifies the §3 architecture end to end: an isolated pipeline computes
+//! exactly what the direct pipeline computes, faults are contained to one
+//! domain, recovery is transparent to later traffic, and policies
+//! interpose on the stage interface.
+
+use rust_beyond_safety::netfx::batch::PacketBatch;
+use rust_beyond_safety::netfx::headers::IpProto;
+use rust_beyond_safety::netfx::operators::{DstPortFilter, MacSwap, ProtoFilter, TtlDecrement};
+use rust_beyond_safety::netfx::pipeline::Pipeline;
+use rust_beyond_safety::netfx::pktgen::{FlowDistribution, PacketGen, TrafficConfig};
+use rust_beyond_safety::sfi::{AclPolicy, DomainState, RpcError};
+use rust_beyond_safety::IsolatedPipeline;
+
+fn traffic(seed: u64) -> PacketGen {
+    PacketGen::new(TrafficConfig {
+        flows: 512,
+        distribution: FlowDistribution::Zipf(1.0),
+        payload_len: 32,
+        seed,
+        ..Default::default()
+    })
+}
+
+fn digest(batch: &PacketBatch) -> Vec<Vec<u8>> {
+    batch.iter().map(|p| p.as_slice().to_vec()).collect()
+}
+
+/// The same operator chain, direct vs. isolated, must produce
+/// byte-identical output on identical traffic.
+#[test]
+fn isolated_pipeline_is_semantically_transparent() {
+    let mut direct = Pipeline::new()
+        .add(ProtoFilter::new(IpProto::Udp))
+        .add(TtlDecrement::new())
+        .add(DstPortFilter::new(vec![80]))
+        .add(MacSwap::new());
+
+    let mut isolated = IsolatedPipeline::new();
+    isolated
+        .add_stage("proto", || Box::new(ProtoFilter::new(IpProto::Udp)))
+        .unwrap();
+    isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+    isolated
+        .add_stage("ports", || Box::new(DstPortFilter::new(vec![80])))
+        .unwrap();
+    isolated.add_stage("swap", || Box::new(MacSwap::new())).unwrap();
+
+    let mut gen_a = traffic(42);
+    let mut gen_b = traffic(42);
+    for _ in 0..50 {
+        let out_direct = direct.run_batch(gen_a.next_batch(32));
+        let out_isolated = isolated.run_batch(gen_b.next_batch(32)).expect("healthy stages");
+        assert_eq!(digest(&out_direct), digest(&out_isolated));
+    }
+}
+
+/// A policy installed on a stage's domain interposes on the pipeline's
+/// remote invocations.
+#[test]
+fn stage_policy_blocks_processing() {
+    let mut isolated = IsolatedPipeline::new();
+    isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+    // Deny the "process" method to everyone.
+    isolated.domains()[0].set_policy(AclPolicy::new());
+    let err = isolated.run_batch(traffic(1).next_batch(4)).unwrap_err();
+    assert!(matches!(err, RpcError::AccessDenied { method: "process", .. }));
+    assert_eq!(isolated.domains()[0].stats().denials(), 1);
+
+    // Re-allow and confirm traffic flows (grant covers every caller).
+    isolated.domains()[0].set_policy(AclPolicy::new().grant_all_callers("process"));
+    assert!(isolated.run_batch(traffic(2).next_batch(4)).is_ok());
+}
+
+/// Faults are contained: repeated crashes of one stage never poison its
+/// neighbours, and recovery brings full service back.
+#[test]
+fn repeated_faults_are_contained_and_recovered() {
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut isolated = IsolatedPipeline::new();
+    isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+    // This stage crashes every third batch, forever.
+    let crash_counter = std::sync::atomic::AtomicU64::new(0);
+    isolated
+        .add_stage("flaky", move || {
+            let round = crash_counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let _ = round;
+            Box::new(rust_beyond_safety::netfx::operators::PanicAfter::new(2))
+        })
+        .unwrap();
+    isolated.add_stage("swap", || Box::new(MacSwap::new())).unwrap();
+
+    let mut gen = traffic(7);
+    let mut delivered = 0u32;
+    let mut lost = 0u32;
+    for _ in 0..30 {
+        match isolated.run_batch_healing(gen.next_batch(8)) {
+            Ok(_) => delivered += 1,
+            Err(RpcError::Fault { .. }) => lost += 1,
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+    assert_eq!(delivered + lost, 30);
+    assert_eq!(lost, 10, "every third batch trips the injected fault");
+    // All domains end healthy.
+    for d in isolated.domains() {
+        assert_eq!(d.state(), DomainState::Active, "{}", d.name());
+    }
+    let flaky = &isolated.domains()[1];
+    assert_eq!(flaky.stats().faults(), 10);
+    assert_eq!(flaky.stats().recoveries(), 10);
+    assert_eq!(flaky.generation(), 10);
+    // Neighbours never faulted.
+    assert_eq!(isolated.domains()[0].stats().faults(), 0);
+    assert_eq!(isolated.domains()[2].stats().faults(), 0);
+}
+
+/// Destroying a stage's domain makes the pipeline fail cleanly, not UB.
+#[test]
+fn destroyed_stage_surfaces_errors() {
+    let mut isolated = IsolatedPipeline::new();
+    isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+    isolated.domains()[0].destroy();
+    let err = isolated.run_batch(traffic(3).next_batch(2)).unwrap_err();
+    // The table was cleared on destroy, so the weak proxy is dead.
+    assert_eq!(err, RpcError::Revoked);
+}
+
+/// Ownership transfer through the boundary: a batch pushed into a
+/// domain-resident sink is gone from the caller, retrievable only by
+/// another remote invocation.
+#[test]
+fn batches_move_into_domains() {
+    use rust_beyond_safety::sfi::{DomainManager, RRef};
+    let mgr = DomainManager::new();
+    let d = mgr.create_domain("sink").unwrap();
+    let sink: RRef<Vec<PacketBatch>> = RRef::new(&d, Vec::new());
+
+    let batch = traffic(9).next_batch(16);
+    let total_bytes = batch.total_bytes();
+    sink.invoke_mut(move |v| v.push(batch)).unwrap();
+    // `batch` is moved; get the data back only via the domain.
+    let (count, bytes) = sink
+        .invoke(|v| (v.len(), v.iter().map(PacketBatch::total_bytes).sum::<usize>()))
+        .unwrap();
+    assert_eq!(count, 1);
+    assert_eq!(bytes, total_bytes);
+}
