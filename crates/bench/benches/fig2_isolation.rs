@@ -29,7 +29,8 @@ fn bench_fig2(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("isolated-5xnull", size), &size, |b, &n| {
             let mut p = IsolatedPipeline::new();
             for i in 0..5 {
-                p.add_stage(&format!("null-{i}"), || Box::new(NullFilter::new())).unwrap();
+                p.add_stage(&format!("null-{i}"), || Box::new(NullFilter::new()))
+                    .unwrap();
             }
             let mut batch = Some(test_batch(n));
             b.iter(|| {

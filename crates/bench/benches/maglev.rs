@@ -4,7 +4,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rbs_maglev::{Backend, MaglevTable};
 
 fn backends(n: usize) -> Vec<Backend> {
-    (0..n).map(|i| Backend::new(format!("backend-{i}"))).collect()
+    (0..n)
+        .map(|i| Backend::new(format!("backend-{i}")))
+        .collect()
 }
 
 fn bench_maglev(c: &mut Criterion) {

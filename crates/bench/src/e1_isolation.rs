@@ -82,8 +82,9 @@ pub fn measure_point(batch_size: usize, iters: usize) -> Fig2Row {
     let chunk = (iters / 30).max(1);
 
     let mut direct = direct_pipeline(PIPELINE_LEN);
-    let direct_samples =
-        measure_batch_loop(test_batch(batch_size), iters, chunk, |b| direct.run_batch(b));
+    let direct_samples = measure_batch_loop(test_batch(batch_size), iters, chunk, |b| {
+        direct.run_batch(b)
+    });
 
     let mut isolated = isolated_pipeline(PIPELINE_LEN);
     let isolated_samples = measure_batch_loop(test_batch(batch_size), iters, chunk, |b| {
@@ -108,7 +109,10 @@ pub fn measure_point(batch_size: usize, iters: usize) -> Fig2Row {
 /// Measures the full Figure 2 series.
 pub fn measure_series(quick: bool) -> Vec<Fig2Row> {
     let iters = if quick { 2_000 } else { 20_000 };
-    BATCH_SIZES.iter().map(|&n| measure_point(n, iters)).collect()
+    BATCH_SIZES
+        .iter()
+        .map(|&n| measure_point(n, iters))
+        .collect()
 }
 
 /// Verifies the paper's "independent of the pipeline length" claim:
@@ -217,7 +221,11 @@ mod tests {
     fn run_produces_all_rows() {
         let out = run(true);
         for n in BATCH_SIZES {
-            assert!(out.lines().any(|l| l.trim_start().starts_with(&n.to_string())), "missing row {n}:\n{out}");
+            assert!(
+                out.lines()
+                    .any(|l| l.trim_start().starts_with(&n.to_string())),
+                "missing row {n}:\n{out}"
+            );
         }
         assert!(out.contains("overhead/call % of maglev"));
     }

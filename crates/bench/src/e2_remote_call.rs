@@ -66,9 +66,7 @@ pub fn measure(iters: usize) -> CallCosts {
     while done < iters {
         let t = CycleTimer::start();
         for _ in 0..chunk {
-            std::hint::black_box(
-                rref.invoke_mut(|svc| svc.bump()).expect("healthy domain"),
-            );
+            std::hint::black_box(rref.invoke_mut(|svc| svc.bump()).expect("healthy domain"));
         }
         remote_samples.push(t.elapsed() as f64 / chunk as f64);
         done += chunk;
@@ -122,11 +120,16 @@ pub fn run(quick: bool) -> String {
     let costs = measure(iters);
     let mut t = Table::new(&["metric", "cycles"]);
     t.row_owned(vec!["direct call".into(), fmt_f64(costs.direct_cycles, 1)]);
-    t.row_owned(vec!["remote invocation".into(), fmt_f64(costs.remote_cycles, 1)]);
-    t.row_owned(vec!["isolation overhead/call".into(), fmt_f64(costs.overhead(), 1)]);
-    let mut out = String::from(
-        "E2 — protected method call overhead (paper: ~90 cycles per call)\n",
-    );
+    t.row_owned(vec![
+        "remote invocation".into(),
+        fmt_f64(costs.remote_cycles, 1),
+    ]);
+    t.row_owned(vec![
+        "isolation overhead/call".into(),
+        fmt_f64(costs.overhead(), 1),
+    ]);
+    let mut out =
+        String::from("E2 — protected method call overhead (paper: ~90 cycles per call)\n");
     out.push_str(&t.render());
     out.push_str("\nAblation — marginal cost of optional machinery:\n");
     let mut at = Table::new(&["configuration", "cycles/call"]);

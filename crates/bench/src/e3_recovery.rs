@@ -83,9 +83,7 @@ pub fn run(quick: bool) -> String {
     t.row_owned(vec!["median".into(), fmt_f64(s.p50, 0)]);
     t.row_owned(vec!["p99".into(), fmt_f64(s.p99, 0)]);
     t.row_owned(vec!["min".into(), fmt_f64(s.min, 0)]);
-    let mut out = String::from(
-        "E3 — fault recovery cost (paper: 4389 cycles on average)\n",
-    );
+    let mut out = String::from("E3 — fault recovery cost (paper: 4389 cycles on average)\n");
     out.push_str(&t.render());
     out
 }
@@ -103,7 +101,10 @@ mod tests {
         // silicon), but insist on the order of magnitude: more than a
         // bare call, less than a millisecond.
         assert!(median > 500.0, "suspiciously cheap recovery: {median}");
-        assert!(median < 3_000_000.0, "recovery should be microseconds-scale: {median}");
+        assert!(
+            median < 3_000_000.0,
+            "recovery should be microseconds-scale: {median}"
+        );
     }
 
     #[test]

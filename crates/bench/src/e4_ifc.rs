@@ -77,7 +77,9 @@ pub fn run(_quick: bool) -> String {
         check(o.seeded_bug_found)
     ));
     out.push('\n');
-    out.push_str(&rbs_ifc::verify::Report::for_program(&examples::secure_store_buggy_source()).to_string());
+    out.push_str(
+        &rbs_ifc::verify::Report::for_program(&examples::secure_store_buggy_source()).to_string(),
+    );
     out
 }
 

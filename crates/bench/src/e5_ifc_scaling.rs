@@ -67,7 +67,12 @@ pub fn alias_cost_sweep(sizes: &[usize]) -> Vec<AliasCostRow> {
                 let (_, stats) = alias::analyze_alias(&p);
                 edges = stats.pts_edges;
             });
-            AliasCostRow { n, move_us, alias_us, pts_edges: edges }
+            AliasCostRow {
+                n,
+                move_us,
+                alias_us,
+                pts_edges: edges,
+            }
         })
         .collect()
 }
@@ -100,15 +105,27 @@ pub fn diamond_sweep(depths: &[usize]) -> Vec<DiamondRow> {
                 let v = summary::analyze_with_summaries(&p).expect("diamond is acyclic");
                 assert_eq!(v.len(), 1);
             });
-            DiamondRow { depth, monolithic_us, summary_us }
+            DiamondRow {
+                depth,
+                monolithic_us,
+                summary_us,
+            }
         })
         .collect()
 }
 
 /// Regenerates all three sweeps as text tables.
 pub fn run(quick: bool) -> String {
-    let chain_sizes: &[usize] = if quick { &[8, 32, 128] } else { &[8, 32, 128, 512, 1024] };
-    let depths: &[usize] = if quick { &[4, 8, 12] } else { &[4, 8, 12, 16, 18] };
+    let chain_sizes: &[usize] = if quick {
+        &[8, 32, 128]
+    } else {
+        &[8, 32, 128, 512, 1024]
+    };
+    let depths: &[usize] = if quick {
+        &[4, 8, 12]
+    } else {
+        &[4, 8, 12, 16, 18]
+    };
     let churn_sizes: &[usize] = &[5, 20, 80];
 
     let mut out = String::from("E5 — IFC analysis cost and precision\n\n");
@@ -126,7 +143,11 @@ pub fn run(quick: bool) -> String {
     out.push_str(&t.render());
 
     out.push_str("\n(b) precision on safe rebinding churn (ground truth: 0 leaks):\n");
-    let mut t = Table::new(&["rounds", "move-mode false positives", "alias-baseline false positives"]);
+    let mut t = Table::new(&[
+        "rounds",
+        "move-mode false positives",
+        "alias-baseline false positives",
+    ]);
     for (n, mv, al) in precision_sweep(churn_sizes) {
         t.row_owned(vec![n.to_string(), mv.to_string(), al.to_string()]);
     }
@@ -189,6 +210,9 @@ mod tests {
     #[test]
     fn run_renders_three_tables() {
         let out = run(true);
-        assert!(out.contains("(a)") && out.contains("(b)") && out.contains("(c)"), "{out}");
+        assert!(
+            out.contains("(a)") && out.contains("(b)") && out.contains("(c)"),
+            "{out}"
+        );
     }
 }

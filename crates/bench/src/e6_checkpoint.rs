@@ -27,10 +27,17 @@ pub fn build_database(rules: usize, aliases: usize) -> FwTrie {
         // what naïve traversal duplicates per alias (Figure 3b).
         let rule = Rule::new(
             i as u32,
-            format!("rule-{i}: block scanner signature {}", "deadbeef".repeat(32)),
+            format!(
+                "rule-{i}: block scanner signature {}",
+                "deadbeef".repeat(32)
+            ),
             base,
             24,
-            if i % 3 == 0 { Action::Deny } else { Action::Allow },
+            if i % 3 == 0 {
+                Action::Deny
+            } else {
+                Action::Allow
+            },
         )
         .dports(0, 1023);
         let handle = t.insert(rule);
@@ -96,7 +103,11 @@ pub fn verify_restore_sharing(trie: &FwTrie) -> bool {
     };
     // Count distinct rule objects by address: must equal the original.
     let distinct = |t: &FwTrie| {
-        let mut addrs: Vec<usize> = t.iter_refs().iter().map(|r| CkArc::as_ptr_addr(r)).collect();
+        let mut addrs: Vec<usize> = t
+            .iter_refs()
+            .iter()
+            .map(|r| CkArc::as_ptr_addr(r))
+            .collect();
         addrs.sort_unstable();
         addrs.dedup();
         addrs.len()
@@ -114,7 +125,13 @@ pub fn run(quick: bool) -> String {
         "E6 — checkpointing a firewall DB: {rules} rules, each shared across {} leaves\n",
         aliases + 1
     );
-    let mut t = Table::new(&["dedup mode", "time us", "rule copies", "snapshot nodes", "bytes"]);
+    let mut t = Table::new(&[
+        "dedup mode",
+        "time us",
+        "rule copies",
+        "snapshot nodes",
+        "bytes",
+    ]);
     for r in &rows {
         t.row_owned(vec![
             format!("{:?}", r.mode),
@@ -127,7 +144,11 @@ pub fn run(quick: bool) -> String {
     out.push_str(&t.render());
     out.push_str(&format!(
         "\nrestore preserves sharing: {}\n",
-        if verify_restore_sharing(&trie) { "PASS" } else { "FAIL" }
+        if verify_restore_sharing(&trie) {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     ));
 
     // Persistence and incremental replication on the same database.
@@ -141,9 +162,13 @@ pub fn run(quick: bool) -> String {
     assert_eq!(decoded.root, cp.root);
 
     let mut mutated: rbs_fwtrie::FwTrie = restore(&cp).expect("restores");
-    mutated.insert(
-        Rule::new(u32::MAX, "one-new-rule", Ipv4Addr::new(198, 51, 100, 0), 24, Action::Deny),
-    );
+    mutated.insert(Rule::new(
+        u32::MAX,
+        "one-new-rule",
+        Ipv4Addr::new(198, 51, 100, 0),
+        24,
+        Action::Deny,
+    ));
     let next = checkpoint_with_mode(&mutated, DedupMode::EpochFlag);
     let t0 = Instant::now();
     let delta = diff(&cp, &next);
@@ -151,8 +176,16 @@ pub fn run(quick: bool) -> String {
 
     out.push_str("\npersistence & incremental replication (EpochFlag checkpoint):\n");
     let mut t = Table::new(&["operation", "time us", "size"]);
-    t.row_owned(vec!["encode to bytes".into(), fmt_f64(encode_us, 1), format!("{} B", bytes.len())]);
-    t.row_owned(vec!["decode from bytes".into(), fmt_f64(decode_us, 1), format!("{} nodes", decoded.total_nodes())]);
+    t.row_owned(vec![
+        "encode to bytes".into(),
+        fmt_f64(encode_us, 1),
+        format!("{} B", bytes.len()),
+    ]);
+    t.row_owned(vec![
+        "decode from bytes".into(),
+        fmt_f64(decode_us, 1),
+        format!("{} nodes", decoded.total_nodes()),
+    ]);
     t.row_owned(vec![
         "delta after 1-rule change".into(),
         fmt_f64(diff_us, 1),
@@ -170,7 +203,11 @@ mod tests {
     fn database_builder_shares() {
         let t = build_database(10, 3);
         assert_eq!(t.rule_refs(), 10 * 4);
-        let mut addrs: Vec<usize> = t.iter_refs().iter().map(|r| CkArc::as_ptr_addr(r)).collect();
+        let mut addrs: Vec<usize> = t
+            .iter_refs()
+            .iter()
+            .map(|r| CkArc::as_ptr_addr(r))
+            .collect();
         addrs.sort_unstable();
         addrs.dedup();
         assert_eq!(addrs.len(), 10, "ten distinct rule objects");
@@ -195,7 +232,10 @@ mod tests {
             naive.bytes as f64 > 1.5 * flag.bytes as f64,
             "naive={naive:?} flag={flag:?}"
         );
-        assert!(naive.nodes > flag.nodes, "duplicated rule subtrees add nodes");
+        assert!(
+            naive.nodes > flag.nodes,
+            "duplicated rule subtrees add nodes"
+        );
         // Identical snapshots for the two dedup modes.
         assert_eq!(flag.nodes, addr.nodes);
     }
@@ -233,7 +273,13 @@ mod tests {
         let trie = build_database(200, 2);
         let cp = checkpoint_with_mode(&trie, DedupMode::EpochFlag);
         let mut mutated: FwTrie = restore(&cp).unwrap();
-        mutated.insert(Rule::new(9999, "new", Ipv4Addr::new(198, 51, 100, 0), 24, Action::Deny));
+        mutated.insert(Rule::new(
+            9999,
+            "new",
+            Ipv4Addr::new(198, 51, 100, 0),
+            24,
+            Action::Deny,
+        ));
         let next = checkpoint_with_mode(&mutated, DedupMode::EpochFlag);
         let delta = diff(&cp, &next);
         assert!(

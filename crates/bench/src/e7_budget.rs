@@ -34,9 +34,12 @@ pub fn measured_cycles_per_packet(batch_size: usize, iters: usize) -> f64 {
     let addrs = (0..8).map(|i| Ipv4Addr::new(10, 1, 0, i + 1)).collect();
     let mut lb = MaglevLb::new(backends, addrs, 65537).expect("valid backends");
     let chunk = (iters / 20).max(1);
-    let per_batch = median(&measure_batch_loop(test_batch(batch_size), iters, chunk, |b| {
-        lb.process(b)
-    }));
+    let per_batch = median(&measure_batch_loop(
+        test_batch(batch_size),
+        iters,
+        chunk,
+        |b| lb.process(b),
+    ));
     per_batch / batch_size as f64
 }
 
@@ -83,7 +86,10 @@ mod tests {
     #[test]
     fn paper_row_reproduced() {
         let rows = budget_rows();
-        let (_, _, b) = rows.iter().find(|&&(g, f, _)| g == 10.0 && f == 1024).unwrap();
+        let (_, _, b) = rows
+            .iter()
+            .find(|&&(g, f, _)| g == 10.0 && f == 1024)
+            .unwrap();
         assert!((b.ns_per_packet() - 835.0).abs() / 835.0 < 0.01);
         assert!((b.cycles_per_packet() - 1670.0).abs() / 1670.0 < 0.01);
     }

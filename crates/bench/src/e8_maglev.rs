@@ -73,12 +73,18 @@ pub fn disruption_sweep(backend_counts: &[usize], table_size: usize) -> Vec<Disr
 }
 
 fn names(n: usize) -> Vec<Backend> {
-    (0..n).map(|i| Backend::new(format!("backend-{i}"))).collect()
+    (0..n)
+        .map(|i| Backend::new(format!("backend-{i}")))
+        .collect()
 }
 
 /// Regenerates the Maglev validation tables.
 pub fn run(quick: bool) -> String {
-    let sizes: &[usize] = if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 65_537] };
+    let sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 65_537]
+    };
     let counts: &[usize] = if quick { &[10, 50] } else { &[10, 50, 100] };
 
     let mut out = String::from("E8 — Maglev substrate validation\n\n(a) load balance vs. table size (ideal imbalance = 1.0):\n");
@@ -134,7 +140,10 @@ mod tests {
     fn disruption_near_ideal() {
         for r in disruption_sweep(&[10, 50], 10_007) {
             assert!(r.remove_one >= r.ideal_remove * 0.9, "{r:?}");
-            assert!(r.remove_one <= r.ideal_remove * 2.5, "collateral too high: {r:?}");
+            assert!(
+                r.remove_one <= r.ideal_remove * 2.5,
+                "collateral too high: {r:?}"
+            );
             assert!(r.add_one <= 2.5 / (r.backends as f64 + 1.0), "{r:?}");
         }
     }
@@ -142,7 +151,10 @@ mod tests {
     #[test]
     fn run_renders_three_tables() {
         let out = run(true);
-        assert!(out.contains("(a)") && out.contains("(b)") && out.contains("(c)"), "{out}");
+        assert!(
+            out.contains("(a)") && out.contains("(b)") && out.contains("(c)"),
+            "{out}"
+        );
         assert!(out.contains("mod-N moved"), "{out}");
     }
 }

@@ -1,0 +1,389 @@
+//! E9 — sharded runtime scaling and recovery under load.
+//!
+//! Two questions about the `rbs-runtime` execution model:
+//!
+//! 1. **Scaling** — aggregate throughput of the same pipeline at 1, 2, 4
+//!    and 8 workers, identical offered load. On a many-core host the
+//!    1→4 curve rises monotonically (shards are independent: no shared
+//!    operator state, no cross-worker locks on the hot path); on the
+//!    single-core CI host the curve is honest and flat — the run prints
+//!    the host's parallelism next to the numbers so the reader can tell
+//!    which regime they are looking at.
+//! 2. **Recovery under load** — a poison packet crashes one worker in
+//!    the middle of a run. The other workers keep draining their queues
+//!    while the supervisor recovers the victim's domain and respawns it;
+//!    the report proves containment (exactly one fault, survivors lose
+//!    nothing) and rejoin (the victim processes traffic again after the
+//!    heal).
+//!
+//! Results are also emitted as `BENCH_scaling.json` in the repo root for
+//! machine consumption.
+
+use std::time::Instant;
+
+use rbs_core::table::{fmt_f64, Table};
+use rbs_netfx::flow::FiveTuple;
+use rbs_netfx::operators::{MacSwap, NullFilter, TtlDecrement};
+use rbs_netfx::pktgen::{PacketGen, TrafficConfig};
+use rbs_netfx::{Operator, PacketBatch, PipelineSpec};
+use rbs_runtime::{shard_of_packet, RuntimeConfig, ShardedRuntime};
+
+use crate::harness::silence_panics;
+
+/// Destination port that trips the poison operator.
+const POISON_PORT: u16 = 0xDEAD;
+
+/// Packets per dispatched batch.
+const BATCH_SIZE: usize = 256;
+
+/// Panics the moment it sees a packet addressed to [`POISON_PORT`] — the
+/// crafted-input crash of the recovery experiment.
+struct PoisonPort;
+
+impl Operator for PoisonPort {
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+        for p in batch.iter() {
+            if let Ok(t) = FiveTuple::of(p) {
+                assert_ne!(t.dst_port, POISON_PORT, "poison packet");
+            }
+        }
+        batch
+    }
+
+    fn name(&self) -> &str {
+        "poison-port"
+    }
+}
+
+/// The representative NF pipeline every experiment variant runs.
+fn spec() -> PipelineSpec {
+    PipelineSpec::new()
+        .stage(NullFilter::new)
+        .stage(TtlDecrement::new)
+        .stage(MacSwap::new)
+        .stage(|| PoisonPort)
+}
+
+fn traffic(batches: usize) -> Vec<PacketBatch> {
+    let mut g = PacketGen::new(TrafficConfig {
+        flows: 4096,
+        payload_len: 64,
+        seed: 0xE9,
+        ..Default::default()
+    });
+    (0..batches).map(|_| g.next_batch(BATCH_SIZE)).collect()
+}
+
+/// One point on the scaling curve.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Worker (= shard) count.
+    pub workers: usize,
+    /// Packets pushed through the runtime.
+    pub packets: u64,
+    /// Wall-clock nanoseconds from first dispatch to full drain.
+    pub elapsed_ns: u128,
+    /// Aggregate throughput in million packets per second.
+    pub mpps: f64,
+    /// Median per-batch processing cycles inside the workers.
+    pub cycles_per_batch_p50: Option<f64>,
+}
+
+/// Outcome of the crash-one-worker-mid-run experiment.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Worker count of the run.
+    pub workers: usize,
+    /// Shard the poison packet was routed to.
+    pub victim: usize,
+    /// Contained panics observed (must be exactly 1).
+    pub faults: u64,
+    /// Worker respawns performed by the supervisor.
+    pub respawns: u64,
+    /// Batches lost with the crash (the poison batch, plus anything
+    /// queued behind it on the victim).
+    pub lost_batches: u64,
+    /// Batches the victim processed — across the crash, so > 0 proves it
+    /// rejoined.
+    pub victim_processed: u64,
+    /// Fewest batches processed by any survivor (all of its share).
+    pub survivor_processed_min: u64,
+    /// Faults on survivors (must be 0).
+    pub survivor_faults: u64,
+    /// Packets processed end to end.
+    pub packets: u64,
+}
+
+/// The full experiment result set.
+#[derive(Debug, Clone)]
+pub struct ScalingResults {
+    /// Batches offered per point.
+    pub batches: usize,
+    /// Host parallelism the run actually had available.
+    pub host_cpus: usize,
+    /// Throughput at 1/2/4/8 workers.
+    pub points: Vec<ScalingPoint>,
+    /// The recovery-under-load run (4 workers).
+    pub recovery: RecoveryOutcome,
+}
+
+/// Pushes `batches` pre-generated batches through an `n`-worker runtime
+/// and measures dispatch-to-drain wall time.
+pub fn measure_point(n: usize, batches: usize) -> ScalingPoint {
+    let mut rt = ShardedRuntime::new(
+        spec(),
+        RuntimeConfig {
+            workers: n,
+            queue_capacity: 64,
+        },
+    )
+    .expect("runtime construction");
+    let load = traffic(batches);
+    let packets: u64 = load.iter().map(|b| b.len() as u64).sum();
+    let start = Instant::now();
+    for batch in load {
+        rt.dispatch(batch).expect("healthy dispatch");
+    }
+    assert!(
+        rt.drain(std::time::Duration::from_secs(60)),
+        "drain within a minute"
+    );
+    let elapsed = start.elapsed();
+    let report = rt.shutdown();
+    assert_eq!(report.packets_in, packets, "no packet went missing");
+    assert_eq!(report.faults, 0);
+    ScalingPoint {
+        workers: n,
+        packets,
+        elapsed_ns: elapsed.as_nanos(),
+        mpps: packets as f64 / elapsed.as_secs_f64() / 1e6,
+        cycles_per_batch_p50: report.cycles.as_ref().map(|s| s.p50),
+    }
+}
+
+/// Crashes one of 4 workers mid-run and verifies containment + rejoin.
+pub fn measure_recovery(batches: usize) -> RecoveryOutcome {
+    silence_panics();
+    const WORKERS: usize = 4;
+    let mut rt = ShardedRuntime::new(
+        spec(),
+        RuntimeConfig {
+            workers: WORKERS,
+            queue_capacity: 64,
+        },
+    )
+    .expect("runtime construction");
+    let load = traffic(batches);
+    let packets_offered: u64 = load.iter().map(|b| b.len() as u64).sum();
+
+    // The poison flow determines its own victim via the same RSS hash as
+    // any other flow.
+    let poison = rbs_netfx::Packet::build_udp(
+        rbs_netfx::headers::ethernet::MacAddr::ZERO,
+        rbs_netfx::headers::ethernet::MacAddr::ZERO,
+        std::net::Ipv4Addr::new(192, 0, 2, 1),
+        std::net::Ipv4Addr::new(192, 0, 2, 2),
+        31337,
+        POISON_PORT,
+        16,
+    );
+    let victim = shard_of_packet(&poison, WORKERS);
+    // Packets are linear (no Clone); the poison moves out exactly once.
+    let mut poison = Some(poison);
+
+    let half = batches / 2;
+    for (i, batch) in load.into_iter().enumerate() {
+        if i == half {
+            let mut b = PacketBatch::new();
+            b.push(poison.take().expect("poison dispatched once"));
+            rt.dispatch(b).expect("poison dispatch");
+        }
+        rt.dispatch(batch).expect("dispatch under fault");
+    }
+    assert!(
+        rt.drain(std::time::Duration::from_secs(60)),
+        "drain despite the crash"
+    );
+    let report = rt.shutdown();
+
+    let victim_snap = &report.workers[victim];
+    let survivors: Vec<_> = report
+        .workers
+        .iter()
+        .filter(|w| w.index != victim)
+        .collect();
+    // Offered = processed + lost-with-the-crash (poison batch included);
+    // lost batches carry packets that were never counted in.
+    assert!(report.packets_in <= packets_offered + 1);
+    RecoveryOutcome {
+        workers: WORKERS,
+        victim,
+        faults: report.faults,
+        respawns: report.respawns,
+        lost_batches: report.lost_batches,
+        victim_processed: victim_snap.processed,
+        survivor_processed_min: survivors.iter().map(|w| w.processed).min().unwrap_or(0),
+        survivor_faults: survivors.iter().map(|w| w.faults).sum(),
+        packets: report.packets_in,
+    }
+}
+
+/// Runs the full experiment.
+pub fn measure(batches: usize) -> ScalingResults {
+    let points = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|n| measure_point(n, batches))
+        .collect();
+    ScalingResults {
+        batches,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        points,
+        recovery: measure_recovery(batches),
+    }
+}
+
+/// Renders the result set as the `BENCH_scaling.json` payload.
+pub fn to_json(r: &ScalingResults) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e9_scaling\",\n");
+    out.push_str(&format!("  \"host_cpus\": {},\n", r.host_cpus));
+    out.push_str(&format!("  \"batch_size\": {BATCH_SIZE},\n"));
+    out.push_str(&format!("  \"batches_per_point\": {},\n", r.batches));
+    out.push_str(
+        "  \"pipeline\": [\"null-filter\", \"ttl-decrement\", \"mac-swap\", \"poison-port\"],\n",
+    );
+    out.push_str("  \"points\": [\n");
+    for (i, p) in r.points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"packets\": {}, \"elapsed_ns\": {}, \"mpps\": {:.4}, \"cycles_per_batch_p50\": {}}}{}\n",
+            p.workers,
+            p.packets,
+            p.elapsed_ns,
+            p.mpps,
+            p.cycles_per_batch_p50
+                .map_or_else(|| "null".to_string(), |c| format!("{c:.0}")),
+            if i + 1 < r.points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let rec = &r.recovery;
+    out.push_str(&format!(
+        "  \"recovery_under_load\": {{\"workers\": {}, \"victim\": {}, \"faults\": {}, \"respawns\": {}, \"lost_batches\": {}, \"victim_processed\": {}, \"survivor_processed_min\": {}, \"survivor_faults\": {}, \"packets\": {}}}\n",
+        rec.workers,
+        rec.victim,
+        rec.faults,
+        rec.respawns,
+        rec.lost_batches,
+        rec.victim_processed,
+        rec.survivor_processed_min,
+        rec.survivor_faults,
+        rec.packets,
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Regenerates the scaling table, writing `BENCH_scaling.json` beside it.
+pub fn run(quick: bool) -> String {
+    let batches = if quick { 200 } else { 2_000 };
+    let results = measure(batches);
+
+    let mut t = Table::new(&["workers", "packets", "elapsed ms", "Mpps", "p50 cyc/batch"]);
+    for p in &results.points {
+        t.row_owned(vec![
+            p.workers.to_string(),
+            p.packets.to_string(),
+            fmt_f64(p.elapsed_ns as f64 / 1e6, 2),
+            fmt_f64(p.mpps, 3),
+            p.cycles_per_batch_p50
+                .map_or_else(|| "-".into(), |c| fmt_f64(c, 0)),
+        ]);
+    }
+
+    let rec = &results.recovery;
+    let mut out = format!(
+        "E9 — sharded runtime scaling ({} CPUs available; scaling needs >1)\n",
+        results.host_cpus
+    );
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nrecovery under load ({} workers): victim={} faults={} respawns={} \
+         lost_batches={} victim_processed={} survivor_min={} survivor_faults={}\n",
+        rec.workers,
+        rec.victim,
+        rec.faults,
+        rec.respawns,
+        rec.lost_batches,
+        rec.victim_processed,
+        rec.survivor_processed_min,
+        rec.survivor_faults,
+    ));
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scaling.json");
+    match std::fs::write(json_path, to_json(&results)) {
+        Ok(()) => out.push_str(&format!("\nwrote {json_path}\n")),
+        Err(e) => out.push_str(&format!("\ncould not write {json_path}: {e}\n")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_points_conserve_packets() {
+        let p = measure_point(2, 20);
+        assert_eq!(p.workers, 2);
+        assert_eq!(p.packets, 20 * BATCH_SIZE as u64);
+        assert!(p.mpps > 0.0);
+        assert!(p.cycles_per_batch_p50.is_some());
+    }
+
+    #[test]
+    fn recovery_under_load_is_contained() {
+        let rec = measure_recovery(40);
+        assert_eq!(rec.faults, 1, "exactly the poison panic");
+        assert_eq!(rec.respawns, 1, "the supervisor healed once");
+        assert_eq!(rec.survivor_faults, 0, "no fault leaked");
+        assert!(rec.lost_batches >= 1, "the poison batch died");
+        assert!(
+            rec.victim_processed > 0,
+            "the victim rejoined and processed traffic"
+        );
+        assert!(
+            rec.survivor_processed_min > 0,
+            "every survivor kept processing"
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let r = ScalingResults {
+            batches: 1,
+            host_cpus: 1,
+            points: vec![ScalingPoint {
+                workers: 1,
+                packets: 256,
+                elapsed_ns: 1000,
+                mpps: 0.5,
+                cycles_per_batch_p50: None,
+            }],
+            recovery: RecoveryOutcome {
+                workers: 4,
+                victim: 0,
+                faults: 1,
+                respawns: 1,
+                lost_batches: 1,
+                victim_processed: 2,
+                survivor_processed_min: 3,
+                survivor_faults: 0,
+                packets: 1024,
+            },
+        };
+        let j = to_json(&r);
+        assert!(j.contains("\"experiment\": \"e9_scaling\""));
+        assert!(j.contains("\"cycles_per_batch_p50\": null"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`e6_checkpoint`] | Figure 3 / §5 — dedup vs. address-set vs. naïve checkpointing |
 //! | [`e7_budget`] | §1 — line-rate cycle budgets |
 //! | [`e8_maglev`] | §3 context — Maglev balance & disruption validation |
+//! | [`e9_scaling`] | ROADMAP north star — sharded runtime throughput scaling + recovery under load |
 //!
 //! Each module exposes a `run(quick) -> String` that regenerates the
 //! table/series as text (the `experiments` binary prints them), plus
@@ -27,4 +28,5 @@ pub mod e5_ifc_scaling;
 pub mod e6_checkpoint;
 pub mod e7_budget;
 pub mod e8_maglev;
+pub mod e9_scaling;
 pub mod harness;

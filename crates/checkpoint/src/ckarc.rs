@@ -213,8 +213,9 @@ mod tests {
         // Writers mutate shared cells while a checkpoint runs; the run
         // must complete and contain internally-consistent per-cell
         // values (each cell's lock is held during its copy).
-        let cells: Vec<CkArc<parking_lot::Mutex<u64>>> =
-            (0..16).map(|_| CkArc::new(parking_lot::Mutex::new(0))).collect();
+        let cells: Vec<CkArc<parking_lot::Mutex<u64>>> = (0..16)
+            .map(|_| CkArc::new(parking_lot::Mutex::new(0)))
+            .collect();
         let shared = cells.clone();
         let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
         let writer_stop = std::sync::Arc::clone(&stop);

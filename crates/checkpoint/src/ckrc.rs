@@ -255,7 +255,10 @@ mod tests {
         let back: Vec<CkRc<String>> = restore(&cp).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(*back[0], "shared");
-        assert!(CkRc::ptr_eq(&back[0], &back[1]), "restored aliases must share");
+        assert!(
+            CkRc::ptr_eq(&back[0], &back[1]),
+            "restored aliases must share"
+        );
         assert_eq!(CkRc::strong_count(&back[0]), 2);
     }
 

@@ -98,7 +98,10 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         let end = self.pos.checked_add(n).ok_or(CodecError::UnexpectedEof)?;
-        let s = self.data.get(self.pos..end).ok_or(CodecError::UnexpectedEof)?;
+        let s = self
+            .data
+            .get(self.pos..end)
+            .ok_or(CodecError::UnexpectedEof)?;
         self.pos = end;
         Ok(s)
     }
@@ -198,7 +201,11 @@ fn decode_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, CodecError> {
         tag::STR => {
             let len = r.varint()? as usize;
             let bytes = r.take(len)?;
-            Snapshot::Str(std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?.to_string())
+            Snapshot::Str(
+                std::str::from_utf8(bytes)
+                    .map_err(|_| CodecError::BadUtf8)?
+                    .to_string(),
+            )
         }
         tag::BYTES => {
             let len = r.varint()? as usize;
@@ -250,7 +257,10 @@ pub fn encode(cp: &Checkpoint) -> Vec<u8> {
 /// Deserializes a checkpoint produced by [`encode`]; rejects trailing
 /// garbage.
 pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CodecError> {
-    let mut r = Reader { data: bytes, pos: 0 };
+    let mut r = Reader {
+        data: bytes,
+        pos: 0,
+    };
     if r.take(4)? != MAGIC || r.byte()? != VERSION {
         return Err(CodecError::BadHeader);
     }
@@ -394,7 +404,9 @@ mod tests {
             any::<bool>().prop_map(Snapshot::Bool),
             any::<u64>().prop_map(Snapshot::UInt),
             any::<i64>().prop_map(Snapshot::Int),
-            any::<f64>().prop_filter("nan compares oddly", |f| !f.is_nan()).prop_map(Snapshot::Float),
+            any::<f64>()
+                .prop_filter("nan compares oddly", |f| !f.is_nan())
+                .prop_map(Snapshot::Float),
             any::<char>().prop_map(Snapshot::Char),
             ".*".prop_map(Snapshot::Str),
             proptest::collection::vec(any::<u8>(), 0..32).prop_map(Snapshot::Bytes),

@@ -65,7 +65,12 @@ impl Checkpoint {
 
     /// Approximate heap bytes of the whole checkpoint.
     pub fn approx_bytes(&self) -> usize {
-        self.root.approx_bytes() + self.shared.iter().map(Snapshot::approx_bytes).sum::<usize>()
+        self.root.approx_bytes()
+            + self
+                .shared
+                .iter()
+                .map(Snapshot::approx_bytes)
+                .sum::<usize>()
     }
 }
 
@@ -185,7 +190,9 @@ impl<'a> RestoreCtx<'a> {
 
     /// The snapshot stored for shared node `id`.
     pub fn shared_snapshot(&self, id: usize) -> Result<&'a Snapshot, SnapshotError> {
-        self.shared.get(id).ok_or(SnapshotError::DanglingShared { index: id })
+        self.shared
+            .get(id)
+            .ok_or(SnapshotError::DanglingShared { index: id })
     }
 
     /// Returns the already-rebuilt handle for `id`, if present.
@@ -272,7 +279,13 @@ mod tests {
     fn restore_type_mismatch_is_error() {
         let cp = checkpoint(&42u64);
         let e = restore::<String>(&cp).unwrap_err();
-        assert!(matches!(e, SnapshotError::TypeMismatch { expected: "string", .. }));
+        assert!(matches!(
+            e,
+            SnapshotError::TypeMismatch {
+                expected: "string",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -297,8 +310,14 @@ mod tests {
         assert_eq!(ctx.rebuilt_handle::<u32>(0).unwrap(), None);
         ctx.begin_rebuild(0).unwrap();
         // Re-entering while in progress is a cycle.
-        assert_eq!(ctx.begin_rebuild(0).unwrap_err(), SnapshotError::CyclicSharing);
-        assert_eq!(ctx.rebuilt_handle::<u32>(0).unwrap_err(), SnapshotError::CyclicSharing);
+        assert_eq!(
+            ctx.begin_rebuild(0).unwrap_err(),
+            SnapshotError::CyclicSharing
+        );
+        assert_eq!(
+            ctx.rebuilt_handle::<u32>(0).unwrap_err(),
+            SnapshotError::CyclicSharing
+        );
         ctx.finish_rebuild(0, 99u32);
         assert_eq!(ctx.rebuilt_handle::<u32>(0).unwrap(), Some(99));
         // Wrong type is a conflict.

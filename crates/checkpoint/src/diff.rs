@@ -75,8 +75,15 @@ impl Delta {
     /// Total snapshot nodes carried by the delta — the replication
     /// payload size metric.
     pub fn payload_nodes(&self) -> usize {
-        self.replacements.iter().map(|r| r.subtree.node_count()).sum::<usize>()
-            + self.appended_shared.iter().map(Snapshot::node_count).sum::<usize>()
+        self.replacements
+            .iter()
+            .map(|r| r.subtree.node_count())
+            .sum::<usize>()
+            + self
+                .appended_shared
+                .iter()
+                .map(Snapshot::node_count)
+                .sum::<usize>()
     }
 }
 
@@ -102,27 +109,40 @@ impl std::error::Error for DiffError {}
 
 impl From<DiffError> for SnapshotError {
     fn from(_: DiffError) -> Self {
-        SnapshotError::TypeMismatch { expected: "compatible base", found: "mismatched delta" }
+        SnapshotError::TypeMismatch {
+            expected: "compatible base",
+            found: "mismatched delta",
+        }
     }
 }
 
 /// Computes the delta from `base` to `next`.
 pub fn diff(base: &Checkpoint, next: &Checkpoint) -> Delta {
     let mut delta = Delta::default();
-    diff_snapshot(&base.root, &next.root, &mut Vec::new(), &mut |path, subtree| {
-        delta.replacements.push(Replacement {
-            target: Target::Root(path),
-            subtree,
-        });
-    });
-    let common = base.shared.len().min(next.shared.len());
-    for id in 0..common {
-        diff_snapshot(&base.shared[id], &next.shared[id], &mut Vec::new(), &mut |path, subtree| {
+    diff_snapshot(
+        &base.root,
+        &next.root,
+        &mut Vec::new(),
+        &mut |path, subtree| {
             delta.replacements.push(Replacement {
-                target: Target::Shared(id, path),
+                target: Target::Root(path),
                 subtree,
             });
-        });
+        },
+    );
+    let common = base.shared.len().min(next.shared.len());
+    for id in 0..common {
+        diff_snapshot(
+            &base.shared[id],
+            &next.shared[id],
+            &mut Vec::new(),
+            &mut |path, subtree| {
+                delta.replacements.push(Replacement {
+                    target: Target::Shared(id, path),
+                    subtree,
+                });
+            },
+        );
     }
     if next.shared.len() > base.shared.len() {
         delta.appended_shared = next.shared[base.shared.len()..].to_vec();
@@ -197,10 +217,7 @@ pub fn apply(base: &Checkpoint, delta: &Delta) -> Result<Checkpoint, DiffError> 
     })
 }
 
-fn navigate<'a>(
-    snap: &'a mut Snapshot,
-    path: &[PathSeg],
-) -> Result<&'a mut Snapshot, DiffError> {
+fn navigate<'a>(snap: &'a mut Snapshot, path: &[PathSeg]) -> Result<&'a mut Snapshot, DiffError> {
     let mut cur = snap;
     for seg in path {
         cur = match (seg, cur) {

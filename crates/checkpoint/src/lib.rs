@@ -47,8 +47,8 @@
 //! ```
 
 pub mod ckarc;
-pub mod codec;
 pub mod ckrc;
+pub mod codec;
 pub mod ctx;
 pub mod derive;
 pub mod diff;
@@ -58,12 +58,12 @@ pub mod txn;
 
 pub use ckarc::CkArc;
 pub use ckrc::CkRc;
+pub use codec::{decode, encode, CodecError};
 pub use ctx::{
     checkpoint, checkpoint_with_mode, restore, Checkpoint, CheckpointCtx, CheckpointStats,
     DedupMode, RestoreCtx,
 };
-pub use codec::{decode, encode, CodecError};
 pub use diff::{apply, diff, Delta};
 pub use snapshot::{Snapshot, SnapshotError};
-pub use txn::{with_transaction, Transaction, TxnAborted};
 pub use traits::Checkpointable;
+pub use txn::{with_transaction, Transaction, TxnAborted};

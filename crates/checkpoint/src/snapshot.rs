@@ -114,10 +114,16 @@ impl fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SnapshotError::TypeMismatch { expected, found } => {
-                write!(f, "snapshot type mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "snapshot type mismatch: expected {expected}, found {found}"
+                )
             }
             SnapshotError::DanglingShared { index } => {
-                write!(f, "shared reference {index} points outside the shared table")
+                write!(
+                    f,
+                    "shared reference {index} points outside the shared table"
+                )
             }
             SnapshotError::SharedTypeConflict { index } => {
                 write!(f, "shared node {index} restored at conflicting types")
@@ -189,17 +195,38 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = SnapshotError::TypeMismatch { expected: "u64", found: "string" };
-        assert_eq!(e.to_string(), "snapshot type mismatch: expected u64, found string");
-        assert!(SnapshotError::DanglingShared { index: 7 }.to_string().contains('7'));
+        let e = SnapshotError::TypeMismatch {
+            expected: "u64",
+            found: "string",
+        };
+        assert_eq!(
+            e.to_string(),
+            "snapshot type mismatch: expected u64, found string"
+        );
+        assert!(SnapshotError::DanglingShared { index: 7 }
+            .to_string()
+            .contains('7'));
         assert!(SnapshotError::CyclicSharing.to_string().contains("cyclic"));
-        assert!(SnapshotError::WrongLength { expected: 2, got: 3 }.to_string().contains("2"));
-        assert!(SnapshotError::SharedTypeConflict { index: 1 }.to_string().contains("conflicting"));
+        assert!(SnapshotError::WrongLength {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("2"));
+        assert!(SnapshotError::SharedTypeConflict { index: 1 }
+            .to_string()
+            .contains("conflicting"));
     }
 
     #[test]
     fn mismatch_names_variants() {
         let e = mismatch("vec", &Snapshot::Map(vec![]));
-        assert_eq!(e, SnapshotError::TypeMismatch { expected: "vec", found: "map" });
+        assert_eq!(
+            e,
+            SnapshotError::TypeMismatch {
+                expected: "vec",
+                found: "map"
+            }
+        );
     }
 }

@@ -272,7 +272,10 @@ impl<A: Checkpointable, B: Checkpointable> Checkpointable for (A, B) {
             Snapshot::Seq(items) if items.len() == 2 => {
                 Ok((A::restore(&items[0], ctx)?, B::restore(&items[1], ctx)?))
             }
-            Snapshot::Seq(items) => Err(SnapshotError::WrongLength { expected: 2, got: items.len() }),
+            Snapshot::Seq(items) => Err(SnapshotError::WrongLength {
+                expected: 2,
+                got: items.len(),
+            }),
             other => Err(mismatch("pair", other)),
         }
     }
@@ -294,7 +297,10 @@ impl<A: Checkpointable, B: Checkpointable, C: Checkpointable> Checkpointable for
                 B::restore(&items[1], ctx)?,
                 C::restore(&items[2], ctx)?,
             )),
-            Snapshot::Seq(items) => Err(SnapshotError::WrongLength { expected: 3, got: items.len() }),
+            Snapshot::Seq(items) => Err(SnapshotError::WrongLength {
+                expected: 3,
+                got: items.len(),
+            }),
             other => Err(mismatch("triple", other)),
         }
     }
@@ -312,12 +318,15 @@ impl<T: Checkpointable, const N: usize> Checkpointable for [T; N] {
                     .iter()
                     .map(|s| T::restore(s, ctx))
                     .collect::<Result<_, _>>()?;
-                v.try_into()
-                    .map_err(|_| SnapshotError::WrongLength { expected: N, got: usize::MAX })
+                v.try_into().map_err(|_| SnapshotError::WrongLength {
+                    expected: N,
+                    got: usize::MAX,
+                })
             }
-            Snapshot::Seq(items) => {
-                Err(SnapshotError::WrongLength { expected: N, got: items.len() })
-            }
+            Snapshot::Seq(items) => Err(SnapshotError::WrongLength {
+                expected: N,
+                got: items.len(),
+            }),
             other => Err(mismatch("array", other)),
         }
     }
@@ -475,7 +484,10 @@ mod tests {
         let cp = checkpoint(&(1u8, 2u8, 3u8));
         assert_eq!(
             restore::<(u8, u8)>(&cp).unwrap_err(),
-            SnapshotError::WrongLength { expected: 2, got: 3 }
+            SnapshotError::WrongLength {
+                expected: 2,
+                got: 3
+            }
         );
     }
 
@@ -484,7 +496,10 @@ mod tests {
         let cp = checkpoint(&[1u32, 2]);
         assert_eq!(
             restore::<[u32; 3]>(&cp).unwrap_err(),
-            SnapshotError::WrongLength { expected: 3, got: 2 }
+            SnapshotError::WrongLength {
+                expected: 3,
+                got: 2
+            }
         );
     }
 

@@ -17,6 +17,9 @@ pub struct LogHistogram {
     min: u64,
     max: u64,
     sum: u128,
+    /// Sum of squared samples, kept so per-worker histograms can be
+    /// merged and still yield an exact aggregate standard deviation.
+    sum_sq: u128,
 }
 
 const OCTAVES: u32 = 64;
@@ -41,6 +44,7 @@ impl LogHistogram {
             min: u64::MAX,
             max: 0,
             sum: 0,
+            sum_sq: 0,
         }
     }
 
@@ -53,6 +57,7 @@ impl LogHistogram {
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.sum += value as u128;
+        self.sum_sq += (value as u128) * (value as u128);
     }
 
     /// Number of recorded samples.
@@ -113,6 +118,51 @@ impl LogHistogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+
+    /// Sample standard deviation (Bessel-corrected), or `None` with
+    /// fewer than two samples.
+    ///
+    /// Derived from the running `sum` / `sum_sq` moments, so it stays
+    /// exact across [`LogHistogram::merge`] — unlike the percentiles,
+    /// which carry bucket-width error.
+    pub fn stddev(&self) -> Option<f64> {
+        if self.total < 2 {
+            return None;
+        }
+        let n = self.total as f64;
+        let mean = self.sum as f64 / n;
+        // E[x^2] - mean^2, scaled by n/(n-1); clamp tiny negative noise.
+        let var = ((self.sum_sq as f64 / n) - mean * mean).max(0.0) * n / (n - 1.0);
+        Some(var.sqrt())
+    }
+
+    /// Reduces the histogram to a [`crate::stats::Summary`], or `None`
+    /// if empty.
+    ///
+    /// `count`, `mean`, `min`, `max` and `stddev` are exact (running
+    /// moments); the percentiles come from [`Self::value_at_quantile`]
+    /// and carry its bucket-width relative error. This is the reduction
+    /// step for sharded runtimes: each worker records into its own
+    /// histogram, the supervisor merges them, and one call yields the
+    /// fleet-wide latency summary.
+    pub fn summary(&self) -> Option<crate::stats::Summary> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = |q: f64| self.value_at_quantile(q).expect("non-empty") as f64;
+        Some(crate::stats::Summary {
+            count: self.total as usize,
+            mean: self.mean().expect("non-empty"),
+            stddev: self.stddev().unwrap_or(0.0),
+            min: self.min as f64,
+            p25: q(0.25),
+            p50: q(0.50),
+            p75: q(0.75),
+            p99: q(0.99),
+            max: self.max as f64,
+        })
     }
 
     /// Iterates over non-empty buckets as `(lower_bound, upper_bound, count)`.
@@ -121,7 +171,13 @@ impl LogHistogram {
             .iter()
             .enumerate()
             .filter(|&(_, &c)| c > 0)
-            .map(|(idx, &c)| (self.bucket_lower_bound(idx), self.bucket_upper_bound(idx), c))
+            .map(|(idx, &c)| {
+                (
+                    self.bucket_lower_bound(idx),
+                    self.bucket_upper_bound(idx),
+                    c,
+                )
+            })
     }
 
     fn bucket_index(&self, value: u64) -> usize {
@@ -200,7 +256,19 @@ mod tests {
     #[test]
     fn bucket_bounds_contain_value() {
         let h = LogHistogram::new(8);
-        for v in [0u64, 1, 7, 8, 9, 100, 1023, 1024, 1025, u64::MAX / 2, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            7,
+            8,
+            9,
+            100,
+            1023,
+            1024,
+            1025,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
             let idx = h.bucket_index(v);
             let lo = h.bucket_lower_bound(idx);
             let hi = h.bucket_upper_bound(idx);
@@ -267,5 +335,53 @@ mod tests {
         h.record(2);
         h.record(3);
         assert_eq!(h.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn stddev_matches_summary_of() {
+        let samples = [1u64, 2, 3, 4, 5];
+        let mut h = LogHistogram::new(16);
+        for &s in &samples {
+            h.record(s);
+        }
+        let direct = crate::stats::Summary::of_cycles(&samples).unwrap();
+        assert!((h.stddev().unwrap() - direct.stddev).abs() < 1e-9);
+
+        let mut single = LogHistogram::new(16);
+        single.record(7);
+        assert!(single.stddev().is_none());
+    }
+
+    #[test]
+    fn merged_shards_summarize_like_one_histogram() {
+        // Simulate 4 workers each recording a disjoint slice of the same
+        // sample stream, then merge — the moments must match a single
+        // histogram that saw everything.
+        let mut whole = LogHistogram::new(32);
+        let mut shards: Vec<LogHistogram> = (0..4).map(|_| LogHistogram::new(32)).collect();
+        for v in 1..=4000u64 {
+            whole.record(v);
+            shards[(v % 4) as usize].record(v);
+        }
+        let mut merged = LogHistogram::new(32);
+        for s in &shards {
+            merged.merge(s);
+        }
+
+        let a = whole.summary().unwrap();
+        let b = merged.summary().unwrap();
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        assert!((a.stddev - b.stddev).abs() < 1e-9);
+        // Percentiles are bucketed identically, so they agree exactly.
+        assert_eq!(a.p50, b.p50);
+        assert_eq!(a.p99, b.p99);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(LogHistogram::new(8).summary().is_none());
     }
 }

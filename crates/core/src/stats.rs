@@ -95,7 +95,10 @@ impl Summary {
 /// Panics if `sorted` is empty or `pct` is outside `[0, 100]`.
 pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty sample set");
-    assert!((0.0..=100.0).contains(&pct), "percentile {pct} out of range");
+    assert!(
+        (0.0..=100.0).contains(&pct),
+        "percentile {pct} out of range"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

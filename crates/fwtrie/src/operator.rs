@@ -122,17 +122,39 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn packet(dst: Ipv4Addr, dport: u16) -> Packet {
-        Packet::build_udp(MacAddr::ZERO, MacAddr::ZERO, Ipv4Addr::new(1, 1, 1, 1), dst, 999, dport, 0)
+        Packet::build_udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(1, 1, 1, 1),
+            dst,
+            999,
+            dport,
+            0,
+        )
     }
 
     fn firewall() -> FirewallOp {
         let mut t = FwTrie::new();
-        t.insert(Rule::new(1, "allow-dns", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow).dports(53, 53));
-        t.insert(Rule::new(2, "deny-ten", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Deny));
         t.insert(
-            Rule::new(3, "limit-web", Ipv4Addr::new(20, 0, 0, 0), 8, Action::RateLimit(100))
-                .dports(80, 80)
-                .proto(IpProto::Udp),
+            Rule::new(1, "allow-dns", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow).dports(53, 53),
+        );
+        t.insert(Rule::new(
+            2,
+            "deny-ten",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Deny,
+        ));
+        t.insert(
+            Rule::new(
+                3,
+                "limit-web",
+                Ipv4Addr::new(20, 0, 0, 0),
+                8,
+                Action::RateLimit(100),
+            )
+            .dports(80, 80)
+            .proto(IpProto::Udp),
         );
         FirewallOp::new(t, Action::Deny)
     }
@@ -158,9 +180,19 @@ mod tests {
     #[test]
     fn default_action_applies_when_no_match() {
         let mut t = FwTrie::new();
-        t.insert(Rule::new(1, "r", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Deny));
+        t.insert(Rule::new(
+            1,
+            "r",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Deny,
+        ));
         let mut fw = FirewallOp::new(t, Action::Allow);
-        let out = fw.process(vec![packet(Ipv4Addr::new(99, 9, 9, 9), 1)].into_iter().collect());
+        let out = fw.process(
+            vec![packet(Ipv4Addr::new(99, 9, 9, 9), 1)]
+                .into_iter()
+                .collect(),
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(fw.allowed(), 1);
     }
@@ -180,7 +212,13 @@ mod tests {
         let mut fw = firewall();
         let cp = fw.checkpoint_rules();
         // Control plane mutates: everything to 30/8 allowed.
-        fw.trie_mut().insert(Rule::new(4, "new", Ipv4Addr::new(30, 0, 0, 0), 8, Action::Allow));
+        fw.trie_mut().insert(Rule::new(
+            4,
+            "new",
+            Ipv4Addr::new(30, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
         let f = FiveTuple {
             src_ip: Ipv4Addr::new(1, 1, 1, 1),
             dst_ip: Ipv4Addr::new(30, 1, 1, 1),

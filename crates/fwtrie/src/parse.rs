@@ -37,14 +37,18 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 fn err(line: usize, msg: impl Into<String>) -> ConfigError {
-    ConfigError { line, msg: msg.into() }
+    ConfigError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 fn parse_prefix(line: usize, s: &str) -> Result<(Ipv4Addr, u8), ConfigError> {
     let (addr, len) = match s.split_once('/') {
         Some((a, l)) => (
             a,
-            l.parse::<u8>().map_err(|_| err(line, format!("bad prefix length {l:?}")))?,
+            l.parse::<u8>()
+                .map_err(|_| err(line, format!("bad prefix length {l:?}")))?,
         ),
         None => (s, 32),
     };
@@ -60,11 +64,15 @@ fn parse_prefix(line: usize, s: &str) -> Result<(Ipv4Addr, u8), ConfigError> {
 fn parse_port_range(line: usize, s: &str) -> Result<(u16, u16), ConfigError> {
     let (lo, hi) = match s.split_once('-') {
         Some((a, b)) => (
-            a.parse::<u16>().map_err(|_| err(line, format!("bad port {a:?}")))?,
-            b.parse::<u16>().map_err(|_| err(line, format!("bad port {b:?}")))?,
+            a.parse::<u16>()
+                .map_err(|_| err(line, format!("bad port {a:?}")))?,
+            b.parse::<u16>()
+                .map_err(|_| err(line, format!("bad port {b:?}")))?,
         ),
         None => {
-            let p = s.parse::<u16>().map_err(|_| err(line, format!("bad port {s:?}")))?;
+            let p = s
+                .parse::<u16>()
+                .map_err(|_| err(line, format!("bad port {s:?}")))?;
             (p, p)
         }
     };
@@ -187,20 +195,28 @@ mod tests {
         let trie = parse_config(SAMPLE).unwrap();
         assert_eq!(trie.rule_refs(), 4);
         assert_eq!(
-            trie.lookup(&flow([10, 1, 1, 1], 443, IpProto::Tcp)).unwrap().action,
+            trie.lookup(&flow([10, 1, 1, 1], 443, IpProto::Tcp))
+                .unwrap()
+                .action,
             Action::Allow
         );
         assert_eq!(
-            trie.lookup(&flow([10, 1, 1, 1], 53, IpProto::Udp)).unwrap().action,
+            trie.lookup(&flow([10, 1, 1, 1], 53, IpProto::Udp))
+                .unwrap()
+                .action,
             Action::Allow
         );
         assert_eq!(
-            trie.lookup(&flow([20, 1, 1, 1], 9, IpProto::Udp)).unwrap().action,
+            trie.lookup(&flow([20, 1, 1, 1], 9, IpProto::Udp))
+                .unwrap()
+                .action,
             Action::RateLimit(500)
         );
         // Port 22 to 10/8 falls through to the catch-all deny.
         assert_eq!(
-            trie.lookup(&flow([10, 1, 1, 1], 22, IpProto::Tcp)).unwrap().action,
+            trie.lookup(&flow([10, 1, 1, 1], 22, IpProto::Tcp))
+                .unwrap()
+                .action,
             Action::Deny
         );
     }
@@ -213,7 +229,9 @@ mod tests {
         let trie = parse_config("deny dst 10.0.0.0/8\nallow dst 10.0.0.0/8").unwrap();
         // Equal specificity: the earlier (lower-id) rule wins.
         assert_eq!(
-            trie.lookup(&flow([10, 0, 0, 1], 1, IpProto::Udp)).unwrap().action,
+            trie.lookup(&flow([10, 0, 0, 1], 1, IpProto::Udp))
+                .unwrap()
+                .action,
             Action::Deny
         );
     }

@@ -17,7 +17,13 @@ pub enum Action {
     RateLimit(u64),
 }
 
-checkpointable!(enum Action { Allow, Deny, RateLimit(u64) });
+checkpointable!(
+    enum Action {
+        Allow,
+        Deny,
+        RateLimit(u64),
+    }
+);
 
 /// One filter rule. The destination prefix is the trie index key; the
 /// remaining fields are checked on candidate rules at lookup time.
@@ -63,7 +69,13 @@ checkpointable!(struct Rule {
 impl Rule {
     /// A permissive rule matching everything to `dst` with the given
     /// action; refine with the builder methods.
-    pub fn new(id: u32, name: impl Into<String>, dst: Ipv4Addr, dst_len: u8, action: Action) -> Rule {
+    pub fn new(
+        id: u32,
+        name: impl Into<String>,
+        dst: Ipv4Addr,
+        dst_len: u8,
+        action: Action,
+    ) -> Rule {
         assert!(dst_len <= 32, "prefix length {dst_len} out of range");
         Rule {
             id,
@@ -164,11 +176,22 @@ mod tests {
 
     #[test]
     fn mask_and_contains() {
-        assert_eq!(mask_net(u32::from(Ipv4Addr::new(10, 1, 2, 3)), 8), u32::from(Ipv4Addr::new(10, 0, 0, 0)));
+        assert_eq!(
+            mask_net(u32::from(Ipv4Addr::new(10, 1, 2, 3)), 8),
+            u32::from(Ipv4Addr::new(10, 0, 0, 0))
+        );
         assert_eq!(mask_net(0xFFFF_FFFF, 0), 0);
         assert_eq!(mask_net(0x1234_5678, 32), 0x1234_5678);
-        assert!(prefix_contains(u32::from(Ipv4Addr::new(10, 0, 0, 0)), 8, u32::from(Ipv4Addr::new(10, 255, 0, 1))));
-        assert!(!prefix_contains(u32::from(Ipv4Addr::new(10, 0, 0, 0)), 8, u32::from(Ipv4Addr::new(11, 0, 0, 1))));
+        assert!(prefix_contains(
+            u32::from(Ipv4Addr::new(10, 0, 0, 0)),
+            8,
+            u32::from(Ipv4Addr::new(10, 255, 0, 1))
+        ));
+        assert!(!prefix_contains(
+            u32::from(Ipv4Addr::new(10, 0, 0, 0)),
+            8,
+            u32::from(Ipv4Addr::new(11, 0, 0, 1))
+        ));
         assert!(prefix_contains(0, 0, u32::MAX), "/0 contains everything");
     }
 
@@ -179,10 +202,22 @@ mod tests {
             .proto(IpProto::Tcp)
             .src(Ipv4Addr::new(192, 168, 0, 0), 16);
         assert!(r.matches(&flow([192, 168, 1, 1], [10, 9, 8, 7], 80, IpProto::Tcp)));
-        assert!(!r.matches(&flow([192, 168, 1, 1], [10, 9, 8, 7], 80, IpProto::Udp)), "wrong proto");
-        assert!(!r.matches(&flow([192, 168, 1, 1], [10, 9, 8, 7], 8080, IpProto::Tcp)), "port out of range");
-        assert!(!r.matches(&flow([172, 16, 1, 1], [10, 9, 8, 7], 80, IpProto::Tcp)), "wrong src");
-        assert!(!r.matches(&flow([192, 168, 1, 1], [11, 9, 8, 7], 80, IpProto::Tcp)), "wrong dst");
+        assert!(
+            !r.matches(&flow([192, 168, 1, 1], [10, 9, 8, 7], 80, IpProto::Udp)),
+            "wrong proto"
+        );
+        assert!(
+            !r.matches(&flow([192, 168, 1, 1], [10, 9, 8, 7], 8080, IpProto::Tcp)),
+            "port out of range"
+        );
+        assert!(
+            !r.matches(&flow([172, 16, 1, 1], [10, 9, 8, 7], 80, IpProto::Tcp)),
+            "wrong src"
+        );
+        assert!(
+            !r.matches(&flow([192, 168, 1, 1], [11, 9, 8, 7], 80, IpProto::Tcp)),
+            "wrong dst"
+        );
     }
 
     #[test]
@@ -212,9 +247,15 @@ mod tests {
 
     #[test]
     fn rule_checkpoints() {
-        let r = Rule::new(7, "ckpt", Ipv4Addr::new(172, 16, 0, 0), 12, Action::RateLimit(500))
-            .dports(53, 53)
-            .proto(IpProto::Udp);
+        let r = Rule::new(
+            7,
+            "ckpt",
+            Ipv4Addr::new(172, 16, 0, 0),
+            12,
+            Action::RateLimit(500),
+        )
+        .dports(53, 53)
+        .proto(IpProto::Udp);
         let back: Rule = restore(&checkpoint(&r)).unwrap();
         assert_eq!(back, r);
     }
@@ -223,6 +264,9 @@ mod tests {
     fn display_is_readable() {
         let r = Rule::new(1, "ssh", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Deny).dports(22, 22);
         let s = r.to_string();
-        assert!(s.contains("ssh") && s.contains("10.0.0.0/8") && s.contains("22-22"), "{s}");
+        assert!(
+            s.contains("ssh") && s.contains("10.0.0.0/8") && s.contains("22-22"),
+            "{s}"
+        );
     }
 }

@@ -39,21 +39,32 @@ impl Checkpointable for Node {
 
     fn restore(snap: &Snapshot, ctx: &mut RestoreCtx<'_>) -> Result<Self, SnapshotError> {
         let Snapshot::Seq(items) = snap else {
-            return Err(SnapshotError::TypeMismatch { expected: "trie node", found: "non-seq" });
+            return Err(SnapshotError::TypeMismatch {
+                expected: "trie node",
+                found: "non-seq",
+            });
         };
         if items.len() != 3 {
-            return Err(SnapshotError::WrongLength { expected: 3, got: items.len() });
+            return Err(SnapshotError::WrongLength {
+                expected: 3,
+                got: items.len(),
+            });
         }
-        let restore_child = |s: &Snapshot, ctx: &mut RestoreCtx<'_>| -> Result<Option<Box<Node>>, SnapshotError> {
-            match s {
-                Snapshot::Opt(None) => Ok(None),
-                Snapshot::Opt(Some(inner)) => Ok(Some(Box::new(Node::restore(inner, ctx)?))),
-                other => Err(SnapshotError::TypeMismatch {
-                    expected: "optional child",
-                    found: if matches!(other, Snapshot::Seq(_)) { "seq" } else { "other" },
-                }),
-            }
-        };
+        let restore_child =
+            |s: &Snapshot, ctx: &mut RestoreCtx<'_>| -> Result<Option<Box<Node>>, SnapshotError> {
+                match s {
+                    Snapshot::Opt(None) => Ok(None),
+                    Snapshot::Opt(Some(inner)) => Ok(Some(Box::new(Node::restore(inner, ctx)?))),
+                    other => Err(SnapshotError::TypeMismatch {
+                        expected: "optional child",
+                        found: if matches!(other, Snapshot::Seq(_)) {
+                            "seq"
+                        } else {
+                            "other"
+                        },
+                    }),
+                }
+            };
         Ok(Node {
             zero: restore_child(&items[0], ctx)?,
             one: restore_child(&items[1], ctx)?,
@@ -97,7 +108,11 @@ impl FwTrie {
         let mut node = &mut self.root;
         for depth in 0..len {
             let bit = (net >> (31 - u32::from(depth))) & 1;
-            let child = if bit == 0 { &mut node.zero } else { &mut node.one };
+            let child = if bit == 0 {
+                &mut node.zero
+            } else {
+                &mut node.one
+            };
             node = child.get_or_insert_with(Box::default);
         }
         node.rules.push(rule);
@@ -127,7 +142,11 @@ impl FwTrie {
                 break;
             }
             let bit = (dst >> (31 - u32::from(depth))) & 1;
-            node = if bit == 0 { n.zero.as_deref() } else { n.one.as_deref() };
+            node = if bit == 0 {
+                n.zero.as_deref()
+            } else {
+                n.one.as_deref()
+            };
             depth += 1;
         }
         best
@@ -197,13 +216,22 @@ impl Checkpointable for FwTrie {
 
     fn restore(snap: &Snapshot, ctx: &mut RestoreCtx<'_>) -> Result<Self, SnapshotError> {
         let Snapshot::Seq(items) = snap else {
-            return Err(SnapshotError::TypeMismatch { expected: "fwtrie", found: "non-seq" });
+            return Err(SnapshotError::TypeMismatch {
+                expected: "fwtrie",
+                found: "non-seq",
+            });
         };
         if items.len() != 2 {
-            return Err(SnapshotError::WrongLength { expected: 2, got: items.len() });
+            return Err(SnapshotError::WrongLength {
+                expected: 2,
+                got: items.len(),
+            });
         }
         let Snapshot::UInt(refs) = items[1] else {
-            return Err(SnapshotError::TypeMismatch { expected: "rule_refs", found: "non-uint" });
+            return Err(SnapshotError::TypeMismatch {
+                expected: "rule_refs",
+                found: "non-uint",
+            });
         };
         Ok(FwTrie {
             root: Node::restore(&items[0], ctx)?,
@@ -216,9 +244,9 @@ impl Checkpointable for FwTrie {
 mod tests {
     use super::*;
     use crate::rule::Action;
+    use proptest::prelude::*;
     use rbs_checkpoint::{checkpoint, checkpoint_with_mode, restore, DedupMode};
     use rbs_netfx::headers::IpProto;
-    use proptest::prelude::*;
 
     fn flow(dst: [u8; 4], dport: u16) -> FiveTuple {
         FiveTuple {
@@ -232,9 +260,23 @@ mod tests {
 
     fn sample_trie() -> FwTrie {
         let mut t = FwTrie::new();
-        t.insert(Rule::new(1, "ten-net", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow));
-        t.insert(Rule::new(2, "ten-one", Ipv4Addr::new(10, 1, 0, 0), 16, Action::Deny));
-        t.insert(Rule::new(3, "dns-only", Ipv4Addr::new(10, 1, 1, 0), 24, Action::Allow).dports(53, 53));
+        t.insert(Rule::new(
+            1,
+            "ten-net",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
+        t.insert(Rule::new(
+            2,
+            "ten-one",
+            Ipv4Addr::new(10, 1, 0, 0),
+            16,
+            Action::Deny,
+        ));
+        t.insert(
+            Rule::new(3, "dns-only", Ipv4Addr::new(10, 1, 1, 0), 24, Action::Allow).dports(53, 53),
+        );
         t
     }
 
@@ -252,22 +294,46 @@ mod tests {
     #[test]
     fn same_depth_tie_breaks_by_id() {
         let mut t = FwTrie::new();
-        t.insert(Rule::new(9, "b", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Deny));
-        t.insert(Rule::new(2, "a", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow));
+        t.insert(Rule::new(
+            9,
+            "b",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Deny,
+        ));
+        t.insert(Rule::new(
+            2,
+            "a",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
         assert_eq!(t.lookup(&flow([10, 5, 5, 5], 1)).unwrap().id, 2);
     }
 
     #[test]
     fn default_route_matches_everything() {
         let mut t = FwTrie::new();
-        t.insert(Rule::new(99, "default-deny", Ipv4Addr::UNSPECIFIED, 0, Action::Deny));
+        t.insert(Rule::new(
+            99,
+            "default-deny",
+            Ipv4Addr::UNSPECIFIED,
+            0,
+            Action::Deny,
+        ));
         assert_eq!(t.lookup(&flow([8, 8, 8, 8], 443)).unwrap().id, 99);
     }
 
     #[test]
     fn full_length_prefix() {
         let mut t = FwTrie::new();
-        t.insert(Rule::new(1, "host", Ipv4Addr::new(10, 0, 0, 1), 32, Action::Deny));
+        t.insert(Rule::new(
+            1,
+            "host",
+            Ipv4Addr::new(10, 0, 0, 1),
+            32,
+            Action::Deny,
+        ));
         assert_eq!(t.lookup(&flow([10, 0, 0, 1], 1)).unwrap().id, 1);
         assert!(t.lookup(&flow([10, 0, 0, 2], 1)).is_none());
     }
@@ -275,7 +341,13 @@ mod tests {
     #[test]
     fn aliasing_shares_rule_objects() {
         let mut t = FwTrie::new();
-        let shared = t.insert(Rule::new(1, "shared", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow));
+        let shared = t.insert(Rule::new(
+            1,
+            "shared",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
         t.alias_at(Ipv4Addr::new(192, 168, 0, 0), 16, shared.clone());
         assert_eq!(t.rule_refs(), 2);
         let a = t.lookup(&flow([10, 1, 1, 1], 1)).unwrap();
@@ -289,10 +361,22 @@ mod tests {
     #[test]
     fn figure3_dedup_vs_naive() {
         let mut t = FwTrie::new();
-        let shared = t.insert(Rule::new(1, "r1", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow));
+        let shared = t.insert(Rule::new(
+            1,
+            "r1",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
         t.alias_at(Ipv4Addr::new(192, 168, 0, 0), 16, shared.clone());
         t.alias_at(Ipv4Addr::new(172, 16, 0, 0), 12, shared);
-        t.insert(Rule::new(2, "r2", Ipv4Addr::new(8, 8, 8, 0), 24, Action::Deny));
+        t.insert(Rule::new(
+            2,
+            "r2",
+            Ipv4Addr::new(8, 8, 8, 0),
+            24,
+            Action::Deny,
+        ));
 
         let dedup = checkpoint(&t);
         assert_eq!(dedup.stats.shared_copied, 2, "two distinct rules");
@@ -306,7 +390,13 @@ mod tests {
     #[test]
     fn restore_preserves_sharing_and_semantics() {
         let mut t = FwTrie::new();
-        let shared = t.insert(Rule::new(1, "r1", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow));
+        let shared = t.insert(Rule::new(
+            1,
+            "r1",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
         t.alias_at(Ipv4Addr::new(192, 168, 0, 0), 16, shared);
         t.insert(Rule::new(2, "dns", Ipv4Addr::new(10, 1, 0, 0), 16, Action::Deny).dports(53, 53));
 
@@ -315,7 +405,12 @@ mod tests {
         assert_eq!(back.rule_refs(), t.rule_refs());
         assert_eq!(back.node_count(), t.node_count());
         // Same decisions.
-        for (dst, port) in [([10, 1, 0, 1], 53u16), ([10, 2, 0, 1], 80), ([192, 168, 0, 9], 1), ([9, 9, 9, 9], 9)] {
+        for (dst, port) in [
+            ([10, 1, 0, 1], 53u16),
+            ([10, 2, 0, 1], 80),
+            ([192, 168, 0, 9], 1),
+            ([9, 9, 9, 9], 9),
+        ] {
             let orig = t.lookup(&flow(dst, port)).map(|r| r.id);
             let rest = back.lookup(&flow(dst, port)).map(|r| r.id);
             assert_eq!(orig, rest, "dst {dst:?} port {port}");
@@ -330,18 +425,39 @@ mod tests {
     fn restore_after_mutation_rolls_back() {
         let mut t = sample_trie();
         let cp = checkpoint(&t);
-        t.insert(Rule::new(50, "new", Ipv4Addr::new(99, 0, 0, 0), 8, Action::Deny));
+        t.insert(Rule::new(
+            50,
+            "new",
+            Ipv4Addr::new(99, 0, 0, 0),
+            8,
+            Action::Deny,
+        ));
         assert!(t.lookup(&flow([99, 1, 1, 1], 1)).is_some());
         let back: FwTrie = restore(&cp).unwrap();
-        assert!(back.lookup(&flow([99, 1, 1, 1], 1)).is_none(), "rollback to snapshot");
+        assert!(
+            back.lookup(&flow([99, 1, 1, 1], 1)).is_none(),
+            "rollback to snapshot"
+        );
     }
 
     #[test]
     fn remove_rule_prunes_all_aliases_and_nodes() {
         let mut t = FwTrie::new();
-        let shared = t.insert(Rule::new(1, "shared", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow));
+        let shared = t.insert(Rule::new(
+            1,
+            "shared",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
         t.alias_at(Ipv4Addr::new(192, 168, 0, 0), 16, shared.clone());
-        t.insert(Rule::new(2, "other", Ipv4Addr::new(20, 0, 0, 0), 8, Action::Deny));
+        t.insert(Rule::new(
+            2,
+            "other",
+            Ipv4Addr::new(20, 0, 0, 0),
+            8,
+            Action::Deny,
+        ));
         let nodes_before = t.node_count();
 
         assert_eq!(t.remove_rule(1), 2, "both attachments removed");
@@ -359,16 +475,34 @@ mod tests {
     #[test]
     fn remove_then_reinsert_same_prefix() {
         let mut t = FwTrie::new();
-        t.insert(Rule::new(1, "a", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Deny));
+        t.insert(Rule::new(
+            1,
+            "a",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Deny,
+        ));
         t.remove_rule(1);
-        t.insert(Rule::new(3, "b", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow));
+        t.insert(Rule::new(
+            3,
+            "b",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
         assert_eq!(t.lookup(&flow([10, 1, 1, 1], 1)).unwrap().id, 3);
     }
 
     #[test]
     fn iter_refs_visits_aliases() {
         let mut t = FwTrie::new();
-        let shared = t.insert(Rule::new(1, "s", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow));
+        let shared = t.insert(Rule::new(
+            1,
+            "s",
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
         t.alias_at(Ipv4Addr::new(20, 0, 0, 0), 8, shared);
         let refs = t.iter_refs();
         assert_eq!(refs.len(), 2);
@@ -379,9 +513,21 @@ mod tests {
     fn node_count_grows_with_prefix_depth() {
         let mut t = FwTrie::new();
         assert_eq!(t.node_count(), 1);
-        t.insert(Rule::new(1, "r", Ipv4Addr::new(128, 0, 0, 0), 1, Action::Allow));
+        t.insert(Rule::new(
+            1,
+            "r",
+            Ipv4Addr::new(128, 0, 0, 0),
+            1,
+            Action::Allow,
+        ));
         assert_eq!(t.node_count(), 2);
-        t.insert(Rule::new(2, "r2", Ipv4Addr::new(128, 0, 0, 0), 3, Action::Allow));
+        t.insert(Rule::new(
+            2,
+            "r2",
+            Ipv4Addr::new(128, 0, 0, 0),
+            3,
+            Action::Allow,
+        ));
         assert_eq!(t.node_count(), 4);
     }
 

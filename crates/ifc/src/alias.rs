@@ -177,14 +177,20 @@ fn collect_constraints(
                     copies.push((obj.clone(), src.clone()));
                 }
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 collect_constraints(then_branch, kinds, next_cell, base, copies);
                 collect_constraints(else_branch, kinds, next_cell, base, copies);
             }
             Stmt::While { body, .. } => {
                 collect_constraints(body, kinds, next_cell, base, copies);
             }
-            Stmt::Read { .. } | Stmt::Output { .. } | Stmt::Call { .. }
+            Stmt::Read { .. }
+            | Stmt::Output { .. }
+            | Stmt::Call { .. }
             | Stmt::Declassify { .. } => {}
         }
     }
@@ -225,7 +231,9 @@ impl AliasCtx<'_> {
 /// intra-procedural in the heap; scalar calls would analyze as in
 /// [`crate::interp`]).
 pub fn analyze_alias(program: &Program) -> (Vec<Violation>, AliasStats) {
-    let main = program.function("main").expect("validated program has main");
+    let main = program
+        .function("main")
+        .expect("validated program has main");
     let pt = points_to(program, main);
     let stats = AliasStats {
         cells: pt.cells,
@@ -246,7 +254,13 @@ pub fn analyze_alias(program: &Program) -> (Vec<Violation>, AliasStats) {
         .iter()
         .map(|(p, l)| (p.clone(), l.unwrap_or(Label::PUBLIC)))
         .collect();
-    alias_block(&main.body, &mut scalars, Label::PUBLIC, &main.name, &mut ctx);
+    alias_block(
+        &main.body,
+        &mut scalars,
+        Label::PUBLIC,
+        &main.name,
+        &mut ctx,
+    );
     (ctx.violations, stats)
 }
 
@@ -316,7 +330,11 @@ fn alias_block(
                 let l = var_label_alias(obj, scalars, ctx).join(pc);
                 scalars.insert(dst.clone(), l);
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let pc2 = pc.join(expr_label_alias(cond, scalars, ctx));
                 let outer: Vec<Var> = scalars.keys().cloned().collect();
                 let mut then_env = scalars.clone();
@@ -409,14 +427,23 @@ fn write_through(var: &Var, label: Label, ctx: &mut AliasCtx<'_>) {
 /// analysis — heap labels are kept per variable, so a store through one
 /// alias never reaches the others. Misses the paper's line-17 exploit.
 pub fn analyze_naive(program: &Program) -> Vec<Violation> {
-    let main = program.function("main").expect("validated program has main");
+    let main = program
+        .function("main")
+        .expect("validated program has main");
     let mut env: BTreeMap<Var, Label> = main
         .params
         .iter()
         .map(|(p, l)| (p.clone(), l.unwrap_or(Label::PUBLIC)))
         .collect();
     let mut violations = Vec::new();
-    naive_block(&main.body, &mut env, Label::PUBLIC, &main.name, program, &mut violations);
+    naive_block(
+        &main.body,
+        &mut env,
+        Label::PUBLIC,
+        &main.name,
+        program,
+        &mut violations,
+    );
     violations
 }
 
@@ -453,13 +480,31 @@ fn naive_block(
                 let l = env.get(obj).copied().unwrap_or(Label::PUBLIC);
                 env.insert(dst.clone(), l.join(pc));
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let pc2 = pc.join(expr_label(cond, env));
                 let outer: Vec<Var> = env.keys().cloned().collect();
                 let mut t = env.clone();
-                naive_block(then_branch, &mut t, pc2, &format!("{loc}.then"), program, violations);
+                naive_block(
+                    then_branch,
+                    &mut t,
+                    pc2,
+                    &format!("{loc}.then"),
+                    program,
+                    violations,
+                );
                 let mut e = env.clone();
-                naive_block(else_branch, &mut e, pc2, &format!("{loc}.else"), program, violations);
+                naive_block(
+                    else_branch,
+                    &mut e,
+                    pc2,
+                    &format!("{loc}.else"),
+                    program,
+                    violations,
+                );
                 for var in outer {
                     let tl = t.get(&var).copied().unwrap_or(Label::PUBLIC);
                     let el = e.get(&var).copied().unwrap_or(Label::PUBLIC);
@@ -471,7 +516,14 @@ fn naive_block(
                     let pc2 = pc.join(expr_label(cond, env));
                     let mut body_env = env.clone();
                     let mut scratch = Vec::new();
-                    naive_block(body, &mut body_env, pc2, &format!("{loc}.body"), program, &mut scratch);
+                    naive_block(
+                        body,
+                        &mut body_env,
+                        pc2,
+                        &format!("{loc}.body"),
+                        program,
+                        &mut scratch,
+                    );
                     let mut changed = false;
                     let outer: Vec<Var> = env.keys().cloned().collect();
                     for var in outer {
@@ -488,14 +540,27 @@ fn naive_block(
                 }
                 let pc2 = pc.join(expr_label(cond, env));
                 let mut body_env = env.clone();
-                naive_block(body, &mut body_env, pc2, &format!("{loc}.body"), program, violations);
+                naive_block(
+                    body,
+                    &mut body_env,
+                    pc2,
+                    &format!("{loc}.body"),
+                    program,
+                    violations,
+                );
             }
             Stmt::Declassify { dst, expr } => {
                 // The naive baseline honors declassification with main's
                 // authority (it has no notion of per-function scopes).
-                let auth = program.function("main").map(|f| f.authority).unwrap_or(Label::PUBLIC);
+                let auth = program
+                    .function("main")
+                    .map(|f| f.authority)
+                    .unwrap_or(Label::PUBLIC);
                 let observed = expr_label(expr, env).join(pc);
-                env.insert(dst.clone(), Label::from_bits(observed.bits() & !auth.bits()));
+                env.insert(
+                    dst.clone(),
+                    Label::from_bits(observed.bits() & !auth.bits()),
+                );
             }
             Stmt::Output { channel, arg } => {
                 let label = expr_label(arg, env).join(pc);
@@ -504,7 +569,12 @@ fn naive_block(
                     .get(channel)
                     .expect("validated program declares its channels");
                 if !label.flows_to(bound) {
-                    violations.push(Violation { loc, channel: channel.clone(), label, bound });
+                    violations.push(Violation {
+                        loc,
+                        channel: channel.clone(),
+                        label,
+                        bound,
+                    });
                 }
             }
             Stmt::Call { dst, .. } => {
@@ -547,9 +617,18 @@ mod tests {
                     label: None,
                 },
                 secret_vec("sec"),
-                Stmt::Append { obj: "buf".into(), src: "nonsec".into() }, // line 14
-                Stmt::Append { obj: "buf".into(), src: "sec".into() },    // line 15
-                Stmt::Output { channel: "term".into(), arg: v("nonsec") }, // line 17
+                Stmt::Append {
+                    obj: "buf".into(),
+                    src: "nonsec".into(),
+                }, // line 14
+                Stmt::Append {
+                    obj: "buf".into(),
+                    src: "sec".into(),
+                }, // line 15
+                Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("nonsec"),
+                }, // line 17
             ])
             .build()
             .unwrap()
@@ -581,7 +660,10 @@ mod tests {
         let buf = &pt.pts["buf"];
         let nonsec = &pt.pts["nonsec"];
         // buf adopted both vectors: it may alias nonsec's cell.
-        assert!(nonsec.iter().all(|c| buf.contains(c)), "buf must cover nonsec");
+        assert!(
+            nonsec.iter().all(|c| buf.contains(c)),
+            "buf must cover nonsec"
+        );
         assert!(buf.len() >= 2);
     }
 
@@ -610,7 +692,10 @@ mod tests {
             .channel("term", Label::PUBLIC)
             .main(vec![
                 secret_vec("sec"),
-                Stmt::Output { channel: "term".into(), arg: v("sec") },
+                Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("sec"),
+                },
             ])
             .build()
             .unwrap();
@@ -626,12 +711,25 @@ mod tests {
         let p = ProgramBuilder::new()
             .channel("term", Label::PUBLIC)
             .main(vec![
-                Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
+                Stmt::Let {
+                    var: "x".into(),
+                    expr: Expr::VecLit(vec![1]),
+                    label: None,
+                },
                 secret_vec("sec"),
-                Stmt::Append { obj: "x".into(), src: "sec".into() },
+                Stmt::Append {
+                    obj: "x".into(),
+                    src: "sec".into(),
+                },
                 // Rebind x to a fresh public vector, then print it.
-                Stmt::Assign { var: "x".into(), expr: Expr::VecLit(vec![2]) },
-                Stmt::Output { channel: "term".into(), arg: v("x") },
+                Stmt::Assign {
+                    var: "x".into(),
+                    expr: Expr::VecLit(vec![2]),
+                },
+                Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("x"),
+                },
             ])
             .build()
             .unwrap();
@@ -658,13 +756,23 @@ mod tests {
                     expr: Expr::Const(1),
                     label: Some(Label::SECRET),
                 },
-                Stmt::Let { var: "x".into(), expr: Expr::Const(0), label: None },
+                Stmt::Let {
+                    var: "x".into(),
+                    expr: Expr::Const(0),
+                    label: None,
+                },
                 Stmt::If {
                     cond: v("s"),
-                    then_branch: vec![Stmt::Assign { var: "x".into(), expr: Expr::Const(1) }],
+                    then_branch: vec![Stmt::Assign {
+                        var: "x".into(),
+                        expr: Expr::Const(1),
+                    }],
                     else_branch: vec![],
                 },
-                Stmt::Output { channel: "term".into(), arg: v("x") },
+                Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("x"),
+                },
             ])
             .build()
             .unwrap();
@@ -678,15 +786,25 @@ mod tests {
             .channel("term", Label::PUBLIC)
             .main(vec![
                 Stmt::Alloc { var: "buf".into() },
-                Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+                Stmt::Let {
+                    var: "c".into(),
+                    expr: Expr::Const(1),
+                    label: None,
+                },
                 Stmt::While {
                     cond: v("c"),
                     body: vec![
                         secret_vec("sec"),
-                        Stmt::Append { obj: "buf".into(), src: "sec".into() },
+                        Stmt::Append {
+                            obj: "buf".into(),
+                            src: "sec".into(),
+                        },
                     ],
                 },
-                Stmt::Output { channel: "term".into(), arg: v("buf") },
+                Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("buf"),
+                },
             ])
             .build()
             .unwrap();

@@ -194,10 +194,8 @@ mod tests {
     /// public client's channel bound makes the buggy program verify.
     #[test]
     fn buggy_store_safe_if_channel_is_privileged() {
-        let src = SECURE_STORE_BUGGY_SRC.replace(
-            "channel pub_client public;",
-            "channel pub_client {priv};",
-        );
+        let src = SECURE_STORE_BUGGY_SRC
+            .replace("channel pub_client public;", "channel pub_client {priv};");
         let v = crate::verify::verify_source(&src).unwrap();
         assert!(v.is_safe());
     }

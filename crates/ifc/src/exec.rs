@@ -110,7 +110,9 @@ pub fn execute_with_budget(
     args: &[i64],
     budget: u64,
 ) -> Result<Vec<Emission>, ExecError> {
-    let main = program.function("main").expect("validated program has main");
+    let main = program
+        .function("main")
+        .expect("validated program has main");
     let mut m = Machine {
         program,
         emissions: Vec::new(),
@@ -140,14 +142,11 @@ impl Machine<'_> {
         Ok(())
     }
 
-    fn run_function(
-        &mut self,
-        f: &Function,
-        env: &mut Env,
-        pc: Label,
-    ) -> Result<Value, ExecError> {
+    fn run_function(&mut self, f: &Function, env: &mut Env, pc: Label) -> Result<Value, ExecError> {
         if self.call_stack.iter().any(|s| s == &f.name) {
-            return Err(ExecError::Recursion { func: f.name.clone() });
+            return Err(ExecError::Recursion {
+                func: f.name.clone(),
+            });
         }
         self.call_stack.push(f.name.clone());
         self.run_block(&f.body, env, pc, &f.name, f.authority)?;
@@ -258,24 +257,30 @@ impl Machine<'_> {
                     let stripped = Label::from_bits(observed.bits() & !authority.bits());
                     env.insert(dst.clone(), Some(Value::Int(v.as_int(), stripped)));
                 }
-                Stmt::If { cond, then_branch, else_branch } => {
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     let c = self.eval(cond, env)?;
                     let pc2 = pc.join(c.label());
-                    let branch = if c.as_int() != 0 { then_branch } else { else_branch };
+                    let branch = if c.as_int() != 0 {
+                        then_branch
+                    } else {
+                        else_branch
+                    };
                     let tag = if c.as_int() != 0 { "then" } else { "else" };
                     self.run_block(branch, env, pc2, &format!("{loc}.{tag}"), authority)?;
                 }
-                Stmt::While { cond, body } => {
-                    loop {
-                        self.tick()?;
-                        let c = self.eval(cond, env)?;
-                        if c.as_int() == 0 {
-                            break;
-                        }
-                        let pc2 = pc.join(c.label());
-                        self.run_block(body, env, pc2, &format!("{loc}.body"), authority)?;
+                Stmt::While { cond, body } => loop {
+                    self.tick()?;
+                    let c = self.eval(cond, env)?;
+                    if c.as_int() == 0 {
+                        break;
                     }
-                }
+                    let pc2 = pc.join(c.label());
+                    self.run_block(body, env, pc2, &format!("{loc}.body"), authority)?;
+                },
                 Stmt::Output { channel, arg } => {
                     let v = self.eval(arg, env)?;
                     let data = match &v {
@@ -332,7 +337,11 @@ pub fn dynamic_violations(program: &Program, emissions: &[Emission]) -> Vec<Emis
     emissions
         .iter()
         .filter(|e| {
-            let bound = program.channels.get(&e.channel).copied().unwrap_or(Label::PUBLIC);
+            let bound = program
+                .channels
+                .get(&e.channel)
+                .copied()
+                .unwrap_or(Label::PUBLIC);
             !e.label.flows_to(bound)
         })
         .cloned()
@@ -392,7 +401,11 @@ mod tests {
         let out = execute(&p, &[21]).unwrap();
         assert_eq!(out[0].data, vec![42]);
         assert_eq!(out[0].label, Label::SECRET, "explicit flow");
-        assert_eq!(out[1].label, Label::SECRET, "implicit flow via taken branch");
+        assert_eq!(
+            out[1].label,
+            Label::SECRET,
+            "implicit flow via taken branch"
+        );
         assert_eq!(dynamic_violations(&p, &out).len(), 2);
     }
 
@@ -414,10 +427,7 @@ mod tests {
 
     #[test]
     fn runaway_loop_hits_budget() {
-        let p = parse(
-            "fn main() { let c = 1; while c { c = 1; } }",
-        )
-        .unwrap();
+        let p = parse("fn main() { let c = 1; while c { c = 1; } }").unwrap();
         assert_eq!(
             execute_with_budget(&p, &[], 1_000).unwrap_err(),
             ExecError::StepBudget
@@ -460,14 +470,20 @@ mod tests {
     #[test]
     fn moved_buffer_is_gone_at_runtime_too() {
         // Built directly (the static checker would reject this source).
-        use crate::ir::{ProgramBuilder};
+        use crate::ir::ProgramBuilder;
         let p = ProgramBuilder::new()
             .channel("t", Label::PUBLIC)
             .main(vec![
                 Stmt::Alloc { var: "a".into() },
                 Stmt::Alloc { var: "b".into() },
-                Stmt::Append { obj: "b".into(), src: "a".into() },
-                Stmt::Output { channel: "t".into(), arg: Expr::Var("a".into()) },
+                Stmt::Append {
+                    obj: "b".into(),
+                    src: "a".into(),
+                },
+                Stmt::Output {
+                    channel: "t".into(),
+                    arg: Expr::Var("a".into()),
+                },
             ])
             .build()
             .unwrap();

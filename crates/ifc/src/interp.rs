@@ -91,7 +91,9 @@ struct Ctx<'p> {
 ///
 /// The program must already validate.
 pub fn analyze(program: &Program) -> Result<Vec<Violation>, InterpError> {
-    let main = program.function("main").expect("validated program has main");
+    let main = program
+        .function("main")
+        .expect("validated program has main");
     let mut ctx = Ctx {
         program,
         violations: Vec::new(),
@@ -111,7 +113,9 @@ pub fn analyze(program: &Program) -> Result<Vec<Violation>, InterpError> {
 /// Analyzes `main` and also returns the final abstract state — useful in
 /// tests and for the secure-store walkthrough.
 pub fn analyze_with_state(program: &Program) -> Result<(Vec<Violation>, LabelState), InterpError> {
-    let main = program.function("main").expect("validated program has main");
+    let main = program
+        .function("main")
+        .expect("validated program has main");
     let mut ctx = Ctx {
         program,
         violations: Vec::new(),
@@ -135,7 +139,9 @@ fn interpret_function(
     ctx: &mut Ctx<'_>,
 ) -> Result<Label, InterpError> {
     if ctx.stack.iter().any(|s| s == &f.name) {
-        return Err(InterpError::Recursion { func: f.name.clone() });
+        return Err(InterpError::Recursion {
+            func: f.name.clone(),
+        });
     }
     ctx.stack.push(f.name.clone());
     let saved_authority = ctx.authority;
@@ -192,7 +198,11 @@ fn interpret_block(
                 let obj_label = env.get(obj).copied().unwrap_or(Label::PUBLIC);
                 env.insert(dst.clone(), obj_label.join(pc));
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 // Implicit flows: both branches execute under a pc raised
                 // by the condition's label.
                 let pc2 = pc.join(expr_label(cond, env));
@@ -328,8 +338,15 @@ mod tests {
     #[test]
     fn public_to_public_is_safe() {
         let p = build(vec![
-            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
-            Stmt::Output { channel: "term".into(), arg: v("x") },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("x"),
+            },
         ]);
         assert!(analyze(&p).unwrap().is_empty());
     }
@@ -338,7 +355,10 @@ mod tests {
     fn secret_to_public_violates() {
         let p = build(vec![
             secret_let("s"),
-            Stmt::Output { channel: "term".into(), arg: v("s") },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("s"),
+            },
         ]);
         let vs = analyze(&p).unwrap();
         assert_eq!(vs.len(), 1);
@@ -352,7 +372,10 @@ mod tests {
     fn secret_to_secret_channel_is_safe() {
         let p = build(vec![
             secret_let("s"),
-            Stmt::Output { channel: "vault".into(), arg: v("s") },
+            Stmt::Output {
+                channel: "vault".into(),
+                arg: v("s"),
+            },
         ]);
         assert!(analyze(&p).unwrap().is_empty());
     }
@@ -361,13 +384,20 @@ mod tests {
     fn taint_propagates_through_arithmetic() {
         let p = build(vec![
             secret_let("s"),
-            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
             Stmt::Let {
                 var: "y".into(),
                 expr: Expr::bin(BinOp::Add, v("s"), v("x")),
                 label: None,
             },
-            Stmt::Output { channel: "term".into(), arg: v("y") },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("y"),
+            },
         ]);
         assert_eq!(analyze(&p).unwrap().len(), 1);
     }
@@ -378,12 +408,28 @@ mod tests {
     fn buffer_becomes_tainted_on_append() {
         let p = build(vec![
             Stmt::Alloc { var: "buf".into() },
-            Stmt::Let { var: "nonsec".into(), expr: Expr::VecLit(vec![1, 2, 3]), label: None },
+            Stmt::Let {
+                var: "nonsec".into(),
+                expr: Expr::VecLit(vec![1, 2, 3]),
+                label: None,
+            },
             secret_let("sec"),
-            Stmt::Append { obj: "buf".into(), src: "nonsec".into() },
-            Stmt::Output { channel: "term".into(), arg: v("buf") }, // still fine here
-            Stmt::Append { obj: "buf".into(), src: "sec".into() },
-            Stmt::Output { channel: "term".into(), arg: v("buf") }, // leaks
+            Stmt::Append {
+                obj: "buf".into(),
+                src: "nonsec".into(),
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("buf"),
+            }, // still fine here
+            Stmt::Append {
+                obj: "buf".into(),
+                src: "sec".into(),
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("buf"),
+            }, // leaks
         ]);
         let vs = analyze(&p).unwrap();
         assert_eq!(vs.len(), 1);
@@ -395,13 +441,23 @@ mod tests {
         // if (secret) { x = 1 } else { x = 0 }; output(term, x)
         let p = build(vec![
             secret_let("s"),
-            Stmt::Let { var: "x".into(), expr: Expr::Const(0), label: None },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::Const(0),
+                label: None,
+            },
             Stmt::If {
                 cond: v("s"),
-                then_branch: vec![Stmt::Assign { var: "x".into(), expr: Expr::Const(1) }],
+                then_branch: vec![Stmt::Assign {
+                    var: "x".into(),
+                    expr: Expr::Const(1),
+                }],
                 else_branch: vec![],
             },
-            Stmt::Output { channel: "term".into(), arg: v("x") },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("x"),
+            },
         ]);
         let vs = analyze(&p).unwrap();
         assert_eq!(vs.len(), 1, "implicit flow must be caught");
@@ -428,13 +484,20 @@ mod tests {
     fn branch_join_keeps_untouched_vars_clean() {
         let p = build(vec![
             secret_let("s"),
-            Stmt::Let { var: "clean".into(), expr: Expr::Const(7), label: None },
+            Stmt::Let {
+                var: "clean".into(),
+                expr: Expr::Const(7),
+                label: None,
+            },
             Stmt::If {
                 cond: v("s"),
                 then_branch: vec![],
                 else_branch: vec![],
             },
-            Stmt::Output { channel: "term".into(), arg: v("clean") },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("clean"),
+            },
         ]);
         assert!(analyze(&p).unwrap().is_empty());
     }
@@ -445,8 +508,16 @@ mod tests {
         // while (c) { t = x + s; x = t }
         let p = build(vec![
             secret_let("s"),
-            Stmt::Let { var: "x".into(), expr: Expr::Const(0), label: None },
-            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::Const(0),
+                label: None,
+            },
+            Stmt::Let {
+                var: "c".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
             Stmt::While {
                 cond: v("c"),
                 body: vec![
@@ -455,10 +526,16 @@ mod tests {
                         expr: Expr::bin(BinOp::Add, v("x"), v("s")),
                         label: None,
                     },
-                    Stmt::Assign { var: "x".into(), expr: v("t") },
+                    Stmt::Assign {
+                        var: "x".into(),
+                        expr: v("t"),
+                    },
                 ],
             },
-            Stmt::Output { channel: "term".into(), arg: v("x") },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("x"),
+            },
         ]);
         let vs = analyze(&p).unwrap();
         assert_eq!(vs.len(), 1);
@@ -469,10 +546,17 @@ mod tests {
     fn loop_violations_reported_once() {
         let p = build(vec![
             secret_let("s"),
-            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "c".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
             Stmt::While {
                 cond: v("c"),
-                body: vec![Stmt::Output { channel: "term".into(), arg: v("s") }],
+                body: vec![Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("s"),
+                }],
             },
         ]);
         let vs = analyze(&p).unwrap();
@@ -483,12 +567,22 @@ mod tests {
     fn secret_loop_condition_taints_body_writes() {
         let p = build(vec![
             secret_let("s"),
-            Stmt::Let { var: "x".into(), expr: Expr::Const(0), label: None },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::Const(0),
+                label: None,
+            },
             Stmt::While {
                 cond: v("s"),
-                body: vec![Stmt::Assign { var: "x".into(), expr: Expr::Const(1) }],
+                body: vec![Stmt::Assign {
+                    var: "x".into(),
+                    expr: Expr::Const(1),
+                }],
             },
-            Stmt::Output { channel: "term".into(), arg: v("x") },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("x"),
+            },
         ]);
         assert_eq!(analyze(&p).unwrap().len(), 1);
     }
@@ -507,8 +601,15 @@ mod tests {
             .function(id)
             .main(vec![
                 secret_let("s"),
-                Stmt::Call { dst: Some("r".into()), func: "id".into(), args: vec![v("s")] },
-                Stmt::Output { channel: "term".into(), arg: v("r") },
+                Stmt::Call {
+                    dst: Some("r".into()),
+                    func: "id".into(),
+                    args: vec![v("s")],
+                },
+                Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("r"),
+                },
             ])
             .build()
             .unwrap();
@@ -521,7 +622,10 @@ mod tests {
             name: "leak".into(),
             params: vec![("a".into(), None)],
             authority: Label::PUBLIC,
-            body: vec![Stmt::Output { channel: "term".into(), arg: v("a") }],
+            body: vec![Stmt::Output {
+                channel: "term".into(),
+                arg: v("a"),
+            }],
             ret: None,
         };
         let p = ProgramBuilder::new()
@@ -529,7 +633,11 @@ mod tests {
             .function(leaky)
             .main(vec![
                 secret_let("s"),
-                Stmt::Call { dst: None, func: "leak".into(), args: vec![v("s")] },
+                Stmt::Call {
+                    dst: None,
+                    func: "leak".into(),
+                    args: vec![v("s")],
+                },
             ])
             .build()
             .unwrap();
@@ -544,15 +652,26 @@ mod tests {
             name: "f".into(),
             params: vec![],
             authority: Label::PUBLIC,
-            body: vec![Stmt::Call { dst: None, func: "f".into(), args: vec![] }],
+            body: vec![Stmt::Call {
+                dst: None,
+                func: "f".into(),
+                args: vec![],
+            }],
             ret: None,
         };
         let p = ProgramBuilder::new()
             .function(f)
-            .main(vec![Stmt::Call { dst: None, func: "f".into(), args: vec![] }])
+            .main(vec![Stmt::Call {
+                dst: None,
+                func: "f".into(),
+                args: vec![],
+            }])
             .build()
             .unwrap();
-        assert_eq!(analyze(&p).unwrap_err(), InterpError::Recursion { func: "f".into() });
+        assert_eq!(
+            analyze(&p).unwrap_err(),
+            InterpError::Recursion { func: "f".into() }
+        );
     }
 
     #[test]
@@ -563,7 +682,10 @@ mod tests {
                 name: "main".into(),
                 params: vec![("input".into(), Some(Label::SECRET))],
                 authority: Label::PUBLIC,
-                body: vec![Stmt::Output { channel: "term".into(), arg: v("input") }],
+                body: vec![Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("input"),
+                }],
                 ret: None,
             })
             .build()
@@ -575,7 +697,11 @@ mod tests {
     fn final_state_reflects_labels() {
         let p = build(vec![
             secret_let("s"),
-            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
         ]);
         let (vs, state) = analyze_with_state(&p).unwrap();
         assert!(vs.is_empty());

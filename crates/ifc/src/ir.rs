@@ -264,7 +264,12 @@ impl fmt::Display for IrError {
             IrError::UnknownFunction { func, loc } => {
                 write!(f, "{loc}: unknown function {func}")
             }
-            IrError::ArityMismatch { func, expected, got, loc } => {
+            IrError::ArityMismatch {
+                func,
+                expected,
+                got,
+                loc,
+            } => {
                 write!(f, "{loc}: {func} takes {expected} arguments, got {got}")
             }
         }
@@ -295,9 +300,11 @@ impl Program {
             stmts
                 .iter()
                 .map(|s| match s {
-                    Stmt::If { then_branch, else_branch, .. } => {
-                        1 + count(then_branch) + count(else_branch)
-                    }
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => 1 + count(then_branch) + count(else_branch),
                     Stmt::While { body, .. } => 1 + count(body),
                     _ => 1,
                 })
@@ -317,9 +324,7 @@ impl Program {
                     Stmt::Let { var, expr, .. } | Stmt::Assign { var, expr } => {
                         let k = match expr {
                             Expr::VecLit(_) => VarKind::Heap,
-                            Expr::Var(src) => {
-                                kinds.get(src).copied().unwrap_or(VarKind::Scalar)
-                            }
+                            Expr::Var(src) => kinds.get(src).copied().unwrap_or(VarKind::Scalar),
                             _ => VarKind::Scalar,
                         };
                         kinds.insert(var.clone(), k);
@@ -336,7 +341,11 @@ impl Program {
                     Stmt::Declassify { dst, .. } => {
                         kinds.insert(dst.clone(), VarKind::Scalar);
                     }
-                    Stmt::If { then_branch, else_branch, .. } => {
+                    Stmt::If {
+                        then_branch,
+                        else_branch,
+                        ..
+                    } => {
                         walk(then_branch, kinds);
                         walk(else_branch, kinds);
                     }
@@ -417,7 +426,10 @@ impl Program {
                 Expr::Var(v) => v.clone(),
                 _ => "<vec literal>".to_string(),
             };
-            return Err(IrError::HeapInScalarContext { var, loc: loc.clone() });
+            return Err(IrError::HeapInScalarContext {
+                var,
+                loc: loc.clone(),
+            });
         }
         Ok(kind)
     }
@@ -433,63 +445,96 @@ impl Program {
             match s {
                 Stmt::Let { var, expr, .. } => {
                     if kinds.contains_key(var) {
-                        return Err(IrError::Rebinding { var: var.clone(), loc });
+                        return Err(IrError::Rebinding {
+                            var: var.clone(),
+                            loc,
+                        });
                     }
                     let k = self.expr_kind(expr, kinds, &loc, false)?;
                     kinds.insert(var.clone(), k);
                 }
                 Stmt::Assign { var, expr } => {
                     let Some(&vk) = kinds.get(var) else {
-                        return Err(IrError::AssignToUndefined { var: var.clone(), loc });
+                        return Err(IrError::AssignToUndefined {
+                            var: var.clone(),
+                            loc,
+                        });
                     };
                     let ek = self.expr_kind(expr, kinds, &loc, false)?;
                     if vk != ek {
                         return match ek {
-                            VarKind::Heap => {
-                                Err(IrError::HeapInScalarContext { var: var.clone(), loc })
-                            }
-                            VarKind::Scalar => {
-                                Err(IrError::ScalarInHeapContext { var: var.clone(), loc })
-                            }
+                            VarKind::Heap => Err(IrError::HeapInScalarContext {
+                                var: var.clone(),
+                                loc,
+                            }),
+                            VarKind::Scalar => Err(IrError::ScalarInHeapContext {
+                                var: var.clone(),
+                                loc,
+                            }),
                         };
                     }
                 }
                 Stmt::Alloc { var } => {
                     if kinds.contains_key(var) {
-                        return Err(IrError::Rebinding { var: var.clone(), loc });
+                        return Err(IrError::Rebinding {
+                            var: var.clone(),
+                            loc,
+                        });
                     }
                     kinds.insert(var.clone(), VarKind::Heap);
                 }
                 Stmt::Append { obj, src } => {
                     match kinds.get(obj) {
                         None => {
-                            return Err(IrError::UndefinedVar { var: obj.clone(), loc });
+                            return Err(IrError::UndefinedVar {
+                                var: obj.clone(),
+                                loc,
+                            });
                         }
                         Some(VarKind::Scalar) => {
-                            return Err(IrError::ScalarInHeapContext { var: obj.clone(), loc });
+                            return Err(IrError::ScalarInHeapContext {
+                                var: obj.clone(),
+                                loc,
+                            });
                         }
                         Some(VarKind::Heap) => {}
                     }
                     if kinds.get(src).is_none() {
-                        return Err(IrError::UndefinedVar { var: src.clone(), loc });
+                        return Err(IrError::UndefinedVar {
+                            var: src.clone(),
+                            loc,
+                        });
                     }
                 }
                 Stmt::Read { dst, obj } => {
                     match kinds.get(obj) {
                         None => {
-                            return Err(IrError::UndefinedVar { var: obj.clone(), loc });
+                            return Err(IrError::UndefinedVar {
+                                var: obj.clone(),
+                                loc,
+                            });
                         }
                         Some(VarKind::Scalar) => {
-                            return Err(IrError::ScalarInHeapContext { var: obj.clone(), loc });
+                            return Err(IrError::ScalarInHeapContext {
+                                var: obj.clone(),
+                                loc,
+                            });
                         }
                         Some(VarKind::Heap) => {}
                     }
                     if kinds.contains_key(dst) {
-                        return Err(IrError::Rebinding { var: dst.clone(), loc });
+                        return Err(IrError::Rebinding {
+                            var: dst.clone(),
+                            loc,
+                        });
                     }
                     kinds.insert(dst.clone(), VarKind::Scalar);
                 }
-                Stmt::If { cond, then_branch, else_branch } => {
+                Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     self.expr_kind(cond, kinds, &loc, true)?;
                     // Bindings inside branches are branch-local; analyses
                     // and validation agree on that scoping.
@@ -506,20 +551,29 @@ impl Program {
                 Stmt::Declassify { dst, expr } => {
                     self.expr_kind(expr, kinds, &loc, true)?;
                     if kinds.contains_key(dst) {
-                        return Err(IrError::Rebinding { var: dst.clone(), loc });
+                        return Err(IrError::Rebinding {
+                            var: dst.clone(),
+                            loc,
+                        });
                     }
                     kinds.insert(dst.clone(), VarKind::Scalar);
                 }
                 Stmt::Output { channel, arg } => {
                     if !self.channels.contains_key(channel) {
-                        return Err(IrError::UnknownChannel { channel: channel.clone(), loc });
+                        return Err(IrError::UnknownChannel {
+                            channel: channel.clone(),
+                            loc,
+                        });
                     }
                     // Outputting a buffer is allowed (printing the buffer).
                     self.expr_kind(arg, kinds, &loc, false)?;
                 }
                 Stmt::Call { dst, func, args } => {
                     let Some(callee) = self.function(func) else {
-                        return Err(IrError::UnknownFunction { func: func.clone(), loc });
+                        return Err(IrError::UnknownFunction {
+                            func: func.clone(),
+                            loc,
+                        });
                     };
                     if callee.params.len() != args.len() {
                         return Err(IrError::ArityMismatch {
@@ -534,7 +588,10 @@ impl Program {
                     }
                     if let Some(d) = dst {
                         if kinds.contains_key(d) {
-                            return Err(IrError::Rebinding { var: d.clone(), loc });
+                            return Err(IrError::Rebinding {
+                                var: d.clone(),
+                                loc,
+                            });
                         }
                         kinds.insert(d.clone(), VarKind::Scalar);
                     }
@@ -600,8 +657,15 @@ mod tests {
         let p = ProgramBuilder::new()
             .channel("term", Label::PUBLIC)
             .main(vec![
-                Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
-                Stmt::Output { channel: "term".into(), arg: v("x") },
+                Stmt::Let {
+                    var: "x".into(),
+                    expr: Expr::Const(1),
+                    label: None,
+                },
+                Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("x"),
+                },
             ])
             .build()
             .unwrap();
@@ -616,8 +680,18 @@ mod tests {
 
     #[test]
     fn duplicate_function_rejected() {
-        let f = Function { name: "main".into(), params: vec![], authority: Label::PUBLIC, body: vec![], ret: None };
-        let e = ProgramBuilder::new().function(f.clone()).function(f).build().unwrap_err();
+        let f = Function {
+            name: "main".into(),
+            params: vec![],
+            authority: Label::PUBLIC,
+            body: vec![],
+            ret: None,
+        };
+        let e = ProgramBuilder::new()
+            .function(f.clone())
+            .function(f)
+            .build()
+            .unwrap_err();
         assert_eq!(e, IrError::DuplicateFunction("main".into()));
     }
 
@@ -625,7 +699,10 @@ mod tests {
     fn undefined_var_rejected() {
         let e = ProgramBuilder::new()
             .channel("term", Label::PUBLIC)
-            .main(vec![Stmt::Output { channel: "term".into(), arg: v("ghost") }])
+            .main(vec![Stmt::Output {
+                channel: "term".into(),
+                arg: v("ghost"),
+            }])
             .build()
             .unwrap_err();
         assert!(matches!(e, IrError::UndefinedVar { var, .. } if var == "ghost"));
@@ -635,8 +712,16 @@ mod tests {
     fn rebinding_rejected() {
         let e = ProgramBuilder::new()
             .main(vec![
-                Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
-                Stmt::Let { var: "x".into(), expr: Expr::Const(2), label: None },
+                Stmt::Let {
+                    var: "x".into(),
+                    expr: Expr::Const(1),
+                    label: None,
+                },
+                Stmt::Let {
+                    var: "x".into(),
+                    expr: Expr::Const(2),
+                    label: None,
+                },
             ])
             .build()
             .unwrap_err();
@@ -647,7 +732,11 @@ mod tests {
     fn heap_in_arithmetic_rejected() {
         let e = ProgramBuilder::new()
             .main(vec![
-                Stmt::Let { var: "v".into(), expr: Expr::VecLit(vec![1]), label: None },
+                Stmt::Let {
+                    var: "v".into(),
+                    expr: Expr::VecLit(vec![1]),
+                    label: None,
+                },
                 Stmt::Let {
                     var: "y".into(),
                     expr: Expr::bin(BinOp::Add, v("v"), Expr::Const(1)),
@@ -664,7 +753,11 @@ mod tests {
         let e = ProgramBuilder::new()
             .main(vec![
                 Stmt::Alloc { var: "b".into() },
-                Stmt::If { cond: v("b"), then_branch: vec![], else_branch: vec![] },
+                Stmt::If {
+                    cond: v("b"),
+                    then_branch: vec![],
+                    else_branch: vec![],
+                },
             ])
             .build()
             .unwrap_err();
@@ -675,9 +768,20 @@ mod tests {
     fn append_into_scalar_rejected() {
         let e = ProgramBuilder::new()
             .main(vec![
-                Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
-                Stmt::Let { var: "y".into(), expr: Expr::Const(2), label: None },
-                Stmt::Append { obj: "x".into(), src: "y".into() },
+                Stmt::Let {
+                    var: "x".into(),
+                    expr: Expr::Const(1),
+                    label: None,
+                },
+                Stmt::Let {
+                    var: "y".into(),
+                    expr: Expr::Const(2),
+                    label: None,
+                },
+                Stmt::Append {
+                    obj: "x".into(),
+                    src: "y".into(),
+                },
             ])
             .build()
             .unwrap_err();
@@ -687,7 +791,10 @@ mod tests {
     #[test]
     fn unknown_channel_rejected() {
         let e = ProgramBuilder::new()
-            .main(vec![Stmt::Output { channel: "nope".into(), arg: Expr::Const(0) }])
+            .main(vec![Stmt::Output {
+                channel: "nope".into(),
+                arg: Expr::Const(0),
+            }])
             .build()
             .unwrap_err();
         assert!(matches!(e, IrError::UnknownChannel { channel, .. } if channel == "nope"));
@@ -696,7 +803,11 @@ mod tests {
     #[test]
     fn unknown_function_and_arity() {
         let e = ProgramBuilder::new()
-            .main(vec![Stmt::Call { dst: None, func: "f".into(), args: vec![] }])
+            .main(vec![Stmt::Call {
+                dst: None,
+                func: "f".into(),
+                args: vec![],
+            }])
             .build()
             .unwrap_err();
         assert!(matches!(e, IrError::UnknownFunction { .. }));
@@ -710,10 +821,21 @@ mod tests {
         };
         let e = ProgramBuilder::new()
             .function(f)
-            .main(vec![Stmt::Call { dst: None, func: "f".into(), args: vec![] }])
+            .main(vec![Stmt::Call {
+                dst: None,
+                func: "f".into(),
+                args: vec![],
+            }])
             .build()
             .unwrap_err();
-        assert!(matches!(e, IrError::ArityMismatch { expected: 1, got: 0, .. }));
+        assert!(matches!(
+            e,
+            IrError::ArityMismatch {
+                expected: 1,
+                got: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -721,7 +843,11 @@ mod tests {
         let e = ProgramBuilder::new()
             .channel("term", Label::PUBLIC)
             .main(vec![
-                Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+                Stmt::Let {
+                    var: "c".into(),
+                    expr: Expr::Const(1),
+                    label: None,
+                },
                 Stmt::If {
                     cond: v("c"),
                     then_branch: vec![Stmt::Let {
@@ -731,7 +857,10 @@ mod tests {
                     }],
                     else_branch: vec![],
                 },
-                Stmt::Output { channel: "term".into(), arg: v("inner") },
+                Stmt::Output {
+                    channel: "term".into(),
+                    arg: v("inner"),
+                },
             ])
             .build()
             .unwrap_err();
@@ -742,8 +871,15 @@ mod tests {
     fn assign_kind_mismatch_rejected() {
         let e = ProgramBuilder::new()
             .main(vec![
-                Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
-                Stmt::Assign { var: "x".into(), expr: Expr::VecLit(vec![1]) },
+                Stmt::Let {
+                    var: "x".into(),
+                    expr: Expr::Const(1),
+                    label: None,
+                },
+                Stmt::Assign {
+                    var: "x".into(),
+                    expr: Expr::VecLit(vec![1]),
+                },
             ])
             .build()
             .unwrap_err();
@@ -754,12 +890,19 @@ mod tests {
     fn stmt_count_nested() {
         let p = ProgramBuilder::new()
             .main(vec![
-                Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+                Stmt::Let {
+                    var: "c".into(),
+                    expr: Expr::Const(1),
+                    label: None,
+                },
                 Stmt::While {
                     cond: v("c"),
                     body: vec![Stmt::If {
                         cond: v("c"),
-                        then_branch: vec![Stmt::Assign { var: "c".into(), expr: Expr::Const(0) }],
+                        then_branch: vec![Stmt::Assign {
+                            var: "c".into(),
+                            expr: Expr::Const(0),
+                        }],
                         else_branch: vec![],
                     }],
                 },
@@ -777,7 +920,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = IrError::UndefinedVar { var: "x".into(), loc: Loc("main[0]".into()) };
+        let e = IrError::UndefinedVar {
+            var: "x".into(),
+            loc: Loc("main[0]".into()),
+        };
         assert_eq!(e.to_string(), "main[0]: undefined variable x");
     }
 }

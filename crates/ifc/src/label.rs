@@ -147,7 +147,10 @@ mod tests {
     fn debug_formatting() {
         assert_eq!(format!("{:?}", Label::PUBLIC), "public");
         assert_eq!(format!("{:?}", Label::SECRET), "secret");
-        assert_eq!(format!("{:?}", Label::atom(3).join(Label::atom(5))), "{a3,a5}");
+        assert_eq!(
+            format!("{:?}", Label::atom(3).join(Label::atom(5))),
+            "{a3,a5}"
+        );
     }
 
     #[test]

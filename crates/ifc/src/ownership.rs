@@ -180,7 +180,11 @@ fn check_block(
                 }
                 env.insert(dst.clone(), Own::Scalar);
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 use_expr(cond, env, &loc, errors);
                 let outer: Vec<Var> = env.keys().cloned().collect();
                 let mut then_env = env.clone();
@@ -275,10 +279,24 @@ mod tests {
     #[test]
     fn scalars_copy_freely() {
         let errs = check(vec![
-            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
-            Stmt::Let { var: "y".into(), expr: v("x"), label: None },
-            Stmt::Output { channel: "term".into(), arg: v("x") },
-            Stmt::Output { channel: "term".into(), arg: v("y") },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
+            Stmt::Let {
+                var: "y".into(),
+                expr: v("x"),
+                label: None,
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("x"),
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("y"),
+            },
         ]);
         assert!(errs.is_empty(), "{errs:?}");
     }
@@ -290,9 +308,19 @@ mod tests {
     fn use_after_move_detected() {
         let errs = check(vec![
             Stmt::Alloc { var: "sink".into() },
-            Stmt::Let { var: "v1".into(), expr: Expr::VecLit(vec![1, 2, 3]), label: None },
-            Stmt::Append { obj: "sink".into(), src: "v1".into() }, // take(v1)
-            Stmt::Output { channel: "term".into(), arg: v("v1") }, // ERROR
+            Stmt::Let {
+                var: "v1".into(),
+                expr: Expr::VecLit(vec![1, 2, 3]),
+                label: None,
+            },
+            Stmt::Append {
+                obj: "sink".into(),
+                src: "v1".into(),
+            }, // take(v1)
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("v1"),
+            }, // ERROR
         ]);
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].var, "v1");
@@ -303,9 +331,19 @@ mod tests {
     #[test]
     fn borrow_in_output_is_fine() {
         let errs = check(vec![
-            Stmt::Let { var: "v2".into(), expr: Expr::VecLit(vec![1]), label: None },
-            Stmt::Output { channel: "term".into(), arg: v("v2") },
-            Stmt::Output { channel: "term".into(), arg: v("v2") },
+            Stmt::Let {
+                var: "v2".into(),
+                expr: Expr::VecLit(vec![1]),
+                label: None,
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("v2"),
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("v2"),
+            },
         ]);
         assert!(errs.is_empty(), "{errs:?}");
     }
@@ -313,9 +351,20 @@ mod tests {
     #[test]
     fn rebind_moves_heap_value() {
         let errs = check(vec![
-            Stmt::Let { var: "a".into(), expr: Expr::VecLit(vec![1]), label: None },
-            Stmt::Let { var: "b".into(), expr: v("a"), label: None },
-            Stmt::Output { channel: "term".into(), arg: v("a") },
+            Stmt::Let {
+                var: "a".into(),
+                expr: Expr::VecLit(vec![1]),
+                label: None,
+            },
+            Stmt::Let {
+                var: "b".into(),
+                expr: v("a"),
+                label: None,
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("a"),
+            },
         ]);
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].var, "a");
@@ -326,9 +375,19 @@ mod tests {
         let errs = check(vec![
             Stmt::Alloc { var: "s1".into() },
             Stmt::Alloc { var: "s2".into() },
-            Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
-            Stmt::Append { obj: "s1".into(), src: "x".into() },
-            Stmt::Append { obj: "s2".into(), src: "x".into() },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::VecLit(vec![1]),
+                label: None,
+            },
+            Stmt::Append {
+                obj: "s1".into(),
+                src: "x".into(),
+            },
+            Stmt::Append {
+                obj: "s2".into(),
+                src: "x".into(),
+            },
         ]);
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].use_loc.0, "main[4]");
@@ -338,14 +397,28 @@ mod tests {
     fn move_in_one_branch_poisons_after() {
         let errs = check(vec![
             Stmt::Alloc { var: "sink".into() },
-            Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
-            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::VecLit(vec![1]),
+                label: None,
+            },
+            Stmt::Let {
+                var: "c".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
             Stmt::If {
                 cond: v("c"),
-                then_branch: vec![Stmt::Append { obj: "sink".into(), src: "x".into() }],
+                then_branch: vec![Stmt::Append {
+                    obj: "sink".into(),
+                    src: "x".into(),
+                }],
                 else_branch: vec![],
             },
-            Stmt::Output { channel: "term".into(), arg: v("x") },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("x"),
+            },
         ]);
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].var, "x");
@@ -356,11 +429,22 @@ mod tests {
     fn move_in_loop_body_of_outer_var_detected() {
         let errs = check(vec![
             Stmt::Alloc { var: "sink".into() },
-            Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
-            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::VecLit(vec![1]),
+                label: None,
+            },
+            Stmt::Let {
+                var: "c".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
             Stmt::While {
                 cond: v("c"),
-                body: vec![Stmt::Append { obj: "sink".into(), src: "x".into() }],
+                body: vec![Stmt::Append {
+                    obj: "sink".into(),
+                    src: "x".into(),
+                }],
             },
         ]);
         assert_eq!(errs.len(), 1, "{errs:?}");
@@ -371,12 +455,23 @@ mod tests {
     fn loop_local_moves_are_fine() {
         let errs = check(vec![
             Stmt::Alloc { var: "sink".into() },
-            Stmt::Let { var: "c".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "c".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
             Stmt::While {
                 cond: v("c"),
                 body: vec![
-                    Stmt::Let { var: "tmp".into(), expr: Expr::VecLit(vec![1]), label: None },
-                    Stmt::Append { obj: "sink".into(), src: "tmp".into() },
+                    Stmt::Let {
+                        var: "tmp".into(),
+                        expr: Expr::VecLit(vec![1]),
+                        label: None,
+                    },
+                    Stmt::Append {
+                        obj: "sink".into(),
+                        src: "tmp".into(),
+                    },
                 ],
             },
         ]);
@@ -387,10 +482,23 @@ mod tests {
     fn reassignment_revives_variable() {
         let errs = check(vec![
             Stmt::Alloc { var: "sink".into() },
-            Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![1]), label: None },
-            Stmt::Append { obj: "sink".into(), src: "x".into() },
-            Stmt::Assign { var: "x".into(), expr: Expr::VecLit(vec![2]) },
-            Stmt::Output { channel: "term".into(), arg: v("x") },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::VecLit(vec![1]),
+                label: None,
+            },
+            Stmt::Append {
+                obj: "sink".into(),
+                src: "x".into(),
+            },
+            Stmt::Assign {
+                var: "x".into(),
+                expr: Expr::VecLit(vec![2]),
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("x"),
+            },
         ]);
         assert!(errs.is_empty(), "{errs:?}");
     }
@@ -400,9 +508,20 @@ mod tests {
         let errs = check(vec![
             Stmt::Alloc { var: "a".into() },
             Stmt::Alloc { var: "b".into() },
-            Stmt::Let { var: "x".into(), expr: v("a"), label: None }, // moves a
-            Stmt::Let { var: "y".into(), expr: Expr::VecLit(vec![1]), label: None },
-            Stmt::Append { obj: "a".into(), src: "y".into() }, // ERROR: a moved
+            Stmt::Let {
+                var: "x".into(),
+                expr: v("a"),
+                label: None,
+            }, // moves a
+            Stmt::Let {
+                var: "y".into(),
+                expr: Expr::VecLit(vec![1]),
+                label: None,
+            },
+            Stmt::Append {
+                obj: "a".into(),
+                src: "y".into(),
+            }, // ERROR: a moved
         ]);
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].var, "a");
@@ -413,14 +532,24 @@ mod tests {
     #[test]
     fn scalar_args_never_move() {
         let errs = check(vec![
-            Stmt::Let { var: "x".into(), expr: Expr::Const(1), label: None },
+            Stmt::Let {
+                var: "x".into(),
+                expr: Expr::Const(1),
+                label: None,
+            },
             Stmt::Let {
                 var: "y".into(),
                 expr: Expr::bin(BinOp::Add, v("x"), v("x")),
                 label: None,
             },
-            Stmt::Output { channel: "term".into(), arg: v("x") },
-            Stmt::Output { channel: "term".into(), arg: v("y") },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("x"),
+            },
+            Stmt::Output {
+                channel: "term".into(),
+                arg: v("y"),
+            },
         ]);
         assert!(errs.is_empty());
     }

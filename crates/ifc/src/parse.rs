@@ -282,10 +282,7 @@ impl Parser {
             if !self.lx.eat_punct("}") {
                 loop {
                     let name = self.lx.expect_ident()?;
-                    let bit = self
-                        .atoms
-                        .intern(&name)
-                        .map_err(|m| self.lx.err(m))?;
+                    let bit = self.atoms.intern(&name).map_err(|m| self.lx.err(m))?;
                     label = label.join(Label::atom(bit));
                     if self.lx.eat_punct("}") {
                         break;
@@ -327,7 +324,13 @@ impl Parser {
         };
         self.lx.expect_punct("{")?;
         let (body, ret) = self.parse_block_with_return()?;
-        Ok(Function { name, params, authority, body, ret })
+        Ok(Function {
+            name,
+            params,
+            authority,
+            body,
+            ret,
+        })
     }
 
     /// Parses statements until `}`; a trailing `return expr;` becomes the
@@ -376,7 +379,11 @@ impl Parser {
             if self.lx.eat_keyword("call") {
                 let (func, args) = self.parse_call_tail()?;
                 self.lx.expect_punct(";")?;
-                return Ok(Stmt::Call { dst: Some(var), func, args });
+                return Ok(Stmt::Call {
+                    dst: Some(var),
+                    func,
+                    args,
+                });
             }
             if self.lx.eat_keyword("declassify") {
                 let expr = self.parse_expr()?;
@@ -414,7 +421,11 @@ impl Parser {
             } else {
                 Vec::new()
             };
-            return Ok(Stmt::If { cond, then_branch, else_branch });
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            });
         }
         if self.lx.eat_keyword("while") {
             let cond = self.parse_expr()?;
@@ -424,7 +435,11 @@ impl Parser {
         if self.lx.eat_keyword("call") {
             let (func, args) = self.parse_call_tail()?;
             self.lx.expect_punct(";")?;
-            return Ok(Stmt::Call { dst: None, func, args });
+            return Ok(Stmt::Call {
+                dst: None,
+                func,
+                args,
+            });
         }
         // Fallback: assignment `var = expr;`.
         let var = self.lx.expect_ident()?;
@@ -502,9 +517,9 @@ impl Parser {
                     match self.lx.next() {
                         Some(Tok::Num(n)) => items.push(n),
                         other => {
-                            return Err(self.lx.err(format!(
-                                "expected number in vec literal, found {other:?}"
-                            )));
+                            return Err(self
+                                .lx
+                                .err(format!("expected number in vec literal, found {other:?}")));
                         }
                     }
                     if self.lx.eat_punct("]") {

@@ -61,7 +61,9 @@ fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
     let pad = "    ".repeat(indent);
     match s {
         Stmt::Let { var, expr, label } => {
-            let ann = label.map(|l| format!(" label {}", print_label(l))).unwrap_or_default();
+            let ann = label
+                .map(|l| format!(" label {}", print_label(l)))
+                .unwrap_or_default();
             let _ = writeln!(out, "{pad}let {var} = {}{ann};", print_expr(expr));
         }
         Stmt::Assign { var, expr } => {
@@ -79,7 +81,11 @@ fn print_stmt(out: &mut String, s: &Stmt, indent: usize) {
         Stmt::Declassify { dst, expr } => {
             let _ = writeln!(out, "{pad}let {dst} = declassify {};", print_expr(expr));
         }
-        Stmt::If { cond, then_branch, else_branch } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let _ = writeln!(out, "{pad}if {} {{", print_expr(cond));
             for inner in then_branch {
                 print_stmt(out, inner, indent + 1);
@@ -173,7 +179,8 @@ mod tests {
     /// print→parse→print normalization.
     fn roundtrips(p: &Program) {
         let text = print_program(p);
-        let parsed = parse(&text).unwrap_or_else(|e| panic!("printed program must parse: {e}\n{text}"));
+        let parsed =
+            parse(&text).unwrap_or_else(|e| panic!("printed program must parse: {e}\n{text}"));
         let normalized = print_program(&parsed);
         assert_eq!(text, normalized, "print is a fixpoint of parse∘print");
         // Verdicts agree between the original and its round trip.
@@ -204,7 +211,10 @@ mod tests {
         assert_eq!(print_label(Label::PUBLIC), "public");
         assert_eq!(print_label(Label::SECRET), "secret");
         assert_eq!(print_label(Label::atom(3)), "{a3}");
-        assert_eq!(print_label(Label::SECRET.join(Label::atom(2))), "{secret, a2}");
+        assert_eq!(
+            print_label(Label::SECRET.join(Label::atom(2))),
+            "{secret, a2}"
+        );
     }
 
     #[test]

@@ -27,13 +27,24 @@ fn v(name: &str) -> Expr {
 /// zero violations.
 pub fn straightline(n: usize) -> Program {
     let mut body = Vec::with_capacity(n + 1);
-    body.push(Stmt::Let { var: "acc".into(), expr: Expr::Const(0), label: None });
+    body.push(Stmt::Let {
+        var: "acc".into(),
+        expr: Expr::Const(0),
+        label: None,
+    });
     for i in 0..n {
         let var = format!("x{i}");
         let label = (i % 10 == 9).then_some(Label::SECRET);
-        body.push(Stmt::Let { var: var.clone(), expr: Expr::Const(i as i64), label });
+        body.push(Stmt::Let {
+            var: var.clone(),
+            expr: Expr::Const(i as i64),
+            label,
+        });
         if i % 10 == 9 {
-            body.push(Stmt::Output { channel: "vault".into(), arg: v(&var) });
+            body.push(Stmt::Output {
+                channel: "vault".into(),
+                arg: v(&var),
+            });
         } else {
             body.push(Stmt::Assign {
                 var: "acc".into(),
@@ -41,7 +52,10 @@ pub fn straightline(n: usize) -> Program {
             });
         }
     }
-    body.push(Stmt::Output { channel: "term".into(), arg: v("acc") });
+    body.push(Stmt::Output {
+        channel: "term".into(),
+        arg: v("acc"),
+    });
     ProgramBuilder::new()
         .channel("term", Label::PUBLIC)
         .channel("vault", Label::SECRET)
@@ -78,16 +92,35 @@ pub fn call_diamond(depth: usize) -> Program {
             params: vec![("x".into(), None)],
             authority: Label::PUBLIC,
             body: vec![
-                Stmt::Call { dst: Some("a".into()), func: next.clone(), args: vec![v("x")] },
-                Stmt::Call { dst: Some("b".into()), func: next, args: vec![v("a")] },
+                Stmt::Call {
+                    dst: Some("a".into()),
+                    func: next.clone(),
+                    args: vec![v("x")],
+                },
+                Stmt::Call {
+                    dst: Some("b".into()),
+                    func: next,
+                    args: vec![v("a")],
+                },
             ],
             ret: Some(Expr::bin(crate::ir::BinOp::Add, v("a"), v("b"))),
         });
     }
     b.main(vec![
-        Stmt::Let { var: "s".into(), expr: Expr::Const(1), label: Some(Label::SECRET) },
-        Stmt::Call { dst: Some("r".into()), func: "f0".into(), args: vec![v("s")] },
-        Stmt::Output { channel: "term".into(), arg: v("r") }, // the one leak
+        Stmt::Let {
+            var: "s".into(),
+            expr: Expr::Const(1),
+            label: Some(Label::SECRET),
+        },
+        Stmt::Call {
+            dst: Some("r".into()),
+            func: "f0".into(),
+            args: vec![v("s")],
+        },
+        Stmt::Output {
+            channel: "term".into(),
+            arg: v("r"),
+        }, // the one leak
     ])
     .build()
     .expect("generated diamond program is valid")
@@ -105,19 +138,30 @@ pub fn alias_chain(n: usize) -> Program {
     assert!(n >= 2, "a chain needs at least two buffers");
     let mut body = Vec::new();
     for i in 0..n {
-        body.push(Stmt::Alloc { var: format!("b{i}") });
+        body.push(Stmt::Alloc {
+            var: format!("b{i}"),
+        });
     }
     // Chain adoptions: b1 adopts b0, b2 adopts b1, ...
     for i in 1..n {
-        body.push(Stmt::Append { obj: format!("b{i}"), src: format!("b{}", i - 1) });
+        body.push(Stmt::Append {
+            obj: format!("b{i}"),
+            src: format!("b{}", i - 1),
+        });
     }
     body.push(Stmt::Let {
         var: "sec".into(),
         expr: Expr::VecLit(vec![42]),
         label: Some(Label::SECRET),
     });
-    body.push(Stmt::Append { obj: format!("b{}", n - 1), src: "sec".into() });
-    body.push(Stmt::Output { channel: "term".into(), arg: v(&format!("b{}", n - 1)) });
+    body.push(Stmt::Append {
+        obj: format!("b{}", n - 1),
+        src: "sec".into(),
+    });
+    body.push(Stmt::Output {
+        channel: "term".into(),
+        arg: v(&format!("b{}", n - 1)),
+    });
     ProgramBuilder::new()
         .channel("term", Label::PUBLIC)
         .main(body)
@@ -133,17 +177,30 @@ pub fn alias_chain(n: usize) -> Program {
 pub fn rebind_churn(n: usize) -> Program {
     assert!(n >= 1);
     let mut body = Vec::new();
-    body.push(Stmt::Let { var: "x".into(), expr: Expr::VecLit(vec![0]), label: None });
+    body.push(Stmt::Let {
+        var: "x".into(),
+        expr: Expr::VecLit(vec![0]),
+        label: None,
+    });
     for i in 0..n {
         body.push(Stmt::Let {
             var: format!("sec{i}"),
             expr: Expr::VecLit(vec![i as i64]),
             label: Some(Label::SECRET),
         });
-        body.push(Stmt::Append { obj: "x".into(), src: format!("sec{i}") });
+        body.push(Stmt::Append {
+            obj: "x".into(),
+            src: format!("sec{i}"),
+        });
         // Rebind to a fresh public buffer and print that.
-        body.push(Stmt::Assign { var: "x".into(), expr: Expr::VecLit(vec![i as i64]) });
-        body.push(Stmt::Output { channel: "term".into(), arg: v("x") });
+        body.push(Stmt::Assign {
+            var: "x".into(),
+            expr: Expr::VecLit(vec![i as i64]),
+        });
+        body.push(Stmt::Output {
+            channel: "term".into(),
+            arg: v("x"),
+        });
     }
     ProgramBuilder::new()
         .channel("term", Label::PUBLIC)

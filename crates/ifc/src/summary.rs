@@ -175,10 +175,14 @@ fn build_one(
         return Ok(());
     }
     if in_progress.contains(&f.name) {
-        return Err(SummaryError::Recursion { func: f.name.clone() });
+        return Err(SummaryError::Recursion {
+            func: f.name.clone(),
+        });
     }
     if f.params.len() > 64 {
-        return Err(SummaryError::TooManyParams { func: f.name.clone() });
+        return Err(SummaryError::TooManyParams {
+            func: f.name.clone(),
+        });
     }
     in_progress.push(f.name.clone());
     // Summarize callees first (bottom-up).
@@ -211,7 +215,9 @@ fn build_one(
         .map(|e| sym_expr(e, &env))
         .unwrap_or(SymLabel::BOTTOM);
     in_progress.pop();
-    table.summaries.insert(f.name.clone(), Summary { ret, outputs });
+    table
+        .summaries
+        .insert(f.name.clone(), Summary { ret, outputs });
     Ok(())
 }
 
@@ -227,7 +233,11 @@ fn collect_callees(
                 let callee = program.function(func).expect("validated program");
                 build_one(program, callee, table, in_progress)?;
             }
-            Stmt::If { then_branch, else_branch, .. } => {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 collect_callees(then_branch, program, table, in_progress)?;
                 collect_callees(else_branch, program, table, in_progress)?;
             }
@@ -282,13 +292,35 @@ fn sym_block(
                 let l = env.get(obj).copied().unwrap_or(SymLabel::BOTTOM);
                 env.insert(dst.clone(), l.join(pc));
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let pc2 = pc.join(sym_expr(cond, env));
                 let outer: Vec<Var> = env.keys().cloned().collect();
                 let mut t = env.clone();
-                sym_block(then_branch, &mut t, pc2, &format!("{loc}.then"), table, authority, outputs, record);
+                sym_block(
+                    then_branch,
+                    &mut t,
+                    pc2,
+                    &format!("{loc}.then"),
+                    table,
+                    authority,
+                    outputs,
+                    record,
+                );
                 let mut e = env.clone();
-                sym_block(else_branch, &mut e, pc2, &format!("{loc}.else"), table, authority, outputs, record);
+                sym_block(
+                    else_branch,
+                    &mut e,
+                    pc2,
+                    &format!("{loc}.else"),
+                    table,
+                    authority,
+                    outputs,
+                    record,
+                );
                 for var in outer {
                     let tl = t.get(&var).copied().unwrap_or(SymLabel::BOTTOM);
                     let el = e.get(&var).copied().unwrap_or(SymLabel::BOTTOM);
@@ -301,7 +333,16 @@ fn sym_block(
                     let pc2 = pc.join(sym_expr(cond, env));
                     let mut body_env = env.clone();
                     let mut scratch = Vec::new();
-                    sym_block(body, &mut body_env, pc2, &format!("{loc}.body"), table, authority, &mut scratch, false);
+                    sym_block(
+                        body,
+                        &mut body_env,
+                        pc2,
+                        &format!("{loc}.body"),
+                        table,
+                        authority,
+                        &mut scratch,
+                        false,
+                    );
                     let mut changed = false;
                     for var in &outer {
                         let before = env.get(var).copied().unwrap_or(SymLabel::BOTTOM);
@@ -318,7 +359,16 @@ fn sym_block(
                 }
                 let pc2 = pc.join(sym_expr(cond, env));
                 let mut body_env = env.clone();
-                sym_block(body, &mut body_env, pc2, &format!("{loc}.body"), table, authority, outputs, record);
+                sym_block(
+                    body,
+                    &mut body_env,
+                    pc2,
+                    &format!("{loc}.body"),
+                    table,
+                    authority,
+                    outputs,
+                    record,
+                );
             }
             Stmt::Declassify { dst, expr } => {
                 // Conservative: strip authority atoms from the concrete
@@ -380,7 +430,9 @@ fn instantiate_sym(l: SymLabel, args: &[SymLabel]) -> SymLabel {
 /// summaries, then instantiates `main`'s with its annotated entry labels.
 pub fn analyze_with_summaries(program: &Program) -> Result<Vec<Violation>, SummaryError> {
     let table = SummaryTable::build(program)?;
-    let main = program.function("main").expect("validated program has main");
+    let main = program
+        .function("main")
+        .expect("validated program has main");
     let entry: Vec<Label> = main
         .params
         .iter()
@@ -485,7 +537,10 @@ mod tests {
         )
         .unwrap();
         let table = SummaryTable::build(&p).unwrap();
-        assert_eq!(table.get("gen").unwrap().ret, SymLabel::concrete(Label::SECRET));
+        assert_eq!(
+            table.get("gen").unwrap().ret,
+            SymLabel::concrete(Label::SECRET)
+        );
         assert_eq!(analyze_with_summaries(&p).unwrap().len(), 1);
     }
 
@@ -514,7 +569,11 @@ mod tests {
         )
         .unwrap();
         let vs = analyze_with_summaries(&p).unwrap();
-        assert_eq!(vs.len(), 1, "pc-dependency on the parameter must be summarized");
+        assert_eq!(
+            vs.len(),
+            1,
+            "pc-dependency on the parameter must be summarized"
+        );
     }
 
     /// Differential test: on call-heavy programs, summary-based analysis
@@ -569,7 +628,9 @@ mod tests {
         // the table holds exactly one summary per function.
         let mut src = String::from("channel t public;\nfn leaf(x) { return x; }\n");
         for i in 0..10 {
-            src.push_str(&format!("fn mid{i}(x) {{ let r = call leaf(x); return r; }}\n"));
+            src.push_str(&format!(
+                "fn mid{i}(x) {{ let r = call leaf(x); return r; }}\n"
+            ));
         }
         src.push_str("fn main() {\n");
         for i in 0..10 {

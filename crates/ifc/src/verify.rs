@@ -8,8 +8,8 @@
 //! SMACK's verification output in the paper's workflow ("SMACK
 //! discovered the injected bug, thereby increasing our confidence").
 
-use crate::interp::{self, InterpError};
 pub use crate::interp::Violation;
+use crate::interp::{self, InterpError};
 use crate::ir::Program;
 use crate::ownership::{self, OwnershipError};
 use crate::parse::{self, ParseError};
@@ -104,10 +104,7 @@ mod tests {
 
     #[test]
     fn safe_program() {
-        let v = verify_source(
-            "channel t public; fn main() { let x = 1; output t, x; }",
-        )
-        .unwrap();
+        let v = verify_source("channel t public; fn main() { let x = 1; output t, x; }").unwrap();
         assert!(v.is_safe());
     }
 

@@ -32,15 +32,21 @@ fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
     let leaf = prop_oneof![
         (var.clone(), expr.clone()).prop_map(|(var, expr)| Stmt::Assign { var, expr }),
         (expr.clone(), prop_oneof![Just("pub_ch"), Just("sec_ch")]).prop_map(|(arg, ch)| {
-            Stmt::Output { channel: ch.to_string(), arg }
+            Stmt::Output {
+                channel: ch.to_string(),
+                arg,
+            }
         }),
-        (var.clone(), prop_oneof![Just("g0"), Just("g1")], expr.clone()).prop_map(
-            |(_, func, arg)| Stmt::Call {
+        (
+            var.clone(),
+            prop_oneof![Just("g0"), Just("g1")],
+            expr.clone()
+        )
+            .prop_map(|(_, func, arg)| Stmt::Call {
                 dst: None,
                 func: func.to_string(),
                 args: vec![arg],
-            },
-        ),
+            },),
     ];
     if depth == 0 {
         return leaf.boxed();

@@ -72,7 +72,9 @@ pub struct DisruptionComparison {
 /// Removes the middle backend from a set of `n` and reports both
 /// schemes' disruption.
 pub fn compare_removal(n: usize, table_size: usize) -> Result<DisruptionComparison, TableError> {
-    let names: Vec<Backend> = (0..n).map(|i| Backend::new(format!("backend-{i}"))).collect();
+    let names: Vec<Backend> = (0..n)
+        .map(|i| Backend::new(format!("backend-{i}")))
+        .collect();
     let mut fewer = names.clone();
     fewer.remove(n / 2);
 
@@ -115,7 +117,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap() as f64;
         let min = *counts.iter().min().unwrap() as f64;
-        assert!(max / min < 1.1, "mod-N is near-perfectly balanced: {counts:?}");
+        assert!(
+            max / min < 1.1,
+            "mod-N is near-perfectly balanced: {counts:?}"
+        );
     }
 
     #[test]
@@ -138,7 +143,10 @@ mod tests {
     fn comparison_scales_with_n() {
         let small = compare_removal(5, 1_009).unwrap();
         let large = compare_removal(50, 10_007).unwrap();
-        assert!(large.maglev < small.maglev, "bigger pools move less under maglev");
+        assert!(
+            large.maglev < small.maglev,
+            "bigger pools move less under maglev"
+        );
         // Mod-N stays catastrophic regardless of pool size.
         assert!(large.mod_n > 0.7 && small.mod_n > 0.7);
     }

@@ -108,8 +108,12 @@ impl MaglevLb {
             addrs.len(),
             "one DNAT address per backend required"
         );
-        let old_names: Vec<String> =
-            self.table.backends().iter().map(|b| b.name.clone()).collect();
+        let old_names: Vec<String> = self
+            .table
+            .backends()
+            .iter()
+            .map(|b| b.name.clone())
+            .collect();
         let new_table = MaglevTable::new(backends, table_size)?;
         // Remap tracked connections from old indices to new ones by name.
         let remap: Vec<Option<u32>> = old_names
@@ -220,7 +224,9 @@ mod tests {
 
     fn backends(n: usize) -> (Vec<Backend>, Vec<Ipv4Addr>) {
         let b = (0..n).map(|i| Backend::new(format!("be-{i}"))).collect();
-        let a = (0..n).map(|i| Ipv4Addr::new(10, 1, 0, i as u8 + 1)).collect();
+        let a = (0..n)
+            .map(|i| Ipv4Addr::new(10, 1, 0, i as u8 + 1))
+            .collect();
         (b, a)
     }
 

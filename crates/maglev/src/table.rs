@@ -183,9 +183,7 @@ impl MaglevTable {
             .entries
             .iter()
             .zip(&other.entries)
-            .filter(|&(&a, &b)| {
-                self.backends[a as usize].name != other.backends[b as usize].name
-            })
+            .filter(|&(&a, &b)| self.backends[a as usize].name != other.backends[b as usize].name)
             .count();
         moved as f64 / self.size() as f64
     }
@@ -273,7 +271,9 @@ mod tests {
     use super::*;
 
     fn names(n: usize) -> Vec<Backend> {
-        (0..n).map(|i| Backend::new(format!("backend-{i}"))).collect()
+        (0..n)
+            .map(|i| Backend::new(format!("backend-{i}")))
+            .collect()
     }
 
     #[test]
@@ -291,7 +291,10 @@ mod tests {
 
     #[test]
     fn construction_errors() {
-        assert_eq!(MaglevTable::new(vec![], 7).unwrap_err(), TableError::NoBackends);
+        assert_eq!(
+            MaglevTable::new(vec![], 7).unwrap_err(),
+            TableError::NoBackends
+        );
         assert_eq!(
             MaglevTable::new(names(2), 8).unwrap_err(),
             TableError::SizeNotPrime(8)
@@ -336,10 +339,7 @@ mod tests {
 
     #[test]
     fn weights_scale_share() {
-        let backends = vec![
-            Backend::weighted("heavy", 3),
-            Backend::weighted("light", 1),
-        ];
+        let backends = vec![Backend::weighted("heavy", 3), Backend::weighted("light", 1)];
         let t = MaglevTable::new(backends, 10007).unwrap();
         let counts = t.entry_counts();
         let ratio = counts[0] as f64 / counts[1] as f64;

@@ -131,7 +131,9 @@ mod tests {
     #[test]
     fn filled_checksum_verifies() {
         // Build a fake header, insert its checksum, verify sums to zero.
-        let mut hdr = vec![0x45u8, 0x00, 0x00, 0x28, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut hdr = vec![
+            0x45u8, 0x00, 0x00, 0x28, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         hdr.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
         let sum = checksum(&hdr);
         hdr[10..12].copy_from_slice(&sum.to_be_bytes());

@@ -50,7 +50,9 @@ impl FiveTuple {
                     proto: IpProto::Tcp,
                 })
             }
-            _ => Err(PacketError::WrongProtocol { expected: "tcp-or-udp" }),
+            _ => Err(PacketError::WrongProtocol {
+                expected: "tcp-or-udp",
+            }),
         }
     }
 
@@ -82,7 +84,9 @@ impl FiveTuple {
     /// `skip` values so table positions decorrelate from `offset`).
     pub fn stable_hash2(&self) -> u64 {
         // Re-mix the primary hash with a different odd constant.
-        let mut h = Fx64 { state: 0x9E37_79B9_7F4A_7C15 };
+        let mut h = Fx64 {
+            state: 0x9E37_79B9_7F4A_7C15,
+        };
         h.mix(self.stable_hash());
         h.finish()
     }
@@ -208,8 +212,9 @@ mod tests {
             assert!(seen.insert(h), "collision at port {port}");
         }
         // Low 8 bits should take many values.
-        let low: std::collections::HashSet<u8> =
-            (0..1000u16).map(|p| tuple(1, 2, p, 80).stable_hash() as u8).collect();
+        let low: std::collections::HashSet<u8> = (0..1000u16)
+            .map(|p| tuple(1, 2, p, 80).stable_hash() as u8)
+            .collect();
         assert!(low.len() > 200, "only {} distinct low bytes", low.len());
     }
 
@@ -217,7 +222,10 @@ mod tests {
     fn byte_hash_distinguishes_lengths() {
         assert_ne!(stable_hash_bytes(b""), stable_hash_bytes(b"\0"));
         assert_ne!(stable_hash_bytes(b"abc"), stable_hash_bytes(b"abd"));
-        assert_eq!(stable_hash_bytes(b"backend-1"), stable_hash_bytes(b"backend-1"));
+        assert_eq!(
+            stable_hash_bytes(b"backend-1"),
+            stable_hash_bytes(b"backend-1")
+        );
     }
 
     #[test]

@@ -99,7 +99,11 @@ impl<'a> EthernetHdr<'a> {
 
     /// Source MAC.
     pub fn src(&self) -> MacAddr {
-        MacAddr(self.data[6..12].try_into().expect("length checked in parse"))
+        MacAddr(
+            self.data[6..12]
+                .try_into()
+                .expect("length checked in parse"),
+        )
     }
 
     /// EtherType of the payload.
@@ -190,7 +194,11 @@ mod tests {
     fn truncated_rejected() {
         let b = [0u8; 13];
         match EthernetHdr::parse(&b) {
-            Err(PacketError::Truncated { header, needed, have }) => {
+            Err(PacketError::Truncated {
+                header,
+                needed,
+                have,
+            }) => {
                 assert_eq!(header, "ethernet");
                 assert_eq!(needed, 14);
                 assert_eq!(have, 13);
@@ -239,7 +247,10 @@ mod tests {
         assert!(MacAddr::BROADCAST.is_multicast());
         assert!(!MacAddr::ZERO.is_multicast());
         assert!(MacAddr([0x01, 0, 0x5E, 0, 0, 1]).is_multicast());
-        assert_eq!(MacAddr([0xAB, 0, 0, 0, 0, 0xCD]).to_string(), "ab:00:00:00:00:cd");
+        assert_eq!(
+            MacAddr([0xAB, 0, 0, 0, 0, 0xCD]).to_string(),
+            "ab:00:00:00:00:cd"
+        );
     }
 
     #[test]

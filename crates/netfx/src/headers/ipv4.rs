@@ -323,7 +323,11 @@ mod tests {
         let mut b = sample();
         b[0] = 0x65; // version 6
         match Ipv4Hdr::parse(&b) {
-            Err(PacketError::BadField { field: "version", value: 6, .. }) => {}
+            Err(PacketError::BadField {
+                field: "version",
+                value: 6,
+                ..
+            }) => {}
             other => panic!("expected version error, got {other:?}"),
         }
     }
@@ -344,7 +348,10 @@ mod tests {
         b[0] = 0x4F; // IHL 15 -> 60-byte header, but only 28 bytes present
         assert!(matches!(
             Ipv4Hdr::parse(&b),
-            Err(PacketError::Truncated { header: "ipv4-options", .. })
+            Err(PacketError::Truncated {
+                header: "ipv4-options",
+                ..
+            })
         ));
     }
 

@@ -227,7 +227,15 @@ mod tests {
     fn sample() -> Vec<u8> {
         let mut b = vec![0u8; 24];
         b[20..].copy_from_slice(b"data");
-        emit(&mut b, SRC, DST, 4321, 443, 0x01020304, TcpFlags(TcpFlags::SYN));
+        emit(
+            &mut b,
+            SRC,
+            DST,
+            4321,
+            443,
+            0x01020304,
+            TcpFlags(TcpFlags::SYN),
+        );
         b
     }
 
@@ -260,7 +268,10 @@ mod tests {
         b[12] = 4 << 4;
         assert!(matches!(
             TcpHdr::parse(&b),
-            Err(PacketError::BadField { field: "data_offset", .. })
+            Err(PacketError::BadField {
+                field: "data_offset",
+                ..
+            })
         ));
     }
 
@@ -270,7 +281,10 @@ mod tests {
         b[12] = 15 << 4; // 60-byte header in a 24-byte buffer
         assert!(matches!(
             TcpHdr::parse(&b),
-            Err(PacketError::Truncated { header: "tcp-options", .. })
+            Err(PacketError::Truncated {
+                header: "tcp-options",
+                ..
+            })
         ));
     }
 

@@ -137,13 +137,7 @@ impl<'a> UdpHdrMut<'a> {
 ///
 /// Panics if `data` is shorter than [`UDP_HDR_LEN`] or longer than
 /// `u16::MAX`.
-pub fn emit(
-    data: &mut [u8],
-    src: Ipv4Addr,
-    dst: Ipv4Addr,
-    src_port: u16,
-    dst_port: u16,
-) -> usize {
+pub fn emit(data: &mut [u8], src: Ipv4Addr, dst: Ipv4Addr, src_port: u16, dst_port: u16) -> usize {
     assert!(data.len() >= UDP_HDR_LEN, "udp emit needs 8 bytes");
     assert!(data.len() <= u16::MAX as usize, "udp datagram too long");
     let len = data.len() as u16;

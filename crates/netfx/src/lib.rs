@@ -36,9 +36,9 @@ pub mod pktgen;
 pub mod ratelimit;
 
 pub use batch::PacketBatch;
-pub use nat::SourceNat;
-pub use ratelimit::{PerFlowRateLimiter, RateLimiter, TokenBucket};
 pub use flow::FiveTuple;
+pub use nat::SourceNat;
 pub use packet::{Packet, PacketError};
-pub use pipeline::{Operator, Pipeline};
+pub use pipeline::{Operator, Pipeline, PipelineSpec, StageStats};
 pub use pktgen::{FlowDistribution, PacketGen, TrafficConfig};
+pub use ratelimit::{PerFlowRateLimiter, RateLimiter, TokenBucket};

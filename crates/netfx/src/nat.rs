@@ -20,7 +20,11 @@ use std::net::Ipv4Addr;
 
 /// True when `addr` lies inside `net/len` (host-order network bits).
 fn prefix_contains_addr(net: u32, len: u8, addr: Ipv4Addr) -> bool {
-    let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+    let mask = if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    };
     (u32::from(addr) & mask) == net & mask
 }
 
@@ -102,7 +106,11 @@ impl SourceNat {
     /// Releases a translation (connection teardown / timeout driven by
     /// the control plane). Returns true if a mapping existed.
     pub fn release(&mut self, inside_ip: Ipv4Addr, inside_port: u16, proto: IpProto) -> bool {
-        let key = InsideKey { ip: inside_ip, port: inside_port, proto };
+        let key = InsideKey {
+            ip: inside_ip,
+            port: inside_port,
+            proto,
+        };
         if let Some(port) = self.out_map.remove(&key) {
             self.in_map.remove(&(port, proto));
             true
@@ -140,15 +148,22 @@ impl SourceNat {
         };
         if prefix_contains_addr(self.inside_net, self.inside_len, flow.src_ip) {
             // Outbound: rewrite source to the NAT endpoint.
-            let key = InsideKey { ip: flow.src_ip, port: flow.src_port, proto: flow.proto };
+            let key = InsideKey {
+                ip: flow.src_ip,
+                port: flow.src_port,
+                proto: flow.proto,
+            };
             let Some(nat_port) = self.allocate_port(key) else {
                 self.stats.dropped += 1;
                 return false;
             };
-            rewrite(packet, Rewrite {
-                src: Some((self.nat_ip, nat_port)),
-                dst: None,
-            });
+            rewrite(
+                packet,
+                Rewrite {
+                    src: Some((self.nat_ip, nat_port)),
+                    dst: None,
+                },
+            );
             self.stats.outbound += 1;
             true
         } else if flow.dst_ip == self.nat_ip {
@@ -157,10 +172,13 @@ impl SourceNat {
                 self.stats.dropped += 1;
                 return false;
             };
-            rewrite(packet, Rewrite {
-                src: None,
-                dst: Some((key.ip, key.port)),
-            });
+            rewrite(
+                packet,
+                Rewrite {
+                    src: None,
+                    dst: Some((key.ip, key.port)),
+                },
+            );
             self.stats.inbound += 1;
             true
         } else {
@@ -177,7 +195,10 @@ struct Rewrite {
 
 /// Applies address/port rewrites and re-checksums IP + transport.
 fn rewrite(packet: &mut Packet, rw: Rewrite) {
-    let proto = packet.ipv4().expect("translate() validated the tuple").protocol();
+    let proto = packet
+        .ipv4()
+        .expect("translate() validated the tuple")
+        .protocol();
     {
         let mut ip = packet.ipv4_mut().expect("validated");
         if let Some((addr, _)) = rw.src {
@@ -190,7 +211,11 @@ fn rewrite(packet: &mut Packet, rw: Rewrite) {
     }
     let (src_ip, dst_ip, seg_len) = {
         let ip = packet.ipv4().expect("validated");
-        (ip.src(), ip.dst(), (ip.total_len() as usize - ip.header_len()) as u16)
+        (
+            ip.src(),
+            ip.dst(),
+            (ip.total_len() as usize - ip.header_len()) as u16,
+        )
     };
     match proto {
         IpProto::Udp => {

@@ -161,7 +161,9 @@ impl DstPortFilter {
 impl Operator for DstPortFilter {
     fn process(&mut self, mut batch: PacketBatch) -> PacketBatch {
         batch.retain(|p| {
-            Self::dst_port(p).map(|port| self.allowed.contains(&port)).unwrap_or(false)
+            Self::dst_port(p)
+                .map(|port| self.allowed.contains(&port))
+                .unwrap_or(false)
         });
         batch
     }
@@ -225,9 +227,7 @@ impl EchoResponder {
             return false;
         }
         let Ok(icmp) = p.icmp() else { return false };
-        if icmp.icmp_type() != crate::headers::icmp::IcmpType::EchoRequest
-            || !icmp.checksum_ok()
-        {
+        if icmp.icmp_type() != crate::headers::icmp::IcmpType::EchoRequest || !icmp.checksum_ok() {
             return false;
         }
         let (src, dst) = (ip.src(), ip.dst());
@@ -385,8 +385,9 @@ mod tests {
     #[test]
     fn dst_port_filter_handles_both_transports() {
         let mut op = DstPortFilter::new(vec![53, 443]);
-        let batch: PacketBatch =
-            vec![udp(53, 64), udp(80, 64), tcp(443), tcp(80)].into_iter().collect();
+        let batch: PacketBatch = vec![udp(53, 64), udp(80, 64), tcp(443), tcp(80)]
+            .into_iter()
+            .collect();
         let out = op.process(batch);
         assert_eq!(out.len(), 2);
     }
@@ -439,19 +440,35 @@ mod tests {
         let mut op = EchoResponder::new(vip);
         // Ping for a different address, a reply, and plain UDP.
         let other_ip = Packet::build_icmp_echo(
-            MacAddr::ZERO, MacAddr::ZERO,
-            Ipv4Addr::new(10, 0, 0, 5), Ipv4Addr::new(192, 0, 2, 10),
-            IcmpType::EchoRequest, 1, 1, 0,
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(10, 0, 0, 5),
+            Ipv4Addr::new(192, 0, 2, 10),
+            IcmpType::EchoRequest,
+            1,
+            1,
+            0,
         );
         let already_reply = Packet::build_icmp_echo(
-            MacAddr::ZERO, MacAddr::ZERO,
-            Ipv4Addr::new(10, 0, 0, 5), vip,
-            IcmpType::EchoReply, 1, 1, 0,
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(10, 0, 0, 5),
+            vip,
+            IcmpType::EchoReply,
+            1,
+            1,
+            0,
         );
         let not_icmp = udp(9, 64);
         let before: Vec<Vec<u8>> = [&other_ip, &already_reply, &not_icmp]
-            .iter().map(|p| p.as_slice().to_vec()).collect();
-        let out = op.process(vec![other_ip, already_reply, not_icmp].into_iter().collect());
+            .iter()
+            .map(|p| p.as_slice().to_vec())
+            .collect();
+        let out = op.process(
+            vec![other_ip, already_reply, not_icmp]
+                .into_iter()
+                .collect(),
+        );
         assert_eq!(op.answered(), 0);
         let after: Vec<Vec<u8>> = out.iter().map(|p| p.as_slice().to_vec()).collect();
         assert_eq!(before, after, "untouched passthrough");
@@ -475,8 +492,9 @@ mod tests {
             .add(ProtoFilter::new(IpProto::Udp))
             .add(TtlDecrement::new())
             .add(DstPortFilter::new(vec![53]));
-        let batch: PacketBatch =
-            vec![udp(53, 64), udp(53, 1), tcp(53), udp(80, 64)].into_iter().collect();
+        let batch: PacketBatch = vec![udp(53, 64), udp(53, 1), tcp(53), udp(80, 64)]
+            .into_iter()
+            .collect();
         let out = p.run_batch(batch);
         assert_eq!(out.len(), 1);
         let survivor = out.iter().next().unwrap();

@@ -48,10 +48,21 @@ pub enum PacketError {
 impl fmt::Display for PacketError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PacketError::Truncated { header, needed, have } => {
-                write!(f, "{header} header truncated: need {needed} bytes, have {have}")
+            PacketError::Truncated {
+                header,
+                needed,
+                have,
+            } => {
+                write!(
+                    f,
+                    "{header} header truncated: need {needed} bytes, have {have}"
+                )
             }
-            PacketError::BadField { header, field, value } => {
+            PacketError::BadField {
+                header,
+                field,
+                value,
+            } => {
                 write!(f, "{header} header has invalid {field} = {value}")
             }
             PacketError::WrongProtocol { expected } => {
@@ -364,7 +375,10 @@ mod tests {
     #[test]
     fn wrong_protocol_views_rejected() {
         let p = udp_packet();
-        assert_eq!(p.tcp().unwrap_err(), PacketError::WrongProtocol { expected: "tcp" });
+        assert_eq!(
+            p.tcp().unwrap_err(),
+            PacketError::WrongProtocol { expected: "tcp" }
+        );
         let mut p = p;
         assert!(p.tcp_mut().is_err());
     }
@@ -373,7 +387,10 @@ mod tests {
     fn non_ipv4_rejected() {
         let mut p = udp_packet();
         p.ethernet_mut().unwrap().set_ethertype(EtherType::Arp);
-        assert_eq!(p.ipv4().unwrap_err(), PacketError::WrongProtocol { expected: "ipv4" });
+        assert_eq!(
+            p.ipv4().unwrap_err(),
+            PacketError::WrongProtocol { expected: "ipv4" }
+        );
         assert!(p.udp().is_err());
     }
 
@@ -416,11 +433,19 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = PacketError::Truncated { header: "udp", needed: 8, have: 3 };
+        let e = PacketError::Truncated {
+            header: "udp",
+            needed: 8,
+            have: 3,
+        };
         assert_eq!(e.to_string(), "udp header truncated: need 8 bytes, have 3");
         let e = PacketError::WrongProtocol { expected: "tcp" };
         assert_eq!(e.to_string(), "packet does not carry tcp");
-        let e = PacketError::BadField { header: "ipv4", field: "ihl", value: 3 };
+        let e = PacketError::BadField {
+            header: "ipv4",
+            field: "ihl",
+            value: 3,
+        };
         assert_eq!(e.to_string(), "ipv4 header has invalid ihl = 3");
     }
 }

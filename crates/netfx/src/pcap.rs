@@ -68,7 +68,12 @@ impl<W: Write> PcapWriter<W> {
     }
 
     /// Appends one packet with the given timestamp.
-    pub fn write_packet(&mut self, packet: &Packet, ts_sec: u32, ts_usec: u32) -> Result<(), PcapError> {
+    pub fn write_packet(
+        &mut self,
+        packet: &Packet,
+        ts_sec: u32,
+        ts_usec: u32,
+    ) -> Result<(), PcapError> {
         let data = packet.as_slice();
         let len = u32::try_from(data.len()).map_err(|_| PcapError::Truncated)?;
         self.out.write_all(&ts_sec.to_le_bytes())?;
@@ -235,7 +240,10 @@ mod tests {
         let w = PcapWriter::new(Vec::new()).unwrap();
         let mut bytes = w.finish().unwrap();
         bytes[20] = 101; // LINKTYPE_RAW
-        assert!(matches!(read_all(&bytes[..]), Err(PcapError::BadLinkType(101))));
+        assert!(matches!(
+            read_all(&bytes[..]),
+            Err(PcapError::BadLinkType(101))
+        ));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! lets the SFI layer later replace these calls with remote invocations
 //! without copying a single packet.
 
+use std::sync::Arc;
+
 use crate::batch::PacketBatch;
 
 /// A pipeline stage: consumes a batch, returns the batch to forward.
@@ -36,10 +38,24 @@ impl<F: FnMut(PacketBatch) -> PacketBatch> Operator for F {
     }
 }
 
+/// Per-stage traffic counters, index-aligned with
+/// [`Pipeline::stage_names`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Packets that entered this stage.
+    pub packets_in: u64,
+    /// Packets this stage forwarded.
+    pub packets_out: u64,
+    /// Packets this stage removed (`in - out` on shrinking batches; a
+    /// stage that synthesizes packets records zero drops).
+    pub drops: u64,
+}
+
 /// An ordered chain of boxed operators.
 #[derive(Default)]
 pub struct Pipeline {
     stages: Vec<Box<dyn Operator>>,
+    stage_stats: Vec<StageStats>,
     batches_processed: u64,
     packets_in: u64,
     packets_out: u64,
@@ -52,15 +68,19 @@ impl Pipeline {
     }
 
     /// Appends a stage; builder style.
-    #[expect(clippy::should_implement_trait, reason = "builder-style add, not arithmetic")]
+    #[expect(
+        clippy::should_implement_trait,
+        reason = "builder-style add, not arithmetic"
+    )]
     pub fn add(mut self, op: impl Operator + 'static) -> Self {
-        self.stages.push(Box::new(op));
+        self.add_boxed(Box::new(op));
         self
     }
 
     /// Appends a boxed stage.
     pub fn add_boxed(&mut self, op: Box<dyn Operator>) {
         self.stages.push(op);
+        self.stage_stats.push(StageStats::default());
     }
 
     /// Number of stages.
@@ -83,11 +103,21 @@ impl Pipeline {
         self.batches_processed += 1;
         self.packets_in += batch.len() as u64;
         let mut batch = batch;
-        for stage in &mut self.stages {
+        for (stage, stats) in self.stages.iter_mut().zip(&mut self.stage_stats) {
+            let entering = batch.len() as u64;
             batch = stage.process(batch);
+            let leaving = batch.len() as u64;
+            stats.packets_in += entering;
+            stats.packets_out += leaving;
+            stats.drops += entering.saturating_sub(leaving);
         }
         self.packets_out += batch.len() as u64;
         batch
+    }
+
+    /// Per-stage counters, index-aligned with [`Pipeline::stage_names`].
+    pub fn stage_stats(&self) -> &[StageStats] {
+        &self.stage_stats
     }
 
     /// Batches processed since construction.
@@ -111,6 +141,63 @@ impl std::fmt::Debug for Pipeline {
         f.debug_struct("Pipeline")
             .field("stages", &self.stage_names())
             .field("batches_processed", &self.batches_processed)
+            .finish()
+    }
+}
+
+/// A cloneable, thread-shippable *recipe* for a [`Pipeline`].
+///
+/// `Box<dyn Operator>` is neither `Clone` nor required to be `Send`, so a
+/// built pipeline cannot be handed to N workers. A spec stores operator
+/// *factories* instead; every [`PipelineSpec::build`] call instantiates a
+/// fresh, fully independent pipeline. This is exactly what a supervisor
+/// needs to respawn a worker after a fault: rebuild from the spec and the
+/// replacement starts from clean per-operator state.
+#[derive(Clone, Default)]
+pub struct PipelineSpec {
+    factories: Vec<Arc<dyn Fn() -> Box<dyn Operator> + Send + Sync>>,
+}
+
+impl PipelineSpec {
+    /// Creates an empty spec (builds identity pipelines).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a stage factory; builder style.
+    pub fn stage<O, F>(mut self, factory: F) -> Self
+    where
+        O: Operator + 'static,
+        F: Fn() -> O + Send + Sync + 'static,
+    {
+        self.factories.push(Arc::new(move || Box::new(factory())));
+        self
+    }
+
+    /// Number of stages a built pipeline will have.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// True when the spec has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+
+    /// Instantiates a fresh pipeline from the recipe.
+    pub fn build(&self) -> Pipeline {
+        let mut p = Pipeline::new();
+        for factory in &self.factories {
+            p.add_boxed(factory());
+        }
+        p
+    }
+}
+
+impl std::fmt::Debug for PipelineSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineSpec")
+            .field("stages", &self.factories.len())
             .finish()
     }
 }
@@ -197,5 +284,74 @@ mod tests {
     fn stage_names_reported() {
         let p = Pipeline::new().add(NullFilter::new());
         assert_eq!(p.stage_names(), vec!["null-filter"]);
+    }
+
+    #[test]
+    fn per_stage_counters_attribute_drops() {
+        let mut p = Pipeline::new()
+            .add(NullFilter::new())
+            .add(|mut b: PacketBatch| {
+                b.retain(|pk| pk.udp().unwrap().src_port() % 2 == 0);
+                b
+            })
+            .add(NullFilter::new());
+        p.run_batch(batch(10));
+        let stats = p.stage_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(
+            stats[0],
+            StageStats {
+                packets_in: 10,
+                packets_out: 10,
+                drops: 0
+            }
+        );
+        assert_eq!(
+            stats[1],
+            StageStats {
+                packets_in: 10,
+                packets_out: 5,
+                drops: 5
+            }
+        );
+        assert_eq!(
+            stats[2],
+            StageStats {
+                packets_in: 5,
+                packets_out: 5,
+                drops: 0
+            }
+        );
+    }
+
+    #[test]
+    fn spec_builds_independent_pipelines() {
+        let spec = PipelineSpec::new()
+            .stage(NullFilter::new)
+            .stage(crate::operators::Counter::new);
+        assert_eq!(spec.len(), 2);
+
+        let mut a = spec.build();
+        let mut b = spec.build();
+        a.run_batch(batch(4));
+        a.run_batch(batch(4));
+        b.run_batch(batch(1));
+
+        // Counters are per-instance: running `a` twice must not leak
+        // into `b`.
+        assert_eq!(a.packets_in(), 8);
+        assert_eq!(b.packets_in(), 1);
+        assert_eq!(a.stage_names(), b.stage_names());
+    }
+
+    #[test]
+    fn spec_is_cloneable_and_shippable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<PipelineSpec>();
+
+        let spec = PipelineSpec::new().stage(NullFilter::new);
+        let clone = spec.clone();
+        let handle = std::thread::spawn(move || clone.build().len());
+        assert_eq!(handle.join().unwrap(), 1);
     }
 }

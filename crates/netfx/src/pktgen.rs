@@ -87,9 +87,13 @@ impl PacketGen {
         let zipf_cdf = match config.distribution {
             FlowDistribution::Uniform => Vec::new(),
             FlowDistribution::Zipf(s) => {
-                assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive, got {s}");
-                let mut weights: Vec<f64> =
-                    (1..=config.flows).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+                assert!(
+                    s > 0.0 && s.is_finite(),
+                    "Zipf exponent must be positive, got {s}"
+                );
+                let mut weights: Vec<f64> = (1..=config.flows)
+                    .map(|rank| 1.0 / (rank as f64).powf(s))
+                    .collect();
                 let total: f64 = weights.iter().sum();
                 let mut acc = 0.0;
                 for w in &mut weights {
@@ -184,8 +188,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let mut a = PacketGen::new(TrafficConfig { seed: 1, ..Default::default() });
-        let mut b = PacketGen::new(TrafficConfig { seed: 2, ..Default::default() });
+        let mut a = PacketGen::new(TrafficConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let mut b = PacketGen::new(TrafficConfig {
+            seed: 2,
+            ..Default::default()
+        });
         let same = (0..50)
             .filter(|_| a.next_packet().as_slice() == b.next_packet().as_slice())
             .count();
@@ -262,7 +272,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty")]
     fn zero_flows_rejected() {
-        PacketGen::new(TrafficConfig { flows: 0, ..Default::default() });
+        PacketGen::new(TrafficConfig {
+            flows: 0,
+            ..Default::default()
+        });
     }
 
     #[test]

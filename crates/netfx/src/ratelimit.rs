@@ -33,7 +33,10 @@ impl TokenBucket {
             rate_per_sec > 0.0 && rate_per_sec.is_finite(),
             "rate must be positive, got {rate_per_sec}"
         );
-        assert!(burst > 0.0 && burst.is_finite(), "burst must be positive, got {burst}");
+        assert!(
+            burst > 0.0 && burst.is_finite(),
+            "burst must be positive, got {burst}"
+        );
         Self {
             rate_per_sec,
             burst,

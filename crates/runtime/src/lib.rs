@@ -1,0 +1,58 @@
+//! rbs-runtime: a sharded multi-worker pipeline runtime with per-domain
+//! fault isolation.
+//!
+//! This crate composes the rest of the workspace into the paper's
+//! end-state: many packet-processing workers on one machine, each running
+//! an untrusted network function pipeline inside a software fault
+//! isolation domain, where a crash in one worker is invisible to the
+//! others.
+//!
+//! Layout:
+//!
+//! - [`shard`] — RSS-style stable flow→worker mapping.
+//! - [`worker`] — the worker thread: one [`rbs_sfi::Domain`], one
+//!   [`rbs_netfx::Pipeline`] built from a [`rbs_netfx::PipelineSpec`],
+//!   one bounded input queue.
+//! - [`runtime`] — the [`ShardedRuntime`] dispatcher/supervisor:
+//!   flow-hashes batches to workers, observes faults via
+//!   [`rbs_sfi::DomainState`], recovers the domain, respawns the worker.
+//! - [`stats`] — cumulative per-worker counters that survive respawns,
+//!   plus the merged [`RuntimeReport`].
+//!
+//! ```
+//! use rbs_netfx::{Operator, PacketBatch, PipelineSpec};
+//! use rbs_runtime::{RuntimeConfig, ShardedRuntime};
+//!
+//! struct Nop;
+//! impl Operator for Nop {
+//!     fn name(&self) -> &str {
+//!         "nop"
+//!     }
+//!     fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+//!         batch
+//!     }
+//! }
+//!
+//! let spec = PipelineSpec::new().stage(|| Nop);
+//! let mut rt = ShardedRuntime::new(
+//!     spec,
+//!     RuntimeConfig {
+//!         workers: 2,
+//!         queue_capacity: 8,
+//!     },
+//! )
+//! .unwrap();
+//! rt.dispatch(PacketBatch::new()).unwrap();
+//! let report = rt.shutdown();
+//! assert_eq!(report.faults, 0);
+//! ```
+
+pub mod runtime;
+pub mod shard;
+pub mod stats;
+pub mod worker;
+
+pub use runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};
+pub use shard::{shard_for, shard_of_packet};
+pub use stats::{RuntimeReport, WorkerSnapshot, WorkerStats};
+pub use worker::WorkItem;

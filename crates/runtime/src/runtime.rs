@@ -1,0 +1,352 @@
+//! The sharded runtime: dispatcher, worker slots, and supervision.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rbs_netfx::{PacketBatch, PipelineSpec};
+use rbs_sfi::{Domain, DomainManager, DomainSender, DomainState};
+
+use crate::shard::shard_of_packet;
+use crate::stats::{RuntimeReport, WorkerSnapshot, WorkerStats};
+use crate::worker::{spawn_worker, WorkItem};
+
+/// Construction parameters for a [`ShardedRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of worker threads (= shards). Must be at least 1.
+    pub workers: usize,
+    /// Bounded depth of each worker's input queue, in batches; a full
+    /// queue backpressures the dispatcher.
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Errors surfaced by the runtime to its caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Domain creation failed (manager quota).
+    DomainCreation(rbs_sfi::domain::DomainError),
+    /// A worker slot could not be healed (its domain is destroyed).
+    Unrecoverable {
+        /// Shard index of the dead slot.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::DomainCreation(e) => write!(f, "creating worker domain: {e}"),
+            RuntimeError::Unrecoverable { worker } => {
+                write!(f, "worker {worker} is unrecoverable (domain destroyed)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+struct WorkerSlot {
+    domain: Domain,
+    sender: DomainSender<WorkItem>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<WorkerStats>,
+    /// Batches routed to this shard (including ones later lost).
+    dispatched: u64,
+    /// Batches confirmed lost to faults.
+    lost: u64,
+    /// Thread respawns performed by the supervisor.
+    respawns: u64,
+}
+
+impl WorkerSlot {
+    fn is_healthy(&self) -> bool {
+        self.domain.state() == DomainState::Active && self.sender.is_open()
+    }
+
+    fn snapshot(&self, index: usize) -> WorkerSnapshot {
+        WorkerSnapshot {
+            index,
+            state: self.domain.state(),
+            generation: self.domain.generation(),
+            respawns: self.respawns,
+            dispatched: self.dispatched,
+            processed: self.stats.batches(),
+            lost: self.lost,
+            packets_in: self.stats.packets_in(),
+            packets_out: self.stats.packets_out(),
+            drops: self.stats.drops(),
+            faults: self.stats.faults(),
+            stage_stats: self.stats.final_stage_stats(),
+        }
+    }
+}
+
+/// A multi-worker pipeline runtime with per-domain fault isolation.
+///
+/// The dispatcher (the thread calling [`ShardedRuntime::dispatch`])
+/// flow-hashes each packet to one of N shards; every shard is a worker
+/// thread owning a private [`rbs_netfx::Pipeline`] built from the shared
+/// [`PipelineSpec`] and running inside its own
+/// [`rbs_sfi::Domain`]. Batches cross the boundary through bounded
+/// ownership-transferring channels, so a worker never shares packet
+/// memory with the dispatcher or its peers.
+///
+/// A panic inside any worker's pipeline is caught at its domain boundary:
+/// the domain faults, its channel is revoked, and *only that shard*
+/// stops. The supervisor (folded into the dispatch path — there is no
+/// extra thread) observes the failed state, runs the paper's recovery
+/// sequence ([`Domain::recover`]), respawns the worker with a fresh
+/// pipeline from the spec, and the shard's flows resume on the next
+/// batch. Other workers never stall: their queues, domains, and threads
+/// are untouched throughout.
+pub struct ShardedRuntime {
+    manager: DomainManager,
+    spec: PipelineSpec,
+    config: RuntimeConfig,
+    slots: Vec<WorkerSlot>,
+}
+
+impl ShardedRuntime {
+    /// Builds the runtime and starts all worker threads.
+    pub fn new(spec: PipelineSpec, config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let manager = DomainManager::new();
+        let mut slots = Vec::with_capacity(config.workers);
+        for index in 0..config.workers {
+            let domain = manager
+                .create_domain(format!("worker-{index}"))
+                .map_err(RuntimeError::DomainCreation)?;
+            let stats = Arc::new(WorkerStats::new());
+            let (sender, thread) = spawn_worker(
+                index,
+                domain.clone(),
+                spec.clone(),
+                Arc::clone(&stats),
+                config.queue_capacity,
+            );
+            slots.push(WorkerSlot {
+                domain,
+                sender,
+                thread: Some(thread),
+                stats,
+                dispatched: 0,
+                lost: 0,
+                respawns: 0,
+            });
+        }
+        Ok(Self {
+            manager,
+            spec,
+            config,
+            slots,
+        })
+    }
+
+    /// Number of workers (= shards).
+    pub fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Splits `batch` by flow hash and forwards each shard's packets to
+    /// its worker, healing failed workers on the way.
+    ///
+    /// Blocks while a target queue is full (backpressure). Returns the
+    /// number of batches enqueued.
+    pub fn dispatch(&mut self, batch: PacketBatch) -> Result<usize, RuntimeError> {
+        let n = self.slots.len();
+        let mut shards: Vec<Option<PacketBatch>> = (0..n).map(|_| None).collect();
+        for packet in batch {
+            let s = shard_of_packet(&packet, n);
+            shards[s].get_or_insert_with(PacketBatch::new).push(packet);
+        }
+        let mut enqueued = 0;
+        for (index, shard) in shards.into_iter().enumerate() {
+            if let Some(b) = shard {
+                self.send_to(index, b)?;
+                enqueued += 1;
+            }
+        }
+        Ok(enqueued)
+    }
+
+    /// Sends one pre-sharded batch directly to worker `index`, healing
+    /// the slot first if its last fault has not been repaired yet.
+    pub fn send_to(&mut self, index: usize, batch: PacketBatch) -> Result<(), RuntimeError> {
+        if !self.slots[index].is_healthy() {
+            self.heal_slot(index)?;
+        }
+        let mut item = WorkItem::Batch(batch);
+        // Two attempts: a worker that faulted after the health check
+        // gets healed once, then the send must stick (a freshly spawned
+        // worker has an open, empty queue).
+        for attempt in 0..2 {
+            match self.slots[index].sender.send(item) {
+                Ok(()) => {
+                    self.slots[index].dispatched += 1;
+                    return Ok(());
+                }
+                Err((_, returned)) => {
+                    if attempt == 1 {
+                        return Err(RuntimeError::Unrecoverable { worker: index });
+                    }
+                    self.heal_slot(index)?;
+                    item = returned;
+                }
+            }
+        }
+        unreachable!("send loop returns within two attempts")
+    }
+
+    /// Scans all slots and repairs any that faulted; returns the number
+    /// of workers respawned.
+    pub fn heal(&mut self) -> Result<usize, RuntimeError> {
+        let mut healed = 0;
+        for index in 0..self.slots.len() {
+            if !self.slots[index].is_healthy() {
+                self.heal_slot(index)?;
+                healed += 1;
+            }
+        }
+        Ok(healed)
+    }
+
+    /// The supervision sequence for one dead slot: join the dead thread,
+    /// account lost batches, recover the domain (paper §3: unwind →
+    /// clear table → recovery function), and respawn the worker with a
+    /// fresh pipeline on a fresh channel.
+    fn heal_slot(&mut self, index: usize) -> Result<(), RuntimeError> {
+        let spec = self.spec.clone();
+        let capacity = self.config.queue_capacity;
+        let slot = &mut self.slots[index];
+
+        if let Some(thread) = slot.thread.take() {
+            // The worker loop exits right after a fault, so this join is
+            // prompt; a panic *of the loop itself* would be a runtime
+            // bug, but even then the slot must stay repairable.
+            let _ = thread.join();
+        }
+
+        // Everything dispatched but never processed died with the
+        // worker: the in-flight batch plus whatever sat in the revoked
+        // queue.
+        let processed = slot.stats.batches();
+        slot.lost = slot.dispatched.saturating_sub(processed);
+
+        match slot.domain.state() {
+            DomainState::Active => {
+                // The fault already auto-recovered (a recovery function
+                // was installed) or only the thread died; just respawn.
+            }
+            DomainState::Failed => {
+                // The runtime's recovery function: state re-init is
+                // rebuilding the pipeline from the spec, which the
+                // respawn below does — the domain itself carries nothing
+                // else, so reactivation is all that is left.
+                slot.domain.set_recovery(|_| {});
+                if !slot.domain.recover() {
+                    return Err(RuntimeError::Unrecoverable { worker: index });
+                }
+            }
+            DomainState::Destroyed => {
+                return Err(RuntimeError::Unrecoverable { worker: index });
+            }
+        }
+
+        let (sender, thread) = spawn_worker(
+            index,
+            slot.domain.clone(),
+            spec,
+            Arc::clone(&slot.stats),
+            capacity,
+        );
+        slot.sender = sender;
+        slot.thread = Some(thread);
+        slot.respawns += 1;
+        Ok(())
+    }
+
+    /// Waits until every dispatched batch is either processed or
+    /// accounted lost, healing faulted workers as they are discovered.
+    ///
+    /// Returns `true` when fully drained within `timeout`.
+    pub fn drain(&mut self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let _ = self.heal();
+            let settled = self
+                .slots
+                .iter()
+                .all(|s| s.stats.batches() + s.lost >= s.dispatched);
+            if settled {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Point-in-time per-worker snapshots.
+    pub fn snapshots(&self) -> Vec<WorkerSnapshot> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.snapshot(i))
+            .collect()
+    }
+
+    /// Stops all workers (orderly: queues drain first), joins their
+    /// threads, and reports merged statistics.
+    pub fn shutdown(mut self) -> RuntimeReport {
+        for slot in &mut self.slots {
+            // A dead worker's sender is revoked; that is fine — its
+            // losses are already (or about to be) accounted.
+            let _ = slot.sender.send(WorkItem::Shutdown);
+        }
+        for slot in &mut self.slots {
+            if let Some(thread) = slot.thread.take() {
+                let _ = thread.join();
+            }
+            let processed = slot.stats.batches();
+            slot.lost = slot.lost.max(slot.dispatched.saturating_sub(processed));
+        }
+        let snapshots = self.snapshots();
+        let histograms = self
+            .slots
+            .iter()
+            .map(|s| s.stats.cycle_histogram())
+            .collect();
+        for slot in &self.slots {
+            self.manager.destroy_domain(&slot.domain);
+        }
+        RuntimeReport::from_snapshots(snapshots, histograms)
+    }
+}
+
+impl std::fmt::Debug for ShardedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRuntime")
+            .field("workers", &self.slots.len())
+            .field("queue_capacity", &self.config.queue_capacity)
+            .field(
+                "states",
+                &self
+                    .slots
+                    .iter()
+                    .map(|s| s.domain.state())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}

@@ -1,0 +1,94 @@
+//! RSS-style flow-to-worker shard mapping.
+//!
+//! Hardware NICs spread flows across receive queues by hashing the
+//! packet 5-tuple (receive-side scaling); the dispatcher does the same in
+//! software. The map must be *stable* — every packet of a flow lands on
+//! the same worker, so per-flow operator state (NAT bindings, rate
+//! limiter buckets) never needs cross-worker sharing — and *total* —
+//! packets the 5-tuple extractor rejects still deterministically belong
+//! somewhere.
+
+use rbs_netfx::flow::{stable_hash_bytes, FiveTuple};
+use rbs_netfx::Packet;
+
+/// Maps a flow to one of `n_workers` shards via the tuple's stable hash.
+///
+/// # Panics
+///
+/// Panics when `n_workers` is zero.
+pub fn shard_for(tuple: &FiveTuple, n_workers: usize) -> usize {
+    assert!(n_workers > 0, "need at least one worker");
+    (tuple.stable_hash() % n_workers as u64) as usize
+}
+
+/// Maps any packet to a shard: the 5-tuple hash when one is extractable,
+/// otherwise a stable hash of the raw frame (so ICMP and friends are
+/// spread too, and identical frames stay together).
+pub fn shard_of_packet(packet: &Packet, n_workers: usize) -> usize {
+    assert!(n_workers > 0, "need at least one worker");
+    match FiveTuple::of(packet) {
+        Ok(t) => shard_for(&t, n_workers),
+        Err(_) => (stable_hash_bytes(packet.as_slice()) % n_workers as u64) as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_netfx::headers::ethernet::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn udp(src_port: u16, dst_port: u16) -> Packet {
+        Packet::build_udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            src_port,
+            dst_port,
+            16,
+        )
+    }
+
+    #[test]
+    fn packet_and_tuple_shard_agree() {
+        for sp in [1000u16, 2000, 3000] {
+            let p = udp(sp, 80);
+            let t = FiveTuple::of(&p).unwrap();
+            assert_eq!(shard_of_packet(&p, 4), shard_for(&t, 4));
+        }
+    }
+
+    #[test]
+    fn non_flow_packets_still_shard() {
+        let p = Packet::build_icmp_echo(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            rbs_netfx::headers::icmp::IcmpType::EchoRequest,
+            1,
+            1,
+            8,
+        );
+        let s = shard_of_packet(&p, 4);
+        assert!(s < 4);
+        assert_eq!(s, shard_of_packet(&p, 4), "raw-bytes fallback is stable");
+    }
+
+    #[test]
+    fn many_flows_hit_every_worker() {
+        let mut seen = [false; 4];
+        for sp in 1000..1100u16 {
+            seen[shard_of_packet(&udp(sp, 80), 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "100 flows should cover 4 shards");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let p = udp(1, 2);
+        shard_of_packet(&p, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! The worker thread: one domain, one pipeline, one input queue.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rbs_netfx::{PacketBatch, PipelineSpec};
+use rbs_sfi::channel::channel;
+use rbs_sfi::{Domain, DomainSender};
+
+use crate::stats::WorkerStats;
+
+/// What the dispatcher feeds a worker.
+pub enum WorkItem {
+    /// A batch of packets belonging to this worker's shard.
+    Batch(PacketBatch),
+    /// Orderly stop: finish the queue drained so far and exit.
+    Shutdown,
+}
+
+/// Spawns a worker thread dedicated to `domain`.
+///
+/// The channel is registered in the domain's reference table, so a fault
+/// revokes it automatically; `stats` is shared with (and outlives) the
+/// thread. Returns the dispatcher-side sender and the join handle.
+pub(crate) fn spawn_worker(
+    index: usize,
+    domain: Domain,
+    spec: PipelineSpec,
+    stats: Arc<WorkerStats>,
+    queue_capacity: usize,
+) -> (DomainSender<WorkItem>, JoinHandle<()>) {
+    let (tx, rx) = channel::<WorkItem>(&domain, queue_capacity);
+    let handle = std::thread::Builder::new()
+        .name(format!("rbs-worker-{index}"))
+        .spawn(move || {
+            // Dedicate the thread to the domain: per-batch `execute`
+            // calls then run as self-calls and skip policy
+            // interposition. Fails only when the supervisor raced a
+            // destroy; exiting is the correct response.
+            let Ok(_attachment) = domain.attach_thread() else {
+                return;
+            };
+            let mut pipeline = spec.build();
+            loop {
+                match rx.recv() {
+                    Ok(WorkItem::Batch(batch)) => {
+                        let n_in = batch.len() as u64;
+                        let start = rbs_core::cycles::rdtsc();
+                        // The batch moves into the domain; a panic
+                        // anywhere in the stages unwinds to this
+                        // boundary, faults the domain (closing `rx`'s
+                        // channel), and is reported as an error here.
+                        match domain.execute(|| pipeline.run_batch(batch)) {
+                            Ok(out) => {
+                                let cycles = rbs_core::cycles::rdtsc().saturating_sub(start);
+                                stats.record_batch(n_in, out.len() as u64, cycles);
+                                drop(out);
+                            }
+                            Err(_) => {
+                                // The in-flight batch died with the
+                                // fault; the supervisor accounts it (and
+                                // anything still queued) as lost when it
+                                // heals this slot.
+                                stats.record_fault();
+                                return;
+                            }
+                        }
+                    }
+                    Ok(WorkItem::Shutdown) | Err(_) => {
+                        // Clean exit: preserve the pipeline's per-stage
+                        // counters for the final report.
+                        let stages = pipeline
+                            .stage_names()
+                            .iter()
+                            .map(|n| (*n).to_owned())
+                            .zip(pipeline.stage_stats().iter().copied())
+                            .collect();
+                        stats.store_final_stages(stages);
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawning worker thread");
+    (tx, handle)
+}

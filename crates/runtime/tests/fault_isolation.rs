@@ -1,0 +1,241 @@
+//! End-to-end fault isolation: a panicking operator kills exactly one
+//! worker, the supervisor heals it, and the other workers never notice.
+
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+use rbs_netfx::flow::FiveTuple;
+use rbs_netfx::headers::ethernet::MacAddr;
+use rbs_netfx::{Operator, Packet, PacketBatch, PipelineSpec};
+use rbs_runtime::{shard_of_packet, RuntimeConfig, ShardedRuntime, WorkerSnapshot};
+use rbs_sfi::DomainState;
+
+/// The port that makes [`Poison`] panic.
+const POISON_PORT: u16 = 6666;
+
+/// Passes packets through untouched.
+struct Pass;
+
+impl Operator for Pass {
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+        batch
+    }
+
+    fn name(&self) -> &str {
+        "pass"
+    }
+}
+
+/// Panics on any packet addressed to [`POISON_PORT`]; a stand-in for a
+/// buggy network function tripping over a crafted input.
+struct Poison;
+
+impl Operator for Poison {
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+        for packet in batch.iter() {
+            if let Ok(t) = FiveTuple::of(packet) {
+                assert_ne!(t.dst_port, POISON_PORT, "poison packet hit operator");
+            }
+        }
+        batch
+    }
+
+    fn name(&self) -> &str {
+        "poison"
+    }
+}
+
+fn spec() -> PipelineSpec {
+    PipelineSpec::new().stage(|| Pass).stage(|| Poison)
+}
+
+fn udp(src_port: u16, dst_port: u16) -> Packet {
+    Packet::build_udp(
+        MacAddr::ZERO,
+        MacAddr::ZERO,
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        src_port,
+        dst_port,
+        16,
+    )
+}
+
+/// 64 one-packet flows; covers every shard of a 4-worker runtime.
+fn healthy_traffic() -> PacketBatch {
+    (0..64u16).map(|i| udp(1000 + i, 80)).collect()
+}
+
+/// A poison packet whose flow hash lands on shard `target` (out of `n`).
+fn poison_for_shard(target: usize, n: usize) -> Packet {
+    for sp in 1..u16::MAX {
+        let p = udp(sp, POISON_PORT);
+        if shard_of_packet(&p, n) == target {
+            return p;
+        }
+    }
+    unreachable!("some source port maps to every shard");
+}
+
+fn wait_for<F: Fn(&[WorkerSnapshot]) -> bool>(rt: &ShardedRuntime, cond: F) -> Vec<WorkerSnapshot> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let snaps = rt.snapshots();
+        if cond(&snaps) {
+            return snaps;
+        }
+        assert!(Instant::now() < deadline, "condition not met: {snaps:#?}");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn fault_is_contained_healed_and_accounted() {
+    const TARGET: usize = 2;
+    let mut rt = ShardedRuntime::new(
+        spec(),
+        RuntimeConfig {
+            workers: 4,
+            queue_capacity: 16,
+        },
+    )
+    .unwrap();
+
+    rt.dispatch(healthy_traffic()).unwrap();
+    assert!(rt.drain(Duration::from_secs(10)), "healthy drain");
+    let before = rt.snapshots();
+    assert!(before.iter().all(|w| w.state == DomainState::Active));
+    assert!(before.iter().all(|w| w.faults == 0));
+    let processed_before: Vec<u64> = before.iter().map(|w| w.processed).collect();
+    assert!(
+        processed_before.iter().all(|&p| p > 0),
+        "64 flows reach all 4 workers"
+    );
+
+    let mut poison = PacketBatch::new();
+    poison.push(poison_for_shard(TARGET, 4));
+    rt.dispatch(poison).unwrap();
+    wait_for(&rt, |s| s[TARGET].faults == 1);
+
+    // A second wave heals the target inside dispatch() and feeds every
+    // worker again.
+    rt.dispatch(healthy_traffic()).unwrap();
+    assert!(rt.drain(Duration::from_secs(10)), "drain after fault");
+
+    let after = rt.snapshots();
+    for w in &after {
+        // Conservation: every batch routed to a shard is eventually
+        // processed or written off.
+        assert_eq!(w.processed + w.lost, w.dispatched, "worker {}", w.index);
+        if w.index == TARGET {
+            assert_eq!(w.faults, 1);
+            assert_eq!(w.respawns, 1, "healed exactly once");
+            assert!(w.generation >= 1, "recovery bumps the generation");
+            assert_eq!(w.lost, 1, "only the poison batch was lost");
+            assert!(
+                w.processed > processed_before[w.index],
+                "worker rejoined and processed the second wave"
+            );
+        } else {
+            assert_eq!(w.faults, 0, "fault leaked to worker {}", w.index);
+            assert_eq!(w.lost, 0);
+            assert_eq!(w.respawns, 0);
+            assert_eq!(w.state, DomainState::Active);
+        }
+    }
+
+    let report = rt.shutdown();
+    assert_eq!(report.faults, 1);
+    assert_eq!(report.respawns, 1);
+    assert_eq!(report.lost_batches, 1);
+    // The pass/poison pipeline drops nothing it survives.
+    assert_eq!(report.packets_in, report.packets_out);
+    assert_eq!(report.packets_in, 128, "two healthy waves of 64");
+    assert!(report.cycles.is_some());
+}
+
+#[test]
+fn other_workers_process_while_one_is_down() {
+    const VICTIM: usize = 1;
+    let mut rt = ShardedRuntime::new(
+        spec(),
+        RuntimeConfig {
+            workers: 4,
+            queue_capacity: 16,
+        },
+    )
+    .unwrap();
+
+    // Kill the victim without touching anyone else: send_to() bypasses
+    // flow hashing.
+    let mut poison = PacketBatch::new();
+    poison.push(udp(1, POISON_PORT));
+    rt.send_to(VICTIM, poison).unwrap();
+    let snaps = wait_for(&rt, |s| s[VICTIM].faults == 1);
+    assert_eq!(snaps[VICTIM].state, DomainState::Failed);
+
+    // While the victim's domain sits failed, the survivors keep taking
+    // and finishing work.
+    for index in [0usize, 2, 3] {
+        for wave in 0..3u16 {
+            let batch: PacketBatch = (0..8u16).map(|i| udp(100 + wave * 8 + i, 80)).collect();
+            rt.send_to(index, batch).unwrap();
+        }
+    }
+    let snaps = wait_for(&rt, |s| [0usize, 2, 3].iter().all(|&i| s[i].processed == 3));
+    assert_eq!(
+        snaps[VICTIM].state,
+        DomainState::Failed,
+        "survivors finished without the victim being healed"
+    );
+    for i in [0usize, 2, 3] {
+        assert_eq!(snaps[i].state, DomainState::Active);
+        assert_eq!(snaps[i].packets_in, 24);
+        assert_eq!(snaps[i].faults, 0);
+    }
+
+    // Explicit supervision pass: exactly the victim is repaired.
+    assert_eq!(rt.heal().unwrap(), 1);
+    let snaps = rt.snapshots();
+    assert_eq!(snaps[VICTIM].state, DomainState::Active);
+    assert_eq!(snaps[VICTIM].respawns, 1);
+
+    // And it takes work again.
+    let batch: PacketBatch = (0..8u16).map(|i| udp(500 + i, 80)).collect();
+    rt.send_to(VICTIM, batch).unwrap();
+    wait_for(&rt, |s| s[VICTIM].processed == 1);
+
+    let report = rt.shutdown();
+    assert_eq!(report.faults, 1);
+    assert_eq!(report.lost_batches, 1);
+    assert_eq!(report.packets_in, 3 * 24 + 8);
+}
+
+#[test]
+fn repeated_faults_keep_healing() {
+    const VICTIM: usize = 0;
+    let mut rt = ShardedRuntime::new(
+        spec(),
+        RuntimeConfig {
+            workers: 2,
+            queue_capacity: 8,
+        },
+    )
+    .unwrap();
+
+    for round in 1..=3u64 {
+        let mut poison = PacketBatch::new();
+        poison.push(udp(round as u16, POISON_PORT));
+        rt.send_to(VICTIM, poison).unwrap();
+        wait_for(&rt, |s| s[VICTIM].faults == round);
+        assert_eq!(rt.heal().unwrap(), 1);
+        let snaps = rt.snapshots();
+        assert_eq!(snaps[VICTIM].state, DomainState::Active);
+        assert_eq!(snaps[VICTIM].respawns, round);
+    }
+
+    let report = rt.shutdown();
+    assert_eq!(report.faults, 3);
+    assert_eq!(report.respawns, 3);
+    assert_eq!(report.lost_batches, 3);
+}

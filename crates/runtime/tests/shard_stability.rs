@@ -1,0 +1,103 @@
+//! Property tests for the RSS shard map: the mapping must be total,
+//! in-range, and — critically — *stable*: every packet of a flow lands on
+//! the same worker, whatever its payload looks like.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+use rbs_netfx::flow::FiveTuple;
+use rbs_netfx::headers::ethernet::MacAddr;
+use rbs_netfx::headers::ipv4::IpProto;
+use rbs_netfx::headers::tcp::TcpFlags;
+use rbs_netfx::Packet;
+use rbs_runtime::{shard_for, shard_of_packet};
+
+fn tuple(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, udp: bool) -> FiveTuple {
+    FiveTuple {
+        src_ip: Ipv4Addr::from(src_ip),
+        dst_ip: Ipv4Addr::from(dst_ip),
+        src_port,
+        dst_port,
+        proto: if udp { IpProto::Udp } else { IpProto::Tcp },
+    }
+}
+
+fn packet_of(t: &FiveTuple, payload_len: usize) -> Packet {
+    match t.proto {
+        IpProto::Udp => Packet::build_udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            t.src_ip,
+            t.dst_ip,
+            t.src_port,
+            t.dst_port,
+            payload_len,
+        ),
+        IpProto::Tcp => Packet::build_tcp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            t.src_ip,
+            t.dst_ip,
+            t.src_port,
+            t.dst_port,
+            TcpFlags(TcpFlags::ACK),
+            payload_len,
+        ),
+        _ => unreachable!("test generates only TCP/UDP tuples"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn shard_is_in_range_for_any_worker_count(
+        src_ip in any::<u32>(),
+        dst_ip in any::<u32>(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        udp in any::<bool>(),
+        n in 1usize..=16,
+    ) {
+        let t = tuple(src_ip, dst_ip, src_port, dst_port, udp);
+        prop_assert!(shard_for(&t, n) < n);
+    }
+
+    #[test]
+    fn same_five_tuple_always_hits_same_worker(
+        src_ip in any::<u32>(),
+        dst_ip in any::<u32>(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        udp in any::<bool>(),
+        n in 1usize..=16,
+        payload_a in 0usize..256,
+        payload_b in 0usize..256,
+    ) {
+        let t = tuple(src_ip, dst_ip, src_port, dst_port, udp);
+        let shard = shard_for(&t, n);
+        // Two packets of the flow with arbitrary (different) payloads
+        // shard identically, and identically to their tuple.
+        let pa = packet_of(&t, payload_a);
+        let pb = packet_of(&t, payload_b);
+        prop_assert_eq!(shard_of_packet(&pa, n), shard);
+        prop_assert_eq!(shard_of_packet(&pb, n), shard);
+        // The extractor agrees with the hand-built tuple.
+        let extracted = FiveTuple::of(&pa).unwrap();
+        prop_assert_eq!(shard_for(&extracted, n), shard);
+    }
+
+    #[test]
+    fn repeated_hashing_is_deterministic(
+        src_ip in any::<u32>(),
+        dst_ip in any::<u32>(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        udp in any::<bool>(),
+        n in 1usize..=16,
+    ) {
+        let t = tuple(src_ip, dst_ip, src_port, dst_port, udp);
+        let first = shard_for(&t, n);
+        for _ in 0..8 {
+            prop_assert_eq!(shard_for(&t, n), first);
+        }
+    }
+}

@@ -24,7 +24,7 @@ use crate::stats::DomainStats;
 use crate::tls::{enter_domain, DomainId};
 use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Weak};
 
 /// Lifecycle state of a domain.
@@ -188,7 +188,11 @@ impl Domain {
         *self.inner.recovery.lock() = Some(Arc::new(Box::new(f)));
     }
 
-    pub(crate) fn check_callable(&self, caller: DomainId, method: &'static str) -> Result<(), RpcError> {
+    pub(crate) fn check_callable(
+        &self,
+        caller: DomainId,
+        method: &'static str,
+    ) -> Result<(), RpcError> {
         self.inner.check_callable(caller, method)
     }
 
@@ -209,7 +213,11 @@ impl Domain {
     pub fn execute<R>(&self, f: impl FnOnce() -> R) -> Result<R, RpcError> {
         self.check_callable(crate::tls::current_domain(), "execute")?;
         let accounting = self.inner.accounting.load(Ordering::Acquire);
-        let start = if accounting { rbs_core::cycles::rdtsc() } else { 0 };
+        let start = if accounting {
+            rbs_core::cycles::rdtsc()
+        } else {
+            0
+        };
         let _guard = enter_domain(self.id());
         match catch_unwind(AssertUnwindSafe(f)) {
             Ok(r) => {
@@ -226,6 +234,24 @@ impl Domain {
                 self.handle_fault();
                 Err(RpcError::Fault { domain: self.id() })
             }
+        }
+    }
+
+    /// Dedicates the current thread to this domain until the returned
+    /// attachment drops (see [`crate::tls::attach_thread`]).
+    ///
+    /// Worker threads owned by a domain attach once at startup; their
+    /// subsequent [`Domain::execute`] calls on the *same* domain then run
+    /// with `caller == self`, so installed policies never interpose on
+    /// the domain's own data path.
+    ///
+    /// Fails when the domain is not active — a supervisor must
+    /// [`Domain::recover`] before respawning a worker onto it.
+    pub fn attach_thread(&self) -> Result<crate::tls::ThreadAttachment, RpcError> {
+        match self.state() {
+            DomainState::Active => Ok(crate::tls::attach_thread(self.id())),
+            DomainState::Failed => Err(RpcError::DomainFailed { domain: self.id() }),
+            DomainState::Destroyed => Err(RpcError::DomainDestroyed { domain: self.id() }),
         }
     }
 
@@ -563,7 +589,13 @@ mod tests {
         let d = mgr.create_domain("d").unwrap();
         d.set_policy(crate::policy::DenyAll);
         let err = d.execute(|| 1).unwrap_err();
-        assert!(matches!(err, RpcError::AccessDenied { method: "execute", .. }));
+        assert!(matches!(
+            err,
+            RpcError::AccessDenied {
+                method: "execute",
+                ..
+            }
+        ));
         assert_eq!(d.stats().denials(), 1);
     }
 

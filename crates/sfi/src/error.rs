@@ -68,10 +68,19 @@ mod tests {
     fn display_is_descriptive() {
         let d = DomainId::new(3);
         assert!(RpcError::Revoked.to_string().contains("revoked"));
-        assert!(RpcError::DomainFailed { domain: d }.to_string().contains("failed"));
-        assert!(RpcError::DomainDestroyed { domain: d }.to_string().contains("destroyed"));
-        assert!(RpcError::Fault { domain: d }.to_string().contains("panicked"));
-        let denied = RpcError::AccessDenied { caller: d, method: "method1" };
+        assert!(RpcError::DomainFailed { domain: d }
+            .to_string()
+            .contains("failed"));
+        assert!(RpcError::DomainDestroyed { domain: d }
+            .to_string()
+            .contains("destroyed"));
+        assert!(RpcError::Fault { domain: d }
+            .to_string()
+            .contains("panicked"));
+        let denied = RpcError::AccessDenied {
+            caller: d,
+            method: "method1",
+        };
         assert!(denied.to_string().contains("method1"));
     }
 
@@ -80,7 +89,9 @@ mod tests {
         assert_eq!(RpcError::Revoked, RpcError::Revoked);
         assert_ne!(
             RpcError::Revoked,
-            RpcError::Fault { domain: DomainId::new(1) }
+            RpcError::Fault {
+                domain: DomainId::new(1)
+            }
         );
     }
 }

@@ -229,11 +229,17 @@ mod tests {
         assert_eq!(stats.sum().unwrap(), 1);
         assert!(matches!(
             stats.record(2),
-            Err(RpcError::AccessDenied { method: "record", .. })
+            Err(RpcError::AccessDenied {
+                method: "record",
+                ..
+            })
         ));
         assert!(matches!(
             stats.reset(),
-            Err(RpcError::AccessDenied { method: "reset", .. })
+            Err(RpcError::AccessDenied {
+                method: "reset",
+                ..
+            })
         ));
     }
 

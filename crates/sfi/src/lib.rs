@@ -35,8 +35,8 @@
 
 pub mod channel;
 pub mod domain;
-pub mod interface;
 pub mod error;
+pub mod interface;
 pub mod policy;
 pub mod reftable;
 pub mod rref;
@@ -49,4 +49,4 @@ pub use error::RpcError;
 pub use policy::{AclPolicy, AllowAll, DenyAll, Policy};
 pub use rref::RRef;
 pub use stats::DomainStats;
-pub use tls::{current_domain, DomainId, KERNEL_DOMAIN};
+pub use tls::{current_domain, DomainId, ThreadAttachment, KERNEL_DOMAIN};

@@ -98,7 +98,12 @@ impl RefTable {
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.iter().filter(|e| e.is_some()).count()
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|e| e.is_some())
+            .count()
     }
 
     /// True when no entries are live.
@@ -116,7 +121,10 @@ impl std::fmt::Debug for RefTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let slots = self.inner.lock();
         f.debug_struct("RefTable")
-            .field("live", &slots.entries.iter().filter(|e| e.is_some()).count())
+            .field(
+                "live",
+                &slots.entries.iter().filter(|e| e.is_some()).count(),
+            )
             .field("capacity", &slots.entries.len())
             .field("epoch", &slots.epoch)
             .finish()
@@ -151,7 +159,10 @@ mod tests {
         let h = t.insert(e);
         assert!(weak.upgrade().is_some());
         assert!(t.remove(h).is_some());
-        assert!(weak.upgrade().is_none(), "weak must die with the table entry");
+        assert!(
+            weak.upgrade().is_none(),
+            "weak must die with the table entry"
+        );
         assert!(t.is_empty());
     }
 
@@ -206,7 +217,10 @@ mod tests {
         // Old handle may alias the same index but its epoch is stale.
         assert_eq!(h.index, h2.index);
         assert!(t.remove(h).is_none());
-        assert!(w2.upgrade().is_some(), "stale handle must not revoke a fresh entry");
+        assert!(
+            w2.upgrade().is_some(),
+            "stale handle must not revoke a fresh entry"
+        );
     }
 
     #[test]

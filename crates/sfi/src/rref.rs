@@ -166,7 +166,11 @@ impl<T: Send + 'static> RRef<T> {
             .home
             .accounting
             .load(std::sync::atomic::Ordering::Acquire);
-        let start = if accounting { rbs_core::cycles::rdtsc() } else { 0 };
+        let start = if accounting {
+            rbs_core::cycles::rdtsc()
+        } else {
+            0
+        };
         let guard = enter_domain(self.home_domain());
         let mut obj = strong.lock();
         let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut obj)));
@@ -333,7 +337,13 @@ mod tests {
         let rref = RRef::new(&d, 5u32);
         assert_eq!(rref.invoke_named("read", |v| *v).unwrap(), 5);
         let err = rref.invoke_mut_named("write", |v| *v = 6).unwrap_err();
-        assert_eq!(err, RpcError::AccessDenied { caller: KERNEL_DOMAIN, method: "write" });
+        assert_eq!(
+            err,
+            RpcError::AccessDenied {
+                caller: KERNEL_DOMAIN,
+                method: "write"
+            }
+        );
         assert_eq!(d.stats().denials(), 1);
         // Denied call must not have touched the object.
         assert_eq!(rref.invoke_named("read", |v| *v).unwrap(), 5);
@@ -345,7 +355,10 @@ mod tests {
         d.set_policy(crate::policy::DenyAll);
         let rref = RRef::new(&d, 1u32);
         // From kernel: denied.
-        assert!(matches!(rref.invoke(|v| *v), Err(RpcError::AccessDenied { .. })));
+        assert!(matches!(
+            rref.invoke(|v| *v),
+            Err(RpcError::AccessDenied { .. })
+        ));
         // From the domain itself: allowed (intra-domain calls are not
         // remote invocations). Enter via tls directly since execute() is
         // itself interposed.
@@ -364,10 +377,12 @@ mod tests {
         let counter = RRef::new(&a, 0u64);
         let proxy = RRef::new(&b, counter.clone());
         let v = proxy
-            .invoke(|inner| inner.invoke_mut(|c| {
-                *c += 1;
-                *c
-            }))
+            .invoke(|inner| {
+                inner.invoke_mut(|c| {
+                    *c += 1;
+                    *c
+                })
+            })
             .unwrap()
             .unwrap();
         assert_eq!(v, 1);
@@ -440,7 +455,10 @@ mod tests {
         })
         .unwrap();
         let after_work = d.stats().cycles_in_domain();
-        assert!(after_work > 1_000, "50k additions cost real cycles: {after_work}");
+        assert!(
+            after_work > 1_000,
+            "50k additions cost real cycles: {after_work}"
+        );
 
         // Turning it back off freezes the counter.
         d.set_accounting(false);

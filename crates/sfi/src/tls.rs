@@ -68,6 +68,53 @@ impl Drop for DomainGuard {
     }
 }
 
+/// Dedicates the *whole current thread* to `id` until the returned guard
+/// drops.
+///
+/// [`enter_domain`] scopes one cross-domain call; this scopes a thread's
+/// lifetime. A worker thread owned by a domain attaches once at startup,
+/// and from then on every `Domain::execute` on its own domain sees
+/// `caller == self` — the policy interposition on the invocation fast
+/// path is skipped, which is what makes a per-worker domain affordable on
+/// the per-batch path.
+///
+/// # Panics
+///
+/// Panics when the thread is already inside a domain (attached or mid
+/// cross-domain call): a dedicated thread must start from kernel context,
+/// otherwise the marker discipline of nested [`DomainGuard`]s would be
+/// silently broken.
+pub fn attach_thread(id: DomainId) -> ThreadAttachment {
+    let current = current_domain();
+    assert_eq!(
+        current, KERNEL_DOMAIN,
+        "cannot attach a thread already executing in {current:?}"
+    );
+    CURRENT_DOMAIN.with(|c| c.set(id));
+    ThreadAttachment { id }
+}
+
+/// Marks the thread as dedicated to one domain; detaches (restoring
+/// kernel context) on drop — including drop during unwind, so a worker
+/// panic leaves the thread reusable.
+#[must_use = "dropping the attachment immediately detaches the thread"]
+pub struct ThreadAttachment {
+    id: DomainId,
+}
+
+impl ThreadAttachment {
+    /// The domain this thread is dedicated to.
+    pub fn domain(&self) -> DomainId {
+        self.id
+    }
+}
+
+impl Drop for ThreadAttachment {
+    fn drop(&mut self) {
+        CURRENT_DOMAIN.with(|c| c.set(KERNEL_DOMAIN));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +173,51 @@ mod tests {
     fn debug_formatting() {
         assert_eq!(format!("{KERNEL_DOMAIN:?}"), "DomainId(kernel)");
         assert_eq!(format!("{:?}", DomainId::new(3)), "DomainId(3)");
+    }
+
+    #[test]
+    fn attach_dedicates_thread_until_drop() {
+        std::thread::spawn(|| {
+            let d = DomainId::new(11);
+            {
+                let att = attach_thread(d);
+                assert_eq!(att.domain(), d);
+                assert_eq!(current_domain(), d);
+                // Scoped calls still nest on top of the attachment.
+                {
+                    let _g = enter_domain(DomainId::new(12));
+                    assert_eq!(current_domain(), DomainId::new(12));
+                }
+                assert_eq!(current_domain(), d);
+            }
+            assert_eq!(current_domain(), KERNEL_DOMAIN);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn attach_detaches_during_unwind() {
+        std::thread::spawn(|| {
+            let r = std::panic::catch_unwind(|| {
+                let _att = attach_thread(DomainId::new(21));
+                panic!("worker died");
+            });
+            assert!(r.is_err());
+            assert_eq!(current_domain(), KERNEL_DOMAIN);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn double_attach_panics() {
+        std::thread::spawn(|| {
+            let _att = attach_thread(DomainId::new(31));
+            let r = std::panic::catch_unwind(|| attach_thread(DomainId::new(32)));
+            assert!(r.is_err());
+        })
+        .join()
+        .unwrap();
     }
 }

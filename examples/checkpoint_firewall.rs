@@ -26,13 +26,23 @@ fn main() {
     // Build the Figure 3a database: rules indexed by a trie, some rules
     // reachable from several prefixes.
     let mut db = FwTrie::new();
-    let rule1 = db.insert(
-        Rule::new(1, "rule 1 (shared)", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow),
-    );
+    let rule1 = db.insert(Rule::new(
+        1,
+        "rule 1 (shared)",
+        Ipv4Addr::new(10, 0, 0, 0),
+        8,
+        Action::Allow,
+    ));
     // Two more prefixes alias the very same rule object.
     db.alias_at(Ipv4Addr::new(192, 168, 0, 0), 16, rule1.clone());
     db.alias_at(Ipv4Addr::new(172, 16, 0, 0), 12, rule1.clone());
-    db.insert(Rule::new(2, "rule 2", Ipv4Addr::new(8, 8, 8, 0), 24, Action::Deny));
+    db.insert(Rule::new(
+        2,
+        "rule 2",
+        Ipv4Addr::new(8, 8, 8, 0),
+        24,
+        Action::Deny,
+    ));
 
     println!(
         "database: {} trie nodes, {} rule references, rule 1 reachable via {} prefixes",
@@ -67,7 +77,13 @@ fn main() {
         "\nbefore the bad change, {victim} matches rule {:?}",
         db.lookup(&probe(victim)).map(|r| r.id)
     );
-    db.insert(Rule::new(0, "fat-finger catch-all", Ipv4Addr::UNSPECIFIED, 0, Action::Deny));
+    db.insert(Rule::new(
+        0,
+        "fat-finger catch-all",
+        Ipv4Addr::UNSPECIFIED,
+        0,
+        Action::Deny,
+    ));
     println!(
         "after the bad change,  {victim} matches rule {:?}",
         db.lookup(&probe(victim)).map(|r| r.id)
@@ -80,8 +96,12 @@ fn main() {
 
     // Sharing survived the roundtrip: both aliased prefixes still reach
     // one object.
-    let a = db.lookup(&probe(Ipv4Addr::new(10, 9, 9, 9))).expect("matches rule 1");
-    let b = db.lookup(&probe(Ipv4Addr::new(192, 168, 3, 4))).expect("matches rule 1");
+    let a = db
+        .lookup(&probe(Ipv4Addr::new(10, 9, 9, 9)))
+        .expect("matches rule 1");
+    let b = db
+        .lookup(&probe(Ipv4Addr::new(192, 168, 3, 4)))
+        .expect("matches rule 1");
     println!(
         "rule 1 still shared after restore: {} (strong count {})",
         CkArc::ptr_eq(a, b),

@@ -1,9 +1,15 @@
 //! A realistic NFV pipeline with every stage in its own protection
 //! domain: firewall → TTL decrement → Maglev load balancer.
 //!
-//! Demonstrates §3 end to end: batches move between domains by
-//! ownership transfer, a fault in one stage is contained and recovered,
-//! and the rest of the pipeline never notices.
+//! Part 1 demonstrates §3 end to end on one thread: batches move between
+//! domains by ownership transfer, a fault in one stage is contained and
+//! recovered, and the rest of the pipeline never notices.
+//!
+//! Part 2 runs the same pipeline on the sharded runtime: four workers,
+//! each owning a full pipeline replica inside its own domain, flows
+//! RSS-hashed across them. A poison packet crashes one worker mid-run;
+//! the printout shows the other three unaffected while the supervisor
+//! recovers the victim's domain and it rejoins.
 //!
 //! ```sh
 //! cargo run --release --example isolated_nf_pipeline
@@ -11,8 +17,12 @@
 
 use rust_beyond_safety::fwtrie::{Action, FirewallOp, FwTrie, Rule};
 use rust_beyond_safety::maglev::{Backend, MaglevLb};
+use rust_beyond_safety::netfx::flow::FiveTuple;
+use rust_beyond_safety::netfx::headers::ethernet::MacAddr;
 use rust_beyond_safety::netfx::operators::TtlDecrement;
 use rust_beyond_safety::netfx::pktgen::{FlowDistribution, PacketGen, TrafficConfig};
+use rust_beyond_safety::netfx::{Operator, Packet, PacketBatch, PipelineSpec};
+use rust_beyond_safety::runtime::{shard_of_packet, RuntimeConfig, ShardedRuntime};
 use rust_beyond_safety::IsolatedPipeline;
 use std::net::Ipv4Addr;
 
@@ -20,9 +30,22 @@ fn build_firewall() -> FirewallOp {
     let mut trie = FwTrie::new();
     // Allow web traffic to the VIP; everything else to it is dropped.
     trie.insert(
-        Rule::new(1, "allow-web", Ipv4Addr::new(192, 0, 2, 1), 32, Action::Allow).dports(80, 443),
+        Rule::new(
+            1,
+            "allow-web",
+            Ipv4Addr::new(192, 0, 2, 1),
+            32,
+            Action::Allow,
+        )
+        .dports(80, 443),
     );
-    trie.insert(Rule::new(2, "default-deny-vip", Ipv4Addr::new(192, 0, 2, 1), 32, Action::Deny));
+    trie.insert(Rule::new(
+        2,
+        "default-deny-vip",
+        Ipv4Addr::new(192, 0, 2, 1),
+        32,
+        Action::Deny,
+    ));
     FirewallOp::new(trie, Action::Deny)
 }
 
@@ -111,4 +134,112 @@ fn main() {
         d.generation(),
         d.state()
     );
+
+    sharded_runtime_demo(&mut gen);
+}
+
+/// The port that makes [`PoisonPort`] panic.
+const POISON_PORT: u16 = 0xDEAD;
+
+/// A buggy operator: panics on a crafted input (a packet to
+/// [`POISON_PORT`]), crashing whichever worker its flow hashes to.
+struct PoisonPort;
+
+impl Operator for PoisonPort {
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+        for p in batch.iter() {
+            if let Ok(t) = FiveTuple::of(p) {
+                assert_ne!(t.dst_port, POISON_PORT, "crafted packet");
+            }
+        }
+        batch
+    }
+
+    fn name(&self) -> &str {
+        "poison-port"
+    }
+}
+
+/// Part 2: the same NF pipeline sharded across 4 workers, one of which
+/// is crashed mid-run and healed without disturbing the others.
+fn sharded_runtime_demo(gen: &mut PacketGen) {
+    const WORKERS: usize = 4;
+    const BATCHES: usize = 400;
+
+    println!("\n--- sharded runtime: {WORKERS} workers, one full pipeline replica each ---");
+    let spec = PipelineSpec::new()
+        .stage(|| PoisonPort)
+        .stage(build_firewall)
+        .stage(TtlDecrement::new)
+        .stage(build_maglev);
+    let mut rt = ShardedRuntime::new(
+        spec,
+        RuntimeConfig {
+            workers: WORKERS,
+            queue_capacity: 64,
+        },
+    )
+    .expect("runtime construction");
+
+    // The crafted crash packet; the RSS hash decides which worker dies.
+    let poison = Packet::build_udp(
+        MacAddr::ZERO,
+        MacAddr::ZERO,
+        Ipv4Addr::new(203, 0, 113, 9),
+        Ipv4Addr::new(192, 0, 2, 1),
+        31337,
+        POISON_PORT,
+        16,
+    );
+    let victim = shard_of_packet(&poison, WORKERS);
+    println!("poison flow hashes to worker {victim}; dispatching {BATCHES} batches...");
+    let mut poison = Some(poison);
+
+    for i in 0..BATCHES {
+        if i == BATCHES / 2 {
+            let mut b = PacketBatch::new();
+            b.push(poison.take().expect("dispatched once"));
+            rt.dispatch(b).expect("poison dispatch");
+        }
+        rt.dispatch(gen.next_batch(32)).expect("dispatch");
+    }
+    rt.drain(std::time::Duration::from_secs(30))
+        .then_some(())
+        .expect("drain");
+
+    for w in rt.snapshots() {
+        let role = if w.index == victim {
+            "victim "
+        } else {
+            "worker "
+        };
+        println!(
+            "  {role}{}: state={:?} gen={} respawns={} batches={} lost={} \
+             packets_in={} delivered={} faults={}",
+            w.index,
+            w.state,
+            w.generation,
+            w.respawns,
+            w.processed,
+            w.lost,
+            w.packets_in,
+            w.packets_out,
+            w.faults,
+        );
+    }
+
+    let report = rt.shutdown();
+    println!(
+        "total: {} packets in, {} delivered, {} batches lost with the crash, \
+         {} fault(s) contained, {} respawn(s)",
+        report.packets_in, report.packets_out, report.lost_batches, report.faults, report.respawns,
+    );
+    assert_eq!(report.faults, 1, "exactly the injected fault");
+    let survivors_clean = report
+        .workers
+        .iter()
+        .filter(|w| w.index != victim)
+        .all(|w| w.faults == 0 && w.lost == 0);
+    assert!(survivors_clean, "no other worker was disturbed");
+    println!("the other {} workers were unaffected.", WORKERS - 1);
 }

@@ -13,7 +13,9 @@ use std::net::Ipv4Addr;
 fn backends(n: usize) -> (Vec<Backend>, Vec<Ipv4Addr>) {
     (
         (0..n).map(|i| Backend::new(format!("web-{i}"))).collect(),
-        (0..n).map(|i| Ipv4Addr::new(10, 8, 0, i as u8 + 1)).collect(),
+        (0..n)
+            .map(|i| Ipv4Addr::new(10, 8, 0, i as u8 + 1))
+            .collect(),
     )
 }
 

@@ -23,10 +23,16 @@ fn main() {
         .invoke_mut(move |s| s.push((key, 1)))
         .expect("healthy domain");
     let len = store.invoke(|s| s.len()).expect("healthy domain");
-    println!("  store holds {len} entries, exported objects: {}", d.exported_objects());
+    println!(
+        "  store holds {len} entries, exported objects: {}",
+        d.exported_objects()
+    );
     // Revoke the capability: every clone dies with it.
     store.revoke();
-    println!("  after revoke, invoke -> {:?}", store.invoke(|s| s.len()).unwrap_err());
+    println!(
+        "  after revoke, invoke -> {:?}",
+        store.invoke(|s| s.len()).unwrap_err()
+    );
 
     // ── Analysis: information flow control ────────────────────────────
     println!("\n== IFC: the paper's buffer program ==");

@@ -15,7 +15,9 @@ use std::net::Ipv4Addr;
 
 fn base_rules() -> FwTrie {
     let mut t = FwTrie::new();
-    let shared = t.insert(Rule::new(1, "allow-web", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow).dports(80, 443));
+    let shared = t.insert(
+        Rule::new(1, "allow-web", Ipv4Addr::new(10, 0, 0, 0), 8, Action::Allow).dports(80, 443),
+    );
     t.alias_at(Ipv4Addr::new(172, 16, 0, 0), 12, shared);
     t.insert(Rule::new(2, "deny-telnet", Ipv4Addr::UNSPECIFIED, 0, Action::Deny).dports(23, 23));
     t
@@ -24,9 +26,16 @@ fn base_rules() -> FwTrie {
 fn main() {
     // 1. Transactions with savepoints.
     let mut txn = Transaction::begin(base_rules());
-    txn.get_mut().insert(Rule::new(3, "allow-dns", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(53, 53));
+    txn.get_mut()
+        .insert(Rule::new(3, "allow-dns", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(53, 53));
     txn.savepoint("dns-added");
-    txn.get_mut().insert(Rule::new(4, "oops-allow-all", Ipv4Addr::UNSPECIFIED, 0, Action::Allow));
+    txn.get_mut().insert(Rule::new(
+        4,
+        "oops-allow-all",
+        Ipv4Addr::UNSPECIFIED,
+        0,
+        Action::Allow,
+    ));
     println!(
         "during txn: {} rule refs ({} savepoints live)",
         txn.get().rule_refs(),
@@ -34,7 +43,10 @@ fn main() {
     );
     txn.rollback_to("dns-added").expect("savepoint restores");
     let db = txn.commit();
-    println!("after rollback_to + commit: {} rule refs (rule 4 gone)", db.rule_refs());
+    println!(
+        "after rollback_to + commit: {} rule refs (rule 4 gone)",
+        db.rule_refs()
+    );
 
     // 2. Closure-style transaction with panic rollback.
     std::panic::set_hook(Box::new(|_| {}));
@@ -64,7 +76,9 @@ fn main() {
 
     // 4. Incremental deltas: one small change, tiny payload.
     let mut next = reloaded;
-    next.insert(Rule::new(9, "allow-ntp", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(123, 123));
+    next.insert(
+        Rule::new(9, "allow-ntp", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(123, 123),
+    );
     let after = checkpoint(&next);
     let delta = diff(&cp, &after);
     println!(

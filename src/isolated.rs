@@ -81,7 +81,11 @@ impl IsolatedPipeline {
                 *mailbox.lock() = Some(fresh);
             });
         }
-        self.stages.push(IsolatedStage { domain, rref, mailbox });
+        self.stages.push(IsolatedStage {
+            domain,
+            rref,
+            mailbox,
+        });
         Ok(())
     }
 
@@ -201,7 +205,8 @@ mod tests {
     #[test]
     fn stages_actually_process() {
         let mut p = IsolatedPipeline::new();
-        p.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+        p.add_stage("ttl", || Box::new(TtlDecrement::new()))
+            .unwrap();
         let out = p.run_batch(batch(4)).unwrap();
         assert!(out.iter().all(|pk| pk.ipv4().unwrap().ttl() == 63));
     }
@@ -209,7 +214,8 @@ mod tests {
     #[test]
     fn fault_loses_batch_then_heals() {
         let mut p = IsolatedPipeline::new();
-        p.add_stage("flaky", || Box::new(PanicAfter::new(2))).unwrap();
+        p.add_stage("flaky", || Box::new(PanicAfter::new(2)))
+            .unwrap();
         p.add_stage("null", || Box::new(NullFilter::new())).unwrap();
 
         assert!(p.run_batch(batch(1)).is_ok());
@@ -257,14 +263,19 @@ mod tests {
         let _ = p.run_batch_healing(batch(1));
         assert_eq!(p.domains()[0].state(), DomainState::Active);
         assert_eq!(p.domains()[2].state(), DomainState::Active);
-        assert_eq!(p.domains()[2].stats().invocations(), 1, "stage c never saw the batch");
+        assert_eq!(
+            p.domains()[2].stats().invocations(),
+            1,
+            "stage c never saw the batch"
+        );
         assert!(p.run_batch(batch(3)).is_ok());
     }
 
     #[test]
     fn generation_counts_recoveries() {
         let mut p = IsolatedPipeline::new();
-        p.add_stage("flaky", || Box::new(PanicAfter::new(0))).unwrap();
+        p.add_stage("flaky", || Box::new(PanicAfter::new(0)))
+            .unwrap();
         for round in 1..=3u64 {
             assert!(p.run_batch_healing(batch(1)).is_err());
             assert_eq!(p.domains()[0].generation(), round);

@@ -22,7 +22,11 @@
 //! Substrates: [`netfx`] is a NetBricks-style packet-processing framework with
 //! a synthetic traffic generator, [`maglev`] is a Maglev consistent-hashing
 //! load balancer network function, and [`fwtrie`] is the firewall rule trie of
-//! the paper's Figure 3.
+//! the paper's Figure 3. The [`runtime`] crate composes them into a sharded
+//! multi-worker pipeline runtime: flows are RSS-hashed across worker threads,
+//! each worker runs its pipeline inside its own [`sfi`] domain, and a panic in
+//! one worker is healed (domain recovery + worker respawn) without disturbing
+//! the others.
 //!
 //! # Quickstart
 //!
@@ -48,4 +52,5 @@ pub use rbs_fwtrie as fwtrie;
 pub use rbs_ifc as ifc;
 pub use rbs_maglev as maglev;
 pub use rbs_netfx as netfx;
+pub use rbs_runtime as runtime;
 pub use rbs_sfi as sfi;

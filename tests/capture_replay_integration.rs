@@ -26,7 +26,8 @@ fn captured_traffic_replays_identically() {
 
     // Capture.
     let mut w = PcapWriter::new(Vec::new()).expect("header writes");
-    w.write_batch(&batch, 1_700_000_000, 100).expect("records write");
+    w.write_batch(&batch, 1_700_000_000, 100)
+        .expect("records write");
     let capture = w.finish().expect("flushes");
 
     // Replay from the capture.
@@ -41,12 +42,13 @@ fn captured_traffic_replays_identically() {
     let direct_out = direct.run_batch(batch);
 
     let mut isolated = IsolatedPipeline::new();
-    isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+    isolated
+        .add_stage("ttl", || Box::new(TtlDecrement::new()))
+        .unwrap();
     let isolated_out = isolated.run_batch(replayed).expect("healthy stage");
 
-    let bytes = |b: &PacketBatch| -> Vec<Vec<u8>> {
-        b.iter().map(|p| p.as_slice().to_vec()).collect()
-    };
+    let bytes =
+        |b: &PacketBatch| -> Vec<Vec<u8>> { b.iter().map(|p| p.as_slice().to_vec()).collect() };
     assert_eq!(bytes(&direct_out), bytes(&isolated_out));
 }
 
@@ -94,5 +96,7 @@ fn ping_through_an_isolated_responder() {
     w.write_batch(&replies, 0, 1).unwrap();
     let records = read_all(&w.finish().unwrap()[..]).unwrap();
     assert_eq!(records.len(), 8);
-    assert!(records.iter().all(|r| r.packet.icmp().unwrap().checksum_ok()));
+    assert!(records
+        .iter()
+        .all(|r| r.packet.icmp().unwrap().checksum_ok()));
 }

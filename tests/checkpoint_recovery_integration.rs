@@ -8,8 +8,8 @@
 
 use parking_lot::Mutex;
 use rust_beyond_safety::checkpoint::{checkpoint, restore, Checkpoint};
-use rust_beyond_safety::netfx::pipeline::Operator;
 use rust_beyond_safety::fwtrie::{Action, FirewallOp, FwTrie, Rule};
+use rust_beyond_safety::netfx::pipeline::Operator;
 use rust_beyond_safety::netfx::pktgen::{PacketGen, TrafficConfig};
 use rust_beyond_safety::sfi::{Domain, DomainManager, DomainState, RRef};
 use std::net::Ipv4Addr;
@@ -18,10 +18,23 @@ use std::sync::Arc;
 fn build_rules() -> FwTrie {
     let mut t = FwTrie::new();
     let shared = t.insert(
-        Rule::new(1, "allow-vip-web", Ipv4Addr::new(192, 0, 2, 1), 32, Action::Allow).dports(80, 80),
+        Rule::new(
+            1,
+            "allow-vip-web",
+            Ipv4Addr::new(192, 0, 2, 1),
+            32,
+            Action::Allow,
+        )
+        .dports(80, 80),
     );
     t.alias_at(Ipv4Addr::new(192, 0, 2, 2), 32, shared);
-    t.insert(Rule::new(2, "deny-rest", Ipv4Addr::UNSPECIFIED, 0, Action::Deny));
+    t.insert(Rule::new(
+        2,
+        "deny-rest",
+        Ipv4Addr::UNSPECIFIED,
+        0,
+        Action::Deny,
+    ));
     t
 }
 
@@ -74,7 +87,10 @@ fn firewall_config_survives_domain_crash_via_checkpoint() {
     }
     let mut fw = RRef::new(&domain, make_op());
 
-    let mut gen = PacketGen::new(TrafficConfig { flows: 64, ..Default::default() });
+    let mut gen = PacketGen::new(TrafficConfig {
+        flows: 64,
+        ..Default::default()
+    });
 
     // Normal traffic flows and is filtered.
     let out = fw
@@ -92,7 +108,10 @@ fn firewall_config_survives_domain_crash_via_checkpoint() {
             f.process(b).len()
         })
         .unwrap_err();
-    assert!(matches!(err, rust_beyond_safety::sfi::RpcError::Fault { .. }));
+    assert!(matches!(
+        err,
+        rust_beyond_safety::sfi::RpcError::Fault { .. }
+    ));
     assert_eq!(domain.state(), DomainState::Active, "recovery ran");
 
     // Pick up the recovered reference: full rule set is back (from the
@@ -152,7 +171,9 @@ fn checkpoints_migrate_between_domains() {
     let cp = fw_a.invoke(|f| f.checkpoint_rules()).unwrap();
 
     let fw_b = RRef::new(&b, FirewallOp::new(FwTrie::new(), Action::Allow));
-    fw_b.invoke_mut(move |f| f.restore_rules(&cp)).unwrap().unwrap();
+    fw_b.invoke_mut(move |f| f.restore_rules(&cp))
+        .unwrap()
+        .unwrap();
 
     let rule_refs = fw_b.invoke(|f| f.trie().rule_refs()).unwrap();
     assert_eq!(rule_refs, 3, "both attachments of rule 1 plus rule 2");

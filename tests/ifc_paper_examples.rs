@@ -28,7 +28,10 @@ fn line17_exploit_needs_ownership_or_alias_analysis() {
     let (with_pts, stats) = alias::analyze_alias(&p);
     assert!(!with_pts.is_empty());
     assert!(stats.pts_edges > 0);
-    assert!(alias::analyze_naive(&p).is_empty(), "strawman misses the alias leak");
+    assert!(
+        alias::analyze_naive(&p).is_empty(),
+        "strawman misses the alias leak"
+    );
 }
 
 #[test]

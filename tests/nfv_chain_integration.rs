@@ -41,7 +41,12 @@ fn egress_chain() -> IsolatedPipeline {
     })
     .unwrap();
     p.add_stage("nat", || {
-        Box::new(SourceNat::new(NAT_IP, Ipv4Addr::new(10, 0, 0, 0), 8, 40_000..=50_000))
+        Box::new(SourceNat::new(
+            NAT_IP,
+            Ipv4Addr::new(10, 0, 0, 0),
+            8,
+            40_000..=50_000,
+        ))
     })
     .unwrap();
     p
@@ -84,7 +89,9 @@ fn outbound_traffic_is_filtered_limited_and_translated() {
 fn per_flow_limit_enforced_through_domains() {
     let mut chain = IsolatedPipeline::new();
     chain
-        .add_stage("limiter", || Box::new(PerFlowRateLimiter::new(1.0, 2.0, 100)))
+        .add_stage("limiter", || {
+            Box::new(PerFlowRateLimiter::new(1.0, 2.0, 100))
+        })
         .unwrap();
     // Five packets of one flow in one burst: the 2-token bucket admits 2.
     let batch: PacketBatch = (0..5).map(|_| outbound_packet(1, 7777)).collect();
@@ -117,7 +124,10 @@ fn nat_fault_recovery_loses_mappings_but_not_service() {
                         self.inner.process(b)
                     }
                 }
-                Box::new(CrashAfter { inner: nat, remaining: 2 })
+                Box::new(CrashAfter {
+                    inner: nat,
+                    remaining: 2,
+                })
             } else {
                 Box::new(nat)
             }
@@ -167,7 +177,10 @@ fn channels_feed_an_isolated_consumer() {
     let mgr = DomainManager::new();
     let consumer = mgr.create_domain("consumer").unwrap();
     let (tx, rx) = channel::<PacketBatch>(&consumer, 8);
-    let sink = RRef::new(&consumer, rust_beyond_safety::netfx::operators::Counter::new());
+    let sink = RRef::new(
+        &consumer,
+        rust_beyond_safety::netfx::operators::Counter::new(),
+    );
 
     // Producer thread moves batches into the domain through the channel.
     let producer = std::thread::spawn(move || {

@@ -14,8 +14,15 @@ use rust_beyond_safety::IsolatedPipeline;
 use std::net::Ipv4Addr;
 
 fn arb_packet() -> impl Strategy<Value = Packet> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), 1u16..=1000, 0usize..64, any::<u8>()).prop_map(
-        |(src, dst, sport, dport, payload, ttl)| {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        1u16..=1000,
+        0usize..64,
+        any::<u8>(),
+    )
+        .prop_map(|(src, dst, sport, dport, payload, ttl)| {
             let mut p = Packet::build_udp(
                 MacAddr::ZERO,
                 MacAddr::BROADCAST,
@@ -31,8 +38,7 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
                 ip.update_checksum();
             }
             p
-        },
-    )
+        })
 }
 
 proptest! {

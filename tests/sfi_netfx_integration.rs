@@ -41,17 +41,23 @@ fn isolated_pipeline_is_semantically_transparent() {
     isolated
         .add_stage("proto", || Box::new(ProtoFilter::new(IpProto::Udp)))
         .unwrap();
-    isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+    isolated
+        .add_stage("ttl", || Box::new(TtlDecrement::new()))
+        .unwrap();
     isolated
         .add_stage("ports", || Box::new(DstPortFilter::new(vec![80])))
         .unwrap();
-    isolated.add_stage("swap", || Box::new(MacSwap::new())).unwrap();
+    isolated
+        .add_stage("swap", || Box::new(MacSwap::new()))
+        .unwrap();
 
     let mut gen_a = traffic(42);
     let mut gen_b = traffic(42);
     for _ in 0..50 {
         let out_direct = direct.run_batch(gen_a.next_batch(32));
-        let out_isolated = isolated.run_batch(gen_b.next_batch(32)).expect("healthy stages");
+        let out_isolated = isolated
+            .run_batch(gen_b.next_batch(32))
+            .expect("healthy stages");
         assert_eq!(digest(&out_direct), digest(&out_isolated));
     }
 }
@@ -61,11 +67,19 @@ fn isolated_pipeline_is_semantically_transparent() {
 #[test]
 fn stage_policy_blocks_processing() {
     let mut isolated = IsolatedPipeline::new();
-    isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+    isolated
+        .add_stage("ttl", || Box::new(TtlDecrement::new()))
+        .unwrap();
     // Deny the "process" method to everyone.
     isolated.domains()[0].set_policy(AclPolicy::new());
     let err = isolated.run_batch(traffic(1).next_batch(4)).unwrap_err();
-    assert!(matches!(err, RpcError::AccessDenied { method: "process", .. }));
+    assert!(matches!(
+        err,
+        RpcError::AccessDenied {
+            method: "process",
+            ..
+        }
+    ));
     assert_eq!(isolated.domains()[0].stats().denials(), 1);
 
     // Re-allow and confirm traffic flows (grant covers every caller).
@@ -79,7 +93,9 @@ fn stage_policy_blocks_processing() {
 fn repeated_faults_are_contained_and_recovered() {
     std::panic::set_hook(Box::new(|_| {}));
     let mut isolated = IsolatedPipeline::new();
-    isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+    isolated
+        .add_stage("ttl", || Box::new(TtlDecrement::new()))
+        .unwrap();
     // This stage crashes every third batch, forever.
     let crash_counter = std::sync::atomic::AtomicU64::new(0);
     isolated
@@ -89,7 +105,9 @@ fn repeated_faults_are_contained_and_recovered() {
             Box::new(rust_beyond_safety::netfx::operators::PanicAfter::new(2))
         })
         .unwrap();
-    isolated.add_stage("swap", || Box::new(MacSwap::new())).unwrap();
+    isolated
+        .add_stage("swap", || Box::new(MacSwap::new()))
+        .unwrap();
 
     let mut gen = traffic(7);
     let mut delivered = 0u32;
@@ -120,7 +138,9 @@ fn repeated_faults_are_contained_and_recovered() {
 #[test]
 fn destroyed_stage_surfaces_errors() {
     let mut isolated = IsolatedPipeline::new();
-    isolated.add_stage("ttl", || Box::new(TtlDecrement::new())).unwrap();
+    isolated
+        .add_stage("ttl", || Box::new(TtlDecrement::new()))
+        .unwrap();
     isolated.domains()[0].destroy();
     let err = isolated.run_batch(traffic(3).next_batch(2)).unwrap_err();
     // The table was cleared on destroy, so the weak proxy is dead.
@@ -142,7 +162,12 @@ fn batches_move_into_domains() {
     sink.invoke_mut(move |v| v.push(batch)).unwrap();
     // `batch` is moved; get the data back only via the domain.
     let (count, bytes) = sink
-        .invoke(|v| (v.len(), v.iter().map(PacketBatch::total_bytes).sum::<usize>()))
+        .invoke(|v| {
+            (
+                v.len(),
+                v.iter().map(PacketBatch::total_bytes).sum::<usize>(),
+            )
+        })
         .unwrap();
     assert_eq!(count, 1);
     assert_eq!(bytes, total_bytes);

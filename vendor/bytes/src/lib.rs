@@ -1,0 +1,185 @@
+//! In-tree subset of the `bytes` crate (no-network build environment).
+//!
+//! Provides [`BytesMut`] as a uniquely-owned, growable byte buffer. The
+//! zero-copy split/freeze machinery of the real crate is not needed by
+//! this workspace — packets are moved whole between pipeline stages, so a
+//! plain `Vec<u8>` representation has identical semantics.
+
+use std::borrow::{Borrow, BorrowMut};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A uniquely-owned, growable buffer of bytes.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Creates a buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        Self { vec: vec![0; len] }
+    }
+
+    /// Number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Current capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Appends `extend` to the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.vec.extend_from_slice(extend);
+    }
+
+    /// Resizes the buffer in place, filling new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
+    /// Shortens the buffer to `len` bytes; no-op if already shorter.
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Consumes the buffer, yielding the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.vec
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl Borrow<[u8]> for BytesMut {
+    fn borrow(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl BorrowMut<[u8]> for BytesMut {
+    fn borrow_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        Self { vec: src.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        Self { vec }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Self {
+        buf.vec
+    }
+}
+
+impl FromIterator<u8> for BytesMut {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Self {
+            vec: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<u8> for BytesMut {
+    fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
+        self.vec.extend(iter);
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.vec {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_index() {
+        let mut b = BytesMut::zeroed(4);
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[..], &[0, 0, 0, 0]);
+        b[1] = 7;
+        assert_eq!(b[1], 7);
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let b = BytesMut::from(&[1u8, 2, 3][..]);
+        assert_eq!(b.into_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn extend_and_truncate() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(&[1, 2, 3]);
+        b.truncate(2);
+        assert_eq!(&b[..], &[1, 2]);
+    }
+}

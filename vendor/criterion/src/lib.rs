@@ -1,0 +1,223 @@
+//! In-tree subset of `criterion` (no-network build environment).
+//!
+//! Same macro/API surface as upstream for the calls this workspace's
+//! benches make — `criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, `black_box` — but a much
+//! simpler measurement core: warm up briefly, size the iteration count to
+//! a ~100 ms sampling window, take several samples, and report the median
+//! ns/iteration (plus throughput when configured). No statistical
+//! regression testing, plotting, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group; mirrors
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { text: s }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (packets, ops, ...) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`: warmup, auto-sized samples, median.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + pilot estimate.
+        let pilot_start = Instant::now();
+        let mut pilot_iters = 0u64;
+        while pilot_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            pilot_iters += 1;
+        }
+        let per_iter = pilot_start.elapsed().as_nanos() as f64 / pilot_iters as f64;
+
+        // Size each sample at ~10 ms, take 9 samples (~90 ms total).
+        let iters_per_sample = ((10_000_000.0 / per_iter.max(1.0)) as u64).clamp(1, 10_000_000);
+        let mut samples = Vec::with_capacity(9);
+        for _ in 0..9 {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        median_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    let ns = bencher.median_ns;
+    let time = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / ns * 1_000.0)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 / ns * 1_000_000_000.0 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("{label:<50} {time:>12}/iter{rate}");
+}
+
+/// Top-level benchmark driver; mirrors `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Shortens the sampling; accepted for upstream compatibility (the
+    /// shim's windows are already short).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for upstream compatibility; the shim's measurement
+    /// window is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.text),
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.text),
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond upstream API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from benchmark functions; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

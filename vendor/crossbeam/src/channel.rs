@@ -1,0 +1,368 @@
+//! Bounded MPMC channels.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Error from [`Sender::try_send`]: the value is handed back.
+#[derive(PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+/// Error from [`Sender::send_timeout`]: the value is handed back.
+#[derive(PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The queue stayed full for the whole timeout.
+    Timeout(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+/// Error from [`Sender::send`]: every receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error from [`Receiver::recv`]: the queue is empty and every sender is
+/// gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error from [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message queued right now.
+    Empty,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "Full(..)"),
+            TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Debug for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "Timeout(..)"),
+            SendTimeoutError::Disconnected(_) => write!(f, "Disconnected(..)"),
+        }
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The sending half; cloneable (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; cloneable (multi-consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel with room for `capacity` messages.
+///
+/// # Panics
+///
+/// Panics on `capacity == 0`; rendezvous channels are not part of this
+/// subset (no caller in the workspace uses them).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(
+        capacity > 0,
+        "rendezvous (zero-capacity) channels unsupported"
+    );
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        capacity,
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while the queue is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .not_full
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Sends `value`, blocking at most `timeout` while the queue is full.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            if state.queue.len() < self.shared.capacity {
+                state.queue.push_back(value);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(SendTimeoutError::Timeout(value));
+            }
+            let (guard, _timed_out) = self
+                .shared
+                .not_full
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Sends without blocking; fails with the value when full.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.lock();
+        if state.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if state.queue.len() >= self.shared.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        state.queue.push_back(value);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            // Receivers blocked on an empty queue must observe the
+            // disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message, blocking until one arrives or every
+    /// sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .shared
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Receives the next message, blocking at most `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, TryRecvError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(TryRecvError::Empty);
+            }
+            let (guard, _timed_out) = self
+                .shared
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.lock();
+        if let Some(v) = state.queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if state.senders == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Self {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.lock();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            // Senders blocked on a full queue must observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn try_send_full_and_try_recv_empty() {
+        let (tx, rx) = bounded(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
+        assert!(matches!(
+            tx.send_timeout(2, Duration::from_millis(1)),
+            Err(SendTimeoutError::Disconnected(2))
+        ));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop_drains_first() {
+        let (tx, rx) = bounded(2);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_timeout_expires() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1).unwrap();
+        let err = tx.send_timeout(2, Duration::from_millis(10));
+        assert!(matches!(err, Err(SendTimeoutError::Timeout(2))));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = bounded(2);
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        t.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,10 @@
+//! In-tree subset of `crossbeam` (no-network build environment).
+//!
+//! Provides [`channel::bounded`]: a bounded multi-producer/multi-consumer
+//! queue with the blocking, timeout, and non-blocking send/receive surface
+//! the SFI channel layer uses. Built on `Mutex` + `Condvar` rather than
+//! the real crate's lock-free ring — same semantics, adequate throughput
+//! for this workspace's experiments (the measured hot paths batch many
+//! packets per queue operation precisely so per-op queue cost amortizes).
+
+pub mod channel;

@@ -1,0 +1,85 @@
+//! `any::<T>()` — default strategies for primitive types.
+
+use std::marker::PhantomData;
+
+use rand::{Rng, RngCore};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-domain strategy; mirrors the used subset
+/// of `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full domain.
+    fn arb(rng: &mut TestRng) -> Self;
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arb(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arb(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arb(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform over bit patterns — includes subnormals, infinities and
+    /// NaN, matching upstream's edge-case bias more closely than a
+    /// uniform `[0, 1)` draw would.
+    fn arb(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arb(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for char {
+    fn arb(rng: &mut TestRng) -> Self {
+        // Bias toward ASCII (most code paths), with the occasional
+        // arbitrary scalar value for UTF-8 edge coverage.
+        if rng.gen_bool(0.8) {
+            return char::from(rng.gen_range(0x20u8..0x7F));
+        }
+        loop {
+            if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+                return c;
+            }
+        }
+    }
+}

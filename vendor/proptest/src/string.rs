@@ -1,0 +1,194 @@
+//! `&'static str` as a strategy: a small regex-subset generator.
+//!
+//! Upstream treats string literals as full regexes. This subset covers
+//! the pattern shapes the workspace's tests use — `.`, character classes
+//! like `[a-z0-9]`, literal characters, and the quantifiers `*`, `+`,
+//! `?`, `{m}`, `{m,n}` — which is enough for patterns such as `".*"` and
+//! `"[a-z]{0,6}"`. Unsupported syntax panics at generation time so a
+//! typo fails loudly instead of silently generating literals.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Upper repetition bound substituted for unbounded quantifiers.
+const STAR_MAX: usize = 8;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char except newline.
+    AnyChar,
+    /// A literal character (possibly escaped).
+    Literal(char),
+    /// `[a-z0-9_]` — ranges and single chars.
+    Class(Vec<(char, char)>),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::AnyChar,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = match chars.next() {
+                        Some(']') => break,
+                        Some('\\') => chars.next().expect("dangling escape in class"),
+                        Some(ch) => ch,
+                        None => panic!("unterminated character class in {pattern:?}"),
+                    };
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.next() {
+                            Some(']') => {
+                                // Trailing '-' is a literal.
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                                break;
+                            }
+                            Some(hi) => ranges.push((lo, hi)),
+                            None => panic!("unterminated character class in {pattern:?}"),
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("regex feature {c:?} not supported by the vendored proptest subset")
+            }
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, STAR_MAX)
+            }
+            Some('+') => {
+                chars.next();
+                (1, STAR_MAX)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '}' {
+                        break;
+                    }
+                    spec.push(ch);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n} quantifier"),
+                        n.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let m = spec.trim().parse().expect("bad {m} quantifier");
+                        (m, m)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        let reps = rng.gen_range(lo..=hi);
+        for _ in 0..reps {
+            out.push(sample_atom(&atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::AnyChar => loop {
+            // Mostly printable ASCII, sometimes any scalar value, never
+            // newline (regex `.` semantics).
+            let c = if rng.gen_bool(0.85) {
+                char::from(rng.gen_range(0x20u8..0x7F))
+            } else {
+                match char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+                    Some(c) => c,
+                    None => continue,
+                }
+            };
+            if c != '\n' {
+                return c;
+            }
+        },
+        Atom::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            let (lo, hi) = (lo as u32, hi as u32);
+            assert!(lo <= hi, "inverted range in character class");
+            loop {
+                if let Some(c) = char::from_u32(rng.gen_range(lo..=hi)) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn dot_star_varies_length() {
+        let mut r = rng();
+        let lens: Vec<usize> = (0..50)
+            .map(|_| ".*".generate(&mut r).chars().count())
+            .collect();
+        assert!(lens.contains(&0));
+        assert!(lens.iter().any(|&l| l > 2));
+        assert!(lens.iter().all(|&l| l <= STAR_MAX));
+    }
+
+    #[test]
+    fn class_with_counted_quantifier() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z]{0,6}".generate(&mut r);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut r = rng();
+        assert_eq!("abc".generate(&mut r), "abc");
+        assert_eq!(r"a\.b".generate(&mut r), "a.b");
+    }
+
+    #[test]
+    fn exact_repetition() {
+        let mut r = rng();
+        let s = "[0-9]{4}".generate(&mut r);
+        assert_eq!(s.len(), 4);
+        assert!(s.chars().all(|c| c.is_ascii_digit()));
+    }
+}

@@ -1,0 +1,106 @@
+//! Deterministic case runner: fixed per-test seed sequence, no
+//! persistence file, no shrinking.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration; mirrors the used subset of
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl Config {
+    /// A config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A failed test case (produced by `prop_assert*`).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Records a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The generator handed to strategies while producing one test case.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeds the generator for one case.
+    pub fn from_seed(seed: u64) -> Self {
+        Self(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Runs every case of one property test.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Builds a runner for `config`.
+    pub fn new(config: Config) -> Self {
+        Self { config }
+    }
+
+    /// Runs `f` once per case with a deterministic seed derived from the
+    /// test name and case index; panics (failing the `#[test]`) on the
+    /// first case `f` rejects.
+    pub fn run<F>(self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name.as_bytes());
+        for case in 0..self.config.cases {
+            // SplitMix-style stream separation so consecutive cases are
+            // decorrelated even though the sequence is fixed.
+            let seed = base ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::from_seed(seed);
+            if let Err(e) = f(&mut rng) {
+                panic!(
+                    "proptest '{name}' failed at case {case}/{total} (seed {seed:#018x}): {e}",
+                    total = self.config.cases,
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
