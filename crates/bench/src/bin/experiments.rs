@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [EXPERIMENT ...] [--quick]
 //!
-//! EXPERIMENT: fig2 | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | all (default)
+//! EXPERIMENT: fig2 | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 | all (default)
 //! --quick: smaller iteration counts for a fast smoke run
 //! ```
 
@@ -21,7 +21,9 @@ fn main() -> ExitCode {
         selected.push("all");
     }
 
-    let all = ["fig2", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+    let all = [
+        "fig2", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+    ];
     let runs: Vec<&str> = if selected.contains(&"all") {
         all.to_vec()
     } else {
@@ -39,8 +41,11 @@ fn main() -> ExitCode {
             "e7" => rbs_bench::e7_budget::run(quick),
             "e8" => rbs_bench::e8_maglev::run(quick),
             "e9" => rbs_bench::e9_scaling::run(quick),
+            "e10" => rbs_bench::e10_chaos::run(quick),
             other => {
-                eprintln!("unknown experiment {other:?}; known: fig2 e2 e3 e4 e5 e6 e7 e8 e9 all");
+                eprintln!(
+                    "unknown experiment {other:?}; known: fig2 e2 e3 e4 e5 e6 e7 e8 e9 e10 all"
+                );
                 return ExitCode::FAILURE;
             }
         };

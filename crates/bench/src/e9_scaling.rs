@@ -135,6 +135,7 @@ pub fn measure_point(n: usize, batches: usize) -> ScalingPoint {
         RuntimeConfig {
             workers: n,
             queue_capacity: 64,
+            ..RuntimeConfig::default()
         },
     )
     .expect("runtime construction");
@@ -170,6 +171,7 @@ pub fn measure_recovery(batches: usize) -> RecoveryOutcome {
         RuntimeConfig {
             workers: WORKERS,
             queue_capacity: 64,
+            ..RuntimeConfig::default()
         },
     )
     .expect("runtime construction");

@@ -14,12 +14,14 @@
 //! | [`e7_budget`] | §1 — line-rate cycle budgets |
 //! | [`e8_maglev`] | §3 context — Maglev balance & disruption validation |
 //! | [`e9_scaling`] | ROADMAP north star — sharded runtime throughput scaling + recovery under load |
+//! | [`e10_chaos`] | ROADMAP robustness — goodput retained & recovery latency under deterministic fault injection |
 //!
 //! Each module exposes a `run(quick) -> String` that regenerates the
 //! table/series as text (the `experiments` binary prints them), plus
 //! typed result structs the tests assert *shape* properties on — who
 //! wins, by roughly what factor, where crossovers fall.
 
+pub mod e10_chaos;
 pub mod e1_isolation;
 pub mod e2_remote_call;
 pub mod e3_recovery;

@@ -242,7 +242,26 @@ fn decode_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, CodecError> {
 
 /// Serializes a checkpoint (header, root, shared table). Traversal
 /// statistics are measurement artifacts and are not encoded.
+///
+/// This is a chaos injection site: when an ambient
+/// [`rbs_core::fault::FaultPlan`] schedules a fault at
+/// [`CheckpointEncode`](rbs_core::fault::FaultSite::CheckpointEncode),
+/// the encoder panics (or sleeps) here, exactly as if serialization had
+/// hit a bug mid-snapshot. Without an ambient plan the check is one
+/// thread-local read.
 pub fn encode(cp: &Checkpoint) -> Vec<u8> {
+    {
+        use rbs_core::fault::{self, FaultKind, FaultSite};
+        let site = FaultSite::CheckpointEncode;
+        if let Some(kind) = fault::ambient_decide(site) {
+            match kind {
+                FaultKind::Panic | FaultKind::PoisonTable | FaultKind::CloseChannel => {
+                    fault::fire_panic(site)
+                }
+                sleep => fault::fire_sleep(sleep),
+            }
+        }
+    }
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -294,6 +313,35 @@ mod tests {
             stats: CheckpointStats::default(),
         };
         decode(&encode(&cp)).expect("roundtrip").root
+    }
+
+    #[test]
+    fn encode_is_a_chaos_site() {
+        use rbs_core::fault::{self, FaultKind, FaultPlan, FaultSite, InjectedFault};
+        use std::sync::Arc;
+        let cp = Checkpoint {
+            root: Snapshot::UInt(7),
+            shared: vec![],
+            stats: CheckpointStats::default(),
+        };
+        // Encode occurrence 1 (the second encode in the scope) panics.
+        let plan = Arc::new(FaultPlan::new(0).inject_window(
+            FaultSite::CheckpointEncode,
+            FaultKind::Panic,
+            0,
+            1,
+            2,
+        ));
+        fault::scoped(plan, || {
+            let bytes = encode(&cp);
+            assert_eq!(decode(&bytes).unwrap().root, Snapshot::UInt(7));
+            let err =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| encode(&cp))).unwrap_err();
+            let payload = err.downcast_ref::<InjectedFault>().expect("typed payload");
+            assert_eq!(payload.site, FaultSite::CheckpointEncode);
+            // The schedule has passed; encoding works again.
+            assert!(!encode(&cp).is_empty());
+        });
     }
 
     #[test]

@@ -9,12 +9,14 @@
 
 pub mod cycles;
 pub mod exchange;
+pub mod fault;
 pub mod histogram;
 pub mod stats;
 pub mod table;
 
 pub use cycles::{cycles_per_ns, rdtsc, rdtscp_serialized, CycleTimer};
 pub use exchange::Exchangeable;
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use histogram::LogHistogram;
 pub use stats::Summary;
 pub use table::Table;

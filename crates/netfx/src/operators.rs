@@ -294,6 +294,61 @@ impl Operator for PanicAfter {
     }
 }
 
+/// A deterministic chaos injection point, driven by the thread's ambient
+/// [`rbs_core::fault::FaultPlan`].
+///
+/// Drop one (or several, with distinct stage ids) anywhere in a pipeline
+/// spec. Each processed batch consults
+/// [`rbs_core::fault::ambient_decide`] at
+/// [`FaultSite::Operator(stage)`](rbs_core::fault::FaultSite) and acts on
+/// the decision:
+///
+/// - [`Panic`](rbs_core::fault::FaultKind::Panic),
+///   [`PoisonTable`](rbs_core::fault::FaultKind::PoisonTable) and
+///   [`CloseChannel`](rbs_core::fault::FaultKind::CloseChannel) all
+///   panic with a typed [`rbs_core::fault::InjectedFault`] payload: from
+///   inside a pipeline, unwinding to the domain boundary *is* how the
+///   table gets poisoned and the channels get closed.
+/// - [`Stall`](rbs_core::fault::FaultKind::Stall) and
+///   [`Delay`](rbs_core::fault::FaultKind::Delay) sleep in place,
+///   holding the batch — a stall long enough looks hung to a watchdog.
+///
+/// With no ambient plan installed (production, unrelated tests) the
+/// operator is a transparent forwarder costing one thread-local read per
+/// batch.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosPoint {
+    stage: u16,
+}
+
+impl ChaosPoint {
+    /// Creates an injection point identified as `Operator(stage)` in
+    /// fault plans.
+    pub fn new(stage: u16) -> Self {
+        Self { stage }
+    }
+}
+
+impl Operator for ChaosPoint {
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+        use rbs_core::fault::{self, FaultKind, FaultSite};
+        let site = FaultSite::Operator(self.stage);
+        if let Some(kind) = fault::ambient_decide(site) {
+            match kind {
+                FaultKind::Panic | FaultKind::PoisonTable | FaultKind::CloseChannel => {
+                    fault::fire_panic(site)
+                }
+                sleep => fault::fire_sleep(sleep),
+            }
+        }
+        batch
+    }
+
+    fn name(&self) -> &str {
+        "chaos-point"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +539,60 @@ mod tests {
             op.process(PacketBatch::new());
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn chaos_point_is_transparent_without_a_plan() {
+        let mut op = ChaosPoint::new(0);
+        let out = op.process(vec![udp(53, 64)].into_iter().collect());
+        assert_eq!(out.len(), 1);
+        assert_eq!(op.name(), "chaos-point");
+    }
+
+    #[test]
+    fn chaos_point_fires_on_the_scheduled_batch() {
+        use rbs_core::fault::{self, FaultKind, FaultPlan, FaultSite, InjectedFault};
+        use std::sync::Arc;
+        // Batch occurrences 2..3 of stream 0 at Operator(7) panic.
+        let plan = Arc::new(FaultPlan::new(0).inject_window(
+            FaultSite::Operator(7),
+            FaultKind::Panic,
+            0,
+            2,
+            3,
+        ));
+        fault::scoped(plan, || {
+            let mut op = ChaosPoint::new(7);
+            for _ in 0..2 {
+                let out = op.process(vec![udp(1, 64)].into_iter().collect());
+                assert_eq!(out.len(), 1);
+            }
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                op.process(PacketBatch::new());
+            }))
+            .unwrap_err();
+            let payload = err.downcast_ref::<InjectedFault>().expect("typed payload");
+            assert_eq!(payload.site, FaultSite::Operator(7));
+            // After the window the operator forwards again.
+            let out = op.process(vec![udp(2, 64)].into_iter().collect());
+            assert_eq!(out.len(), 1);
+        });
+    }
+
+    #[test]
+    fn chaos_point_delay_holds_but_forwards() {
+        use rbs_core::fault::{self, FaultKind, FaultPlan, FaultSite};
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::new(0).inject(
+            FaultSite::Operator(1),
+            FaultKind::Delay { micros: 50 },
+            1_000_000,
+        ));
+        fault::scoped(plan, || {
+            let mut op = ChaosPoint::new(1);
+            let out = op.process(vec![udp(1, 64)].into_iter().collect());
+            assert_eq!(out.len(), 1, "delays never lose packets");
+        });
     }
 
     #[test]

@@ -16,8 +16,17 @@
 //! - [`runtime`] — the [`ShardedRuntime`] dispatcher/supervisor:
 //!   flow-hashes batches to workers, observes faults via
 //!   [`rbs_sfi::DomainState`], recovers the domain, respawns the worker.
+//! - [`supervisor`] — restart budgets, exponential backoff with
+//!   deterministic jitter, the per-worker circuit breaker, and the
+//!   supervisor event journal.
 //! - [`stats`] — cumulative per-worker counters that survive respawns,
 //!   plus the merged [`RuntimeReport`].
+//!
+//! With the `fault-injection` feature, a seeded
+//! [`rbs_core::FaultPlan`](rbs_core::fault::FaultPlan) can be installed
+//! via [`RuntimeConfig`] to inject deterministic panics, hangs, torn
+//! channels, and delays at named sites — the substrate of the chaos
+//! experiment.
 //!
 //! ```
 //! use rbs_netfx::{Operator, PacketBatch, PipelineSpec};
@@ -39,6 +48,7 @@
 //!     RuntimeConfig {
 //!         workers: 2,
 //!         queue_capacity: 8,
+//!         ..RuntimeConfig::default()
 //!     },
 //! )
 //! .unwrap();
@@ -50,9 +60,11 @@
 pub mod runtime;
 pub mod shard;
 pub mod stats;
+pub mod supervisor;
 pub mod worker;
 
 pub use runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};
 pub use shard::{shard_for, shard_of_packet};
 pub use stats::{RuntimeReport, WorkerSnapshot, WorkerStats};
+pub use supervisor::{BreakerState, RestartPolicy, SupervisorEvent, SupervisorEventKind};
 pub use worker::WorkItem;

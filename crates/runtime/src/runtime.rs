@@ -3,14 +3,23 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rbs_core::fault::FaultPlan;
 use rbs_netfx::{PacketBatch, PipelineSpec};
+use rbs_sfi::channel::ChannelError;
 use rbs_sfi::{Domain, DomainManager, DomainSender, DomainState};
 
 use crate::shard::shard_of_packet;
 use crate::stats::{RuntimeReport, WorkerSnapshot, WorkerStats};
+use crate::supervisor::{
+    BreakerState, RestartPolicy, SlotHealth, SupervisorEvent, SupervisorEventKind,
+};
 use crate::worker::{spawn_worker, WorkItem};
 
 /// Construction parameters for a [`ShardedRuntime`].
+///
+/// New fields appear as supervision features land; build configs with
+/// struct update syntax (`..RuntimeConfig::default()`) to stay
+/// source-compatible.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Number of worker threads (= shards). Must be at least 1.
@@ -18,6 +27,23 @@ pub struct RuntimeConfig {
     /// Bounded depth of each worker's input queue, in batches; a full
     /// queue backpressures the dispatcher.
     pub queue_capacity: usize,
+    /// Restart budget, backoff, and breaker parameters.
+    pub restart: RestartPolicy,
+    /// How long [`ShardedRuntime::dispatch`] waits on a full worker
+    /// queue before dropping the batch with accounting. A stalled worker
+    /// can delay the dispatcher by at most this much per send.
+    pub send_deadline: Duration,
+    /// A worker continuously executing one batch for longer than this is
+    /// declared hung: the watchdog force-fails its domain, abandons the
+    /// thread, and respawns the shard.
+    pub hang_timeout: Duration,
+    /// Seed for deterministic backoff jitter (used even without the
+    /// `fault-injection` feature).
+    pub supervisor_seed: u64,
+    /// Deterministic fault schedule injected into workers and the
+    /// dispatch path; `None` runs clean.
+    #[cfg(feature = "fault-injection")]
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for RuntimeConfig {
@@ -25,6 +51,25 @@ impl Default for RuntimeConfig {
         Self {
             workers: 4,
             queue_capacity: 64,
+            restart: RestartPolicy::default(),
+            send_deadline: Duration::from_secs(1),
+            hang_timeout: Duration::from_secs(5),
+            supervisor_seed: 0,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    fn plan(&self) -> Option<Arc<FaultPlan>> {
+        #[cfg(feature = "fault-injection")]
+        {
+            self.faults.clone()
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        {
+            None
         }
     }
 }
@@ -58,13 +103,35 @@ struct WorkerSlot {
     domain: Domain,
     sender: DomainSender<WorkItem>,
     thread: Option<std::thread::JoinHandle<()>>,
+    /// Hung threads abandoned by the watchdog. They self-terminate once
+    /// their stall ends (the poisoned table revoked their channel), and
+    /// are joined at shutdown so their last batch lands in the
+    /// accounting.
+    zombies: Vec<std::thread::JoinHandle<()>>,
     stats: Arc<WorkerStats>,
+    health: SlotHealth,
     /// Batches routed to this shard (including ones later lost).
     dispatched: u64,
     /// Batches confirmed lost to faults.
     lost: u64,
     /// Thread respawns performed by the supervisor.
     respawns: u64,
+    /// Hung generations force-failed by the watchdog.
+    watchdog_kills: u64,
+    /// Packets successfully handed to this worker's queue.
+    dispatched_packets: u64,
+    /// Packets destroyed by faults after queuing (recomputed at heal and
+    /// shutdown as `dispatched_packets - packets_in`).
+    lost_packets: u64,
+    /// Packets bound for this shard dropped with accounting.
+    shed_packets: u64,
+    /// Packets bound for this shard rerouted to a healthy peer.
+    redistributed_packets: u64,
+    /// Bounded-wait sends that gave up on this worker's full queue.
+    send_timeouts: u64,
+    /// Send attempts at this slot — the occurrence counter for
+    /// channel-send fault injection.
+    send_attempts: u64,
 }
 
 impl WorkerSlot {
@@ -72,18 +139,37 @@ impl WorkerSlot {
         self.domain.state() == DomainState::Active && self.sender.is_open()
     }
 
+    /// Re-derives loss counters from the cumulative dispatch/progress
+    /// counters. Idempotent and self-correcting: a zombie completing its
+    /// stalled batch *after* a provisional accounting shrinks the loss
+    /// on the next call.
+    fn refresh_losses(&mut self) {
+        self.lost = self.dispatched.saturating_sub(self.stats.batches());
+        self.lost_packets = self
+            .dispatched_packets
+            .saturating_sub(self.stats.packets_in());
+    }
+
     fn snapshot(&self, index: usize) -> WorkerSnapshot {
         WorkerSnapshot {
             index,
             state: self.domain.state(),
+            breaker: self.health.state,
+            consecutive_faults: self.health.consecutive_faults,
             generation: self.domain.generation(),
             respawns: self.respawns,
+            watchdog_kills: self.watchdog_kills,
             dispatched: self.dispatched,
             processed: self.stats.batches(),
             lost: self.lost,
+            dispatched_packets: self.dispatched_packets,
             packets_in: self.stats.packets_in(),
             packets_out: self.stats.packets_out(),
             drops: self.stats.drops(),
+            lost_packets: self.lost_packets,
+            shed_packets: self.shed_packets,
+            redistributed_packets: self.redistributed_packets,
+            send_timeouts: self.send_timeouts,
             faults: self.stats.faults(),
             stage_stats: self.stats.final_stage_stats(),
         }
@@ -103,16 +189,37 @@ impl WorkerSlot {
 /// A panic inside any worker's pipeline is caught at its domain boundary:
 /// the domain faults, its channel is revoked, and *only that shard*
 /// stops. The supervisor (folded into the dispatch path — there is no
-/// extra thread) observes the failed state, runs the paper's recovery
-/// sequence ([`Domain::recover`]), respawns the worker with a fresh
-/// pipeline from the spec, and the shard's flows resume on the next
-/// batch. Other workers never stall: their queues, domains, and threads
-/// are untouched throughout.
+/// extra thread) observes the failed state and applies the restart
+/// policy: respawn after an exponential backoff, or — when the worker is
+/// crash-looping past its budget — open its circuit breaker and stop
+/// feeding it until a cooldown passes. A worker that *hangs* instead of
+/// crashing is caught by the heartbeat watchdog: its domain is
+/// force-failed (revoking its channel), the stuck thread is abandoned to
+/// self-terminate, and a replacement takes over the shard. While a shard
+/// is down its packets are redistributed to healthy peers, or shed with
+/// accounting when none exist. Other workers never stall: their queues,
+/// domains, and threads are untouched throughout.
+///
+/// Every dispatched packet is conserved:
+/// `offered == packets_in + lost + shed`, with
+/// `packets_in == packets_out + drops` —
+/// [`RuntimeReport::unaccounted_packets`] checks the whole chain and is
+/// asserted to be zero under randomized fault injection.
 pub struct ShardedRuntime {
     manager: DomainManager,
     spec: PipelineSpec,
     config: RuntimeConfig,
     slots: Vec<WorkerSlot>,
+    /// Logical supervision clock: advanced once per `dispatch` pass
+    /// (never by `drain`, whose iteration count is timing-dependent), so
+    /// backoff and cooldown schedules replay deterministically.
+    tick: u64,
+    /// Packets offered to the runtime (`dispatch` + `send_to`).
+    offered_packets: u64,
+    /// The supervisor's journal.
+    events: Vec<SupervisorEvent>,
+    /// Jitter source; seeded from the config so runs replay.
+    jitter_plan: FaultPlan,
 }
 
 impl ShardedRuntime {
@@ -120,35 +227,52 @@ impl ShardedRuntime {
     pub fn new(spec: PipelineSpec, config: RuntimeConfig) -> Result<Self, RuntimeError> {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        let epoch = Instant::now();
         let manager = DomainManager::new();
         let mut slots = Vec::with_capacity(config.workers);
         for index in 0..config.workers {
             let domain = manager
                 .create_domain(format!("worker-{index}"))
                 .map_err(RuntimeError::DomainCreation)?;
-            let stats = Arc::new(WorkerStats::new());
+            let stats = Arc::new(WorkerStats::new(epoch));
             let (sender, thread) = spawn_worker(
                 index,
+                0,
                 domain.clone(),
                 spec.clone(),
                 Arc::clone(&stats),
                 config.queue_capacity,
+                config.plan(),
             );
             slots.push(WorkerSlot {
                 domain,
                 sender,
                 thread: Some(thread),
+                zombies: Vec::new(),
                 stats,
+                health: SlotHealth::new(),
                 dispatched: 0,
                 lost: 0,
                 respawns: 0,
+                watchdog_kills: 0,
+                dispatched_packets: 0,
+                lost_packets: 0,
+                shed_packets: 0,
+                redistributed_packets: 0,
+                send_timeouts: 0,
+                send_attempts: 0,
             });
         }
+        let jitter_plan = FaultPlan::new(config.supervisor_seed);
         Ok(Self {
             manager,
             spec,
             config,
             slots,
+            tick: 0,
+            offered_packets: 0,
+            events: Vec::new(),
+            jitter_plan,
         })
     }
 
@@ -157,34 +281,284 @@ impl ShardedRuntime {
         self.slots.len()
     }
 
+    /// The current logical supervision tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The supervisor's journal so far, in observation order.
+    pub fn events(&self) -> &[SupervisorEvent] {
+        &self.events
+    }
+
+    fn push_event(&mut self, worker: usize, kind: SupervisorEventKind) {
+        self.events.push(SupervisorEvent {
+            tick: self.tick,
+            worker,
+            kind,
+        });
+    }
+
     /// Splits `batch` by flow hash and forwards each shard's packets to
-    /// its worker, healing failed workers on the way.
+    /// its worker, applying the supervision policy on the way: faulted
+    /// workers are respawned (within their restart budget and after
+    /// their backoff), hung workers are watchdog-killed, and packets
+    /// bound for a down shard are redistributed or shed with accounting.
     ///
-    /// Blocks while a target queue is full (backpressure). Returns the
+    /// Each send waits at most [`RuntimeConfig::send_deadline`] on a
+    /// full queue, so no worker can wedge the dispatcher. Returns the
     /// number of batches enqueued.
     pub fn dispatch(&mut self, batch: PacketBatch) -> Result<usize, RuntimeError> {
+        self.supervise()?;
         let n = self.slots.len();
         let mut shards: Vec<Option<PacketBatch>> = (0..n).map(|_| None).collect();
         for packet in batch {
+            self.offered_packets += 1;
             let s = shard_of_packet(&packet, n);
             shards[s].get_or_insert_with(PacketBatch::new).push(packet);
         }
         let mut enqueued = 0;
         for (index, shard) in shards.into_iter().enumerate() {
             if let Some(b) = shard {
-                self.send_to(index, b)?;
-                enqueued += 1;
+                if self.route(index, b) {
+                    enqueued += 1;
+                }
             }
         }
         Ok(enqueued)
     }
 
+    /// One supervision pass: advance the logical clock, watchdog-check
+    /// busy workers, detect faults, and apply the restart policy.
+    fn supervise(&mut self) -> Result<(), RuntimeError> {
+        self.tick += 1;
+        for index in 0..self.slots.len() {
+            self.watchdog_check(index);
+            self.observe_slot(index);
+            self.advance_slot(index)?;
+        }
+        Ok(())
+    }
+
+    /// Declares a worker hung when one batch has been executing longer
+    /// than the hang timeout: force-fail its domain (poisoning the table
+    /// and revoking its channel), abandon the thread as a zombie, and
+    /// leave the now-unhealthy slot to the regular fault path.
+    ///
+    /// The zombie needs no killing: when its stall ends, its next
+    /// receive fails on the revoked channel and the thread exits; its
+    /// handle is joined at shutdown so a batch it did finish still
+    /// counts.
+    fn watchdog_check(&mut self, index: usize) {
+        let slot = &mut self.slots[index];
+        if !slot.health.state.accepts_work() || !slot.is_healthy() {
+            return;
+        }
+        let Some(busy) = slot.stats.busy_for() else {
+            return;
+        };
+        if busy <= self.config.hang_timeout {
+            return;
+        }
+        slot.domain.force_fail();
+        if let Some(thread) = slot.thread.take() {
+            slot.zombies.push(thread);
+        }
+        slot.watchdog_kills += 1;
+        self.push_event(index, SupervisorEventKind::WatchdogKill);
+    }
+
+    /// Fault detection: an unhealthy slot whose breaker still accepts
+    /// work has a *new* fault. Accounts its losses immediately (so
+    /// `drain` can settle while the slot waits out its backoff) and
+    /// moves the breaker.
+    fn observe_slot(&mut self, index: usize) {
+        let policy = self.config.restart.clone();
+        let slot = &mut self.slots[index];
+        if !slot.health.state.accepts_work() || slot.is_healthy() {
+            return;
+        }
+        let was_half_open = slot.health.state == BreakerState::HalfOpen;
+        slot.health.batches_at_fault = slot.stats.batches();
+        slot.health.consecutive_faults += 1;
+        slot.refresh_losses();
+        self.push_event(index, SupervisorEventKind::Fault);
+        let slot = &mut self.slots[index];
+        if was_half_open || slot.health.consecutive_faults >= policy.max_consecutive_faults {
+            let until = self.tick + policy.breaker_cooldown_ticks;
+            slot.health.state = BreakerState::Open;
+            slot.health.resume_at = until;
+            self.push_event(
+                index,
+                SupervisorEventKind::BreakerOpened { until_tick: until },
+            );
+        } else {
+            let jitter = self.jitter_plan.jitter(
+                index as u64,
+                u64::from(slot.health.consecutive_faults),
+                policy.backoff_jitter_ticks.saturating_add(1),
+            );
+            let until = self.tick + policy.backoff_ticks(slot.health.consecutive_faults) + jitter;
+            slot.health.state = BreakerState::Backoff;
+            slot.health.resume_at = until;
+            self.push_event(
+                index,
+                SupervisorEventKind::BackoffScheduled { until_tick: until },
+            );
+        }
+    }
+
+    /// Time-based transitions: respawn slots whose backoff or breaker
+    /// cooldown has elapsed, and close breakers whose probe generation
+    /// proved itself.
+    fn advance_slot(&mut self, index: usize) -> Result<(), RuntimeError> {
+        match self.slots[index].health.state {
+            BreakerState::Backoff if self.tick >= self.slots[index].health.resume_at => {
+                self.heal_slot(index)?;
+                self.slots[index].health.state = BreakerState::Running;
+                self.push_event(index, SupervisorEventKind::Respawn);
+            }
+            BreakerState::Open if self.tick >= self.slots[index].health.resume_at => {
+                self.heal_slot(index)?;
+                self.slots[index].health.state = BreakerState::HalfOpen;
+                self.push_event(index, SupervisorEventKind::BreakerHalfOpened);
+                self.push_event(index, SupervisorEventKind::Respawn);
+            }
+            BreakerState::Running => {
+                let slot = &mut self.slots[index];
+                if slot.health.consecutive_faults > 0
+                    && slot.stats.batches() > slot.health.batches_at_fault
+                {
+                    slot.health.consecutive_faults = 0;
+                }
+            }
+            BreakerState::HalfOpen => {
+                let slot = &mut self.slots[index];
+                if slot.is_healthy() && slot.stats.batches() > slot.health.batches_at_fault {
+                    slot.health.state = BreakerState::Running;
+                    slot.health.consecutive_faults = 0;
+                    self.push_event(index, SupervisorEventKind::BreakerClosed);
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Routes one pre-sharded batch for shard `index`, degrading
+    /// gracefully when the shard is down: redistribute to the next
+    /// healthy worker, or shed with accounting. Returns whether the
+    /// batch was enqueued anywhere.
+    fn route(&mut self, index: usize, batch: PacketBatch) -> bool {
+        let n = self.slots.len();
+        let target = if self.slots[index].health.state.accepts_work() {
+            index
+        } else {
+            // RSS-style degradation: probe the ring for a live worker.
+            // Flow affinity for the displaced packets is sacrificed —
+            // this runtime's operators are per-flow stateless across
+            // shards — in exchange for keeping the packets flowing.
+            //
+            // Selection consults only the supervision state machine,
+            // never the live domain state: breaker states are a pure
+            // function of the tick schedule, so the routing decision
+            // replays deterministically under a fixed fault seed. A peer
+            // that died since the last supervision pass fails the send
+            // below and the packets are shed with accounting.
+            match (1..n)
+                .map(|k| (index + k) % n)
+                .find(|&t| self.slots[t].health.state.accepts_work())
+            {
+                Some(t) => {
+                    let packets = batch.len() as u64;
+                    self.slots[index].redistributed_packets += packets;
+                    self.push_event(index, SupervisorEventKind::Redistributed { packets });
+                    t
+                }
+                None => {
+                    self.shed(index, batch.len() as u64);
+                    return false;
+                }
+            }
+        };
+        self.send_accounted(target, batch)
+    }
+
+    /// Sends `batch` to `target` with a bounded wait, shedding (with
+    /// accounting) on timeout or a torn channel. Fault injection for the
+    /// channel-send site happens here.
+    fn send_accounted(&mut self, target: usize, batch: PacketBatch) -> bool {
+        use rbs_core::fault::{fire_sleep, FaultKind, FaultSite};
+        let packets = batch.len() as u64;
+        let occurrence = self.slots[target].send_attempts;
+        self.slots[target].send_attempts += 1;
+        if let Some(plan) = self.config.plan() {
+            match plan.decide(FaultSite::ChannelSend, target as u64, occurrence) {
+                Some(FaultKind::Panic | FaultKind::PoisonTable | FaultKind::CloseChannel) => {
+                    // A torn transport: the worker's channel dies
+                    // mid-send. Force-fail the domain so the supervisor
+                    // runs the real recovery path; the batch is shed.
+                    self.slots[target].domain.force_fail();
+                    self.shed(target, packets);
+                    return false;
+                }
+                Some(FaultKind::Stall { .. }) => {
+                    // A simulated queue stall: the send "waits out" its
+                    // deadline and gives up. No sleeping needed — the
+                    // observable outcome is the accounted drop.
+                    self.slots[target].send_timeouts += 1;
+                    self.shed(target, packets);
+                    return false;
+                }
+                Some(delay @ FaultKind::Delay { .. }) => fire_sleep(delay),
+                None => {}
+            }
+        }
+        match self.slots[target]
+            .sender
+            .send_deadline(WorkItem::Batch(batch), self.config.send_deadline)
+        {
+            Ok(()) => {
+                self.slots[target].dispatched += 1;
+                self.slots[target].dispatched_packets += packets;
+                true
+            }
+            Err((ChannelError::TimedOut, _)) => {
+                self.slots[target].send_timeouts += 1;
+                self.shed(target, packets);
+                false
+            }
+            Err(_) => {
+                // The worker faulted between the supervision pass and
+                // this send; the next pass will catch the fault itself.
+                self.shed(target, packets);
+                false
+            }
+        }
+    }
+
+    fn shed(&mut self, index: usize, packets: u64) {
+        if packets == 0 {
+            return;
+        }
+        self.slots[index].shed_packets += packets;
+        self.push_event(index, SupervisorEventKind::Shed { packets });
+    }
+
     /// Sends one pre-sharded batch directly to worker `index`, healing
     /// the slot first if its last fault has not been repaired yet.
+    ///
+    /// This is the targeted (test/tooling) path: it bypasses flow
+    /// hashing *and* the restart policy — healing is immediate and
+    /// resets the slot's breaker, and the send blocks on a full queue.
+    /// Production traffic goes through [`ShardedRuntime::dispatch`].
     pub fn send_to(&mut self, index: usize, batch: PacketBatch) -> Result<(), RuntimeError> {
+        self.offered_packets += batch.len() as u64;
         if !self.slots[index].is_healthy() {
             self.heal_slot(index)?;
+            self.slots[index].health.reset();
         }
+        let packets = batch.len() as u64;
         let mut item = WorkItem::Batch(batch);
         // Two attempts: a worker that faulted after the health check
         // gets healed once, then the send must stick (a freshly spawned
@@ -193,13 +567,16 @@ impl ShardedRuntime {
             match self.slots[index].sender.send(item) {
                 Ok(()) => {
                     self.slots[index].dispatched += 1;
+                    self.slots[index].dispatched_packets += packets;
                     return Ok(());
                 }
                 Err((_, returned)) => {
                     if attempt == 1 {
+                        self.shed(index, packets);
                         return Err(RuntimeError::Unrecoverable { worker: index });
                     }
                     self.heal_slot(index)?;
+                    self.slots[index].health.reset();
                     item = returned;
                 }
             }
@@ -209,24 +586,35 @@ impl ShardedRuntime {
 
     /// Scans all slots and repairs any that faulted; returns the number
     /// of workers respawned.
+    ///
+    /// This is the manual override: it ignores backoff schedules and
+    /// open breakers, respawns unconditionally, and resets each healed
+    /// slot's breaker state.
     pub fn heal(&mut self) -> Result<usize, RuntimeError> {
         let mut healed = 0;
         for index in 0..self.slots.len() {
             if !self.slots[index].is_healthy() {
                 self.heal_slot(index)?;
+                self.slots[index].health.reset();
+                self.push_event(index, SupervisorEventKind::Respawn);
                 healed += 1;
             }
         }
         Ok(healed)
     }
 
-    /// The supervision sequence for one dead slot: join the dead thread,
-    /// account lost batches, recover the domain (paper §3: unwind →
-    /// clear table → recovery function), and respawn the worker with a
-    /// fresh pipeline on a fresh channel.
+    /// The mechanical respawn sequence for one dead slot: join the dead
+    /// thread (hung threads were already moved to the zombie list by the
+    /// watchdog), account lost batches, recover the domain (paper §3:
+    /// unwind → poison table → drain in-flight → recovery function), and
+    /// respawn the worker with a fresh pipeline on a fresh channel.
+    ///
+    /// Breaker bookkeeping belongs to the callers: the policy path keeps
+    /// its consecutive-fault count, the manual path resets it.
     fn heal_slot(&mut self, index: usize) -> Result<(), RuntimeError> {
         let spec = self.spec.clone();
         let capacity = self.config.queue_capacity;
+        let plan = self.config.plan();
         let slot = &mut self.slots[index];
 
         if let Some(thread) = slot.thread.take() {
@@ -239,8 +627,10 @@ impl ShardedRuntime {
         // Everything dispatched but never processed died with the
         // worker: the in-flight batch plus whatever sat in the revoked
         // queue.
-        let processed = slot.stats.batches();
-        slot.lost = slot.dispatched.saturating_sub(processed);
+        slot.refresh_losses();
+        // The dead generation's heartbeat must not age against its
+        // replacement (a zombie's stale token would read as a hang).
+        slot.stats.clear_busy();
 
         match slot.domain.state() {
             DomainState::Active => {
@@ -262,27 +652,38 @@ impl ShardedRuntime {
             }
         }
 
+        slot.respawns += 1;
         let (sender, thread) = spawn_worker(
             index,
+            slot.respawns,
             slot.domain.clone(),
             spec,
             Arc::clone(&slot.stats),
             capacity,
+            plan,
         );
         slot.sender = sender;
         slot.thread = Some(thread);
-        slot.respawns += 1;
         Ok(())
     }
 
     /// Waits until every dispatched batch is either processed or
-    /// accounted lost, healing faulted workers as they are discovered.
+    /// accounted lost, detecting (and accounting) faults as they are
+    /// discovered.
+    ///
+    /// Deliberately does **not** advance the supervision clock or
+    /// respawn workers: drain's iteration count depends on thread
+    /// timing, and letting it drive backoff schedules would make fault
+    /// recovery nondeterministic. A slot waiting out its backoff has its
+    /// losses accounted at fault detection, so the drain still settles.
     ///
     /// Returns `true` when fully drained within `timeout`.
     pub fn drain(&mut self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            let _ = self.heal();
+            for index in 0..self.slots.len() {
+                self.observe_slot(index);
+            }
             let settled = self
                 .slots
                 .iter()
@@ -307,19 +708,33 @@ impl ShardedRuntime {
     }
 
     /// Stops all workers (orderly: queues drain first), joins their
-    /// threads, and reports merged statistics.
+    /// threads — zombies included, waiting out bounded stalls so their
+    /// final batches land in the accounting — and reports merged
+    /// statistics.
     pub fn shutdown(mut self) -> RuntimeReport {
         for slot in &mut self.slots {
             // A dead worker's sender is revoked; that is fine — its
             // losses are already (or about to be) accounted.
             let _ = slot.sender.send(WorkItem::Shutdown);
         }
+        let zombie_deadline = Instant::now() + Duration::from_secs(5);
         for slot in &mut self.slots {
             if let Some(thread) = slot.thread.take() {
                 let _ = thread.join();
             }
-            let processed = slot.stats.batches();
-            slot.lost = slot.lost.max(slot.dispatched.saturating_sub(processed));
+            // Zombies exit on their own once their stall ends (their
+            // channel is revoked). Join the ones that finish in time;
+            // a truly wedged thread is abandoned and its in-flight
+            // batch stays accounted as lost.
+            for zombie in slot.zombies.drain(..) {
+                while !zombie.is_finished() && Instant::now() < zombie_deadline {
+                    std::thread::yield_now();
+                }
+                if zombie.is_finished() {
+                    let _ = zombie.join();
+                }
+            }
+            slot.refresh_losses();
         }
         let snapshots = self.snapshots();
         let histograms = self
@@ -330,7 +745,7 @@ impl ShardedRuntime {
         for slot in &self.slots {
             self.manager.destroy_domain(&slot.domain);
         }
-        RuntimeReport::from_snapshots(snapshots, histograms)
+        RuntimeReport::from_snapshots(snapshots, histograms, self.offered_packets, self.events)
     }
 }
 
@@ -339,12 +754,13 @@ impl std::fmt::Debug for ShardedRuntime {
         f.debug_struct("ShardedRuntime")
             .field("workers", &self.slots.len())
             .field("queue_capacity", &self.config.queue_capacity)
+            .field("tick", &self.tick)
             .field(
                 "states",
                 &self
                     .slots
                     .iter()
-                    .map(|s| s.domain.state())
+                    .map(|s| (s.domain.state(), s.health.state))
                     .collect::<Vec<_>>(),
             )
             .finish()

@@ -8,15 +8,23 @@
 //! (one writer — the worker thread — plus occasional snapshot readers).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rbs_core::histogram::LogHistogram;
 use rbs_core::stats::Summary;
 use rbs_netfx::pipeline::StageStats;
 
+use crate::supervisor::{BreakerState, SupervisorEvent, SupervisorEventKind};
+
 /// Sub-buckets per octave for per-batch cycle histograms (~3% relative
 /// error, 16 KiB per worker).
 const CYCLE_HIST_PRECISION: u32 = 32;
+
+/// Low bits of a heartbeat token reserved for the spawn sequence, so a
+/// zombie generation's stale `mark_idle` can never clear its
+/// replacement's heartbeat (the CAS fails on the token mismatch).
+const BUSY_SEQ_BITS: u64 = 0xFFFF;
 
 /// Cumulative counters for one worker slot, shared between the worker
 /// thread and the supervisor.
@@ -27,7 +35,13 @@ pub struct WorkerStats {
     packets_out: AtomicU64,
     drops: AtomicU64,
     faults: AtomicU64,
+    /// Heartbeat: a token while a batch is executing (nanos since the
+    /// runtime epoch, low bits the spawn sequence), zero while idle. The
+    /// supervisor's watchdog reads it to tell *hung* from idle.
+    busy_since: AtomicU64,
     cycles: Mutex<LogHistogram>,
+    /// When the runtime started; heartbeat tokens count from here.
+    epoch: Instant,
     /// Stage-by-stage counters captured from the pipeline at clean
     /// shutdown (a faulted pipeline dies with its thread and never
     /// reports; the respawn starts a fresh pipeline).
@@ -35,14 +49,16 @@ pub struct WorkerStats {
 }
 
 impl WorkerStats {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(epoch: Instant) -> Self {
         Self {
             batches: AtomicU64::new(0),
             packets_in: AtomicU64::new(0),
             packets_out: AtomicU64::new(0),
             drops: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            busy_since: AtomicU64::new(0),
             cycles: Mutex::new(LogHistogram::new(CYCLE_HIST_PRECISION)),
+            epoch,
             final_stages: Mutex::new(None),
         }
     }
@@ -58,6 +74,43 @@ impl WorkerStats {
 
     pub(crate) fn record_fault(&self) {
         self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks the start of a batch and returns the heartbeat token the
+    /// worker must pass back to [`WorkerStats::mark_idle`].
+    pub(crate) fn mark_busy(&self, spawn_seq: u64) -> u64 {
+        let nanos = (self.epoch.elapsed().as_nanos() as u64).max(BUSY_SEQ_BITS + 1);
+        let token = (nanos & !BUSY_SEQ_BITS) | (spawn_seq & BUSY_SEQ_BITS);
+        self.busy_since.store(token, Ordering::Release);
+        token
+    }
+
+    /// Clears the heartbeat — but only if it is still `token`. A zombie
+    /// generation calling in late (after a watchdog kill and respawn)
+    /// loses the CAS and leaves the replacement's heartbeat alone.
+    pub(crate) fn mark_idle(&self, token: u64) {
+        let _ = self
+            .busy_since
+            .compare_exchange(token, 0, Ordering::Release, Ordering::Relaxed);
+    }
+
+    /// Unconditionally clears the heartbeat. The supervisor calls this
+    /// when respawning a slot: the dead (or abandoned) generation's last
+    /// token must not age against the replacement, which would read as a
+    /// hang and get it killed too.
+    pub(crate) fn clear_busy(&self) {
+        self.busy_since.store(0, Ordering::Release);
+    }
+
+    /// How long the current batch has been executing, or `None` while
+    /// idle.
+    pub(crate) fn busy_for(&self) -> Option<Duration> {
+        let token = self.busy_since.load(Ordering::Acquire);
+        if token == 0 {
+            return None;
+        }
+        let started = Duration::from_nanos(token & !BUSY_SEQ_BITS);
+        Some(self.epoch.elapsed().saturating_sub(started))
     }
 
     pub(crate) fn store_final_stages(&self, stages: Vec<(String, StageStats)>) {
@@ -107,22 +160,42 @@ pub struct WorkerSnapshot {
     pub index: usize,
     /// Lifecycle state of the worker's domain.
     pub state: rbs_sfi::DomainState,
+    /// Supervision state of the worker's circuit breaker.
+    pub breaker: BreakerState,
+    /// Faults since the worker last completed a batch.
+    pub consecutive_faults: u32,
     /// Domain generation (bumped by every recovery).
     pub generation: u64,
     /// Times the supervisor respawned this worker's thread.
     pub respawns: u64,
+    /// Hung generations force-failed by the watchdog.
+    pub watchdog_kills: u64,
     /// Batches the dispatcher routed to this shard.
     pub dispatched: u64,
     /// Batches the worker fully processed.
     pub processed: u64,
     /// Batches lost to faults (in-flight or queued at the crash).
     pub lost: u64,
+    /// Packets successfully handed to this worker's queue.
+    pub dispatched_packets: u64,
     /// Packets that entered the worker's pipeline.
     pub packets_in: u64,
     /// Packets the worker's pipeline emitted.
     pub packets_out: u64,
     /// Packets dropped by pipeline stages.
     pub drops: u64,
+    /// Packets handed to the queue but destroyed by a fault before the
+    /// pipeline saw them.
+    pub lost_packets: u64,
+    /// Packets bound for this shard dropped with accounting (breaker
+    /// open with no healthy peer, send timeout, or torn channel).
+    pub shed_packets: u64,
+    /// Packets bound for this shard rerouted to a healthy peer while
+    /// this worker was down.
+    pub redistributed_packets: u64,
+    /// Bounded-wait sends that gave up because this worker's queue
+    /// stayed full past the deadline.
+    pub send_timeouts: u64,
     /// Contained panics.
     pub faults: u64,
     /// Per-stage counters from the last clean shutdown, if available.
@@ -136,6 +209,8 @@ pub struct RuntimeReport {
     pub workers: Vec<WorkerSnapshot>,
     /// Sum of per-worker processed batches.
     pub batches: u64,
+    /// Packets offered to the dispatcher (`dispatch` + `send_to`).
+    pub offered_packets: u64,
     /// Sum of per-worker pipeline input packets.
     pub packets_in: u64,
     /// Sum of per-worker pipeline output packets.
@@ -144,10 +219,28 @@ pub struct RuntimeReport {
     pub drops: u64,
     /// Batches lost to faults across all workers.
     pub lost_batches: u64,
+    /// Packets lost to faults across all workers.
+    pub lost_packets: u64,
+    /// Packets shed with accounting across all workers.
+    pub shed_packets: u64,
+    /// Packets rerouted away from down workers.
+    pub redistributed_packets: u64,
+    /// Bounded-wait sends that timed out across all workers.
+    pub send_timeouts: u64,
     /// Contained panics across all workers.
     pub faults: u64,
     /// Worker respawns across all workers.
     pub respawns: u64,
+    /// Watchdog kills across all workers.
+    pub watchdog_kills: u64,
+    /// Times a worker's breaker opened.
+    pub breaker_opens: u64,
+    /// Times an open breaker let a probe generation through.
+    pub breaker_half_opens: u64,
+    /// Times a probe generation closed its breaker.
+    pub breaker_closes: u64,
+    /// The supervisor's journal, in observation order.
+    pub events: Vec<SupervisorEvent>,
     /// Summary of per-batch processing cycles, merged across workers
     /// (exact moments, bucketed percentiles); `None` when no batch
     /// completed.
@@ -158,21 +251,58 @@ impl RuntimeReport {
     pub(crate) fn from_snapshots(
         workers: Vec<WorkerSnapshot>,
         histograms: Vec<LogHistogram>,
+        offered_packets: u64,
+        events: Vec<SupervisorEvent>,
     ) -> Self {
         let mut merged = LogHistogram::new(CYCLE_HIST_PRECISION);
         for h in &histograms {
             merged.merge(h);
         }
+        let count = |pred: fn(&SupervisorEventKind) -> bool| {
+            events.iter().filter(|e| pred(&e.kind)).count() as u64
+        };
         Self {
             batches: workers.iter().map(|w| w.processed).sum(),
+            offered_packets,
             packets_in: workers.iter().map(|w| w.packets_in).sum(),
             packets_out: workers.iter().map(|w| w.packets_out).sum(),
             drops: workers.iter().map(|w| w.drops).sum(),
             lost_batches: workers.iter().map(|w| w.lost).sum(),
+            lost_packets: workers.iter().map(|w| w.lost_packets).sum(),
+            shed_packets: workers.iter().map(|w| w.shed_packets).sum(),
+            redistributed_packets: workers.iter().map(|w| w.redistributed_packets).sum(),
+            send_timeouts: workers.iter().map(|w| w.send_timeouts).sum(),
             faults: workers.iter().map(|w| w.faults).sum(),
             respawns: workers.iter().map(|w| w.respawns).sum(),
+            watchdog_kills: workers.iter().map(|w| w.watchdog_kills).sum(),
+            breaker_opens: count(|k| matches!(k, SupervisorEventKind::BreakerOpened { .. })),
+            breaker_half_opens: count(|k| matches!(k, SupervisorEventKind::BreakerHalfOpened)),
+            breaker_closes: count(|k| matches!(k, SupervisorEventKind::BreakerClosed)),
+            events,
             cycles: merged.summary(),
             workers,
         }
+    }
+
+    /// Packet-conservation residue: offered minus everything accounted
+    /// for (pipeline input + fault losses + accounted sheds). Zero in a
+    /// correct runtime, no matter what faults were injected; positive
+    /// means packets vanished, negative means double counting.
+    pub fn unaccounted_packets(&self) -> i64 {
+        self.offered_packets as i64
+            - self.packets_in as i64
+            - self.lost_packets as i64
+            - self.shed_packets as i64
+    }
+
+    /// Fraction of offered packets that made it out of a pipeline,
+    /// in [0, 1]; 1.0 when nothing was offered. Pipeline-intent drops
+    /// (filters) count against goodput just as chaos losses do, so
+    /// compare like pipelines.
+    pub fn goodput(&self) -> f64 {
+        if self.offered_packets == 0 {
+            return 1.0;
+        }
+        self.packets_out as f64 / self.offered_packets as f64
     }
 }

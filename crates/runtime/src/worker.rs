@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use rbs_core::fault::{self, FaultKind, FaultPlan, FaultSite};
 use rbs_netfx::{PacketBatch, PipelineSpec};
 use rbs_sfi::channel::channel;
 use rbs_sfi::{Domain, DomainSender};
@@ -21,15 +22,43 @@ pub enum WorkItem {
 ///
 /// The channel is registered in the domain's reference table, so a fault
 /// revokes it automatically; `stats` is shared with (and outlives) the
-/// thread. Returns the dispatcher-side sender and the join handle.
+/// thread. `spawn_seq` is this slot's spawn count (0 for the initial
+/// spawn), used as the occurrence for attach-site fault injection and as
+/// the generation tag in heartbeat tokens. When `faults` is set, the
+/// thread installs it as its ambient plan (stream = shard index) so
+/// in-pipeline chaos points fire on schedule.
+///
+/// Returns the dispatcher-side sender and the join handle.
 pub(crate) fn spawn_worker(
     index: usize,
+    spawn_seq: u64,
     domain: Domain,
     spec: PipelineSpec,
     stats: Arc<WorkerStats>,
     queue_capacity: usize,
+    faults: Option<Arc<FaultPlan>>,
 ) -> (DomainSender<WorkItem>, JoinHandle<()>) {
     let (tx, rx) = channel::<WorkItem>(&domain, queue_capacity);
+    // Attach-site injection, decided *synchronously* on the spawning
+    // (supervisor) thread: a scripted window here produces a
+    // deterministic crash loop — spawn number `spawn_seq` dies before
+    // taking any work, and the supervisor observes the fault on the same
+    // tick it respawned, independent of thread scheduling.
+    let attach_fault = faults
+        .as_ref()
+        .and_then(|plan| plan.decide(FaultSite::DomainAttach, index as u64, spawn_seq));
+    if let Some(FaultKind::Panic | FaultKind::PoisonTable | FaultKind::CloseChannel) = attach_fault
+    {
+        let _ = domain.execute(|| fault::fire_panic(FaultSite::DomainAttach));
+        stats.record_fault();
+        // Keep the caller's contract: hand back a (revoked) sender and a
+        // joinable no-op thread standing in for the stillborn worker.
+        let handle = std::thread::Builder::new()
+            .name(format!("rbs-worker-{index}-stillborn"))
+            .spawn(|| {})
+            .expect("spawning worker thread");
+        return (tx, handle);
+    }
     let handle = std::thread::Builder::new()
         .name(format!("rbs-worker-{index}"))
         .spawn(move || {
@@ -40,45 +69,61 @@ pub(crate) fn spawn_worker(
             let Ok(_attachment) = domain.attach_thread() else {
                 return;
             };
-            let mut pipeline = spec.build();
-            loop {
-                match rx.recv() {
-                    Ok(WorkItem::Batch(batch)) => {
-                        let n_in = batch.len() as u64;
-                        let start = rbs_core::cycles::rdtsc();
-                        // The batch moves into the domain; a panic
-                        // anywhere in the stages unwinds to this
-                        // boundary, faults the domain (closing `rx`'s
-                        // channel), and is reported as an error here.
-                        match domain.execute(|| pipeline.run_batch(batch)) {
-                            Ok(out) => {
-                                let cycles = rbs_core::cycles::rdtsc().saturating_sub(start);
-                                stats.record_batch(n_in, out.len() as u64, cycles);
-                                drop(out);
-                            }
-                            Err(_) => {
-                                // The in-flight batch died with the
-                                // fault; the supervisor accounts it (and
-                                // anything still queued) as lost when it
-                                // heals this slot.
-                                stats.record_fault();
-                                return;
+            // A scheduled slow attach (cold start) delays the worker
+            // without killing it.
+            if let Some(sleep) = attach_fault {
+                fault::fire_sleep(sleep);
+            }
+            let work = move || {
+                let mut pipeline = spec.build();
+                loop {
+                    match rx.recv() {
+                        Ok(WorkItem::Batch(batch)) => {
+                            let n_in = batch.len() as u64;
+                            // Heartbeat up while the batch executes; the
+                            // watchdog reads this to tell hung from idle.
+                            let token = stats.mark_busy(spawn_seq);
+                            let start = rbs_core::cycles::rdtsc();
+                            // The batch moves into the domain; a panic
+                            // anywhere in the stages unwinds to this
+                            // boundary, faults the domain (closing `rx`'s
+                            // channel), and is reported as an error here.
+                            match domain.execute(|| pipeline.run_batch(batch)) {
+                                Ok(out) => {
+                                    let cycles = rbs_core::cycles::rdtsc().saturating_sub(start);
+                                    stats.record_batch(n_in, out.len() as u64, cycles);
+                                    stats.mark_idle(token);
+                                    drop(out);
+                                }
+                                Err(_) => {
+                                    // The in-flight batch died with the
+                                    // fault; the supervisor accounts it (and
+                                    // anything still queued) as lost when it
+                                    // heals this slot.
+                                    stats.mark_idle(token);
+                                    stats.record_fault();
+                                    return;
+                                }
                             }
                         }
-                    }
-                    Ok(WorkItem::Shutdown) | Err(_) => {
-                        // Clean exit: preserve the pipeline's per-stage
-                        // counters for the final report.
-                        let stages = pipeline
-                            .stage_names()
-                            .iter()
-                            .map(|n| (*n).to_owned())
-                            .zip(pipeline.stage_stats().iter().copied())
-                            .collect();
-                        stats.store_final_stages(stages);
-                        return;
+                        Ok(WorkItem::Shutdown) | Err(_) => {
+                            // Clean exit: preserve the pipeline's per-stage
+                            // counters for the final report.
+                            let stages = pipeline
+                                .stage_names()
+                                .iter()
+                                .map(|n| (*n).to_owned())
+                                .zip(pipeline.stage_stats().iter().copied())
+                                .collect();
+                            stats.store_final_stages(stages);
+                            return;
+                        }
                     }
                 }
+            };
+            match faults {
+                Some(plan) => fault::scoped_stream(plan, index as u64, work),
+                None => work(),
             }
         })
         .expect("spawning worker thread");

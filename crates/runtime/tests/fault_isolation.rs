@@ -97,6 +97,7 @@ fn fault_is_contained_healed_and_accounted() {
         RuntimeConfig {
             workers: 4,
             queue_capacity: 16,
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();
@@ -162,6 +163,7 @@ fn other_workers_process_while_one_is_down() {
         RuntimeConfig {
             workers: 4,
             queue_capacity: 16,
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();
@@ -219,6 +221,7 @@ fn repeated_faults_keep_healing() {
         RuntimeConfig {
             workers: 2,
             queue_capacity: 8,
+            ..RuntimeConfig::default()
         },
     )
     .unwrap();

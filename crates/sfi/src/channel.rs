@@ -48,6 +48,10 @@ pub enum ChannelError {
     Disconnected,
     /// No message available right now (with `try_recv`).
     Empty,
+    /// The queue stayed full past the caller's deadline (with
+    /// [`DomainSender::send_deadline`]): the receiving domain is alive
+    /// but not draining — the signature of a stalled worker.
+    TimedOut,
 }
 
 impl fmt::Display for ChannelError {
@@ -57,6 +61,7 @@ impl fmt::Display for ChannelError {
             ChannelError::Full => write!(f, "channel is full"),
             ChannelError::Disconnected => write!(f, "receive endpoint dropped"),
             ChannelError::Empty => write!(f, "no message available"),
+            ChannelError::TimedOut => write!(f, "queue stayed full past the send deadline"),
         }
     }
 }
@@ -129,6 +134,36 @@ impl<T: Exchangeable> DomainSender<T> {
     /// ownership returns to the caller rather than being silently
     /// dropped.
     pub fn send(&self, value: T) -> Result<(), (ChannelError, T)> {
+        match self.send_rounds(value, None) {
+            Ok(()) => Ok(()),
+            Err((ChannelError::TimedOut, _)) => {
+                unreachable!("unbounded send cannot time out")
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Like [`DomainSender::send`] but gives up once the queue has
+    /// stayed full for `max_wait`, returning
+    /// [`ChannelError::TimedOut`] with the value.
+    ///
+    /// This is the dispatcher-safe send: a worker that stops draining
+    /// its queue (hung, livelocked, stalled on I/O) can delay the caller
+    /// by at most `max_wait` instead of wedging it forever. Revocation
+    /// is still observed promptly between rounds.
+    pub fn send_deadline(
+        &self,
+        value: T,
+        max_wait: std::time::Duration,
+    ) -> Result<(), (ChannelError, T)> {
+        self.send_rounds(value, Some(std::time::Instant::now() + max_wait))
+    }
+
+    fn send_rounds(
+        &self,
+        value: T,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<(), (ChannelError, T)> {
         let mut value = value;
         loop {
             let Some(core) = self.core.upgrade() else {
@@ -143,7 +178,13 @@ impl<T: Exchangeable> DomainSender<T> {
             {
                 Ok(()) => return Ok(()),
                 Err(SendTimeoutError::Timeout(v)) => {
-                    // Queue full: re-check the closed flag next round.
+                    // Queue full: re-check the closed flag (and the
+                    // caller's deadline) next round.
+                    if let Some(d) = deadline {
+                        if std::time::Instant::now() >= d {
+                            return Err((ChannelError::TimedOut, v));
+                        }
+                    }
                     value = v;
                 }
                 Err(SendTimeoutError::Disconnected(v)) => {
@@ -324,6 +365,43 @@ mod tests {
         // Fault cleanup cleared the table; the channel died with it.
         assert!(!tx.is_open());
         assert!(matches!(tx.send(1), Err((ChannelError::Revoked, 1))));
+    }
+
+    #[test]
+    fn send_deadline_times_out_on_full_queue() {
+        let d = setup();
+        let (tx, rx) = channel::<u32>(&d, 1);
+        tx.send(1).unwrap();
+        let start = std::time::Instant::now();
+        let (e, v) = tx
+            .send_deadline(2, std::time::Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(e, ChannelError::TimedOut);
+        assert_eq!(v, 2, "ownership returns on timeout");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "bounded wait must actually be bounded"
+        );
+        // The queue was never disturbed; draining it unblocks sends.
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.send_deadline(2, std::time::Duration::from_millis(100))
+            .unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn send_deadline_observes_revocation_while_waiting() {
+        let d = setup();
+        let (tx, rx) = channel::<u32>(&d, 1);
+        tx.send(1).unwrap();
+        let waiter =
+            std::thread::spawn(move || tx.send_deadline(2, std::time::Duration::from_secs(30)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        rx.revoke();
+        // Revocation, not the 30s deadline, ends the wait.
+        let (e, v) = waiter.join().unwrap().unwrap_err();
+        assert_eq!(e, ChannelError::Revoked);
+        assert_eq!(v, 2);
     }
 
     #[test]

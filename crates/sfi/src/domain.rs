@@ -255,16 +255,39 @@ impl Domain {
         }
     }
 
-    /// The fault-handling sequence: mark failed, clear the reference
-    /// table (revoking every capability and freeing every exported
-    /// object), then run the recovery function if one is installed.
+    /// The fault-handling sequence: mark failed, poison the reference
+    /// table (revoking every capability, freeing every exported object,
+    /// and recording which objects are still pinned by in-flight
+    /// invocations), then run the recovery function if one is installed.
     ///
     /// Returns `true` when the domain is active again.
     pub(crate) fn handle_fault(&self) -> bool {
         self.inner.stats.record_fault();
         self.inner.store_state(DomainState::Failed);
-        self.inner.ref_table.clear();
+        let (_revoked, inflight) = self.inner.ref_table.poison();
+        self.inner.stats.record_inflight_at_fault(inflight as u64);
         self.try_recover()
+    }
+
+    /// Forcibly fails an active domain from the outside — the
+    /// supervisor's tool for a domain whose thread is *hung* rather than
+    /// panicking: no unwind will ever reach the boundary, so the
+    /// watchdog declares the fault instead.
+    ///
+    /// Runs the same first two steps as panic handling (mark failed,
+    /// poison the table so every capability — channels included — is
+    /// revoked) but does **not** run the recovery function: the caller
+    /// decides if and when to [`Domain::recover`], typically after its
+    /// restart budget allows it. No-op unless the domain is active.
+    pub fn force_fail(&self) -> bool {
+        if self.state() != DomainState::Active {
+            return false;
+        }
+        self.inner.stats.record_fault();
+        self.inner.store_state(DomainState::Failed);
+        let (_revoked, inflight) = self.inner.ref_table.poison();
+        self.inner.stats.record_inflight_at_fault(inflight as u64);
+        true
     }
 
     /// Attempts recovery of a failed domain; also callable manually when
@@ -283,6 +306,18 @@ impl Domain {
         let Some(recovery) = recovery else {
             return false;
         };
+        // Before the table is reused, wait out invocations that were
+        // mid-call on the dead generation's objects: their strong
+        // references pin objects the fault already disowned. The wait is
+        // bounded — a call that outlives it is counted as a leaked slot
+        // rather than allowed to wedge recovery forever.
+        let leaked = self
+            .inner
+            .ref_table
+            .drain_inflight(std::time::Duration::from_millis(200));
+        if leaked > 0 {
+            self.inner.stats.record_leaked_slots(leaked as u64);
+        }
         // Run the user function inside the domain. If recovery itself
         // panics, the domain stays failed.
         let guard = enter_domain(self.id());
@@ -491,7 +526,36 @@ mod tests {
         assert_eq!(d.exported_objects(), 1);
         let _ = d.execute(|| panic!("bug"));
         assert_eq!(d.exported_objects(), 0);
-        assert_eq!(rref.invoke(|v| *v).unwrap_err(), RpcError::Revoked);
+        assert_eq!(
+            rref.invoke(|v| *v).unwrap_err(),
+            RpcError::Poisoned { domain: d.id() }
+        );
+    }
+
+    #[test]
+    fn force_fail_poisons_without_recovery() {
+        let mgr = DomainManager::new();
+        let d = mgr.create_domain("d").unwrap();
+        // Recovery is installed but must NOT run: force_fail is the
+        // supervisor's hammer for hung workers, and the supervisor
+        // decides when (and on what) to respawn.
+        d.set_recovery(|_| ());
+        let rref = d.execute(|| RRef::new(&d, 9u32)).unwrap();
+        assert!(d.force_fail());
+        assert_eq!(d.state(), DomainState::Failed);
+        assert_eq!(d.stats().faults(), 1);
+        assert_eq!(d.stats().recoveries(), 0);
+        assert_eq!(
+            rref.invoke(|v| *v).unwrap_err(),
+            RpcError::Poisoned { domain: d.id() }
+        );
+        // Idempotent: only the Active→Failed transition counts.
+        assert!(!d.force_fail());
+        assert_eq!(d.stats().faults(), 1);
+        // The domain is still recoverable afterwards, on the
+        // supervisor's schedule.
+        assert!(d.recover());
+        assert_eq!(d.state(), DomainState::Active);
     }
 
     #[test]

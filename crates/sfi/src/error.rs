@@ -8,9 +8,17 @@ use std::fmt;
 pub enum RpcError {
     /// The reference was revoked: its proxy is gone from the home
     /// domain's reference table, so the weak pointer no longer upgrades.
-    /// This is also what every pre-fault `RRef` returns after a domain
-    /// has been recovered.
+    /// This is what a reference revoked *cleanly* (explicit revocation,
+    /// orderly destruction) returns.
     Revoked,
+    /// The reference died with a domain fault: its table epoch was
+    /// poisoned by fault cleanup, so the object was torn down by the
+    /// crash rather than revoked deliberately. Every pre-fault `RRef`
+    /// returns this after the domain recovers.
+    Poisoned {
+        /// The domain whose fault poisoned the reference.
+        domain: DomainId,
+    },
     /// The target domain is in the failed state and has no recovery
     /// function to bring it back.
     DomainFailed {
@@ -42,6 +50,9 @@ impl fmt::Display for RpcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RpcError::Revoked => write!(f, "remote reference has been revoked"),
+            RpcError::Poisoned { domain } => {
+                write!(f, "remote reference died with a fault in domain {domain:?}")
+            }
             RpcError::DomainFailed { domain } => {
                 write!(f, "domain {domain:?} has failed and was not recovered")
             }
@@ -68,6 +79,9 @@ mod tests {
     fn display_is_descriptive() {
         let d = DomainId::new(3);
         assert!(RpcError::Revoked.to_string().contains("revoked"));
+        assert!(RpcError::Poisoned { domain: d }
+            .to_string()
+            .contains("died with a fault"));
         assert!(RpcError::DomainFailed { domain: d }
             .to_string()
             .contains("failed"));

@@ -260,7 +260,10 @@ mod tests {
         assert!(matches!(err, RpcError::Fault { .. }));
         assert_eq!(d.state(), DomainState::Failed);
         // The proxy's capability died with the domain's table.
-        assert_eq!(stats.sum().unwrap_err(), RpcError::Revoked);
+        assert_eq!(
+            stats.sum().unwrap_err(),
+            RpcError::Poisoned { domain: d.id() }
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@
 
 use parking_lot::Mutex;
 use std::any::Any;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 /// A type-erased strong entry: the `Arc<Mutex<T>>` an `RRef<T>` weakly
 /// points at.
@@ -33,6 +34,15 @@ struct Slots {
     /// Bumped on every `clear`, so stale slot handles from before a
     /// recovery can be told apart from fresh ones.
     epoch: u64,
+    /// Epochs below this were ended by a *fault* ([`RefTable::poison`]),
+    /// not a clean revocation; their stale handles report poisoning.
+    poison_floor: u64,
+    /// Entries that were still referenced by an in-flight invocation
+    /// when the table was poisoned: the table's strong reference is
+    /// gone, but the object stays alive until the call returns. Tracked
+    /// so recovery can wait for the old domain's objects to actually
+    /// die before the table is reused.
+    inflight: Vec<Weak<dyn Any + Send + Sync>>,
 }
 
 /// A handle naming a slot in a specific table epoch.
@@ -94,6 +104,66 @@ impl RefTable {
         slots.free.clear();
         slots.epoch += 1;
         live
+    }
+
+    /// Fault-path variant of [`RefTable::clear`]: drops every entry,
+    /// starts a new epoch, marks all prior epochs *poisoned*, and
+    /// records which objects were still held by in-flight invocations at
+    /// the moment of the fault.
+    ///
+    /// Poisoned epochs matter for diagnosis: a stale handle from before
+    /// a fault reports "died with a fault" instead of a clean
+    /// revocation. The in-flight set matters for reuse: a respawned
+    /// worker must not assume the dead generation's objects are gone —
+    /// [`RefTable::drain_inflight`] waits them out.
+    ///
+    /// Returns `(revoked_entries, inflight_entries)`.
+    pub fn poison(&self) -> (usize, usize) {
+        let mut slots = self.inner.lock();
+        let live = slots.entries.iter().filter(|e| e.is_some()).count();
+        let mut inflight: Vec<Weak<dyn Any + Send + Sync>> =
+            slots.entries.iter().flatten().map(Arc::downgrade).collect();
+        slots.entries.clear();
+        slots.free.clear();
+        slots.epoch += 1;
+        slots.poison_floor = slots.epoch;
+        // Only objects an invocation still holds survive the clear.
+        inflight.retain(|w| w.strong_count() > 0);
+        let n_inflight = inflight.len();
+        slots.inflight.retain(|w| w.strong_count() > 0);
+        slots.inflight.append(&mut inflight);
+        (live, n_inflight)
+    }
+
+    /// True when `handle` belongs to an epoch that was ended by a fault
+    /// (so the object it named died with the domain, not by clean
+    /// revocation).
+    pub fn handle_poisoned(&self, handle: SlotHandle) -> bool {
+        let slots = self.inner.lock();
+        handle.epoch < slots.poison_floor
+    }
+
+    /// Objects of poisoned epochs still kept alive by in-flight
+    /// invocations.
+    pub fn inflight(&self) -> usize {
+        let mut slots = self.inner.lock();
+        slots.inflight.retain(|w| w.strong_count() > 0);
+        slots.inflight.len()
+    }
+
+    /// Waits (bounded) for every object of the poisoned epochs to be
+    /// dropped — i.e. for all invocations that were mid-call at fault
+    /// time to return. Returns the number of objects still alive at the
+    /// deadline (0 = fully drained, table safe to reuse).
+    pub fn drain_inflight(&self, timeout: Duration) -> usize {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let still = self.inflight();
+            if still == 0 || Instant::now() >= deadline {
+                return still;
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// Number of live entries.
@@ -241,6 +311,60 @@ mod tests {
         t.insert(e);
         let s = format!("{t:?}");
         assert!(s.contains("live: 1"), "{s}");
+    }
+
+    #[test]
+    fn poison_marks_prior_epochs() {
+        let t = RefTable::new();
+        let (e, _) = entry(1);
+        let h = t.insert(e);
+        assert!(!t.handle_poisoned(h));
+        let (revoked, inflight) = t.poison();
+        assert_eq!((revoked, inflight), (1, 0));
+        assert!(t.handle_poisoned(h), "pre-fault handle is poisoned");
+        // A post-poison insert gets a clean epoch.
+        let (e2, _) = entry(2);
+        let h2 = t.insert(e2);
+        assert!(!t.handle_poisoned(h2));
+        // A clean clear does not poison.
+        t.clear();
+        assert!(!t.handle_poisoned(h2));
+    }
+
+    #[test]
+    fn poison_tracks_and_drains_inflight() {
+        let t = RefTable::new();
+        let strong = Arc::new(parking_lot::Mutex::new(5u32));
+        t.insert(Arc::clone(&strong) as Entry);
+        // `strong` plays the role of an invocation that upgraded the
+        // entry and is still mid-call when the fault hits.
+        let (revoked, inflight) = t.poison();
+        assert_eq!((revoked, inflight), (1, 1));
+        assert_eq!(t.inflight(), 1);
+        assert_eq!(
+            t.drain_inflight(Duration::from_millis(10)),
+            1,
+            "cannot drain while the call holds the object"
+        );
+        drop(strong); // the in-flight call returns
+        assert_eq!(t.drain_inflight(Duration::from_secs(1)), 0);
+        assert_eq!(t.inflight(), 0);
+    }
+
+    #[test]
+    fn repeated_poison_accumulates_only_live_inflight() {
+        let t = RefTable::new();
+        let s1 = Arc::new(parking_lot::Mutex::new(1u32));
+        t.insert(Arc::clone(&s1) as Entry);
+        t.poison();
+        assert_eq!(t.inflight(), 1);
+        drop(s1);
+        let s2 = Arc::new(parking_lot::Mutex::new(2u32));
+        t.insert(Arc::clone(&s2) as Entry);
+        t.poison();
+        assert_eq!(t.inflight(), 1, "dead weaks from round 1 were pruned");
+        drop(s2);
+        assert_eq!(t.inflight(), 0);
     }
 
     #[test]

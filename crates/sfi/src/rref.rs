@@ -159,6 +159,13 @@ impl<T: Send + 'static> RRef<T> {
         // entry is still live but the domain is failed or destroyed.
         let Some(strong) = self.weak.upgrade() else {
             self.home.stats.record_revoked_call();
+            // Distinguish a capability that died with a fault (its epoch
+            // was poisoned by fault cleanup) from a clean revocation.
+            if self.home.ref_table.handle_poisoned(self.slot) {
+                return Err(RpcError::Poisoned {
+                    domain: self.home.id(),
+                });
+            }
             return Err(RpcError::Revoked);
         };
         self.home.check_callable(current_domain(), method)?;
@@ -312,9 +319,13 @@ mod tests {
         let err = a.invoke(|_| -> u32 { panic!("callee bug") }).unwrap_err();
         assert_eq!(err, RpcError::Fault { domain: d.id() });
         assert_eq!(d.state(), DomainState::Failed);
-        // The *other* object is revoked too: fault cleanup clears the
-        // whole table, so its weak proxy no longer upgrades.
-        assert_eq!(b.invoke(|v| *v).unwrap_err(), RpcError::Revoked);
+        // The *other* object is torn down too: fault cleanup poisons the
+        // whole table, so its weak proxy no longer upgrades — and the
+        // error says it died with the fault, not that it was revoked.
+        assert_eq!(
+            b.invoke(|v| *v).unwrap_err(),
+            RpcError::Poisoned { domain: d.id() }
+        );
     }
 
     #[test]
@@ -324,8 +335,11 @@ mod tests {
         let old = RRef::new(&d, 7u32);
         let _ = old.invoke(|_| -> u32 { panic!("bug") });
         assert_eq!(d.state(), DomainState::Active);
-        // Old rrefs are revoked; fresh exports work.
-        assert_eq!(old.invoke(|v| *v).unwrap_err(), RpcError::Revoked);
+        // Old rrefs report the fault that killed them; fresh exports work.
+        assert_eq!(
+            old.invoke(|v| *v).unwrap_err(),
+            RpcError::Poisoned { domain: d.id() }
+        );
         let fresh = RRef::new(&d, 8u32);
         assert_eq!(fresh.invoke(|v| *v).unwrap(), 8);
     }
@@ -410,11 +424,14 @@ mod tests {
     }
 
     #[test]
-    fn pre_fault_rref_is_revoked_after_fault() {
+    fn pre_fault_rref_is_poisoned_after_fault() {
         let (_mgr, d) = setup();
         let rref = RRef::new(&d, 1u32);
         let _ = d.execute(|| panic!("bug"));
-        assert_eq!(rref.invoke(|v| *v).unwrap_err(), RpcError::Revoked);
+        assert_eq!(
+            rref.invoke(|v| *v).unwrap_err(),
+            RpcError::Poisoned { domain: d.id() }
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@ pub struct DomainStats {
     denials: AtomicU64,
     revoked_calls: AtomicU64,
     cycles_in_domain: AtomicU64,
+    inflight_at_fault: AtomicU64,
+    leaked_slots: AtomicU64,
 }
 
 impl DomainStats {
@@ -44,6 +46,14 @@ impl DomainStats {
 
     pub(crate) fn record_cycles(&self, cycles: u64) {
         self.cycles_in_domain.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_inflight_at_fault(&self, n: u64) {
+        self.inflight_at_fault.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_leaked_slots(&self, n: u64) {
+        self.leaked_slots.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Completed remote invocations (successful or faulted).
@@ -77,6 +87,20 @@ impl DomainStats {
     /// measurement itself costs two TSC reads per invocation.
     pub fn cycles_in_domain(&self) -> u64 {
         self.cycles_in_domain.load(Ordering::Relaxed)
+    }
+
+    /// Objects still pinned by in-flight invocations at fault time,
+    /// summed over all faults — each one is a capability the crash could
+    /// not revoke instantly.
+    pub fn inflight_at_fault(&self) -> u64 {
+        self.inflight_at_fault.load(Ordering::Relaxed)
+    }
+
+    /// In-flight objects that outlived the bounded drain during
+    /// recovery. Nonzero means some cross-domain call held a dead
+    /// generation's object across a respawn.
+    pub fn leaked_slots(&self) -> u64 {
+        self.leaked_slots.load(Ordering::Relaxed)
     }
 }
 

@@ -177,6 +177,7 @@ fn sharded_runtime_demo(gen: &mut PacketGen) {
         RuntimeConfig {
             workers: WORKERS,
             queue_capacity: 64,
+            ..RuntimeConfig::default()
         },
     )
     .expect("runtime construction");
