@@ -15,6 +15,7 @@
 //! | [`e8_maglev`] | §3 context — Maglev balance & disruption validation |
 //! | [`e9_scaling`] | ROADMAP north star — sharded runtime throughput scaling + recovery under load |
 //! | [`e10_chaos`] | ROADMAP robustness — goodput retained & recovery latency under deterministic fault injection |
+//! | [`e11_recovery`] | ROADMAP robustness — checkpoint-backed warm recovery: state survival by snapshot cadence |
 //!
 //! Each module exposes a `run(quick) -> String` that regenerates the
 //! table/series as text (the `experiments` binary prints them), plus
@@ -22,6 +23,7 @@
 //! wins, by roughly what factor, where crossovers fall.
 
 pub mod e10_chaos;
+pub mod e11_recovery;
 pub mod e1_isolation;
 pub mod e2_remote_call;
 pub mod e3_recovery;

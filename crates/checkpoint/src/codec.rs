@@ -8,6 +8,7 @@
 //! so a decoded checkpoint restores with identical sharing.
 
 use crate::ctx::{Checkpoint, CheckpointStats};
+use crate::diff::{Delta, PathSeg, Replacement, Side, Target};
 use crate::snapshot::Snapshot;
 use std::fmt;
 
@@ -28,6 +29,10 @@ pub enum CodecError {
     BadHeader,
     /// Input had trailing bytes after a complete checkpoint.
     TrailingBytes(usize),
+    /// Nesting deeper than [`MAX_DECODE_DEPTH`] — real checkpoints never
+    /// get here; corrupt input must not be allowed to overflow the
+    /// decoder's stack.
+    TooDeep,
 }
 
 impl fmt::Display for CodecError {
@@ -40,6 +45,7 @@ impl fmt::Display for CodecError {
             CodecError::BadChar(c) => write!(f, "invalid char scalar {c:#x}"),
             CodecError::BadHeader => write!(f, "bad magic or unsupported version"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after checkpoint"),
+            CodecError::TooDeep => write!(f, "nesting exceeds decoder depth limit"),
         }
     }
 }
@@ -47,7 +53,14 @@ impl fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 const MAGIC: &[u8; 4] = b"RBSC";
+const DELTA_MAGIC: &[u8; 4] = b"RBSD";
 const VERSION: u8 = 1;
+
+/// Maximum snapshot nesting the decoder accepts. Generous for real
+/// structures (a full-depth IPv4 trie nests ~120 levels) yet small
+/// enough that adversarial input cannot recurse the decoder off a 2 MiB
+/// thread stack even with debug-sized frames.
+pub const MAX_DECODE_DEPTH: usize = 512;
 
 mod tag {
     pub const UNIT: u8 = 0x00;
@@ -182,7 +195,10 @@ fn encode_snapshot(out: &mut Vec<u8>, snap: &Snapshot) {
     }
 }
 
-fn decode_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, CodecError> {
+fn decode_snapshot(r: &mut Reader<'_>, depth: usize) -> Result<Snapshot, CodecError> {
+    if depth >= MAX_DECODE_DEPTH {
+        return Err(CodecError::TooDeep);
+    }
     let t = r.byte()?;
     Ok(match t {
         tag::UNIT => Snapshot::Unit,
@@ -216,7 +232,7 @@ fn decode_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, CodecError> {
             // Guard against absurd preallocation from corrupt input.
             let mut items = Vec::with_capacity(len.min(4096));
             for _ in 0..len {
-                items.push(decode_snapshot(r)?);
+                items.push(decode_snapshot(r, depth + 1)?);
             }
             Snapshot::Seq(items)
         }
@@ -224,14 +240,14 @@ fn decode_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, CodecError> {
             let len = r.varint()? as usize;
             let mut pairs = Vec::with_capacity(len.min(4096));
             for _ in 0..len {
-                let k = decode_snapshot(r)?;
-                let v = decode_snapshot(r)?;
+                let k = decode_snapshot(r, depth + 1)?;
+                let v = decode_snapshot(r, depth + 1)?;
                 pairs.push((k, v));
             }
             Snapshot::Map(pairs)
         }
         tag::OPT_NONE => Snapshot::Opt(None),
-        tag::OPT_SOME => Snapshot::Opt(Some(Box::new(decode_snapshot(r)?))),
+        tag::OPT_SOME => Snapshot::Opt(Some(Box::new(decode_snapshot(r, depth + 1)?))),
         tag::SHARED => {
             let id = usize::try_from(r.varint()?).map_err(|_| CodecError::VarintOverflow)?;
             Snapshot::Shared(id)
@@ -250,18 +266,7 @@ fn decode_snapshot(r: &mut Reader<'_>) -> Result<Snapshot, CodecError> {
 /// hit a bug mid-snapshot. Without an ambient plan the check is one
 /// thread-local read.
 pub fn encode(cp: &Checkpoint) -> Vec<u8> {
-    {
-        use rbs_core::fault::{self, FaultKind, FaultSite};
-        let site = FaultSite::CheckpointEncode;
-        if let Some(kind) = fault::ambient_decide(site) {
-            match kind {
-                FaultKind::Panic | FaultKind::PoisonTable | FaultKind::CloseChannel => {
-                    fault::fire_panic(site)
-                }
-                sleep => fault::fire_sleep(sleep),
-            }
-        }
-    }
+    chaos_checkpoint_encode();
     let mut out = Vec::with_capacity(64);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
@@ -283,11 +288,11 @@ pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CodecError> {
     if r.take(4)? != MAGIC || r.byte()? != VERSION {
         return Err(CodecError::BadHeader);
     }
-    let root = decode_snapshot(&mut r)?;
+    let root = decode_snapshot(&mut r, 0)?;
     let count = r.varint()? as usize;
     let mut shared = Vec::with_capacity(count.min(4096));
     for _ in 0..count {
-        shared.push(decode_snapshot(&mut r)?);
+        shared.push(decode_snapshot(&mut r, 0)?);
     }
     if r.pos != bytes.len() {
         return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
@@ -296,6 +301,154 @@ pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CodecError> {
         root,
         shared,
         stats: CheckpointStats::default(),
+    })
+}
+
+/// The same fault hook for every serialization entry point: both full
+/// encodes and delta encodes count as one `CheckpointEncode` occurrence,
+/// so a chaos schedule's rates apply uniformly regardless of the
+/// snapshot kind the store chose.
+fn chaos_checkpoint_encode() {
+    use rbs_core::fault::{self, FaultKind, FaultSite};
+    let site = FaultSite::CheckpointEncode;
+    if let Some(kind) = fault::ambient_decide(site) {
+        match kind {
+            FaultKind::Panic | FaultKind::PoisonTable | FaultKind::CloseChannel => {
+                fault::fire_panic(site)
+            }
+            sleep => fault::fire_sleep(sleep),
+        }
+    }
+}
+
+mod delta_tag {
+    pub const TARGET_ROOT: u8 = 0x00;
+    pub const TARGET_SHARED: u8 = 0x01;
+    pub const SEG_INDEX: u8 = 0x00;
+    pub const SEG_MAP_KEY: u8 = 0x01;
+    pub const SEG_MAP_VALUE: u8 = 0x02;
+    pub const SEG_OPT_INNER: u8 = 0x03;
+}
+
+fn encode_path(out: &mut Vec<u8>, path: &[PathSeg]) {
+    write_varint(out, path.len() as u64);
+    for seg in path {
+        match seg {
+            PathSeg::Index(i) => {
+                out.push(delta_tag::SEG_INDEX);
+                write_varint(out, *i as u64);
+            }
+            PathSeg::MapEntry(i, Side::Key) => {
+                out.push(delta_tag::SEG_MAP_KEY);
+                write_varint(out, *i as u64);
+            }
+            PathSeg::MapEntry(i, Side::Value) => {
+                out.push(delta_tag::SEG_MAP_VALUE);
+                write_varint(out, *i as u64);
+            }
+            PathSeg::OptInner => out.push(delta_tag::SEG_OPT_INNER),
+        }
+    }
+}
+
+fn decode_path(r: &mut Reader<'_>) -> Result<Vec<PathSeg>, CodecError> {
+    let len = r.varint()? as usize;
+    let mut path = Vec::with_capacity(len.min(4096));
+    for _ in 0..len {
+        let seg = match r.byte()? {
+            delta_tag::SEG_INDEX => PathSeg::Index(decode_usize(r)?),
+            delta_tag::SEG_MAP_KEY => PathSeg::MapEntry(decode_usize(r)?, Side::Key),
+            delta_tag::SEG_MAP_VALUE => PathSeg::MapEntry(decode_usize(r)?, Side::Value),
+            delta_tag::SEG_OPT_INNER => PathSeg::OptInner,
+            other => return Err(CodecError::BadTag(other)),
+        };
+        path.push(seg);
+    }
+    Ok(path)
+}
+
+fn decode_usize(r: &mut Reader<'_>) -> Result<usize, CodecError> {
+    usize::try_from(r.varint()?).map_err(|_| CodecError::VarintOverflow)
+}
+
+/// Serializes a [`Delta`] (incremental snapshot payload). Fires the same
+/// [`CheckpointEncode`](rbs_core::fault::FaultSite::CheckpointEncode)
+/// chaos site as [`encode`].
+pub fn encode_delta(delta: &Delta) -> Vec<u8> {
+    chaos_checkpoint_encode();
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(DELTA_MAGIC);
+    out.push(VERSION);
+    write_varint(&mut out, delta.replacements.len() as u64);
+    for rep in &delta.replacements {
+        match &rep.target {
+            Target::Root(path) => {
+                out.push(delta_tag::TARGET_ROOT);
+                encode_path(&mut out, path);
+            }
+            Target::Shared(id, path) => {
+                out.push(delta_tag::TARGET_SHARED);
+                write_varint(&mut out, *id as u64);
+                encode_path(&mut out, path);
+            }
+        }
+        encode_snapshot(&mut out, &rep.subtree);
+    }
+    write_varint(&mut out, delta.appended_shared.len() as u64);
+    for s in &delta.appended_shared {
+        encode_snapshot(&mut out, s);
+    }
+    match delta.truncate_shared_to {
+        None => out.push(0),
+        Some(n) => {
+            out.push(1);
+            write_varint(&mut out, n as u64);
+        }
+    }
+    out
+}
+
+/// Deserializes a delta produced by [`encode_delta`]; rejects trailing
+/// garbage.
+pub fn decode_delta(bytes: &[u8]) -> Result<Delta, CodecError> {
+    let mut r = Reader {
+        data: bytes,
+        pos: 0,
+    };
+    if r.take(4)? != DELTA_MAGIC || r.byte()? != VERSION {
+        return Err(CodecError::BadHeader);
+    }
+    let n_reps = r.varint()? as usize;
+    let mut replacements = Vec::with_capacity(n_reps.min(4096));
+    for _ in 0..n_reps {
+        let target = match r.byte()? {
+            delta_tag::TARGET_ROOT => Target::Root(decode_path(&mut r)?),
+            delta_tag::TARGET_SHARED => {
+                let id = decode_usize(&mut r)?;
+                Target::Shared(id, decode_path(&mut r)?)
+            }
+            other => return Err(CodecError::BadTag(other)),
+        };
+        let subtree = decode_snapshot(&mut r, 0)?;
+        replacements.push(Replacement { target, subtree });
+    }
+    let n_appended = r.varint()? as usize;
+    let mut appended_shared = Vec::with_capacity(n_appended.min(4096));
+    for _ in 0..n_appended {
+        appended_shared.push(decode_snapshot(&mut r, 0)?);
+    }
+    let truncate_shared_to = match r.byte()? {
+        0 => None,
+        1 => Some(decode_usize(&mut r)?),
+        other => return Err(CodecError::BadTag(other)),
+    };
+    if r.pos != bytes.len() {
+        return Err(CodecError::TrailingBytes(bytes.len() - r.pos));
+    }
+    Ok(Delta {
+        replacements,
+        appended_shared,
+        truncate_shared_to,
     })
 }
 
@@ -437,6 +590,76 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_nesting_rejected_not_overflowed() {
+        // A hand-built bomb: OPT_SOME repeated far past any real
+        // structure's depth. Without the depth guard this recurses the
+        // decoder off its stack; with it, a clean typed error.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.push(VERSION);
+        bytes.extend(std::iter::repeat_n(tag::OPT_SOME, MAX_DECODE_DEPTH + 10));
+        bytes.push(tag::UNIT);
+        write_varint(&mut bytes, 0); // empty shared table
+        assert_eq!(decode(&bytes).unwrap_err(), CodecError::TooDeep);
+    }
+
+    #[test]
+    fn legitimate_deep_nesting_roundtrips() {
+        let mut s = Snapshot::UInt(1);
+        for _ in 0..(MAX_DECODE_DEPTH - 2) {
+            s = Snapshot::Opt(Some(Box::new(s)));
+        }
+        assert_eq!(roundtrip_snapshot(&s), s);
+    }
+
+    #[test]
+    fn delta_roundtrips() {
+        use crate::diff::diff;
+        let a = checkpoint(&vec![1u32, 2, 3]);
+        let b = checkpoint(&vec![1u32, 9, 3]);
+        let d = diff(&a, &b);
+        let back = decode_delta(&encode_delta(&d)).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(crate::diff::apply(&a, &back).unwrap().root, b.root);
+    }
+
+    #[test]
+    fn delta_decoder_rejects_garbage() {
+        assert_eq!(decode_delta(b"RBS"), Err(CodecError::UnexpectedEof));
+        assert_eq!(decode_delta(b"RBSC\x01"), Err(CodecError::BadHeader));
+        assert_eq!(decode_delta(b"XXXXX"), Err(CodecError::BadHeader));
+        let d = Delta::default();
+        let mut bytes = encode_delta(&d);
+        bytes.push(7);
+        assert_eq!(decode_delta(&bytes), Err(CodecError::TrailingBytes(1)));
+        let bytes = encode_delta(&d);
+        for cut in 0..bytes.len() {
+            assert!(decode_delta(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn delta_encode_is_a_chaos_site() {
+        use rbs_core::fault::{self, FaultKind, FaultPlan, FaultSite, InjectedFault};
+        use std::sync::Arc;
+        let plan = Arc::new(FaultPlan::new(0).inject_window(
+            FaultSite::CheckpointEncode,
+            FaultKind::Panic,
+            0,
+            0,
+            1,
+        ));
+        fault::scoped(plan, || {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                encode_delta(&Delta::default())
+            }))
+            .unwrap_err();
+            let payload = err.downcast_ref::<InjectedFault>().expect("typed payload");
+            assert_eq!(payload.site, FaultSite::CheckpointEncode);
+        });
+    }
+
+    #[test]
     fn varint_encoding_is_compact() {
         let mut small = Vec::new();
         write_varint(&mut small, 5);
@@ -485,6 +708,21 @@ mod tests {
         #[test]
         fn decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode(&bytes);
+        }
+
+        /// The delta wire format roundtrips any diff exactly.
+        #[test]
+        fn arbitrary_deltas_roundtrip(root_a in arb_snapshot(), root_b in arb_snapshot()) {
+            let a = Checkpoint { root: root_a, shared: vec![], stats: CheckpointStats::default() };
+            let b = Checkpoint { root: root_b, shared: vec![], stats: CheckpointStats::default() };
+            let d = crate::diff::diff(&a, &b);
+            prop_assert_eq!(decode_delta(&encode_delta(&d)).unwrap(), d);
+        }
+
+        /// The delta decoder is total over arbitrary bytes too.
+        #[test]
+        fn delta_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_delta(&bytes);
         }
 
         /// Varints roundtrip for all values.

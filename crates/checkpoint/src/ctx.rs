@@ -160,6 +160,35 @@ pub fn checkpoint<T: Checkpointable>(value: &T) -> Checkpoint {
     checkpoint_with_mode(value, DedupMode::EpochFlag)
 }
 
+/// Runs a custom traversal as a checkpoint driver.
+///
+/// For composite roots that are not a single `Checkpointable` value —
+/// e.g. a pipeline snapshotting each stateful stage into one shared
+/// table — the closure builds the root snapshot itself, calling
+/// [`Checkpointable::checkpoint`] on whichever pieces it owns. All
+/// pieces share one epoch and one shared-node table, so aliasing across
+/// pieces deduplicates exactly as within one value.
+pub fn checkpoint_scope(
+    mode: DedupMode,
+    f: impl FnOnce(&mut CheckpointCtx) -> Snapshot,
+) -> Checkpoint {
+    let mut ctx = CheckpointCtx::new(mode);
+    let root = f(&mut ctx);
+    ctx.finish(root)
+}
+
+/// The restore-side dual of [`checkpoint_scope`]: hands the closure the
+/// root snapshot and a [`RestoreCtx`] over the checkpoint's shared
+/// table, so a composite driver can rebuild its pieces with sharing
+/// intact.
+pub fn restore_scope<R>(
+    cp: &Checkpoint,
+    f: impl FnOnce(&Snapshot, &mut RestoreCtx<'_>) -> Result<R, SnapshotError>,
+) -> Result<R, SnapshotError> {
+    let mut ctx = RestoreCtx::new(&cp.shared);
+    f(&cp.root, &mut ctx)
+}
+
 /// Checkpoints `value` under an explicit [`DedupMode`].
 pub fn checkpoint_with_mode<T: Checkpointable>(value: &T, mode: DedupMode) -> Checkpoint {
     let mut ctx = CheckpointCtx::new(mode);

@@ -1,0 +1,371 @@
+//! Sealed snapshot envelopes: integrity metadata around the wire format.
+//!
+//! The codec ([`crate::codec`]) turns checkpoints into bytes; an
+//! *envelope* makes those bytes safe to trust after a crash. Each
+//! envelope carries a monotonic epoch, the logical tick and item count
+//! of the state it holds, a declared payload length, and an FNV-1a
+//! checksum footer over everything before it. Verification happens
+//! before a single payload byte is parsed, so a truncated or corrupted
+//! snapshot is *detected* — surfaced as a typed [`RestoreError`] — and
+//! never restored into a domain as garbage.
+//!
+//! Envelopes come in two kinds: `Full` (a complete checkpoint) and
+//! `Delta` (an incremental [`Delta`](crate::diff::Delta) against an
+//! earlier full envelope, identified by `base_epoch`). The
+//! [`store`](crate::store) pairs them into restorable units.
+
+use crate::codec::{self, CodecError};
+use crate::ctx::Checkpoint;
+use crate::diff::{Delta, DiffError};
+use crate::snapshot::SnapshotError;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"RBSE";
+const VERSION: u8 = 1;
+const KIND_FULL: u8 = 0;
+const KIND_DELTA: u8 = 1;
+/// Bytes of the checksum footer.
+const FOOTER_LEN: usize = 8;
+/// Magic + version + kind: the fixed-width part of the header.
+const FIXED_HEADER_LEN: usize = 6;
+
+/// Why a snapshot could not be restored.
+///
+/// Every failure mode of the verify → decode → apply chain is a typed
+/// variant; none of them panic. The supervisor's fallback chain matches
+/// on nothing finer than "this snapshot is unusable", but reports carry
+/// [`RestoreError::kind`] so corrupted-snapshot events are attributable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestoreError {
+    /// Too short to even hold a header and footer.
+    Truncated,
+    /// Bad magic, unsupported version, or unknown envelope kind.
+    BadHeader,
+    /// The declared payload length does not match the bytes present.
+    LengthMismatch {
+        /// Length the header declared.
+        declared: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The footer checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the footer.
+        stored: u64,
+        /// Checksum computed over the content.
+        computed: u64,
+    },
+    /// The payload failed to decode (possible only when the envelope was
+    /// sealed around bad bytes — a flipped bit is caught by the checksum
+    /// first).
+    Codec(CodecError),
+    /// The decoded checkpoint failed to restore into a value.
+    Snapshot(SnapshotError),
+    /// The delta did not fit its base checkpoint.
+    Diff(DiffError),
+    /// A delta envelope was paired with a full envelope of a different
+    /// epoch than the one it was diffed against.
+    EpochMismatch {
+        /// Base epoch the delta requires.
+        required: u64,
+        /// Epoch of the full envelope it was applied to.
+        found: u64,
+    },
+    /// No snapshot exists to restore from (empty store).
+    MissingSnapshot,
+}
+
+impl RestoreError {
+    /// Stable short name (used in reports and JSON).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RestoreError::Truncated => "truncated",
+            RestoreError::BadHeader => "bad-header",
+            RestoreError::LengthMismatch { .. } => "length-mismatch",
+            RestoreError::ChecksumMismatch { .. } => "checksum-mismatch",
+            RestoreError::Codec(_) => "codec",
+            RestoreError::Snapshot(_) => "snapshot",
+            RestoreError::Diff(_) => "diff",
+            RestoreError::EpochMismatch { .. } => "epoch-mismatch",
+            RestoreError::MissingSnapshot => "missing-snapshot",
+        }
+    }
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Truncated => write!(f, "envelope truncated"),
+            RestoreError::BadHeader => write!(f, "bad envelope magic, version, or kind"),
+            RestoreError::LengthMismatch { declared, actual } => {
+                write!(f, "payload length {declared} declared, {actual} present")
+            }
+            RestoreError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum {stored:#018x} stored, {computed:#018x} computed"
+                )
+            }
+            RestoreError::Codec(e) => write!(f, "payload decode: {e}"),
+            RestoreError::Snapshot(e) => write!(f, "restore: {e}"),
+            RestoreError::Diff(e) => write!(f, "delta apply: {e}"),
+            RestoreError::EpochMismatch { required, found } => {
+                write!(f, "delta needs base epoch {required}, found {found}")
+            }
+            RestoreError::MissingSnapshot => write!(f, "no snapshot to restore"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<CodecError> for RestoreError {
+    fn from(e: CodecError) -> Self {
+        RestoreError::Codec(e)
+    }
+}
+
+impl From<SnapshotError> for RestoreError {
+    fn from(e: SnapshotError) -> Self {
+        RestoreError::Snapshot(e)
+    }
+}
+
+impl From<DiffError> for RestoreError {
+    fn from(e: DiffError) -> Self {
+        RestoreError::Diff(e)
+    }
+}
+
+/// Metadata describing one sealed envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Monotonic sequence number assigned by the store.
+    pub epoch: u64,
+    /// Epoch of the full envelope this one builds on; equals `epoch`
+    /// for full envelopes.
+    pub base_epoch: u64,
+    /// Logical supervision tick the state was captured on.
+    pub tick: u64,
+    /// State items (rules, flows) the snapshot holds, as reported by the
+    /// owner — the unit of state-loss accounting.
+    pub items: u64,
+}
+
+impl SnapshotMeta {
+    /// True when this envelope is an incremental delta.
+    pub fn is_delta(&self) -> bool {
+        self.base_epoch != self.epoch
+    }
+}
+
+/// A verified envelope's payload.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    /// A complete checkpoint.
+    Full(Checkpoint),
+    /// An incremental delta against the `base_epoch` full envelope.
+    Delta(Delta),
+}
+
+/// 64-bit FNV-1a. Not cryptographic — the threat model is bit rot and
+/// torn writes, not an adversary — but any single-bit flip anywhere in
+/// the content provably changes the hash (xor then multiply-by-odd-prime
+/// are both bijections of the running state).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn seal(kind: u8, meta: SnapshotMeta, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 48);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    codec::write_varint(&mut out, meta.epoch);
+    codec::write_varint(&mut out, meta.base_epoch);
+    codec::write_varint(&mut out, meta.tick);
+    codec::write_varint(&mut out, meta.items);
+    codec::write_varint(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Seals a full checkpoint into an envelope. Serialization runs through
+/// [`codec::encode`], so the `CheckpointEncode` chaos site fires here.
+pub fn seal_full(meta: SnapshotMeta, cp: &Checkpoint) -> Vec<u8> {
+    seal(KIND_FULL, meta, &codec::encode(cp))
+}
+
+/// Seals an incremental delta into an envelope. Serialization runs
+/// through [`codec::encode_delta`], so the `CheckpointEncode` chaos site
+/// fires here too.
+pub fn seal_delta(meta: SnapshotMeta, delta: &Delta) -> Vec<u8> {
+    seal(KIND_DELTA, meta, &codec::encode_delta(delta))
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, RestoreError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        let b = *bytes.get(*pos).ok_or(RestoreError::Truncated)?;
+        *pos += 1;
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(RestoreError::Codec(CodecError::VarintOverflow))
+}
+
+/// Verifies and opens one envelope: checksum first, then header, then
+/// payload decode. Total — arbitrary bytes produce an error, never a
+/// panic and never a wrong value.
+pub fn open(bytes: &[u8]) -> Result<(SnapshotMeta, Payload), RestoreError> {
+    if bytes.len() < FIXED_HEADER_LEN + FOOTER_LEN {
+        return Err(RestoreError::Truncated);
+    }
+    let (content, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    let stored = u64::from_le_bytes(footer.try_into().expect("footer is 8 bytes"));
+    let computed = fnv1a(content);
+    if stored != computed {
+        return Err(RestoreError::ChecksumMismatch { stored, computed });
+    }
+    if &content[..4] != MAGIC || content[4] != VERSION {
+        return Err(RestoreError::BadHeader);
+    }
+    let kind = content[5];
+    let mut pos = FIXED_HEADER_LEN;
+    let epoch = read_varint(content, &mut pos)?;
+    let base_epoch = read_varint(content, &mut pos)?;
+    let tick = read_varint(content, &mut pos)?;
+    let items = read_varint(content, &mut pos)?;
+    let declared =
+        usize::try_from(read_varint(content, &mut pos)?).map_err(|_| RestoreError::Truncated)?;
+    let payload = &content[pos..];
+    if payload.len() != declared {
+        return Err(RestoreError::LengthMismatch {
+            declared,
+            actual: payload.len(),
+        });
+    }
+    let meta = SnapshotMeta {
+        epoch,
+        base_epoch,
+        tick,
+        items,
+    };
+    let payload = match kind {
+        KIND_FULL if base_epoch == epoch => Payload::Full(codec::decode(payload)?),
+        KIND_DELTA if base_epoch != epoch => Payload::Delta(codec::decode_delta(payload)?),
+        _ => return Err(RestoreError::BadHeader),
+    };
+    Ok((meta, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::checkpoint;
+    use crate::diff::diff;
+
+    fn meta(epoch: u64) -> SnapshotMeta {
+        SnapshotMeta {
+            epoch,
+            base_epoch: epoch,
+            tick: 10,
+            items: 3,
+        }
+    }
+
+    #[test]
+    fn full_envelope_roundtrips() {
+        let cp = checkpoint(&vec![1u32, 2, 3]);
+        let bytes = seal_full(meta(5), &cp);
+        let (m, payload) = open(&bytes).unwrap();
+        assert_eq!(m, meta(5));
+        assert!(!m.is_delta());
+        let Payload::Full(back) = payload else {
+            panic!("expected full payload")
+        };
+        assert_eq!(back.root, cp.root);
+    }
+
+    #[test]
+    fn delta_envelope_roundtrips() {
+        let a = checkpoint(&vec![1u32, 2, 3]);
+        let b = checkpoint(&vec![1u32, 9, 3]);
+        let d = diff(&a, &b);
+        let m = SnapshotMeta {
+            epoch: 6,
+            base_epoch: 5,
+            tick: 11,
+            items: 3,
+        };
+        let bytes = seal_delta(m, &d);
+        let (back_meta, payload) = open(&bytes).unwrap();
+        assert_eq!(back_meta, m);
+        assert!(back_meta.is_delta());
+        let Payload::Delta(back) = payload else {
+            panic!("expected delta payload")
+        };
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn every_single_byte_truncation_detected() {
+        let bytes = seal_full(meta(1), &checkpoint(&String::from("state")));
+        for cut in 0..bytes.len() {
+            assert!(open(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_detected() {
+        let bytes = seal_full(meta(1), &checkpoint(&vec![7u64, 8, 9]));
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut tampered = bytes.clone();
+                tampered[i] ^= 1 << bit;
+                assert!(
+                    open(&tampered).is_err(),
+                    "flip of bit {bit} in byte {i} must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kind_and_base_epoch_must_agree() {
+        // A "full" envelope whose base_epoch differs is malformed even
+        // when its checksum is intact.
+        let cp = checkpoint(&1u32);
+        let m = SnapshotMeta {
+            epoch: 2,
+            base_epoch: 1,
+            tick: 0,
+            items: 0,
+        };
+        let bytes = seal(KIND_FULL, m, &codec::encode(&cp));
+        assert_eq!(open(&bytes).unwrap_err(), RestoreError::BadHeader);
+    }
+
+    #[test]
+    fn error_kinds_are_stable() {
+        assert_eq!(RestoreError::Truncated.kind(), "truncated");
+        assert_eq!(
+            RestoreError::ChecksumMismatch {
+                stored: 0,
+                computed: 1
+            }
+            .kind(),
+            "checksum-mismatch"
+        );
+        assert_eq!(RestoreError::MissingSnapshot.kind(), "missing-snapshot");
+    }
+}

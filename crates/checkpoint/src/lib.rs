@@ -28,7 +28,11 @@
 //!   experiment E6 can compare all three on identical data;
 //! - [`checkpointable!`](crate::checkpointable): a `macro_rules!` stand-in
 //!   for the paper's compiler plugin, generating the inductive impl for
-//!   user structs.
+//!   user structs;
+//! - [`envelope`] / [`store`]: sealed snapshots with integrity metadata
+//!   (checksum footer, monotonic epochs, typed [`RestoreError`]) and the
+//!   double-buffered full/delta [`SnapshotStore`] the runtime's warm
+//!   recovery restores from.
 //!
 //! # Quickstart
 //!
@@ -52,18 +56,22 @@ pub mod codec;
 pub mod ctx;
 pub mod derive;
 pub mod diff;
+pub mod envelope;
 pub mod snapshot;
+pub mod store;
 pub mod traits;
 pub mod txn;
 
 pub use ckarc::CkArc;
 pub use ckrc::CkRc;
-pub use codec::{decode, encode, CodecError};
+pub use codec::{decode, decode_delta, encode, encode_delta, CodecError};
 pub use ctx::{
-    checkpoint, checkpoint_with_mode, restore, Checkpoint, CheckpointCtx, CheckpointStats,
-    DedupMode, RestoreCtx,
+    checkpoint, checkpoint_scope, checkpoint_with_mode, restore, restore_scope, Checkpoint,
+    CheckpointCtx, CheckpointStats, DedupMode, RestoreCtx,
 };
 pub use diff::{apply, diff, Delta};
+pub use envelope::{RestoreError, SnapshotMeta};
 pub use snapshot::{Snapshot, SnapshotError};
+pub use store::{Buffered, SealedSnapshot, SnapshotStore, StoreStats};
 pub use traits::Checkpointable;
 pub use txn::{with_transaction, Transaction, TxnAborted};

@@ -56,6 +56,24 @@ impl Snapshot {
         }
     }
 
+    /// A static name for this snapshot's variant, used in error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Snapshot::Unit => "unit",
+            Snapshot::Bool(_) => "bool",
+            Snapshot::UInt(_) => "uint",
+            Snapshot::Int(_) => "int",
+            Snapshot::Float(_) => "float",
+            Snapshot::Char(_) => "char",
+            Snapshot::Str(_) => "string",
+            Snapshot::Bytes(_) => "bytes",
+            Snapshot::Seq(_) => "seq",
+            Snapshot::Map(_) => "map",
+            Snapshot::Opt(_) => "option",
+            Snapshot::Shared(_) => "shared",
+        }
+    }
+
     /// Approximate heap bytes held by this snapshot.
     pub fn approx_bytes(&self) -> usize {
         let own = std::mem::size_of::<Snapshot>();
@@ -142,21 +160,10 @@ impl std::error::Error for SnapshotError {}
 
 /// Shorthand used by trait impls to build mismatch errors.
 pub(crate) fn mismatch(expected: &'static str, found: &Snapshot) -> SnapshotError {
-    let found = match found {
-        Snapshot::Unit => "unit",
-        Snapshot::Bool(_) => "bool",
-        Snapshot::UInt(_) => "uint",
-        Snapshot::Int(_) => "int",
-        Snapshot::Float(_) => "float",
-        Snapshot::Char(_) => "char",
-        Snapshot::Str(_) => "string",
-        Snapshot::Bytes(_) => "bytes",
-        Snapshot::Seq(_) => "seq",
-        Snapshot::Map(_) => "map",
-        Snapshot::Opt(_) => "option",
-        Snapshot::Shared(_) => "shared",
-    };
-    SnapshotError::TypeMismatch { expected, found }
+    SnapshotError::TypeMismatch {
+        expected,
+        found: found.kind_name(),
+    }
 }
 
 #[cfg(test)]

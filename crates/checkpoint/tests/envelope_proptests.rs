@@ -1,0 +1,209 @@
+//! Property tests for the sealed-envelope boundary: randomly aliased
+//! `CkRc`/`CkArc` graphs survive seal → open → restore with their
+//! sharing structure rebuilt exactly; any single bit flip anywhere in a
+//! sealed envelope is detected (an error, never a wrong value); and
+//! `open` is total over arbitrary bytes.
+
+use proptest::prelude::*;
+use rbs_checkpoint::envelope::{open, seal_delta, seal_full, Payload};
+use rbs_checkpoint::{checkpoint, checkpointable, diff, restore, CkArc, CkRc, SnapshotMeta};
+
+/// Leaf payload held behind the shared pointers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Node {
+    label: u64,
+    tags: Vec<u8>,
+}
+
+checkpointable!(struct Node { label, tags });
+
+/// A value whose aliasing structure is the thing under test: `arcs` and
+/// `rcs` index into two pools, so distinct slots may point at the same
+/// allocation.
+#[derive(Debug, Clone, PartialEq)]
+struct Doc {
+    arcs: Vec<CkArc<Node>>,
+    rcs: Vec<CkRc<Vec<u64>>>,
+}
+
+checkpointable!(struct Doc { arcs, rcs });
+
+/// Builds a randomly aliased document from raw draws. Pools are small
+/// and the pick lists longer, so aliasing (including repeated aliasing)
+/// is the common case, not the corner. Returns the document plus the
+/// alias maps that define its expected sharing: `arc_refs[i]` is the
+/// pool slot `doc.arcs[i]` points at (ditto `rc_refs`).
+fn build_doc(
+    arc_labels: &[u64],
+    arc_picks: &[u64],
+    rc_pool: &[Vec<u64>],
+    rc_picks: &[u64],
+) -> (Doc, Vec<usize>, Vec<usize>) {
+    let arc_pool: Vec<CkArc<Node>> = arc_labels
+        .iter()
+        .map(|&label| {
+            CkArc::new(Node {
+                label,
+                tags: label.to_le_bytes()[..(label % 5) as usize].to_vec(),
+            })
+        })
+        .collect();
+    let rc_pool: Vec<CkRc<Vec<u64>>> = rc_pool.iter().cloned().map(CkRc::new).collect();
+    let arc_refs: Vec<usize> = arc_picks
+        .iter()
+        .map(|&p| (p % arc_pool.len() as u64) as usize)
+        .collect();
+    let rc_refs: Vec<usize> = rc_picks
+        .iter()
+        .map(|&p| (p % rc_pool.len() as u64) as usize)
+        .collect();
+    let doc = Doc {
+        arcs: arc_refs.iter().map(|&i| arc_pool[i].clone()).collect(),
+        rcs: rc_refs.iter().map(|&i| rc_pool[i].clone()).collect(),
+    };
+    (doc, arc_refs, rc_refs)
+}
+
+fn meta(epoch: u64) -> SnapshotMeta {
+    SnapshotMeta {
+        epoch,
+        base_epoch: epoch,
+        tick: epoch,
+        items: 0,
+    }
+}
+
+proptest! {
+    /// Seal → open → restore over a randomly aliased graph: values come
+    /// back equal, and two slots share an allocation after restore
+    /// exactly when they shared one before.
+    #[test]
+    fn aliased_graphs_roundtrip_with_sharing_rebuilt(
+        arc_labels in proptest::collection::vec(any::<u64>(), 1..5),
+        rc_pool in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..4), 1..4),
+        arc_picks in proptest::collection::vec(any::<u64>(), 0..10),
+        rc_picks in proptest::collection::vec(any::<u64>(), 0..8),
+    ) {
+        let (doc, arc_refs, rc_refs) = build_doc(&arc_labels, &arc_picks, &rc_pool, &rc_picks);
+        let cp = checkpoint(&doc);
+        let sealed = seal_full(meta(1), &cp);
+        let (m, payload) = open(&sealed).expect("own seal verifies");
+        prop_assert_eq!(m, meta(1));
+        let Payload::Full(reopened) = payload else {
+            panic!("sealed full, opened a delta");
+        };
+        prop_assert_eq!(&reopened.root, &cp.root);
+        prop_assert_eq!(&reopened.shared, &cp.shared);
+
+        let back: Doc = restore(&reopened).expect("restore");
+        prop_assert_eq!(&back, &doc);
+        for i in 0..arc_refs.len() {
+            for j in 0..arc_refs.len() {
+                prop_assert_eq!(
+                    CkArc::ptr_eq(&back.arcs[i], &back.arcs[j]),
+                    arc_refs[i] == arc_refs[j],
+                    "arc aliasing between slots {} and {}", i, j
+                );
+            }
+        }
+        for i in 0..rc_refs.len() {
+            for j in 0..rc_refs.len() {
+                prop_assert_eq!(
+                    CkRc::ptr_eq(&back.rcs[i], &back.rcs[j]),
+                    rc_refs[i] == rc_refs[j],
+                    "rc aliasing between slots {} and {}", i, j
+                );
+            }
+        }
+    }
+
+    /// Flipping any single bit of a sealed envelope — header, payload,
+    /// or the checksum footer itself — must surface as an error.
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        arc_labels in proptest::collection::vec(any::<u64>(), 1..5),
+        rc_pool in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..4), 1..4),
+        arc_picks in proptest::collection::vec(any::<u64>(), 0..10),
+        rc_picks in proptest::collection::vec(any::<u64>(), 0..8),
+        raw_bit in any::<u64>(),
+    ) {
+        let (doc, _, _) = build_doc(&arc_labels, &arc_picks, &rc_pool, &rc_picks);
+        let sealed = seal_full(meta(3), &checkpoint(&doc));
+        let bit = (raw_bit % (sealed.len() as u64 * 8)) as usize;
+        let mut flipped = sealed;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(open(&flipped).is_err(), "bit {} flipped undetected", bit);
+    }
+
+    /// Incremental envelopes get the same guarantees: a sealed delta
+    /// reopens equal (and applies back to the exact next checkpoint),
+    /// and any single bit flip in it is detected.
+    #[test]
+    fn delta_envelopes_roundtrip_and_detect_bit_flips(
+        arc_labels in proptest::collection::vec(any::<u64>(), 1..5),
+        rc_pool in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..4), 1..4),
+        arc_picks in proptest::collection::vec(any::<u64>(), 0..10),
+        rc_picks in proptest::collection::vec(any::<u64>(), 0..8),
+        extra in any::<u64>(),
+        raw_bit in any::<u64>(),
+    ) {
+        let (doc, arc_refs, rc_refs) = build_doc(&arc_labels, &arc_picks, &rc_pool, &rc_picks);
+        let base = checkpoint(&doc);
+        let mut grown = doc.clone();
+        grown.rcs.push(CkRc::new(vec![extra]));
+        let next = checkpoint(&grown);
+        let delta = diff(&base, &next);
+
+        let sealed = seal_delta(
+            SnapshotMeta { epoch: 2, base_epoch: 1, tick: 5, items: 0 },
+            &delta,
+        );
+        let (m, payload) = open(&sealed).expect("own seal verifies");
+        prop_assert!(m.is_delta());
+        let Payload::Delta(reopened) = payload else {
+            panic!("sealed delta, opened a full");
+        };
+        prop_assert_eq!(&reopened, &delta);
+        let rebuilt = rbs_checkpoint::apply(&base, &reopened).expect("apply");
+        prop_assert_eq!(&rebuilt.root, &next.root);
+        prop_assert_eq!(&rebuilt.shared, &next.shared);
+        let back: Doc = restore(&rebuilt).expect("restore");
+        prop_assert_eq!(back.arcs.len(), arc_refs.len());
+        prop_assert_eq!(back.rcs.len(), rc_refs.len() + 1);
+
+        let bit = (raw_bit % (sealed.len() as u64 * 8)) as usize;
+        let mut flipped = sealed;
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(open(&flipped).is_err(), "bit {} flipped undetected", bit);
+    }
+
+    /// `open` is total: arbitrary bytes produce `Ok` or `Err`, never a
+    /// panic — and without a valid checksum they cannot produce `Ok`.
+    #[test]
+    fn open_is_total_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        prop_assert!(open(&bytes).is_err(), "random bytes passed verification");
+    }
+
+    /// Truncating a valid envelope anywhere must be detected too (torn
+    /// writes are the main non-flip corruption).
+    #[test]
+    fn truncation_is_detected(
+        arc_labels in proptest::collection::vec(any::<u64>(), 1..5),
+        rc_pool in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..4), 1..4),
+        arc_picks in proptest::collection::vec(any::<u64>(), 0..10),
+        rc_picks in proptest::collection::vec(any::<u64>(), 0..8),
+        raw_cut in any::<u64>(),
+    ) {
+        let (doc, _, _) = build_doc(&arc_labels, &arc_picks, &rc_pool, &rc_picks);
+        let sealed = seal_full(meta(9), &checkpoint(&doc));
+        // Strictly shorter than the sealed envelope.
+        let cut = (raw_cut % sealed.len() as u64) as usize;
+        prop_assert!(open(&sealed[..cut]).is_err(), "truncation at {} undetected", cut);
+    }
+}

@@ -7,7 +7,10 @@
 
 use crate::rule::Action;
 use crate::trie::FwTrie;
-use rbs_checkpoint::{checkpoint, restore, Checkpoint, SnapshotError};
+use rbs_checkpoint::{
+    checkpoint, restore, Checkpoint, CheckpointCtx, Checkpointable, RestoreCtx, Snapshot,
+    SnapshotError,
+};
 use rbs_netfx::batch::PacketBatch;
 use rbs_netfx::flow::FiveTuple;
 use rbs_netfx::pipeline::Operator;
@@ -109,6 +112,27 @@ impl Operator for FirewallOp {
 
     fn name(&self) -> &str {
         "firewall"
+    }
+
+    // The pipeline-level state hooks delegate to the trie's
+    // `Checkpointable` impl inside the *shared* pipeline context, so
+    // `CkArc`-aliased rules deduplicate across stages too. Counters stay
+    // out, matching `checkpoint_rules`.
+    fn checkpoint_state(&self, ctx: &mut CheckpointCtx) -> Option<Snapshot> {
+        Some(self.trie.checkpoint(ctx))
+    }
+
+    fn restore_state(
+        &mut self,
+        snap: &Snapshot,
+        ctx: &mut RestoreCtx<'_>,
+    ) -> Result<(), SnapshotError> {
+        self.trie = FwTrie::restore(snap, ctx)?;
+        Ok(())
+    }
+
+    fn state_items(&self) -> u64 {
+        self.trie.rule_refs() as u64
     }
 }
 
@@ -234,5 +258,51 @@ mod tests {
     #[test]
     fn operator_name() {
         assert_eq!(firewall().name(), "firewall");
+    }
+
+    #[test]
+    fn pipeline_state_hooks_rebuild_a_warm_firewall() {
+        use rbs_netfx::pipeline::PipelineSpec;
+
+        let spec = PipelineSpec::new().stage(|| FirewallOp::new(FwTrie::new(), Action::Deny));
+        let live = spec.build();
+        assert_eq!(live.state_items(), 0);
+
+        // Control plane installs rules into the *live* pipeline only.
+        // (The spec's factory still builds empty firewalls — exactly the
+        // state a cold restart would lose.)
+        let stateless_replica = spec.build();
+        assert_eq!(stateless_replica.state_items(), 0);
+        drop(stateless_replica);
+        // No mutable stage access on Pipeline; drive state through a
+        // fresh op instead and checkpoint at the operator level.
+        let mut fw = firewall();
+        fw.trie_mut().insert(Rule::new(
+            9,
+            "extra",
+            Ipv4Addr::new(30, 0, 0, 0),
+            8,
+            Action::Allow,
+        ));
+        let rules = fw.trie().rule_refs();
+        assert!(rules >= 4);
+
+        let spec2 = {
+            let seed = fw.checkpoint_rules();
+            PipelineSpec::new().stage(move || {
+                let mut op = FirewallOp::new(FwTrie::new(), Action::Deny);
+                op.restore_rules(&seed).unwrap();
+                op
+            })
+        };
+        let warm = spec2.build();
+        assert_eq!(warm.state_items(), rules as u64);
+
+        // And the pipeline-level export/import path round-trips the same
+        // rule database.
+        let cp = warm.export_state();
+        let replica = spec2.build_with_state(&cp).unwrap();
+        assert_eq!(replica.state_items(), rules as u64);
+        assert_eq!(replica.export_state().root, cp.root);
     }
 }

@@ -26,6 +26,7 @@ pub mod batch;
 pub mod budget;
 pub mod checksum;
 pub mod flow;
+pub mod flowtrack;
 pub mod headers;
 pub mod nat;
 pub mod operators;
@@ -37,6 +38,7 @@ pub mod ratelimit;
 
 pub use batch::PacketBatch;
 pub use flow::FiveTuple;
+pub use flowtrack::{FlowEntry, FlowTracker};
 pub use nat::SourceNat;
 pub use packet::{Packet, PacketError};
 pub use pipeline::{Operator, Pipeline, PipelineSpec, StageStats};

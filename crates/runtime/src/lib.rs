@@ -63,6 +63,7 @@ pub mod stats;
 pub mod supervisor;
 pub mod worker;
 
+pub use rbs_checkpoint::{Buffered, SnapshotMeta};
 pub use runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};
 pub use shard::{shard_for, shard_of_packet};
 pub use stats::{RuntimeReport, WorkerSnapshot, WorkerStats};

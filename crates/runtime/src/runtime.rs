@@ -3,6 +3,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
+use rbs_checkpoint::{Buffered, Checkpoint, SnapshotMeta, SnapshotStore};
 use rbs_core::fault::FaultPlan;
 use rbs_netfx::{PacketBatch, PipelineSpec};
 use rbs_sfi::channel::ChannelError;
@@ -40,6 +42,15 @@ pub struct RuntimeConfig {
     /// Seed for deterministic backoff jitter (used even without the
     /// `fault-injection` feature).
     pub supervisor_seed: u64,
+    /// Take a per-worker state snapshot every this many supervision
+    /// ticks; `0` disables snapshotting entirely (no snapshot work
+    /// items, no restore chain — crashes recover cold, exactly the
+    /// pre-recovery behavior).
+    pub snapshot_interval_ticks: u64,
+    /// Every `snapshot_full_every`-th snapshot is a full image; the ones
+    /// between are deltas against the last full base. `1` makes every
+    /// snapshot full.
+    pub snapshot_full_every: u32,
     /// Deterministic fault schedule injected into workers and the
     /// dispatch path; `None` runs clean.
     #[cfg(feature = "fault-injection")]
@@ -55,6 +66,8 @@ impl Default for RuntimeConfig {
             send_deadline: Duration::from_secs(1),
             hang_timeout: Duration::from_secs(5),
             supervisor_seed: 0,
+            snapshot_interval_ticks: 0,
+            snapshot_full_every: 4,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -109,6 +122,10 @@ struct WorkerSlot {
     /// accounting.
     zombies: Vec<std::thread::JoinHandle<()>>,
     stats: Arc<WorkerStats>,
+    /// Double-buffered sealed snapshots of this worker's pipeline state,
+    /// written by the worker thread on the snapshot cadence and read by
+    /// the supervisor at heal time.
+    store: Arc<Mutex<SnapshotStore>>,
     health: SlotHealth,
     /// Batches routed to this shard (including ones later lost).
     dispatched: u64,
@@ -132,6 +149,14 @@ struct WorkerSlot {
     /// Send attempts at this slot — the occurrence counter for
     /// channel-send fault injection.
     send_attempts: u64,
+    /// Respawns handed a verified snapshot.
+    warm_restores: u64,
+    /// Respawns that started from clean state.
+    cold_restores: u64,
+    /// Buffered snapshots rejected during recovery.
+    snapshot_rejects: u64,
+    /// State items destroyed by crashes, summed over all recoveries.
+    state_items_lost: u64,
 }
 
 impl WorkerSlot {
@@ -151,6 +176,13 @@ impl WorkerSlot {
     }
 
     fn snapshot(&self, index: usize) -> WorkerSnapshot {
+        let (snapshots_taken, latest_snapshot) = {
+            let store = self.store.lock();
+            (
+                store.stats().snapshots_taken(),
+                store.latest().map(|s| s.meta()),
+            )
+        };
         WorkerSnapshot {
             index,
             state: self.domain.state(),
@@ -171,6 +203,14 @@ impl WorkerSlot {
             redistributed_packets: self.redistributed_packets,
             send_timeouts: self.send_timeouts,
             faults: self.stats.faults(),
+            state_items: self.stats.state_items(),
+            warm_restores: self.warm_restores,
+            cold_restores: self.cold_restores,
+            snapshot_rejects: self.snapshot_rejects,
+            state_items_lost: self.state_items_lost,
+            import_failures: self.stats.import_failures(),
+            snapshots_taken,
+            latest_snapshot,
             stage_stats: self.stats.final_stage_stats(),
         }
     }
@@ -220,6 +260,10 @@ pub struct ShardedRuntime {
     events: Vec<SupervisorEvent>,
     /// Jitter source; seeded from the config so runs replay.
     jitter_plan: FaultPlan,
+    /// Set once the workers have been stopped and joined; makes the
+    /// teardown idempotent between [`ShardedRuntime::shutdown`] and
+    /// `Drop`.
+    finished: bool,
 }
 
 impl ShardedRuntime {
@@ -235,6 +279,7 @@ impl ShardedRuntime {
                 .create_domain(format!("worker-{index}"))
                 .map_err(RuntimeError::DomainCreation)?;
             let stats = Arc::new(WorkerStats::new(epoch));
+            let store = Arc::new(Mutex::new(SnapshotStore::new(config.snapshot_full_every)));
             let (sender, thread) = spawn_worker(
                 index,
                 0,
@@ -243,6 +288,8 @@ impl ShardedRuntime {
                 Arc::clone(&stats),
                 config.queue_capacity,
                 config.plan(),
+                Arc::clone(&store),
+                None,
             );
             slots.push(WorkerSlot {
                 domain,
@@ -250,6 +297,7 @@ impl ShardedRuntime {
                 thread: Some(thread),
                 zombies: Vec::new(),
                 stats,
+                store,
                 health: SlotHealth::new(),
                 dispatched: 0,
                 lost: 0,
@@ -261,6 +309,10 @@ impl ShardedRuntime {
                 redistributed_packets: 0,
                 send_timeouts: 0,
                 send_attempts: 0,
+                warm_restores: 0,
+                cold_restores: 0,
+                snapshot_rejects: 0,
+                state_items_lost: 0,
             });
         }
         let jitter_plan = FaultPlan::new(config.supervisor_seed);
@@ -273,6 +325,7 @@ impl ShardedRuntime {
             offered_packets: 0,
             events: Vec::new(),
             jitter_plan,
+            finished: false,
         })
     }
 
@@ -329,7 +382,9 @@ impl ShardedRuntime {
     }
 
     /// One supervision pass: advance the logical clock, watchdog-check
-    /// busy workers, detect faults, and apply the restart policy.
+    /// busy workers, detect faults, apply the restart policy, and — on
+    /// the snapshot cadence — ask every healthy worker to checkpoint its
+    /// pipeline state.
     fn supervise(&mut self) -> Result<(), RuntimeError> {
         self.tick += 1;
         for index in 0..self.slots.len() {
@@ -337,7 +392,31 @@ impl ShardedRuntime {
             self.observe_slot(index);
             self.advance_slot(index)?;
         }
+        let interval = self.config.snapshot_interval_ticks;
+        if interval > 0 && self.tick.is_multiple_of(interval) {
+            self.request_snapshots();
+        }
         Ok(())
+    }
+
+    /// Sends a snapshot request to every worker the dispatcher would
+    /// feed. Deliberately *not* routed through `send_accounted`: snapshot
+    /// items are control traffic — they must not consume channel-send
+    /// fault occurrences or batch accounting, or enabling snapshots
+    /// would perturb an otherwise identical chaos schedule.
+    fn request_snapshots(&mut self) {
+        let deadline = self.config.send_deadline;
+        let tick = self.tick;
+        for slot in &mut self.slots {
+            if !slot.health.state.accepts_work() || !slot.is_healthy() {
+                continue;
+            }
+            // A failed send means the worker just faulted; the next
+            // supervision pass accounts it, and this cadence is skipped.
+            let _ = slot
+                .sender
+                .send_deadline(WorkItem::Snapshot { tick }, deadline);
+        }
     }
 
     /// Declares a worker hung when one batch has been executing longer
@@ -607,7 +686,8 @@ impl ShardedRuntime {
     /// thread (hung threads were already moved to the zombie list by the
     /// watchdog), account lost batches, recover the domain (paper §3:
     /// unwind → poison table → drain in-flight → recovery function), and
-    /// respawn the worker with a fresh pipeline on a fresh channel.
+    /// respawn the worker on a fresh channel — warm from the slot's
+    /// newest verified snapshot when snapshotting is on, cold otherwise.
     ///
     /// Breaker bookkeeping belongs to the callers: the policy path keeps
     /// its consecutive-fault count, the manual path resets it.
@@ -639,9 +719,9 @@ impl ShardedRuntime {
             }
             DomainState::Failed => {
                 // The runtime's recovery function: state re-init is
-                // rebuilding the pipeline from the spec, which the
-                // respawn below does — the domain itself carries nothing
-                // else, so reactivation is all that is left.
+                // rebuilding the pipeline (from snapshot or spec), which
+                // the respawn below does — the domain itself carries
+                // nothing else, so reactivation is all that is left.
                 slot.domain.set_recovery(|_| {});
                 if !slot.domain.recover() {
                     return Err(RuntimeError::Unrecoverable { worker: index });
@@ -652,6 +732,16 @@ impl ShardedRuntime {
             }
         }
 
+        let initial_state = if self.config.snapshot_interval_ticks > 0 {
+            self.restore_chain(index)
+        } else {
+            // Snapshotting off: recovery is cold by definition, with no
+            // restore events — the pre-recovery runtime's behavior,
+            // replayed exactly.
+            None
+        };
+
+        let slot = &mut self.slots[index];
         slot.respawns += 1;
         let (sender, thread) = spawn_worker(
             index,
@@ -661,10 +751,78 @@ impl ShardedRuntime {
             Arc::clone(&slot.stats),
             capacity,
             plan,
+            Arc::clone(&slot.store),
+            initial_state,
         );
         slot.sender = sender;
         slot.thread = Some(thread);
         Ok(())
+    }
+
+    /// Walks the snapshot fallback chain for a dead slot — latest
+    /// verified → previous → cold — journaling every step with exact
+    /// state-loss accounting. A snapshot that fails its checksum (or
+    /// cannot be decoded/applied) is *never* restored: it is rejected
+    /// with its error kind and the chain falls through.
+    ///
+    /// Returns the checkpoint to inject into the replacement, or `None`
+    /// for a cold start.
+    fn restore_chain(&mut self, index: usize) -> Option<Arc<Checkpoint>> {
+        // The gauge still holds the dead generation's last value: the
+        // state the crash destroyed.
+        let items_at_crash = self.slots[index].stats.state_items();
+        for which in [Buffered::Latest, Buffered::Previous] {
+            let candidate = {
+                let store = self.slots[index].store.lock();
+                store.buffered(which).map(|s| (s.meta(), s.open()))
+            };
+            match candidate {
+                None => continue,
+                Some((meta, Ok(cp))) => {
+                    let age_ticks = self.tick.saturating_sub(meta.tick);
+                    let items_lost = items_at_crash.saturating_sub(meta.items);
+                    let slot = &mut self.slots[index];
+                    slot.warm_restores += 1;
+                    slot.state_items_lost += items_lost;
+                    // Pre-set the gauge to the restored count so a crash
+                    // racing the replacement's build does not re-account
+                    // the dead generation's items; the worker overwrites
+                    // it with the truth once its pipeline is up.
+                    slot.stats.set_state_items(meta.items);
+                    self.push_event(
+                        index,
+                        SupervisorEventKind::WarmRestore {
+                            epoch: meta.epoch,
+                            age_ticks,
+                            items_restored: meta.items,
+                            items_lost,
+                        },
+                    );
+                    return Some(Arc::new(cp));
+                }
+                Some((_, Err(e))) => {
+                    self.slots[index].snapshot_rejects += 1;
+                    self.push_event(
+                        index,
+                        SupervisorEventKind::SnapshotRejected {
+                            which: which.name(),
+                            reason: e.kind(),
+                        },
+                    );
+                }
+            }
+        }
+        let slot = &mut self.slots[index];
+        slot.cold_restores += 1;
+        slot.state_items_lost += items_at_crash;
+        slot.stats.set_state_items(0);
+        self.push_event(
+            index,
+            SupervisorEventKind::ColdRestore {
+                items_lost: items_at_crash,
+            },
+        );
+        None
     }
 
     /// Waits until every dispatched batch is either processed or
@@ -707,15 +865,50 @@ impl ShardedRuntime {
             .collect()
     }
 
-    /// Stops all workers (orderly: queues drain first), joins their
+    /// Metadata of one buffered snapshot of worker `index`'s state, if
+    /// that buffer holds one.
+    pub fn snapshot_meta(&self, index: usize, which: Buffered) -> Option<SnapshotMeta> {
+        self.slots[index]
+            .store
+            .lock()
+            .buffered(which)
+            .map(|s| s.meta())
+    }
+
+    /// Flips one bit inside a buffered snapshot of worker `index` —
+    /// scripted corruption for recovery tests. Returns `false` when the
+    /// buffer is empty. The next restore from that buffer must detect
+    /// the damage and fall through the chain; restoring garbage is the
+    /// failure mode this runtime's envelopes exist to rule out.
+    pub fn corrupt_snapshot(&mut self, index: usize, which: Buffered) -> bool {
+        self.slots[index].store.lock().corrupt(which)
+    }
+
+    /// Sends one out-of-cadence snapshot request to worker `index`
+    /// (test/tooling path; blocks up to the send deadline). Returns
+    /// whether the request was enqueued.
+    pub fn request_snapshot(&mut self, index: usize) -> bool {
+        let tick = self.tick;
+        self.slots[index]
+            .sender
+            .send_deadline(WorkItem::Snapshot { tick }, self.config.send_deadline)
+            .is_ok()
+    }
+
+    /// Stops all workers (orderly: queues drain first; with snapshotting
+    /// on, each worker seals one final state snapshot) and joins their
     /// threads — zombies included, waiting out bounded stalls so their
-    /// final batches land in the accounting — and reports merged
-    /// statistics.
-    pub fn shutdown(mut self) -> RuntimeReport {
+    /// final batches land in the accounting. Idempotent.
+    fn stop_workers(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let snapshot_tick = (self.config.snapshot_interval_ticks > 0).then_some(self.tick);
         for slot in &mut self.slots {
             // A dead worker's sender is revoked; that is fine — its
             // losses are already (or about to be) accounted.
-            let _ = slot.sender.send(WorkItem::Shutdown);
+            let _ = slot.sender.send(WorkItem::Shutdown { snapshot_tick });
         }
         let zombie_deadline = Instant::now() + Duration::from_secs(5);
         for slot in &mut self.slots {
@@ -736,6 +929,14 @@ impl ShardedRuntime {
             }
             slot.refresh_losses();
         }
+    }
+
+    /// Stops all workers and reports merged statistics. With
+    /// snapshotting on, each worker's final act is sealing a snapshot of
+    /// its live state, so the report's `latest_snapshot` metadata equals
+    /// the state the pipeline held at the end.
+    pub fn shutdown(mut self) -> RuntimeReport {
+        self.stop_workers();
         let snapshots = self.snapshots();
         let histograms = self
             .slots
@@ -745,7 +946,24 @@ impl ShardedRuntime {
         for slot in &self.slots {
             self.manager.destroy_domain(&slot.domain);
         }
-        RuntimeReport::from_snapshots(snapshots, histograms, self.offered_packets, self.events)
+        RuntimeReport::from_snapshots(
+            snapshots,
+            histograms,
+            self.offered_packets,
+            std::mem::take(&mut self.events),
+        )
+    }
+}
+
+impl Drop for ShardedRuntime {
+    /// A runtime dropped without [`ShardedRuntime::shutdown`] still
+    /// stops its workers cleanly — including the final state snapshot —
+    /// so no worker thread outlives the value that owns its domain.
+    fn drop(&mut self) {
+        self.stop_workers();
+        for slot in &self.slots {
+            self.manager.destroy_domain(&slot.domain);
+        }
     }
 }
 

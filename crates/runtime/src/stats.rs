@@ -35,6 +35,14 @@ pub struct WorkerStats {
     packets_out: AtomicU64,
     drops: AtomicU64,
     faults: AtomicU64,
+    /// Gauge: state items (rules, flows) the live pipeline currently
+    /// holds. Written by the worker after build and after every
+    /// completed batch; read by the supervisor at heal time to account
+    /// exactly how much state the crash destroyed.
+    state_items: AtomicU64,
+    /// Warm spawns whose state injection failed (shape mismatch); the
+    /// worker fell back to a cold pipeline.
+    import_failures: AtomicU64,
     /// Heartbeat: a token while a batch is executing (nanos since the
     /// runtime epoch, low bits the spawn sequence), zero while idle. The
     /// supervisor's watchdog reads it to tell *hung* from idle.
@@ -56,6 +64,8 @@ impl WorkerStats {
             packets_out: AtomicU64::new(0),
             drops: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            state_items: AtomicU64::new(0),
+            import_failures: AtomicU64::new(0),
             busy_since: AtomicU64::new(0),
             cycles: Mutex::new(LogHistogram::new(CYCLE_HIST_PRECISION)),
             epoch,
@@ -74,6 +84,14 @@ impl WorkerStats {
 
     pub(crate) fn record_fault(&self) {
         self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn set_state_items(&self, items: u64) {
+        self.state_items.store(items, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_import_failure(&self) {
+        self.import_failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks the start of a batch and returns the heartbeat token the
@@ -142,6 +160,16 @@ impl WorkerStats {
         self.faults.load(Ordering::Relaxed)
     }
 
+    /// State items (rules, flows) the live pipeline holds right now.
+    pub fn state_items(&self) -> u64 {
+        self.state_items.load(Ordering::Relaxed)
+    }
+
+    /// Warm spawns that fell back to a cold pipeline.
+    pub fn import_failures(&self) -> u64 {
+        self.import_failures.load(Ordering::Relaxed)
+    }
+
     /// A copy of the per-batch cycle histogram.
     pub fn cycle_histogram(&self) -> LogHistogram {
         self.cycles.lock().clone()
@@ -198,6 +226,29 @@ pub struct WorkerSnapshot {
     pub send_timeouts: u64,
     /// Contained panics.
     pub faults: u64,
+    /// State items (rules, flows) the live pipeline held at snapshot
+    /// time.
+    pub state_items: u64,
+    /// Respawns handed a verified snapshot of the dead generation's
+    /// state.
+    pub warm_restores: u64,
+    /// Respawns that started from clean per-operator state (no usable
+    /// snapshot).
+    pub cold_restores: u64,
+    /// Buffered snapshots rejected during recovery (corrupt, truncated,
+    /// or inapplicable).
+    pub snapshot_rejects: u64,
+    /// State items destroyed by crashes (summed over all recoveries:
+    /// everything accumulated since the restored snapshot, or since
+    /// birth for cold restarts).
+    pub state_items_lost: u64,
+    /// Warm spawns whose state injection failed; the worker fell back
+    /// to a cold pipeline.
+    pub import_failures: u64,
+    /// Snapshots recorded into this worker's store (full + delta).
+    pub snapshots_taken: u64,
+    /// Metadata of the newest buffered snapshot, if any.
+    pub latest_snapshot: Option<rbs_checkpoint::SnapshotMeta>,
     /// Per-stage counters from the last clean shutdown, if available.
     pub stage_stats: Option<Vec<(String, StageStats)>>,
 }
@@ -233,6 +284,18 @@ pub struct RuntimeReport {
     pub respawns: u64,
     /// Watchdog kills across all workers.
     pub watchdog_kills: u64,
+    /// Respawns that restored state from a verified snapshot.
+    pub warm_restores: u64,
+    /// Respawns that started from clean state.
+    pub cold_restores: u64,
+    /// Buffered snapshots rejected during recovery.
+    pub snapshot_rejects: u64,
+    /// State items destroyed by crashes, summed over all recoveries.
+    pub state_items_lost: u64,
+    /// Warm spawns that fell back to a cold pipeline at injection.
+    pub import_failures: u64,
+    /// Snapshots recorded across all workers (full + delta).
+    pub snapshots_taken: u64,
     /// Times a worker's breaker opened.
     pub breaker_opens: u64,
     /// Times an open breaker let a probe generation through.
@@ -275,6 +338,12 @@ impl RuntimeReport {
             faults: workers.iter().map(|w| w.faults).sum(),
             respawns: workers.iter().map(|w| w.respawns).sum(),
             watchdog_kills: workers.iter().map(|w| w.watchdog_kills).sum(),
+            warm_restores: workers.iter().map(|w| w.warm_restores).sum(),
+            cold_restores: workers.iter().map(|w| w.cold_restores).sum(),
+            snapshot_rejects: workers.iter().map(|w| w.snapshot_rejects).sum(),
+            state_items_lost: workers.iter().map(|w| w.state_items_lost).sum(),
+            import_failures: workers.iter().map(|w| w.import_failures).sum(),
+            snapshots_taken: workers.iter().map(|w| w.snapshots_taken).sum(),
             breaker_opens: count(|k| matches!(k, SupervisorEventKind::BreakerOpened { .. })),
             breaker_half_opens: count(|k| matches!(k, SupervisorEventKind::BreakerHalfOpened)),
             breaker_closes: count(|k| matches!(k, SupervisorEventKind::BreakerClosed)),

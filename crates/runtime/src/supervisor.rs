@@ -188,6 +188,34 @@ pub enum SupervisorEventKind {
         /// Packets shed.
         packets: u64,
     },
+    /// A respawned worker was handed a verified snapshot of its
+    /// predecessor's state.
+    WarmRestore {
+        /// Epoch of the snapshot restored from.
+        epoch: u64,
+        /// Supervision ticks between the snapshot and the restore — the
+        /// staleness bound on the recovered state.
+        age_ticks: u64,
+        /// State items the snapshot carried.
+        items_restored: u64,
+        /// State items accumulated after the snapshot and lost with the
+        /// crash (live gauge at crash minus `items_restored`).
+        items_lost: u64,
+    },
+    /// A buffered snapshot failed verification (or could not be applied)
+    /// and was skipped; recovery fell through to the next candidate.
+    SnapshotRejected {
+        /// Which buffer was rejected (`"latest"` / `"previous"`).
+        which: &'static str,
+        /// Stable [`rbs_checkpoint::RestoreError::kind`] name.
+        reason: &'static str,
+    },
+    /// No usable snapshot existed; the worker restarted from clean
+    /// per-operator state.
+    ColdRestore {
+        /// State items lost with the crash (live gauge at crash).
+        items_lost: u64,
+    },
 }
 
 impl SupervisorEventKind {
@@ -203,6 +231,9 @@ impl SupervisorEventKind {
             SupervisorEventKind::Respawn => "respawn",
             SupervisorEventKind::Redistributed { .. } => "redistributed",
             SupervisorEventKind::Shed { .. } => "shed",
+            SupervisorEventKind::WarmRestore { .. } => "warm-restore",
+            SupervisorEventKind::SnapshotRejected { .. } => "snapshot-rejected",
+            SupervisorEventKind::ColdRestore { .. } => "cold-restore",
         }
     }
 }

@@ -3,6 +3,8 @@
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use parking_lot::Mutex;
+use rbs_checkpoint::{Checkpoint, SnapshotStore};
 use rbs_core::fault::{self, FaultKind, FaultPlan, FaultSite};
 use rbs_netfx::{PacketBatch, PipelineSpec};
 use rbs_sfi::channel::channel;
@@ -14,8 +16,20 @@ use crate::stats::WorkerStats;
 pub enum WorkItem {
     /// A batch of packets belonging to this worker's shard.
     Batch(PacketBatch),
-    /// Orderly stop: finish the queue drained so far and exit.
-    Shutdown,
+    /// Export the pipeline's live state into the slot's snapshot store,
+    /// stamped with the supervision tick the request was issued on.
+    Snapshot {
+        /// Logical tick of the requesting supervision pass.
+        tick: u64,
+    },
+    /// Orderly stop: finish the queue drained so far and exit. When
+    /// `snapshot_tick` is set, take one final snapshot first so the
+    /// store's newest entry equals the pipeline's last live state.
+    Shutdown {
+        /// Tick to stamp the final snapshot with, or `None` to skip it
+        /// (snapshotting disabled).
+        snapshot_tick: Option<u64>,
+    },
 }
 
 /// Spawns a worker thread dedicated to `domain`.
@@ -28,7 +42,18 @@ pub enum WorkItem {
 /// thread installs it as its ambient plan (stream = shard index) so
 /// in-pipeline chaos points fire on schedule.
 ///
+/// `store` is the slot's double-buffered snapshot store, shared with the
+/// supervisor (which restores from it at heal time). `initial_state` is
+/// a verified checkpoint of the dead generation's pipeline: the worker
+/// injects it into its freshly built pipeline (warm recovery), falling
+/// back to a cold pipeline — with the failure counted — if the shapes
+/// no longer match.
+///
 /// Returns the dispatcher-side sender and the join handle.
+#[expect(
+    clippy::too_many_arguments,
+    reason = "internal constructor mirroring the slot's full wiring"
+)]
 pub(crate) fn spawn_worker(
     index: usize,
     spawn_seq: u64,
@@ -37,6 +62,8 @@ pub(crate) fn spawn_worker(
     stats: Arc<WorkerStats>,
     queue_capacity: usize,
     faults: Option<Arc<FaultPlan>>,
+    store: Arc<Mutex<SnapshotStore>>,
+    initial_state: Option<Arc<Checkpoint>>,
 ) -> (DomainSender<WorkItem>, JoinHandle<()>) {
     let (tx, rx) = channel::<WorkItem>(&domain, queue_capacity);
     // Attach-site injection, decided *synchronously* on the spawning
@@ -75,7 +102,30 @@ pub(crate) fn spawn_worker(
                 fault::fire_sleep(sleep);
             }
             let work = move || {
-                let mut pipeline = spec.build();
+                let mut pipeline = match initial_state {
+                    Some(cp) => match spec.build_with_state(&cp) {
+                        Ok(p) => p,
+                        Err(_) => {
+                            // The snapshot verified but no longer fits
+                            // this spec (e.g. the pipeline shape
+                            // changed). Never half-apply: count it and
+                            // start cold.
+                            stats.record_import_failure();
+                            spec.build()
+                        }
+                    },
+                    None => spec.build(),
+                };
+                stats.set_state_items(pipeline.state_items());
+                // Records one snapshot, inside the domain so an injected
+                // encode fault unwinds to the boundary like any pipeline
+                // panic. The store seals before committing, so a fault
+                // mid-encode leaves both buffers intact.
+                let take_snapshot = |pipeline: &rbs_netfx::Pipeline, tick: u64| {
+                    let cp = pipeline.export_state();
+                    let items = pipeline.state_items();
+                    store.lock().record(&cp, tick, items);
+                };
                 loop {
                     match rx.recv() {
                         Ok(WorkItem::Batch(batch)) => {
@@ -92,6 +142,7 @@ pub(crate) fn spawn_worker(
                                 Ok(out) => {
                                     let cycles = rbs_core::cycles::rdtsc().saturating_sub(start);
                                     stats.record_batch(n_in, out.len() as u64, cycles);
+                                    stats.set_state_items(pipeline.state_items());
                                     stats.mark_idle(token);
                                     drop(out);
                                 }
@@ -106,9 +157,42 @@ pub(crate) fn spawn_worker(
                                 }
                             }
                         }
-                        Ok(WorkItem::Shutdown) | Err(_) => {
+                        Ok(WorkItem::Snapshot { tick }) => {
+                            let token = stats.mark_busy(spawn_seq);
+                            match domain.execute(|| take_snapshot(&pipeline, tick)) {
+                                Ok(()) => stats.mark_idle(token),
+                                Err(_) => {
+                                    // An encode fault kills the worker
+                                    // like a batch fault — but no batch
+                                    // was in flight, so batch accounting
+                                    // is untouched.
+                                    stats.mark_idle(token);
+                                    stats.record_fault();
+                                    return;
+                                }
+                            }
+                        }
+                        Ok(WorkItem::Shutdown { snapshot_tick }) => {
+                            if let Some(tick) = snapshot_tick {
+                                // Best-effort final snapshot: an encode
+                                // fault here only costs the freshness of
+                                // the last buffered entry.
+                                if domain.execute(|| take_snapshot(&pipeline, tick)).is_err() {
+                                    stats.record_fault();
+                                }
+                            }
                             // Clean exit: preserve the pipeline's per-stage
                             // counters for the final report.
+                            let stages = pipeline
+                                .stage_names()
+                                .iter()
+                                .map(|n| (*n).to_owned())
+                                .zip(pipeline.stage_stats().iter().copied())
+                                .collect();
+                            stats.store_final_stages(stages);
+                            return;
+                        }
+                        Err(_) => {
                             let stages = pipeline
                                 .stage_names()
                                 .iter()

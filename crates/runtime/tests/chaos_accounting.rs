@@ -19,7 +19,7 @@ use proptest::prelude::*;
 use rbs_core::fault::{FaultKind, FaultPlan, FaultSite};
 use rbs_netfx::headers::ethernet::MacAddr;
 use rbs_netfx::operators::ChaosPoint;
-use rbs_netfx::{Packet, PacketBatch, PipelineSpec};
+use rbs_netfx::{FlowTracker, Packet, PacketBatch, PipelineSpec};
 use rbs_runtime::{
     shard_of_packet, BreakerState, RestartPolicy, RuntimeConfig, RuntimeReport, ShardedRuntime,
     SupervisorEvent, SupervisorEventKind,
@@ -60,22 +60,34 @@ fn chaos_spec() -> PipelineSpec {
     PipelineSpec::new().stage(|| ChaosPoint::new(0))
 }
 
+/// The stateful variant: the chaos point feeding a flow tracker, so
+/// crashes destroy real per-flow state and warm restores carry it back.
+fn stateful_chaos_spec() -> PipelineSpec {
+    PipelineSpec::new()
+        .stage(|| ChaosPoint::new(0))
+        .stage(|| FlowTracker::new(100_000))
+}
+
 /// Runs `rounds` lockstep dispatch+drain rounds under `plan` and returns
 /// the shutdown report. Lockstep keeps the supervision clock decoupled
 /// from thread timing: every fault from round `r` is observed during
-/// round `r`'s drain.
+/// round `r`'s drain. `snapshot_interval` > 0 turns on checkpoint-backed
+/// warm recovery (the pipeline is stateful either way).
 fn run_chaos(
     plan: FaultPlan,
     workers: usize,
     rounds: usize,
     restart: RestartPolicy,
+    snapshot_interval: u64,
 ) -> RuntimeReport {
     let mut rt = ShardedRuntime::new(
-        chaos_spec(),
+        stateful_chaos_spec(),
         RuntimeConfig {
             workers,
             queue_capacity: 8,
             restart,
+            snapshot_interval_ticks: snapshot_interval,
+            snapshot_full_every: 2,
             #[cfg(feature = "fault-injection")]
             faults: Some(Arc::new(plan)),
             ..RuntimeConfig::default()
@@ -167,6 +179,8 @@ proptest! {
         close_ppm in 0u32..30_000,
         send_stall_ppm in 0u32..30_000,
         attach_ppm in 0u32..20_000,
+        encode_ppm in 0u32..40_000,
+        snapshot_interval in 0u64..4,
         rounds in 3usize..8,
     ) {
         let plan = FaultPlan::new(seed)
@@ -175,7 +189,8 @@ proptest! {
             .inject(FaultSite::Operator(0), FaultKind::Delay { micros: 50 }, delay_ppm)
             .inject(FaultSite::ChannelSend, FaultKind::CloseChannel, close_ppm)
             .inject(FaultSite::ChannelSend, FaultKind::Stall { millis: 1 }, send_stall_ppm)
-            .inject(FaultSite::DomainAttach, FaultKind::Panic, attach_ppm);
+            .inject(FaultSite::DomainAttach, FaultKind::Panic, attach_ppm)
+            .inject(FaultSite::CheckpointEncode, FaultKind::Panic, encode_ppm);
         let restart = RestartPolicy {
             max_consecutive_faults: 2,
             backoff_base_ticks: 1,
@@ -183,13 +198,20 @@ proptest! {
             breaker_cooldown_ticks: 3,
             backoff_jitter_ticks: 2,
         };
-        let report = run_chaos(plan, 3, rounds, restart);
+        let report = run_chaos(plan, 3, rounds, restart, snapshot_interval);
         assert_conserved(&report);
         prop_assert_eq!(
             report.offered_packets,
             (rounds as u64) * 24,
             "every offered packet was counted"
         );
+        // The store seals before committing, so even encode faults never
+        // leave anything unverifiable behind.
+        prop_assert_eq!(report.snapshot_rejects, 0);
+        if snapshot_interval == 0 {
+            prop_assert_eq!(report.snapshots_taken, 0);
+            prop_assert_eq!(report.warm_restores, 0);
+        }
     }
 }
 
@@ -379,7 +401,9 @@ fn fixed_seed_replays_identically() {
             breaker_cooldown_ticks: 3,
             backoff_jitter_ticks: 3,
         };
-        run_chaos(plan, 3, 12, restart)
+        // Snapshot cadence on: the replayed history includes snapshot
+        // work items, warm restores, and state-loss accounting.
+        run_chaos(plan, 3, 12, restart, 2)
     };
     let (a, b) = (run(), run());
     assert_conserved(&a);
@@ -401,6 +425,10 @@ fn fixed_seed_replays_identically() {
     assert_eq!(a.redistributed_packets, b.redistributed_packets);
     assert_eq!(a.faults, b.faults);
     assert_eq!(a.respawns, b.respawns);
+    assert_eq!(a.warm_restores, b.warm_restores);
+    assert_eq!(a.cold_restores, b.cold_restores);
+    assert_eq!(a.state_items_lost, b.state_items_lost);
+    assert_eq!(a.snapshots_taken, b.snapshots_taken);
     assert_eq!(a.breaker_opens, b.breaker_opens);
     assert_eq!(a.breaker_half_opens, b.breaker_half_opens);
     assert_eq!(a.breaker_closes, b.breaker_closes);
