@@ -202,6 +202,35 @@ pub fn measure_recovery(batches: usize) -> RecoveryOutcome {
         }
         rt.dispatch(batch).expect("dispatch under fault");
     }
+    // The single-pass dispatcher can enqueue the entire load before the
+    // victim even reaches the poison batch sitting in its queue; the
+    // crash would then only surface while draining, which deliberately
+    // never advances the supervision clock (no respawns during drain).
+    // Real deployments dispatch continuously — model that by pumping
+    // extra traffic (with a short yield so the victim gets cycles to hit
+    // the poison) until the supervisor has healed it, then a little more
+    // so the healed worker provably processes post-crash packets.
+    let mut pump = PacketGen::new(TrafficConfig {
+        flows: 4096,
+        payload_len: 64,
+        seed: 0xE9_0002,
+        ..Default::default()
+    });
+    let mut packets_offered = packets_offered;
+    for _ in 0..512 {
+        if rt.snapshots()[victim].respawns >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let b = pump.next_batch(BATCH_SIZE);
+        packets_offered += b.len() as u64;
+        rt.dispatch(b).expect("recovery pump dispatch");
+    }
+    for _ in 0..8 {
+        let b = pump.next_batch(BATCH_SIZE);
+        packets_offered += b.len() as u64;
+        rt.dispatch(b).expect("post-heal dispatch");
+    }
     assert!(
         rt.drain(std::time::Duration::from_secs(60)),
         "drain despite the crash"

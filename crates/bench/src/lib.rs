@@ -16,14 +16,17 @@
 //! | [`e9_scaling`] | ROADMAP north star — sharded runtime throughput scaling + recovery under load |
 //! | [`e10_chaos`] | ROADMAP robustness — goodput retained & recovery latency under deterministic fault injection |
 //! | [`e11_recovery`] | ROADMAP robustness — checkpoint-backed warm recovery: state survival by snapshot cadence |
+//! | [`e12_hotpath`] | ROADMAP perf — zero-allocation hot path: pooled buffers, batch recycling, single-pass dispatch |
 //!
 //! Each module exposes a `run(quick) -> String` that regenerates the
 //! table/series as text (the `experiments` binary prints them), plus
 //! typed result structs the tests assert *shape* properties on — who
 //! wins, by roughly what factor, where crossovers fall.
 
+pub mod alloc_count;
 pub mod e10_chaos;
 pub mod e11_recovery;
+pub mod e12_hotpath;
 pub mod e1_isolation;
 pub mod e2_remote_call;
 pub mod e3_recovery;

@@ -84,10 +84,33 @@ impl PacketBatch {
     /// Splits the batch by a predicate: `(matching, rest)`.
     ///
     /// Ownership of every packet moves into exactly one of the two result
-    /// batches — nothing is copied.
-    pub fn partition(self, mut pred: impl FnMut(&Packet) -> bool) -> (PacketBatch, PacketBatch) {
+    /// batches — nothing is copied. Both sides are pre-sized to the input
+    /// length, so neither reallocates mid-split regardless of how the
+    /// predicate divides the packets.
+    pub fn partition(self, pred: impl FnMut(&Packet) -> bool) -> (PacketBatch, PacketBatch) {
         let mut yes = PacketBatch::with_capacity(self.packets.len());
-        let mut no = PacketBatch::new();
+        let mut no = PacketBatch::with_capacity(self.packets.len());
+        self.partition_into(pred, &mut yes, &mut no);
+        (yes, no)
+    }
+
+    /// Splits the batch into caller-provided batches, reusing their
+    /// capacity.
+    ///
+    /// The allocation-free sibling of [`partition`](Self::partition): a
+    /// hot loop can keep two scratch batches alive, drain them after each
+    /// split, and call this repeatedly without ever touching the
+    /// allocator once the scratch capacity has grown to the high-water
+    /// mark. Each side reserves up to the input length before the split
+    /// so pushes never reallocate mid-loop.
+    pub fn partition_into(
+        self,
+        mut pred: impl FnMut(&Packet) -> bool,
+        yes: &mut PacketBatch,
+        no: &mut PacketBatch,
+    ) {
+        yes.reserve(self.packets.len());
+        no.reserve(self.packets.len());
         for p in self.packets {
             if pred(&p) {
                 yes.push(p);
@@ -95,7 +118,25 @@ impl PacketBatch {
                 no.push(p);
             }
         }
-        (yes, no)
+    }
+
+    /// Reserves capacity for at least `additional` more packets.
+    pub fn reserve(&mut self, additional: usize) {
+        self.packets.reserve(additional);
+    }
+
+    /// Number of packets the batch can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.packets.capacity()
+    }
+
+    /// Removes all packets front-to-back, keeping the allocation.
+    ///
+    /// Order-preserving (unlike repeated [`pop`](Self::pop)) — the
+    /// dispatcher relies on this to keep per-flow packet order intact
+    /// while recycling the batch's own allocation as scratch.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Packet> {
+        self.packets.drain(..)
     }
 
     /// Appends all packets of `other`, leaving it empty is not possible —
@@ -195,6 +236,44 @@ mod tests {
         assert_eq!(lo.len(), 5);
         assert_eq!(hi.len(), 5);
         assert!(lo.iter().all(|p| p.udp().unwrap().dst_port() <= 5));
+    }
+
+    #[test]
+    fn partition_presizes_both_sides() {
+        let b: PacketBatch = (1..=8).map(|p| pkt(p, 0)).collect();
+        // Worst case for the old asymmetric pre-sizing: everything lands
+        // in `no`. Neither side may reallocate during the split.
+        let (yes, no) = b.partition(|_| false);
+        assert_eq!(yes.len(), 0);
+        assert_eq!(no.len(), 8);
+        assert!(yes.capacity() >= 8);
+        assert!(no.capacity() >= 8);
+    }
+
+    #[test]
+    fn partition_into_reuses_scratch_without_realloc() {
+        let mut yes = PacketBatch::with_capacity(16);
+        let mut no = PacketBatch::with_capacity(16);
+        for round in 0..4 {
+            let b: PacketBatch = (1..=10).map(|p| pkt(p, 0)).collect();
+            b.partition_into(|p| p.udp().unwrap().dst_port() % 2 == 0, &mut yes, &mut no);
+            assert_eq!(yes.len(), 5, "round {round}");
+            assert_eq!(no.len(), 5, "round {round}");
+            assert_eq!(yes.capacity(), 16, "scratch must not grow");
+            assert_eq!(no.capacity(), 16, "scratch must not grow");
+            yes.drain();
+            no.drain();
+        }
+    }
+
+    #[test]
+    fn drain_preserves_order_and_capacity() {
+        let mut b: PacketBatch = (1..=5).map(|p| pkt(p, 0)).collect();
+        let cap = b.capacity();
+        let ports: Vec<u16> = b.drain().map(|p| p.udp().unwrap().dst_port()).collect();
+        assert_eq!(ports, vec![1, 2, 3, 4, 5], "front-to-back order");
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "allocation retained");
     }
 
     #[test]

@@ -159,6 +159,35 @@ impl Fx64 {
     }
 }
 
+/// The canonical flow hash of a packet: the 5-tuple hash when the frame
+/// parses as TCP/UDP over IPv4, otherwise a stable hash of the raw bytes.
+///
+/// This is the single definition both the dispatcher (sharding) and the
+/// pool-aware generator (hash stamping) agree on; [`Packet::flow_hash`]
+/// memoizes it on the packet.
+pub fn packet_flow_hash(packet: &Packet) -> u64 {
+    match FiveTuple::of(packet) {
+        Ok(tuple) => tuple.stable_hash(),
+        Err(_) => stable_hash_bytes(packet.as_slice()),
+    }
+}
+
+impl Packet {
+    /// The packet's flow hash, computed at most once.
+    ///
+    /// Returns the cached tag when present; otherwise computes
+    /// [`packet_flow_hash`] and caches it. Any mutable view taken after
+    /// this call invalidates the cache, so the value can never go stale.
+    pub fn flow_hash(&mut self) -> u64 {
+        if let Some(h) = self.cached_flow_hash() {
+            return h;
+        }
+        let h = packet_flow_hash(self);
+        self.set_cached_flow_hash(h);
+        h
+    }
+}
+
 /// Hashes an arbitrary byte string with the same mixer (for non-tuple
 /// keys, e.g. backend names in Maglev).
 pub fn stable_hash_bytes(bytes: &[u8]) -> u64 {
@@ -264,6 +293,36 @@ mod tests {
             stable_hash_bytes(b"backend-1"),
             stable_hash_bytes(b"backend-1")
         );
+    }
+
+    #[test]
+    fn flow_hash_memoizes_and_tracks_mutation() {
+        let mut p = Packet::build_udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1111,
+            2222,
+            8,
+        );
+        let h = p.flow_hash();
+        assert_eq!(p.cached_flow_hash(), Some(h));
+        assert_eq!(h, packet_flow_hash(&p), "cache agrees with recompute");
+
+        // Rewriting a header (NAT-style) must produce a fresh, different hash.
+        p.ipv4_mut().unwrap().set_src(Ipv4Addr::new(192, 168, 0, 7));
+        assert_eq!(p.cached_flow_hash(), None);
+        let h2 = p.flow_hash();
+        assert_ne!(h, h2);
+        assert_eq!(h2, packet_flow_hash(&p));
+    }
+
+    #[test]
+    fn flow_hash_falls_back_to_bytes_for_unparseable_frames() {
+        let mut p = Packet::from_slice(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        let h = p.flow_hash();
+        assert_eq!(h, stable_hash_bytes(&[0xDE, 0xAD, 0xBE, 0xEF]));
     }
 
     #[test]

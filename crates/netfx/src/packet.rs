@@ -77,20 +77,52 @@ impl std::error::Error for PacketError {}
 /// An owned network packet: Ethernet frame bytes plus parse metadata.
 pub struct Packet {
     buf: BytesMut,
+    /// Memoized flow hash (see [`crate::flow::packet_flow_hash`]): the
+    /// RSS dispatcher hashes every packet exactly once, so the tag is set
+    /// by the generator (which knows the 5-tuple it just emitted) or on
+    /// first access, and *invalidated by every mutable view* — a rewritten
+    /// header may change the flow the packet belongs to.
+    flow_hash: Option<u64>,
 }
 
 impl Packet {
     /// Wraps raw frame bytes; no validation is performed until a header
     /// view is requested.
     pub fn from_bytes(buf: BytesMut) -> Self {
-        Self { buf }
+        Self {
+            buf,
+            flow_hash: None,
+        }
     }
 
     /// Wraps a byte slice by copying it into a fresh buffer.
     pub fn from_slice(bytes: &[u8]) -> Self {
         Self {
             buf: BytesMut::from(bytes),
+            flow_hash: None,
         }
+    }
+
+    /// The memoized flow hash, if one has been computed (or stamped by
+    /// the generator) since the last mutable access.
+    pub fn cached_flow_hash(&self) -> Option<u64> {
+        self.flow_hash
+    }
+
+    /// Stamps the memoized flow hash.
+    ///
+    /// The value must equal what [`crate::flow::packet_flow_hash`] would
+    /// compute for the current frame bytes — stamping anything else makes
+    /// flow-affine dispatch silently unstable. Callers that cannot
+    /// guarantee that should let [`crate::flow::Packet::flow_hash`]
+    /// (first access) compute it instead.
+    pub fn set_cached_flow_hash(&mut self, hash: u64) {
+        self.flow_hash = Some(hash);
+    }
+
+    /// Drops the memoized flow hash; every mutable view calls this.
+    fn invalidate_flow_hash(&mut self) {
+        self.flow_hash = None;
     }
 
     /// Total frame length in bytes.
@@ -110,6 +142,7 @@ impl Packet {
 
     /// The raw frame bytes, mutably.
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        self.invalidate_flow_hash();
         &mut self.buf
     }
 
@@ -125,6 +158,7 @@ impl Packet {
 
     /// Mutable Ethernet header view.
     pub fn ethernet_mut(&mut self) -> Result<EthernetHdrMut<'_>, PacketError> {
+        self.invalidate_flow_hash();
         EthernetHdrMut::parse(&mut self.buf)
     }
 
@@ -143,6 +177,7 @@ impl Packet {
         if eth.ethertype() != EtherType::Ipv4 {
             return Err(PacketError::WrongProtocol { expected: "ipv4" });
         }
+        self.invalidate_flow_hash();
         Ipv4HdrMut::parse(&mut self.buf[ETHERNET_HDR_LEN..])
     }
 
@@ -164,6 +199,7 @@ impl Packet {
     /// Mutable UDP header view.
     pub fn udp_mut(&mut self) -> Result<UdpHdrMut<'_>, PacketError> {
         let off = self.l4_offset(IpProto::Udp, "udp")?;
+        self.invalidate_flow_hash();
         UdpHdrMut::parse(&mut self.buf[off..])
     }
 
@@ -176,6 +212,7 @@ impl Packet {
     /// Mutable TCP header view.
     pub fn tcp_mut(&mut self) -> Result<TcpHdrMut<'_>, PacketError> {
         let off = self.l4_offset(IpProto::Tcp, "tcp")?;
+        self.invalidate_flow_hash();
         TcpHdrMut::parse(&mut self.buf[off..])
     }
 
@@ -188,6 +225,7 @@ impl Packet {
     /// Mutable ICMP message view.
     pub fn icmp_mut(&mut self) -> Result<IcmpHdrMut<'_>, PacketError> {
         let off = self.l4_offset(IpProto::Icmp, "icmp")?;
+        self.invalidate_flow_hash();
         IcmpHdrMut::parse(&mut self.buf[off..])
     }
 
@@ -196,6 +234,14 @@ impl Packet {
         let off = self.l4_offset(IpProto::Udp, "udp")?;
         UdpHdr::parse(&self.buf[off..])?;
         Ok(&self.buf[off + UDP_HDR_LEN..])
+    }
+
+    /// Resets `buf` to `total` zero bytes, reusing its allocation when
+    /// the capacity suffices — the byte-for-byte equivalent of
+    /// `BytesMut::zeroed(total)` without the fresh allocation.
+    fn reset_zeroed(buf: &mut BytesMut, total: usize) {
+        buf.clear();
+        buf.resize(total, 0);
     }
 
     /// Builds a complete Ethernet/IPv4/UDP packet with `payload_len` zero
@@ -210,10 +256,37 @@ impl Packet {
         dst_port: u16,
         payload_len: usize,
     ) -> Packet {
+        Self::build_udp_into(
+            BytesMut::new(),
+            src_mac,
+            dst_mac,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            payload_len,
+        )
+    }
+
+    /// Like [`Packet::build_udp`] but writes into `buf` (typically a
+    /// recycled [`crate::pool::PacketPool`] slab), allocating only if the
+    /// buffer's capacity is too small. The resulting frame bytes are
+    /// identical to the freshly allocated path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_udp_into(
+        mut buf: BytesMut,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload_len: usize,
+    ) -> Packet {
         let udp_len = UDP_HDR_LEN + payload_len;
         let ip_len = IPV4_MIN_HDR_LEN + udp_len;
         let total = ETHERNET_HDR_LEN + ip_len;
-        let mut buf = BytesMut::zeroed(total);
+        Self::reset_zeroed(&mut buf, total);
         ethernet::emit(&mut buf, src_mac, dst_mac, EtherType::Ipv4);
         ipv4::emit(
             &mut buf[ETHERNET_HDR_LEN..],
@@ -230,7 +303,10 @@ impl Packet {
             src_port,
             dst_port,
         );
-        Packet { buf }
+        Packet {
+            buf,
+            flow_hash: None,
+        }
     }
 
     /// Builds a complete Ethernet/IPv4/ICMP echo packet with
@@ -249,7 +325,8 @@ impl Packet {
         let icmp_len = ICMP_ECHO_HDR_LEN + payload_len;
         let ip_len = IPV4_MIN_HDR_LEN + icmp_len;
         let total = ETHERNET_HDR_LEN + ip_len;
-        let mut buf = BytesMut::zeroed(total);
+        let mut buf = BytesMut::new();
+        Self::reset_zeroed(&mut buf, total);
         ethernet::emit(&mut buf, src_mac, dst_mac, EtherType::Ipv4);
         ipv4::emit(
             &mut buf[ETHERNET_HDR_LEN..],
@@ -265,7 +342,10 @@ impl Packet {
             identifier,
             sequence,
         );
-        Packet { buf }
+        Packet {
+            buf,
+            flow_hash: None,
+        }
     }
 
     /// Builds a complete Ethernet/IPv4/TCP packet with `payload_len` zero
@@ -281,10 +361,38 @@ impl Packet {
         flags: TcpFlags,
         payload_len: usize,
     ) -> Packet {
+        Self::build_tcp_into(
+            BytesMut::new(),
+            src_mac,
+            dst_mac,
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            flags,
+            payload_len,
+        )
+    }
+
+    /// Like [`Packet::build_tcp`] but writes into `buf` (typically a
+    /// recycled [`crate::pool::PacketPool`] slab), allocating only if the
+    /// buffer's capacity is too small.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_tcp_into(
+        mut buf: BytesMut,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        flags: TcpFlags,
+        payload_len: usize,
+    ) -> Packet {
         let tcp_len = TCP_MIN_HDR_LEN + payload_len;
         let ip_len = IPV4_MIN_HDR_LEN + tcp_len;
         let total = ETHERNET_HDR_LEN + ip_len;
-        let mut buf = BytesMut::zeroed(total);
+        Self::reset_zeroed(&mut buf, total);
         ethernet::emit(&mut buf, src_mac, dst_mac, EtherType::Ipv4);
         ipv4::emit(
             &mut buf[ETHERNET_HDR_LEN..],
@@ -303,7 +411,10 @@ impl Packet {
             0,
             flags,
         );
-        Packet { buf }
+        Packet {
+            buf,
+            flow_hash: None,
+        }
     }
 }
 
@@ -411,6 +522,47 @@ mod tests {
         }
         assert_eq!(p.ipv4().unwrap().ttl(), 1);
         assert!(p.ipv4().unwrap().checksum_ok());
+    }
+
+    #[test]
+    fn mutable_views_invalidate_cached_flow_hash() {
+        let mut p = udp_packet();
+        p.set_cached_flow_hash(0xABCD);
+        assert_eq!(p.cached_flow_hash(), Some(0xABCD));
+        let _ = p.ipv4_mut().unwrap();
+        assert_eq!(
+            p.cached_flow_hash(),
+            None,
+            "a mutable view may change the flow; the tag must not survive"
+        );
+        p.set_cached_flow_hash(1);
+        let _ = p.as_mut_slice();
+        assert_eq!(p.cached_flow_hash(), None);
+        p.set_cached_flow_hash(2);
+        let _ = p.udp_mut().unwrap();
+        assert_eq!(p.cached_flow_hash(), None);
+        p.set_cached_flow_hash(3);
+        let _ = p.ethernet_mut().unwrap();
+        assert_eq!(p.cached_flow_hash(), None);
+    }
+
+    #[test]
+    fn build_into_reuses_capacity_and_matches_fresh_bytes() {
+        let fresh = udp_packet();
+        let recycled = BytesMut::with_capacity(256);
+        let cap_ptr = recycled.as_ptr();
+        let p = Packet::build_udp_into(
+            recycled,
+            MacAddr([2, 0, 0, 0, 0, 1]),
+            MacAddr([2, 0, 0, 0, 0, 2]),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            5000,
+            53,
+            16,
+        );
+        assert_eq!(p.as_slice(), fresh.as_slice(), "byte-identical frames");
+        assert_eq!(p.as_slice().as_ptr(), cap_ptr, "allocation was reused");
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! fully deterministic so experiments are reproducible run-to-run.
 
 use crate::batch::PacketBatch;
+use crate::flow::FiveTuple;
 use crate::headers::ethernet::MacAddr;
 use crate::headers::ipv4::IpProto;
 use crate::headers::tcp::TcpFlags;
 use crate::packet::Packet;
+use crate::pool::PacketPool;
+use bytes::BytesMut;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::net::Ipv4Addr;
@@ -128,35 +131,80 @@ impl PacketGen {
 
     /// Generates one packet.
     pub fn next_packet(&mut self) -> Packet {
+        self.next_packet_into(BytesMut::new())
+    }
+
+    /// Generates one packet into a caller-provided buffer (e.g. one
+    /// drawn from a [`PacketPool`]).
+    ///
+    /// The frame bytes are identical to [`next_packet`](Self::next_packet)
+    /// for the same generator state; only the buffer's provenance differs.
+    /// The generator knows the flow endpoints it just wrote, so it stamps
+    /// the flow hash on the packet for free — the dispatcher never has to
+    /// re-parse the headers it already trusts.
+    pub fn next_packet_into(&mut self, buf: BytesMut) -> Packet {
         let flow = self.next_flow_id();
         let (src, dst, sport, dport) = self.endpoints[flow];
         self.generated += 1;
-        match self.config.proto {
-            IpProto::Tcp => Packet::build_tcp(
-                MacAddr([2, 0, 0, 0, 0, 1]),
-                MacAddr([2, 0, 0, 0, 0, 2]),
-                src,
-                dst,
-                sport,
-                dport,
-                TcpFlags(TcpFlags::ACK),
-                self.config.payload_len,
+        let (mut packet, proto) = match self.config.proto {
+            IpProto::Tcp => (
+                Packet::build_tcp_into(
+                    buf,
+                    MacAddr([2, 0, 0, 0, 0, 1]),
+                    MacAddr([2, 0, 0, 0, 0, 2]),
+                    src,
+                    dst,
+                    sport,
+                    dport,
+                    TcpFlags(TcpFlags::ACK),
+                    self.config.payload_len,
+                ),
+                IpProto::Tcp,
             ),
-            _ => Packet::build_udp(
-                MacAddr([2, 0, 0, 0, 0, 1]),
-                MacAddr([2, 0, 0, 0, 0, 2]),
-                src,
-                dst,
-                sport,
-                dport,
-                self.config.payload_len,
+            _ => (
+                Packet::build_udp_into(
+                    buf,
+                    MacAddr([2, 0, 0, 0, 0, 1]),
+                    MacAddr([2, 0, 0, 0, 0, 2]),
+                    src,
+                    dst,
+                    sport,
+                    dport,
+                    self.config.payload_len,
+                ),
+                IpProto::Udp,
             ),
-        }
+        };
+        let tuple = FiveTuple {
+            src_ip: src,
+            dst_ip: dst,
+            src_port: sport,
+            dst_port: dport,
+            proto,
+        };
+        packet.set_cached_flow_hash(tuple.stable_hash());
+        packet
     }
 
     /// Generates a batch of `n` packets.
     pub fn next_batch(&mut self, n: usize) -> PacketBatch {
         (0..n).map(|_| self.next_packet()).collect()
+    }
+
+    /// Generates a batch of `n` packets drawing every buffer — and the
+    /// batch shell itself — from `pool`.
+    ///
+    /// With a prewarmed pool this is the allocation-free entry point to
+    /// the data path: buffers cycle generator → pipeline → recycle
+    /// channel → pool without the global allocator ever being consulted.
+    pub fn next_batch_from_pool(&mut self, n: usize, pool: &mut PacketPool) -> PacketBatch {
+        let mut batch = pool.take_shell(n);
+        for _ in 0..n {
+            let buf = pool.take();
+            let packet = self.next_packet_into(buf);
+            batch.push(packet);
+        }
+        batch
     }
 
     /// Total packets generated so far.
@@ -212,6 +260,48 @@ mod tests {
             assert!(p.ipv4().unwrap().checksum_ok());
             assert!(FiveTuple::of(p).is_ok());
         }
+    }
+
+    #[test]
+    fn stamped_hash_matches_recomputation() {
+        for proto in [IpProto::Udp, IpProto::Tcp] {
+            let mut g = PacketGen::new(TrafficConfig {
+                proto,
+                ..Default::default()
+            });
+            for _ in 0..50 {
+                let p = g.next_packet();
+                let stamped = p.cached_flow_hash().expect("pktgen stamps the hash");
+                assert_eq!(stamped, crate::flow::packet_flow_hash(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_batch_is_byte_identical_to_fresh() {
+        let cfg = TrafficConfig::default();
+        let mut fresh = PacketGen::new(cfg.clone());
+        let mut pooled = PacketGen::new(cfg);
+        let mut pool = crate::pool::PacketPool::new(256, 64);
+        pool.prewarm(32);
+
+        let a = fresh.next_batch(32);
+        let b = pooled.next_batch_from_pool(32, &mut pool);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
+        assert_eq!(pool.stats().hits, 32, "prewarmed pool serves every take");
+        assert_eq!(pool.stats().misses, 0);
+
+        // Recycle and regenerate: still identical, still no fresh slabs.
+        let c = fresh.next_batch(32);
+        pool.recycle_batch(b);
+        let d = pooled.next_batch_from_pool(32, &mut pool);
+        for (x, y) in c.iter().zip(d.iter()) {
+            assert_eq!(x.as_slice(), y.as_slice());
+        }
+        assert_eq!(pool.stats().misses, 0);
     }
 
     #[test]

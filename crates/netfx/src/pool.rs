@@ -1,0 +1,313 @@
+//! The packet-buffer pool: DPDK's mempool, made safe by linearity.
+//!
+//! DPDK and NetBricks get their throughput numbers from *buffer
+//! recycling*: packet memory is allocated once at startup and then moves
+//! around a ring forever — NIC → pipeline → NIC — without the allocator
+//! on the data path. In C that ring is guarded by conventions (a
+//! use-after-free away from silent corruption); here it is guarded by the
+//! type system. A [`Packet`](crate::packet::Packet) owns its `BytesMut`
+//! outright, so a buffer can only re-enter the pool by *moving* back
+//! ([`Packet::into_bytes`](crate::packet::Packet::into_bytes)),
+//! and the borrow checker makes "recycled but still referenced"
+//! unrepresentable. That is the paper's §3 claim made load-bearing: no
+//! refcounts, no locks, no epochs — ownership transfer *is* the
+//! synchronization.
+//!
+//! The pool is deliberately single-owner (not `Sync`): it lives with the
+//! driver thread that generates packets. Workers return spent batches
+//! through an `sfi` recycle channel — another ownership transfer — and
+//! the driver drains that channel back into the pool between bursts. A
+//! worker that dies with batches in flight simply never returns them;
+//! those buffers drop with the poisoned domain and show up as
+//! [`PacketPool::outstanding`], never as corruption.
+//!
+//! Every container here is pre-sized at construction, so the steady-state
+//! `take`/`put` cycle touches the allocator exactly zero times — the
+//! property `e12_hotpath` measures with a counting allocator.
+
+use crate::batch::PacketBatch;
+use bytes::BytesMut;
+
+/// Monotonic counters describing pool traffic.
+///
+/// Conservation invariant (checked by tests and `e12_hotpath`): every
+/// buffer handed out is eventually either returned or still outstanding —
+/// `taken == returned + outstanding`, and at quiescence `outstanding`
+/// equals exactly the buffers leaked on faults (dropped with a poisoned
+/// domain), never a silent loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out by [`PacketPool::take`].
+    pub taken: u64,
+    /// `take` calls served from the free list (no allocation).
+    pub hits: u64,
+    /// `take` calls that had to allocate a fresh slab.
+    pub misses: u64,
+    /// Buffers that came back through [`PacketPool::put`].
+    pub returned: u64,
+    /// Returned buffers dropped because the free list was full.
+    pub overflow_dropped: u64,
+    /// Batch shells handed out by [`PacketPool::take_shell`].
+    pub shells_taken: u64,
+    /// Batch shells returned by [`PacketPool::put_shell`].
+    pub shells_returned: u64,
+}
+
+/// A single-owner free list of fixed-size packet buffers plus reusable
+/// batch shells.
+///
+/// `slab_capacity` is the byte capacity each fresh buffer is created
+/// with; recycled buffers keep whatever capacity they grew to.
+/// `max_free` bounds the free list so a burst of returns cannot pin
+/// unbounded memory — excess buffers are dropped (and counted).
+#[derive(Debug)]
+pub struct PacketPool {
+    free: Vec<BytesMut>,
+    shells: Vec<PacketBatch>,
+    slab_capacity: usize,
+    max_free: usize,
+    stats: PoolStats,
+}
+
+/// How many batch shells the pool retains (one per shard plus slack is
+/// plenty; shells are just empty `Vec`s with capacity).
+const MAX_SHELLS: usize = 64;
+
+impl PacketPool {
+    /// Creates a pool whose fresh slabs hold `slab_capacity` bytes and
+    /// whose free list retains at most `max_free` buffers.
+    ///
+    /// Both internal lists are allocated to their maximum size up front,
+    /// so no later `take`/`put` ever grows them.
+    pub fn new(slab_capacity: usize, max_free: usize) -> Self {
+        Self {
+            free: Vec::with_capacity(max_free),
+            shells: Vec::with_capacity(MAX_SHELLS),
+            slab_capacity,
+            max_free,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Fills the free list with `n` fresh slabs (bounded by `max_free`).
+    ///
+    /// Call once before the measured region so steady-state `take`s are
+    /// all hits.
+    pub fn prewarm(&mut self, n: usize) {
+        let n = n.min(self.max_free.saturating_sub(self.free.len()));
+        for _ in 0..n {
+            self.free.push(BytesMut::with_capacity(self.slab_capacity));
+        }
+    }
+
+    /// Fills the shell bank with `n` empty batches of `capacity` packets
+    /// each (bounded by the fixed shell-bank size).
+    ///
+    /// Pre-sizing shells to the driver's batch size means no later
+    /// [`Self::take_shell`] or scratch push ever grows one.
+    pub fn prewarm_shells(&mut self, n: usize, capacity: usize) {
+        let n = n.min(MAX_SHELLS.saturating_sub(self.shells.len()));
+        for _ in 0..n {
+            self.shells.push(PacketBatch::with_capacity(capacity));
+        }
+    }
+
+    /// Takes a buffer: from the free list when possible (a *hit*, no
+    /// allocation), freshly allocated otherwise (a *miss*).
+    pub fn take(&mut self) -> BytesMut {
+        self.stats.taken += 1;
+        match self.free.pop() {
+            Some(buf) => {
+                self.stats.hits += 1;
+                buf
+            }
+            None => {
+                self.stats.misses += 1;
+                BytesMut::with_capacity(self.slab_capacity)
+            }
+        }
+    }
+
+    /// Returns a buffer to the free list, dropping it if the list is
+    /// full.
+    pub fn put(&mut self, buf: BytesMut) {
+        self.stats.returned += 1;
+        if self.free.len() < self.max_free {
+            self.free.push(buf);
+        } else {
+            self.stats.overflow_dropped += 1;
+        }
+    }
+
+    /// Takes an empty batch shell with room for at least `cap` packets.
+    ///
+    /// Steady state pops a previously returned shell whose capacity has
+    /// already grown to the high-water mark — no allocation.
+    pub fn take_shell(&mut self, cap: usize) -> PacketBatch {
+        self.stats.shells_taken += 1;
+        match self.shells.pop() {
+            Some(mut shell) => {
+                shell.reserve(cap.saturating_sub(shell.capacity()));
+                shell
+            }
+            None => PacketBatch::with_capacity(cap),
+        }
+    }
+
+    /// Takes a banked shell *without ever allocating*: `None` when the
+    /// bank is empty.
+    ///
+    /// The dispatcher tops up its spare-shell bank from this reservoir
+    /// on the reclaim path; an allocating fallback there would defeat
+    /// the zero-allocation claim, so the caller must tolerate `None`.
+    pub fn try_take_shell(&mut self) -> Option<PacketBatch> {
+        let shell = self.shells.pop()?;
+        self.stats.shells_taken += 1;
+        Some(shell)
+    }
+
+    /// Returns a shell for reuse; any packets still inside are recycled
+    /// first.
+    pub fn put_shell(&mut self, mut shell: PacketBatch) {
+        for packet in shell.drain() {
+            self.put(packet.into_bytes());
+        }
+        self.stats.shells_returned += 1;
+        if self.shells.len() < MAX_SHELLS {
+            self.shells.push(shell);
+        }
+    }
+
+    /// Recycles a spent batch: every packet's buffer back to the free
+    /// list, the batch's own allocation back as a shell.
+    pub fn recycle_batch(&mut self, batch: PacketBatch) {
+        self.put_shell(batch);
+    }
+
+    /// Buffers currently checked out (taken but not yet returned).
+    ///
+    /// After a clean drain this is exactly the number of buffers that
+    /// died with poisoned domains.
+    pub fn outstanding(&self) -> u64 {
+        self.stats.taken - self.stats.returned
+    }
+
+    /// Buffers sitting in the free list right now.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Byte capacity of freshly allocated slabs.
+    pub fn slab_capacity(&self) -> usize {
+        self.slab_capacity
+    }
+
+    /// A copy of the traffic counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_cycle_hits_after_prewarm() {
+        let mut pool = PacketPool::new(256, 8);
+        pool.prewarm(4);
+        assert_eq!(pool.free_buffers(), 4);
+
+        let a = pool.take();
+        let b = pool.take();
+        assert_eq!(pool.stats().hits, 2);
+        assert_eq!(pool.stats().misses, 0);
+        assert_eq!(pool.outstanding(), 2);
+
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.free_buffers(), 4);
+    }
+
+    #[test]
+    fn empty_pool_misses_then_recycles() {
+        let mut pool = PacketPool::new(128, 8);
+        let buf = pool.take();
+        assert_eq!(pool.stats().misses, 1);
+        let ptr = buf.as_ptr();
+        pool.put(buf);
+        let again = pool.take();
+        assert_eq!(again.as_ptr(), ptr, "same slab came back");
+        assert_eq!(pool.stats().hits, 1);
+    }
+
+    #[test]
+    fn overflow_returns_are_dropped_not_lost() {
+        let mut pool = PacketPool::new(64, 2);
+        pool.prewarm(10);
+        assert_eq!(pool.free_buffers(), 2, "prewarm respects max_free");
+        let bufs: Vec<BytesMut> = (0..4).map(|_| pool.take()).collect();
+        for b in bufs {
+            pool.put(b);
+        }
+        assert_eq!(pool.free_buffers(), 2);
+        assert_eq!(pool.stats().overflow_dropped, 2);
+        // Conservation: every taken buffer was returned.
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    fn recycle_batch_returns_buffers_and_shell() {
+        use crate::headers::ethernet::MacAddr;
+        use crate::packet::Packet;
+        use std::net::Ipv4Addr;
+
+        let mut pool = PacketPool::new(256, 8);
+        pool.prewarm(3);
+        let mut shell = pool.take_shell(3);
+        let shell_cap = shell.capacity();
+        for i in 0..3u16 {
+            let p = Packet::build_udp_into(
+                pool.take(),
+                MacAddr::ZERO,
+                MacAddr::ZERO,
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                1000 + i,
+                80,
+                16,
+            );
+            shell.push(p);
+        }
+        assert_eq!(pool.outstanding(), 3);
+        assert_eq!(pool.free_buffers(), 0);
+
+        pool.recycle_batch(shell);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.free_buffers(), 3);
+        assert_eq!(pool.stats().shells_returned, 1);
+
+        // The shell allocation itself round-trips.
+        let shell2 = pool.take_shell(3);
+        assert!(shell2.capacity() >= shell_cap);
+        assert_eq!(pool.stats().shells_taken, 2);
+    }
+
+    #[test]
+    fn leaked_buffers_show_as_outstanding() {
+        let mut pool = PacketPool::new(64, 8);
+        pool.prewarm(2);
+        let a = pool.take();
+        let _b = pool.take();
+        drop(a); // simulates a buffer dying with a poisoned domain
+        pool.put(_b);
+        assert_eq!(
+            pool.outstanding(),
+            1,
+            "the dropped buffer stays on the books"
+        );
+        assert_eq!(pool.stats().taken, 2);
+        assert_eq!(pool.stats().returned, 1);
+    }
+}

@@ -65,7 +65,7 @@ pub mod worker;
 
 pub use rbs_checkpoint::{Buffered, SnapshotMeta};
 pub use runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};
-pub use shard::{shard_for, shard_of_packet};
+pub use shard::{shard_for, shard_of_packet, shard_of_packet_mut};
 pub use stats::{RuntimeReport, WorkerSnapshot, WorkerStats};
 pub use supervisor::{BreakerState, RestartPolicy, SupervisorEvent, SupervisorEventKind};
 pub use worker::WorkItem;

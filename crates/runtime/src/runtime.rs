@@ -6,11 +6,13 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use rbs_checkpoint::{Buffered, Checkpoint, SnapshotMeta, SnapshotStore};
 use rbs_core::fault::FaultPlan;
+use rbs_netfx::pool::PacketPool;
 use rbs_netfx::{PacketBatch, PipelineSpec};
 use rbs_sfi::channel::ChannelError;
+use rbs_sfi::recycle::{recycle_path, RecycleReceiver, RecycleSender};
 use rbs_sfi::{Domain, DomainManager, DomainSender, DomainState};
 
-use crate::shard::shard_of_packet;
+use crate::shard::shard_of_packet_mut;
 use crate::stats::{RuntimeReport, WorkerSnapshot, WorkerStats};
 use crate::supervisor::{
     BreakerState, RestartPolicy, SlotHealth, SupervisorEvent, SupervisorEventKind,
@@ -51,6 +53,22 @@ pub struct RuntimeConfig {
     /// between are deltas against the last full base. `1` makes every
     /// snapshot full.
     pub snapshot_full_every: u32,
+    /// Depth of the buffer-recycle channel, in batches; `0` (the
+    /// default) disables recycling entirely — workers drop their output
+    /// batches exactly as before, no recycler domain exists, and the
+    /// chaos/recovery schedules replay byte-identically. When positive,
+    /// every worker gives its spent output batches back through a
+    /// dedicated `sfi` recycle path and the driver drains them into its
+    /// [`rbs_netfx::pool::PacketPool`] via
+    /// [`ShardedRuntime::reclaim_buffers`].
+    pub recycle_capacity: usize,
+    /// Minimum packet capacity of the dispatcher's per-shard scratch
+    /// batches and every spare shell it creates. `0` (the default) lets
+    /// shells grow organically to the observed shard load; setting it to
+    /// the driver's batch size guarantees no scratch push can ever
+    /// reallocate — the configuration `e12_hotpath` measures under a
+    /// counting allocator.
+    pub scratch_capacity: usize,
     /// Deterministic fault schedule injected into workers and the
     /// dispatch path; `None` runs clean.
     #[cfg(feature = "fault-injection")]
@@ -68,6 +86,8 @@ impl Default for RuntimeConfig {
             supervisor_seed: 0,
             snapshot_interval_ticks: 0,
             snapshot_full_every: 4,
+            recycle_capacity: 0,
+            scratch_capacity: 0,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -111,6 +131,22 @@ impl std::fmt::Display for RuntimeError {
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// The buffer-return plumbing, present only when
+/// [`RuntimeConfig::recycle_capacity`] is positive.
+///
+/// The receive side lives in its own domain (owned by the driver — the
+/// dispatcher thread drains it between bursts), so workers feeding it are
+/// ordinary cross-domain ownership transfers: a worker that faults with
+/// batches in flight simply never gives them back, and those buffers die
+/// with its poisoned domain instead of re-entering circulation
+/// half-rewritten.
+struct Recycler {
+    domain: Domain,
+    receiver: RecycleReceiver<PacketBatch>,
+    /// Template sender cloned into every worker spawn (and respawn).
+    sender: RecycleSender<PacketBatch>,
+}
 
 struct WorkerSlot {
     domain: Domain,
@@ -209,6 +245,8 @@ impl WorkerSlot {
             snapshot_rejects: self.snapshot_rejects,
             state_items_lost: self.state_items_lost,
             import_failures: self.stats.import_failures(),
+            recycled_batches: self.stats.recycled_batches(),
+            recycle_drops: self.stats.recycle_drops(),
             snapshots_taken,
             latest_snapshot,
             stage_stats: self.stats.final_stage_stats(),
@@ -260,6 +298,17 @@ pub struct ShardedRuntime {
     events: Vec<SupervisorEvent>,
     /// Jitter source; seeded from the config so runs replay.
     jitter_plan: FaultPlan,
+    /// Persistent per-shard scratch batches the single-pass dispatcher
+    /// fills; swapped out whole on send, so the dispatch loop itself
+    /// performs no allocation once scratch capacity reaches its
+    /// high-water mark.
+    scratch: Vec<PacketBatch>,
+    /// Empty batch shells (allocation retained) used to replace scratch
+    /// batches swapped out on send; refilled by the drained input batch
+    /// each dispatch and by [`ShardedRuntime::reclaim_buffers`].
+    spare_shells: Vec<PacketBatch>,
+    /// Buffer-return path; `None` unless recycling is configured.
+    recycler: Option<Recycler>,
     /// Set once the workers have been stopped and joined; makes the
     /// teardown idempotent between [`ShardedRuntime::shutdown`] and
     /// `Drop`.
@@ -273,6 +322,22 @@ impl ShardedRuntime {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         let epoch = Instant::now();
         let manager = DomainManager::new();
+        // The recycler (when configured) is a driver-owned domain whose
+        // only export is the recycle channel; it runs no thread — the
+        // dispatch thread drains it via `reclaim_buffers`.
+        let recycler = if config.recycle_capacity > 0 {
+            let domain = manager
+                .create_domain("recycler")
+                .map_err(RuntimeError::DomainCreation)?;
+            let (sender, receiver) = recycle_path(&domain, config.recycle_capacity);
+            Some(Recycler {
+                domain,
+                receiver,
+                sender,
+            })
+        } else {
+            None
+        };
         let mut slots = Vec::with_capacity(config.workers);
         for index in 0..config.workers {
             let domain = manager
@@ -290,6 +355,7 @@ impl ShardedRuntime {
                 config.plan(),
                 Arc::clone(&store),
                 None,
+                recycler.as_ref().map(|r| r.sender.clone()),
             );
             slots.push(WorkerSlot {
                 domain,
@@ -316,6 +382,8 @@ impl ShardedRuntime {
             });
         }
         let jitter_plan = FaultPlan::new(config.supervisor_seed);
+        let workers = config.workers;
+        let scratch_capacity = config.scratch_capacity;
         Ok(Self {
             manager,
             spec,
@@ -325,6 +393,11 @@ impl ShardedRuntime {
             offered_packets: 0,
             events: Vec::new(),
             jitter_plan,
+            scratch: (0..workers)
+                .map(|_| PacketBatch::with_capacity(scratch_capacity))
+                .collect(),
+            spare_shells: Vec::with_capacity(workers * 2 + 4),
+            recycler,
             finished: false,
         })
     }
@@ -361,24 +434,122 @@ impl ShardedRuntime {
     /// Each send waits at most [`RuntimeConfig::send_deadline`] on a
     /// full queue, so no worker can wedge the dispatcher. Returns the
     /// number of batches enqueued.
-    pub fn dispatch(&mut self, batch: PacketBatch) -> Result<usize, RuntimeError> {
+    pub fn dispatch(&mut self, mut batch: PacketBatch) -> Result<usize, RuntimeError> {
         self.supervise()?;
         let n = self.slots.len();
-        let mut shards: Vec<Option<PacketBatch>> = (0..n).map(|_| None).collect();
-        for packet in batch {
+        // Single pass: each packet's flow hash is computed at most once
+        // (pktgen-stamped tags are served from the cache) and the packet
+        // moves straight into its shard's persistent scratch batch —
+        // no per-call shard table, no per-shard `PacketBatch::new`.
+        for mut packet in batch.drain() {
             self.offered_packets += 1;
-            let s = shard_of_packet(&packet, n);
-            shards[s].get_or_insert_with(PacketBatch::new).push(packet);
+            let s = shard_of_packet_mut(&mut packet, n);
+            self.scratch[s].push(packet);
         }
+        // The drained input batch becomes a spare shell: in pool mode it
+        // is the generator's shell allocation coming back around.
+        self.put_spare_shell(batch);
         let mut enqueued = 0;
-        for (index, shard) in shards.into_iter().enumerate() {
-            if let Some(b) = shard {
-                if self.route(index, b) {
-                    enqueued += 1;
-                }
+        for index in 0..n {
+            if self.scratch[index].is_empty() {
+                continue;
+            }
+            // Swap the filled scratch out whole (the send path owns it
+            // from here) and seat a spare shell as the next round's
+            // scratch, pre-sized so its pushes will not reallocate.
+            let len = self.scratch[index].len();
+            let mut outgoing = self.take_spare_shell(len);
+            std::mem::swap(&mut self.scratch[index], &mut outgoing);
+            if self.route(index, outgoing) {
+                enqueued += 1;
             }
         }
         Ok(enqueued)
+    }
+
+    /// Pops a retained empty shell (growing it to `cap` if needed), or
+    /// allocates a fresh pre-sized batch when none is banked.
+    fn take_spare_shell(&mut self, cap: usize) -> PacketBatch {
+        let cap = cap.max(self.config.scratch_capacity);
+        match self.spare_shells.pop() {
+            Some(mut shell) => {
+                shell.reserve(cap.saturating_sub(shell.capacity()));
+                shell
+            }
+            None => PacketBatch::with_capacity(cap),
+        }
+    }
+
+    /// Banks an empty shell for later scratch swaps; drops it when the
+    /// bank is full (the bank's capacity is fixed at construction, so
+    /// banking never allocates).
+    fn put_spare_shell(&mut self, shell: PacketBatch) {
+        debug_assert!(shell.is_empty(), "only drained batches may be banked");
+        if self.spare_shells.len() < self.spare_shells.capacity() {
+            self.spare_shells.push(shell);
+        }
+    }
+
+    /// Drains the recycle channel, returning every packet buffer to
+    /// `pool` and banking the emptied batch shells for the dispatcher's
+    /// scratch swaps. Returns the number of batches reclaimed.
+    ///
+    /// No-op (returning 0) when recycling is disabled. Call between
+    /// dispatch bursts — typically right before generating the next
+    /// batch from the pool, so returned buffers are immediately
+    /// reusable.
+    ///
+    /// Shell conservation: every `dispatch` banks its drained input
+    /// shell, so without correction the bank would fill and the
+    /// dispatcher would drop one shell per burst — slowly bleeding the
+    /// pool's shell bank dry (and forcing it to allocate fresh shells).
+    /// After draining the channel this method spills banked shells above
+    /// the dispatcher's working need back into `pool`, closing the loop:
+    /// the shell the generator takes out each burst comes back here.
+    pub fn reclaim_buffers(&mut self, pool: &mut PacketPool) -> usize {
+        let Some(recycler) = &self.recycler else {
+            return 0;
+        };
+        let shells = &mut self.spare_shells;
+        let reclaimed = recycler.receiver.reclaim(|mut batch: PacketBatch| {
+            if shells.len() < shells.capacity() {
+                for packet in batch.drain() {
+                    pool.put(packet.into_bytes());
+                }
+                shells.push(batch);
+            } else {
+                // The dispatcher's bank is full; hand the shell to the
+                // pool instead — that is where the generator draws batch
+                // shells from, so the per-burst shell the driver takes
+                // out comes back around here.
+                pool.recycle_batch(batch);
+            }
+        });
+        // Balance the bank to its working target: one shell per shard
+        // swap (a single dispatch can consume up to `slots.len()` of
+        // them) plus headroom. Above target, surplus serves the
+        // generator better than us; below target — the recycle channel
+        // was briefly empty because workers lagged a few rounds — we
+        // borrow from the pool's reservoir *without allocating*, so a
+        // scheduling hiccup can never push `dispatch` onto its
+        // shell-allocation fallback.
+        let target = self.slots.len() + 2;
+        while self.spare_shells.len() > target {
+            let shell = self.spare_shells.pop().expect("len > target");
+            pool.recycle_batch(shell);
+        }
+        while self.spare_shells.len() < target {
+            match pool.try_take_shell() {
+                Some(shell) => self.spare_shells.push(shell),
+                None => break,
+            }
+        }
+        reclaimed
+    }
+
+    /// Whether a buffer-recycle path is configured and still open.
+    pub fn recycling_active(&self) -> bool {
+        self.recycler.as_ref().is_some_and(|r| r.sender.is_open())
     }
 
     /// One supervision pass: advance the logical clock, watchdog-check
@@ -741,6 +912,7 @@ impl ShardedRuntime {
             None
         };
 
+        let recycle = self.recycler.as_ref().map(|r| r.sender.clone());
         let slot = &mut self.slots[index];
         slot.respawns += 1;
         let (sender, thread) = spawn_worker(
@@ -753,6 +925,7 @@ impl ShardedRuntime {
             plan,
             Arc::clone(&slot.store),
             initial_state,
+            recycle,
         );
         slot.sender = sender;
         slot.thread = Some(thread);
@@ -946,6 +1119,9 @@ impl ShardedRuntime {
         for slot in &self.slots {
             self.manager.destroy_domain(&slot.domain);
         }
+        if let Some(recycler) = &self.recycler {
+            self.manager.destroy_domain(&recycler.domain);
+        }
         RuntimeReport::from_snapshots(
             snapshots,
             histograms,
@@ -963,6 +1139,9 @@ impl Drop for ShardedRuntime {
         self.stop_workers();
         for slot in &self.slots {
             self.manager.destroy_domain(&slot.domain);
+        }
+        if let Some(recycler) = &self.recycler {
+            self.manager.destroy_domain(&recycler.domain);
         }
     }
 }

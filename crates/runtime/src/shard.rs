@@ -8,7 +8,7 @@
 //! packets the 5-tuple extractor rejects still deterministically belong
 //! somewhere.
 
-use rbs_netfx::flow::{stable_hash_bytes, FiveTuple};
+use rbs_netfx::flow::{packet_flow_hash, FiveTuple};
 use rbs_netfx::Packet;
 
 /// Maps a flow to one of `n_workers` shards via the tuple's stable hash.
@@ -24,12 +24,27 @@ pub fn shard_for(tuple: &FiveTuple, n_workers: usize) -> usize {
 /// Maps any packet to a shard: the 5-tuple hash when one is extractable,
 /// otherwise a stable hash of the raw frame (so ICMP and friends are
 /// spread too, and identical frames stay together).
+///
+/// Always recomputes from the bytes — this is the reference mapping that
+/// [`shard_of_packet_mut`] must agree with.
 pub fn shard_of_packet(packet: &Packet, n_workers: usize) -> usize {
     assert!(n_workers > 0, "need at least one worker");
-    match FiveTuple::of(packet) {
-        Ok(t) => shard_for(&t, n_workers),
-        Err(_) => (stable_hash_bytes(packet.as_slice()) % n_workers as u64) as usize,
-    }
+    (packet_flow_hash(packet) % n_workers as u64) as usize
+}
+
+/// Like [`shard_of_packet`], but serves from the packet's cached flow
+/// hash when present (stamping it otherwise) — the dispatcher fast path.
+///
+/// Agreement with the reference mapping is structural: the cache is
+/// invalidated by every mutable view, so a present tag is always the
+/// hash of the current bytes.
+///
+/// # Panics
+///
+/// Panics when `n_workers` is zero.
+pub fn shard_of_packet_mut(packet: &mut Packet, n_workers: usize) -> usize {
+    assert!(n_workers > 0, "need at least one worker");
+    (packet.flow_hash() % n_workers as u64) as usize
 }
 
 #[cfg(test)]
@@ -74,6 +89,18 @@ mod tests {
         let s = shard_of_packet(&p, 4);
         assert!(s < 4);
         assert_eq!(s, shard_of_packet(&p, 4), "raw-bytes fallback is stable");
+    }
+
+    #[test]
+    fn cached_and_reference_mapping_agree() {
+        for sp in 1000..1050u16 {
+            let mut p = udp(sp, 80);
+            let reference = shard_of_packet(&p, 4);
+            assert_eq!(shard_of_packet_mut(&mut p, 4), reference, "first access");
+            assert_eq!(shard_of_packet_mut(&mut p, 4), reference, "cached access");
+            // A pktgen-style pre-stamped hash gives the same answer.
+            assert_eq!(shard_of_packet(&p, 4), reference);
+        }
     }
 
     #[test]

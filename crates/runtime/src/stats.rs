@@ -43,6 +43,12 @@ pub struct WorkerStats {
     /// Warm spawns whose state injection failed (shape mismatch); the
     /// worker fell back to a cold pipeline.
     import_failures: AtomicU64,
+    /// Output batches this worker gave back through the recycle path
+    /// (buffer-pool mode only; zero otherwise).
+    recycled_batches: AtomicU64,
+    /// Output batches the worker tried to recycle but dropped (recycle
+    /// queue full or revoked) — their buffers returned to the allocator.
+    recycle_drops: AtomicU64,
     /// Heartbeat: a token while a batch is executing (nanos since the
     /// runtime epoch, low bits the spawn sequence), zero while idle. The
     /// supervisor's watchdog reads it to tell *hung* from idle.
@@ -66,6 +72,8 @@ impl WorkerStats {
             faults: AtomicU64::new(0),
             state_items: AtomicU64::new(0),
             import_failures: AtomicU64::new(0),
+            recycled_batches: AtomicU64::new(0),
+            recycle_drops: AtomicU64::new(0),
             busy_since: AtomicU64::new(0),
             cycles: Mutex::new(LogHistogram::new(CYCLE_HIST_PRECISION)),
             epoch,
@@ -92,6 +100,14 @@ impl WorkerStats {
 
     pub(crate) fn record_import_failure(&self) {
         self.import_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_recycle(&self, gave: bool) {
+        if gave {
+            self.recycled_batches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.recycle_drops.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Marks the start of a batch and returns the heartbeat token the
@@ -170,6 +186,16 @@ impl WorkerStats {
         self.import_failures.load(Ordering::Relaxed)
     }
 
+    /// Output batches given back through the recycle path.
+    pub fn recycled_batches(&self) -> u64 {
+        self.recycled_batches.load(Ordering::Relaxed)
+    }
+
+    /// Output batches that could not be recycled and were dropped.
+    pub fn recycle_drops(&self) -> u64 {
+        self.recycle_drops.load(Ordering::Relaxed)
+    }
+
     /// A copy of the per-batch cycle histogram.
     pub fn cycle_histogram(&self) -> LogHistogram {
         self.cycles.lock().clone()
@@ -245,6 +271,10 @@ pub struct WorkerSnapshot {
     /// Warm spawns whose state injection failed; the worker fell back
     /// to a cold pipeline.
     pub import_failures: u64,
+    /// Output batches this worker gave back through the recycle path.
+    pub recycled_batches: u64,
+    /// Output batches dropped instead of recycled (queue full/revoked).
+    pub recycle_drops: u64,
     /// Snapshots recorded into this worker's store (full + delta).
     pub snapshots_taken: u64,
     /// Metadata of the newest buffered snapshot, if any.
@@ -294,6 +324,10 @@ pub struct RuntimeReport {
     pub state_items_lost: u64,
     /// Warm spawns that fell back to a cold pipeline at injection.
     pub import_failures: u64,
+    /// Output batches given back through the recycle path.
+    pub recycled_batches: u64,
+    /// Output batches dropped instead of recycled.
+    pub recycle_drops: u64,
     /// Snapshots recorded across all workers (full + delta).
     pub snapshots_taken: u64,
     /// Times a worker's breaker opened.
@@ -343,6 +377,8 @@ impl RuntimeReport {
             snapshot_rejects: workers.iter().map(|w| w.snapshot_rejects).sum(),
             state_items_lost: workers.iter().map(|w| w.state_items_lost).sum(),
             import_failures: workers.iter().map(|w| w.import_failures).sum(),
+            recycled_batches: workers.iter().map(|w| w.recycled_batches).sum(),
+            recycle_drops: workers.iter().map(|w| w.recycle_drops).sum(),
             snapshots_taken: workers.iter().map(|w| w.snapshots_taken).sum(),
             breaker_opens: count(|k| matches!(k, SupervisorEventKind::BreakerOpened { .. })),
             breaker_half_opens: count(|k| matches!(k, SupervisorEventKind::BreakerHalfOpened)),

@@ -8,6 +8,7 @@ use rbs_checkpoint::{Checkpoint, SnapshotStore};
 use rbs_core::fault::{self, FaultKind, FaultPlan, FaultSite};
 use rbs_netfx::{PacketBatch, PipelineSpec};
 use rbs_sfi::channel::channel;
+use rbs_sfi::recycle::RecycleSender;
 use rbs_sfi::{Domain, DomainSender};
 
 use crate::stats::WorkerStats;
@@ -49,6 +50,13 @@ pub enum WorkItem {
 /// back to a cold pipeline — with the failure counted — if the shapes
 /// no longer match.
 ///
+/// When `recycle` is set, the worker gives every completed output batch
+/// back through it instead of dropping it, so the driver's buffer pool
+/// can reuse the packet memory. The give happens *before* the batch is
+/// recorded as processed: once the runtime's accounting says a batch
+/// completed, its buffers are already in the recycle queue, so a settled
+/// drain implies every recyclable buffer is reclaimable.
+///
 /// Returns the dispatcher-side sender and the join handle.
 #[expect(
     clippy::too_many_arguments,
@@ -64,6 +72,7 @@ pub(crate) fn spawn_worker(
     faults: Option<Arc<FaultPlan>>,
     store: Arc<Mutex<SnapshotStore>>,
     initial_state: Option<Arc<Checkpoint>>,
+    recycle: Option<RecycleSender<PacketBatch>>,
 ) -> (DomainSender<WorkItem>, JoinHandle<()>) {
     let (tx, rx) = channel::<WorkItem>(&domain, queue_capacity);
     // Attach-site injection, decided *synchronously* on the spawning
@@ -141,10 +150,18 @@ pub(crate) fn spawn_worker(
                             match domain.execute(|| pipeline.run_batch(batch)) {
                                 Ok(out) => {
                                     let cycles = rbs_core::cycles::rdtsc().saturating_sub(start);
-                                    stats.record_batch(n_in, out.len() as u64, cycles);
+                                    let n_out = out.len() as u64;
+                                    // Give before recording: `record_batch`
+                                    // is what lets the runtime's drain
+                                    // settle, so the buffers must already
+                                    // be in the recycle queue by then.
+                                    match &recycle {
+                                        Some(path) => stats.record_recycle(path.give(out)),
+                                        None => drop(out),
+                                    }
+                                    stats.record_batch(n_in, n_out, cycles);
                                     stats.set_state_items(pipeline.state_items());
                                     stats.mark_idle(token);
-                                    drop(out);
                                 }
                                 Err(_) => {
                                     // The in-flight batch died with the

@@ -38,6 +38,7 @@ pub mod domain;
 pub mod error;
 pub mod interface;
 pub mod policy;
+pub mod recycle;
 pub mod reftable;
 pub mod rref;
 pub mod stats;
@@ -47,6 +48,7 @@ pub use channel::{channel, ChannelError, DomainReceiver, DomainSender};
 pub use domain::{Domain, DomainManager, DomainState};
 pub use error::RpcError;
 pub use policy::{AclPolicy, AllowAll, DenyAll, Policy};
+pub use recycle::{recycle_path, RecycleReceiver, RecycleSender};
 pub use rref::RRef;
 pub use stats::DomainStats;
 pub use tls::{current_domain, DomainId, ThreadAttachment, KERNEL_DOMAIN};

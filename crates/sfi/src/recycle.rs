@@ -1,0 +1,195 @@
+//! The linear recycle path: returning spent resources across domains.
+//!
+//! A buffer pool only stays allocation-free if spent buffers find their
+//! way *back*. In shared-memory systems that return path is where the
+//! bugs live: a consumer that recycles a buffer while still holding a
+//! pointer into it corrupts whoever takes it next. Here the return path
+//! is just another ownership transfer over a [`channel`](crate::channel):
+//! a worker can only `give` a value it owns, and giving moves it — after
+//! the call the worker provably holds nothing (§3's channel semantics,
+//! applied in reverse).
+//!
+//! Two deliberate asymmetries versus the forward data path:
+//!
+//! - **`give` never blocks and never fails loudly.** Recycling is an
+//!   optimization, not a correctness obligation: if the return queue is
+//!   full (or the pool's domain is gone), the value is simply dropped and
+//!   its memory goes back to the global allocator. The caller learns via
+//!   the `bool` so it can count drops, but no worker ever stalls on
+//!   recycling.
+//! - **Loss is safe by construction.** A domain that faults with
+//!   in-flight values never sends them back — they drop during unwind.
+//!   That is exactly the behavior a poisoned domain needs: its buffers
+//!   *must not* be recycled (the fault may have left them mid-rewrite),
+//!   and ownership guarantees they cannot be. The pool observes the leak
+//!   as `outstanding`, never as corruption.
+
+use crate::channel::{channel, DomainReceiver, DomainSender};
+use crate::domain::Domain;
+use rbs_core::Exchangeable;
+use std::fmt;
+
+/// The give half of a recycle path: held by workers/sinks, feeds the
+/// pool owner's domain.
+pub struct RecycleSender<T: Exchangeable> {
+    inner: DomainSender<T>,
+}
+
+impl<T: Exchangeable> Clone for RecycleSender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Exchangeable> RecycleSender<T> {
+    /// Moves `value` back toward the pool. Returns `true` if it was
+    /// queued for reclamation, `false` if it was dropped instead
+    /// (queue full or path revoked) — never blocks either way.
+    pub fn give(&self, value: T) -> bool {
+        self.inner.try_send(value).is_ok()
+    }
+
+    /// True while the reclaiming domain still accepts returns.
+    pub fn is_open(&self) -> bool {
+        self.inner.is_open()
+    }
+}
+
+impl<T: Exchangeable> fmt::Debug for RecycleSender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecycleSender")
+            .field("open", &self.is_open())
+            .finish()
+    }
+}
+
+/// The reclaim half, owned by the pool's home domain.
+pub struct RecycleReceiver<T: Exchangeable> {
+    inner: DomainReceiver<T>,
+}
+
+impl<T: Exchangeable> RecycleReceiver<T> {
+    /// Drains every value currently queued, handing each to `f`
+    /// (typically `pool.recycle_batch`). Returns how many were
+    /// reclaimed. Never blocks.
+    pub fn reclaim(&self, mut f: impl FnMut(T)) -> usize {
+        let mut n = 0;
+        while let Ok(v) = self.inner.try_recv() {
+            f(v);
+            n += 1;
+        }
+        n
+    }
+
+    /// Values queued but not yet reclaimed.
+    pub fn pending(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Closes the path: queued values remain reclaimable, new `give`s
+    /// start dropping.
+    pub fn revoke(&self) -> bool {
+        self.inner.revoke()
+    }
+}
+
+impl<T: Exchangeable> fmt::Debug for RecycleReceiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecycleReceiver")
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+/// Creates a bounded recycle path into `home` (the domain that owns the
+/// pool). The sender is cloneable — every worker gets one.
+pub fn recycle_path<T: Exchangeable>(
+    home: &Domain,
+    capacity: usize,
+) -> (RecycleSender<T>, RecycleReceiver<T>) {
+    let (tx, rx) = channel(home, capacity);
+    (RecycleSender { inner: tx }, RecycleReceiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainManager;
+
+    fn home() -> Domain {
+        DomainManager::new().create_domain("pool-home").unwrap()
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let d = home();
+        let (tx, rx) = recycle_path::<Vec<u8>>(&d, 8);
+        assert!(tx.give(vec![1, 2, 3]));
+        assert!(tx.give(vec![4]));
+        assert_eq!(rx.pending(), 2);
+        let mut got = Vec::new();
+        assert_eq!(rx.reclaim(|v| got.push(v)), 2);
+        assert_eq!(got, vec![vec![1, 2, 3], vec![4]]);
+        assert_eq!(rx.reclaim(|_| unreachable!("queue is empty")), 0);
+    }
+
+    #[test]
+    fn full_queue_drops_instead_of_blocking() {
+        let d = home();
+        let (tx, rx) = recycle_path::<u32>(&d, 2);
+        assert!(tx.give(1));
+        assert!(tx.give(2));
+        let start = std::time::Instant::now();
+        assert!(!tx.give(3), "full path drops, never blocks");
+        assert!(start.elapsed() < std::time::Duration::from_millis(100));
+        let mut got = Vec::new();
+        rx.reclaim(|v| got.push(v));
+        assert_eq!(got, vec![1, 2], "dropped value never arrives");
+    }
+
+    #[test]
+    fn revoked_path_drops_but_drains_queue() {
+        let d = home();
+        let (tx, rx) = recycle_path::<u32>(&d, 4);
+        assert!(tx.give(7));
+        assert!(rx.revoke());
+        assert!(!tx.is_open());
+        assert!(!tx.give(8), "give after revoke is a silent drop");
+        let mut got = Vec::new();
+        assert_eq!(rx.reclaim(|v| got.push(v)), 1);
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn domain_fault_closes_the_path() {
+        let d = home();
+        let (tx, _rx) = recycle_path::<u32>(&d, 4);
+        let _ = d.execute(|| panic!("fault"));
+        assert!(!tx.is_open());
+        assert!(!tx.give(1));
+    }
+
+    #[test]
+    fn clones_feed_one_receiver() {
+        let d = home();
+        let (tx, rx) = recycle_path::<u32>(&d, 64);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for j in 0..10 {
+                        assert!(tx.give(i * 10 + j), "capacity 64 fits all 40 gives");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut count = 0;
+        rx.reclaim(|_| count += 1);
+        assert_eq!(count, 40);
+    }
+}
