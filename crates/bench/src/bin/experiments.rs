@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [EXPERIMENT ...] [--quick]
 //!
-//! EXPERIMENT: fig2 | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 | e11 | e12 | all (default)
+//! EXPERIMENT: fig2 | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 | e11 | e12 | e13 | all (default)
 //! --quick: smaller iteration counts for a fast smoke run
 //! ```
 
@@ -22,7 +22,7 @@ fn main() -> ExitCode {
     }
 
     let all = [
-        "fig2", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+        "fig2", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
     ];
     let runs: Vec<&str> = if selected.contains(&"all") {
         all.to_vec()
@@ -44,9 +44,10 @@ fn main() -> ExitCode {
             "e10" => rbs_bench::e10_chaos::run(quick),
             "e11" => rbs_bench::e11_recovery::run(quick),
             "e12" => rbs_bench::e12_hotpath::run(quick),
+            "e13" => rbs_bench::e13_isolation::run(quick),
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; known: fig2 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 all"
+                    "unknown experiment {other:?}; known: fig2 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 all"
                 );
                 return ExitCode::FAILURE;
             }

@@ -64,6 +64,7 @@ pub mod supervisor;
 pub mod worker;
 
 pub use rbs_checkpoint::{Buffered, SnapshotMeta};
+pub use rbs_sfi::backend::{BackendKind, BackendTotals};
 pub use runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};
 pub use shard::{shard_for, shard_of_packet, shard_of_packet_mut};
 pub use stats::{RuntimeReport, WorkerSnapshot, WorkerStats};

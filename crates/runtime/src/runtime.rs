@@ -8,8 +8,9 @@ use rbs_checkpoint::{Buffered, Checkpoint, SnapshotMeta, SnapshotStore};
 use rbs_core::fault::FaultPlan;
 use rbs_netfx::pool::PacketPool;
 use rbs_netfx::{PacketBatch, PipelineSpec};
+use rbs_sfi::backend::{BackendKind, BackendTotals};
 use rbs_sfi::channel::ChannelError;
-use rbs_sfi::recycle::{recycle_path, RecycleReceiver, RecycleSender};
+use rbs_sfi::recycle::{recycle_path_metered, RecycleReceiver, RecycleSender};
 use rbs_sfi::{Domain, DomainManager, DomainSender, DomainState};
 
 use crate::shard::shard_of_packet_mut;
@@ -69,6 +70,13 @@ pub struct RuntimeConfig {
     /// reallocate — the configuration `e12_hotpath` measures under a
     /// counting allocator.
     pub scratch_capacity: usize,
+    /// Isolation backend every runtime domain (workers + recycler) runs
+    /// on. The default [`BackendKind::TypedSfi`] is the paper's
+    /// zero-cost linear-type model and reproduces pre-seam behavior
+    /// exactly; [`BackendKind::MpkSim`] and [`BackendKind::CopyBoundary`]
+    /// charge each boundary crossing per their cost models (experiment
+    /// E13 sweeps the spectrum).
+    pub backend: BackendKind,
     /// Deterministic fault schedule injected into workers and the
     /// dispatch path; `None` runs clean.
     #[cfg(feature = "fault-injection")]
@@ -88,6 +96,7 @@ impl Default for RuntimeConfig {
             snapshot_full_every: 4,
             recycle_capacity: 0,
             scratch_capacity: 0,
+            backend: BackendKind::TypedSfi,
             #[cfg(feature = "fault-injection")]
             faults: None,
         }
@@ -321,7 +330,7 @@ impl ShardedRuntime {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         let epoch = Instant::now();
-        let manager = DomainManager::new();
+        let manager = DomainManager::with_backend(config.backend.instantiate());
         // The recycler (when configured) is a driver-owned domain whose
         // only export is the recycle channel; it runs no thread — the
         // dispatch thread drains it via `reclaim_buffers`.
@@ -329,7 +338,10 @@ impl ShardedRuntime {
             let domain = manager
                 .create_domain("recycler")
                 .map_err(RuntimeError::DomainCreation)?;
-            let (sender, receiver) = recycle_path(&domain, config.recycle_capacity);
+            // Spent batches crossing back are metered by their payload
+            // bytes, like the forward path.
+            let (sender, receiver) =
+                recycle_path_metered(&domain, config.recycle_capacity, PacketBatch::total_bytes);
             Some(Recycler {
                 domain,
                 receiver,
@@ -405,6 +417,18 @@ impl ShardedRuntime {
     /// Number of workers (= shards).
     pub fn workers(&self) -> usize {
         self.slots.len()
+    }
+
+    /// The isolation backend the runtime's domains run on.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.config.backend
+    }
+
+    /// Crossing totals accumulated by the runtime's isolation backend.
+    /// Always zero under the default zero-cost [`BackendKind::TypedSfi`]
+    /// (nothing is instrumented, by design).
+    pub fn backend_totals(&self) -> BackendTotals {
+        self.manager.backend_totals()
     }
 
     /// The current logical supervision tick.

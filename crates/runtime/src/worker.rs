@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 use rbs_checkpoint::{Checkpoint, SnapshotStore};
 use rbs_core::fault::{self, FaultKind, FaultPlan, FaultSite};
 use rbs_netfx::{PacketBatch, PipelineSpec};
-use rbs_sfi::channel::channel;
+use rbs_sfi::channel::channel_metered;
 use rbs_sfi::recycle::RecycleSender;
 use rbs_sfi::{Domain, DomainSender};
 
@@ -31,6 +31,18 @@ pub enum WorkItem {
         /// (snapshotting disabled).
         snapshot_tick: Option<u64>,
     },
+}
+
+impl WorkItem {
+    /// Payload bytes this item carries across the worker's domain
+    /// boundary — what a charging isolation backend bills per hand-off.
+    /// Control items (snapshot/shutdown) carry none.
+    fn boundary_bytes(&self) -> usize {
+        match self {
+            WorkItem::Batch(batch) => batch.total_bytes(),
+            WorkItem::Snapshot { .. } | WorkItem::Shutdown { .. } => 0,
+        }
+    }
 }
 
 /// Spawns a worker thread dedicated to `domain`.
@@ -74,7 +86,7 @@ pub(crate) fn spawn_worker(
     initial_state: Option<Arc<Checkpoint>>,
     recycle: Option<RecycleSender<PacketBatch>>,
 ) -> (DomainSender<WorkItem>, JoinHandle<()>) {
-    let (tx, rx) = channel::<WorkItem>(&domain, queue_capacity);
+    let (tx, rx) = channel_metered::<WorkItem>(&domain, queue_capacity, WorkItem::boundary_bytes);
     // Attach-site injection, decided *synchronously* on the spawning
     // (supervisor) thread: a scripted window here produces a
     // deterministic crash loop — spawn number `spawn_seq` dies before

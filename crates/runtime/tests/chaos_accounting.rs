@@ -21,8 +21,8 @@ use rbs_netfx::headers::ethernet::MacAddr;
 use rbs_netfx::operators::ChaosPoint;
 use rbs_netfx::{FlowTracker, Packet, PacketBatch, PipelineSpec};
 use rbs_runtime::{
-    shard_of_packet, BreakerState, RestartPolicy, RuntimeConfig, RuntimeReport, ShardedRuntime,
-    SupervisorEvent, SupervisorEventKind,
+    shard_of_packet, BackendKind, BreakerState, RestartPolicy, RuntimeConfig, RuntimeReport,
+    ShardedRuntime, SupervisorEvent, SupervisorEventKind,
 };
 
 fn udp(src_port: u16, dst_port: u16) -> Packet {
@@ -72,13 +72,16 @@ fn stateful_chaos_spec() -> PipelineSpec {
 /// the shutdown report. Lockstep keeps the supervision clock decoupled
 /// from thread timing: every fault from round `r` is observed during
 /// round `r`'s drain. `snapshot_interval` > 0 turns on checkpoint-backed
-/// warm recovery (the pipeline is stateful either way).
+/// warm recovery (the pipeline is stateful either way). The whole
+/// machine runs on `backend` — conservation must hold whichever cost
+/// model the boundary charges.
 fn run_chaos(
     plan: FaultPlan,
     workers: usize,
     rounds: usize,
     restart: RestartPolicy,
     snapshot_interval: u64,
+    backend: BackendKind,
 ) -> RuntimeReport {
     let mut rt = ShardedRuntime::new(
         stateful_chaos_spec(),
@@ -88,6 +91,7 @@ fn run_chaos(
             restart,
             snapshot_interval_ticks: snapshot_interval,
             snapshot_full_every: 2,
+            backend,
             #[cfg(feature = "fault-injection")]
             faults: Some(Arc::new(plan)),
             ..RuntimeConfig::default()
@@ -182,6 +186,7 @@ proptest! {
         encode_ppm in 0u32..40_000,
         snapshot_interval in 0u64..4,
         rounds in 3usize..8,
+        copy_backend in any::<bool>(),
     ) {
         let plan = FaultPlan::new(seed)
             .inject(FaultSite::Operator(0), FaultKind::Panic, panic_ppm)
@@ -198,7 +203,14 @@ proptest! {
             breaker_cooldown_ticks: 3,
             backoff_jitter_ticks: 2,
         };
-        let report = run_chaos(plan, 3, rounds, restart, snapshot_interval);
+        // Conservation is proven backend-independent: half the cases run
+        // on the copy-in/copy-out strawman instead of zero-cost SFI.
+        let backend = if copy_backend {
+            BackendKind::CopyBoundary
+        } else {
+            BackendKind::TypedSfi
+        };
+        let report = run_chaos(plan, 3, rounds, restart, snapshot_interval, backend);
         assert_conserved(&report);
         prop_assert_eq!(
             report.offered_packets,
@@ -403,7 +415,7 @@ fn fixed_seed_replays_identically() {
         };
         // Snapshot cadence on: the replayed history includes snapshot
         // work items, warm restores, and state-loss accounting.
-        run_chaos(plan, 3, 12, restart, 2)
+        run_chaos(plan, 3, 12, restart, 2, BackendKind::TypedSfi)
     };
     let (a, b) = (run(), run());
     assert_conserved(&a);
@@ -440,4 +452,46 @@ fn fixed_seed_replays_identically() {
         assert_eq!(wa.faults, wb.faults, "worker {}", wa.index);
         assert_eq!(wa.respawns, wb.respawns, "worker {}", wa.index);
     }
+}
+
+/// The backend seam's contract applied to chaos: an isolation backend is
+/// a *cost model*, not a mechanism — so the same seeded fault schedule
+/// must produce the same supervision journal and the same conserved
+/// ledger whether boundaries are free (TypedSfi) or pay copy-in/copy-out
+/// (CopyBoundary). Faults fire by occurrence, not wall clock, so the
+/// copies slow the run without steering it.
+#[test]
+fn chaos_history_is_backend_independent() {
+    let run = |backend: BackendKind| {
+        let plan = FaultPlan::new(0xBEEF)
+            .inject(FaultSite::Operator(0), FaultKind::Panic, 60_000)
+            .inject(FaultSite::DomainAttach, FaultKind::Panic, 30_000)
+            .inject(FaultSite::CheckpointEncode, FaultKind::Panic, 30_000);
+        let restart = RestartPolicy {
+            max_consecutive_faults: 2,
+            backoff_base_ticks: 1,
+            backoff_cap_ticks: 4,
+            breaker_cooldown_ticks: 3,
+            backoff_jitter_ticks: 2,
+        };
+        run_chaos(plan, 3, 10, restart, 2, backend)
+    };
+    let typed = run(BackendKind::TypedSfi);
+    let copy = run(BackendKind::CopyBoundary);
+    assert_conserved(&typed);
+    assert_conserved(&copy);
+    assert!(typed.faults > 0, "the plan injected something");
+    assert_eq!(
+        replayable_events(&typed),
+        replayable_events(&copy),
+        "supervision history diverged across backends"
+    );
+    assert_eq!(typed.offered_packets, copy.offered_packets);
+    assert_eq!(typed.packets_in, copy.packets_in);
+    assert_eq!(typed.packets_out, copy.packets_out);
+    assert_eq!(typed.faults, copy.faults);
+    assert_eq!(typed.respawns, copy.respawns);
+    assert_eq!(typed.warm_restores, copy.warm_restores);
+    assert_eq!(typed.cold_restores, copy.cold_restores);
+    assert_eq!(typed.snapshots_taken, copy.snapshots_taken);
 }

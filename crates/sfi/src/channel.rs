@@ -27,6 +27,7 @@
 //! let _ = payload.len();
 //! ```
 
+use crate::backend::{Crossing, IsolationBackend};
 use crate::domain::Domain;
 use crate::reftable::SlotHandle;
 use crate::tls::DomainId;
@@ -78,6 +79,15 @@ impl std::error::Error for ChannelError {}
 struct ChannelCore<T: Exchangeable> {
     tx: Sender<T>,
     closed: AtomicBool,
+    /// The receiving domain's isolation backend; sends charge a
+    /// [`Crossing::ChannelSend`] against it when `charged` is set.
+    backend: Arc<dyn IsolationBackend>,
+    /// Cached `!backend.zero_cost()` (see [`crate::backend`]).
+    charged: bool,
+    /// Reports a value's boundary size in bytes. Defaults to
+    /// `size_of::<T>()`; containers should meter their payload (e.g. a
+    /// packet batch's total bytes) via [`channel_metered`].
+    meter: fn(&T) -> usize,
 }
 
 /// The value actually stored in the reference table: dropping it (table
@@ -172,11 +182,22 @@ impl<T: Exchangeable> DomainSender<T> {
             if core.closed.load(Ordering::Acquire) {
                 return Err((ChannelError::Revoked, value));
             }
+            let bytes = if core.charged {
+                (core.meter)(&value)
+            } else {
+                0
+            };
             match core
                 .tx
                 .send_timeout(value, std::time::Duration::from_millis(5))
             {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    if core.charged {
+                        core.backend
+                            .crossing(self.target, Crossing::ChannelSend, bytes);
+                    }
+                    return Ok(());
+                }
                 Err(SendTimeoutError::Timeout(v)) => {
                     // Queue full: re-check the closed flag (and the
                     // caller's deadline) next round.
@@ -202,8 +223,19 @@ impl<T: Exchangeable> DomainSender<T> {
         if core.closed.load(Ordering::Acquire) {
             return Err((ChannelError::Revoked, value));
         }
+        let bytes = if core.charged {
+            (core.meter)(&value)
+        } else {
+            0
+        };
         match core.tx.try_send(value) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if core.charged {
+                    core.backend
+                        .crossing(self.target, Crossing::ChannelSend, bytes);
+                }
+                Ok(())
+            }
             Err(crossbeam::channel::TrySendError::Full(v)) => Err((ChannelError::Full, v)),
             Err(crossbeam::channel::TrySendError::Disconnected(v)) => {
                 Err((ChannelError::Disconnected, v))
@@ -227,21 +259,37 @@ pub struct DomainReceiver<T: Exchangeable> {
     rx: Receiver<T>,
     home: Domain,
     slot: SlotHandle,
+    meter: fn(&T) -> usize,
 }
 
 impl<T: Exchangeable> DomainReceiver<T> {
+    /// Charge the copy-out half of the hand-off: the value leaving the
+    /// queue and landing in the receiving domain.
+    #[inline]
+    fn charge_recv(&self, value: &T) {
+        if self.home.inner.charged {
+            self.home
+                .inner
+                .charge(Crossing::ChannelRecv, (self.meter)(value));
+        }
+    }
+
     /// Receives the next message, blocking until one arrives or every
     /// sender is gone.
     pub fn recv(&self) -> Result<T, ChannelError> {
-        self.rx.recv().map_err(|_| ChannelError::Disconnected)
+        let v = self.rx.recv().map_err(|_| ChannelError::Disconnected)?;
+        self.charge_recv(&v);
+        Ok(v)
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<T, ChannelError> {
-        self.rx.try_recv().map_err(|e| match e {
+        let v = self.rx.try_recv().map_err(|e| match e {
             TryRecvError::Empty => ChannelError::Empty,
             TryRecvError::Disconnected => ChannelError::Disconnected,
-        })
+        })?;
+        self.charge_recv(&v);
+        Ok(v)
     }
 
     /// Messages currently queued.
@@ -281,10 +329,30 @@ pub fn channel<T: Exchangeable>(
     receiver: &Domain,
     capacity: usize,
 ) -> (DomainSender<T>, DomainReceiver<T>) {
+    channel_metered(receiver, capacity, |_| std::mem::size_of::<T>())
+}
+
+/// Like [`channel`], with an explicit boundary meter: `meter` reports
+/// how many payload bytes a value carries across the domain boundary,
+/// which is what a charging isolation backend (copy boundary, MPK
+/// simulation — see [`crate::backend`]) bills per hand-off.
+///
+/// The plain [`channel`] constructor meters `size_of::<T>()`, which is
+/// right for inline values but undercounts containers; pass the real
+/// payload size here (e.g. a packet batch's total bytes). Under the
+/// default zero-cost backend the meter is never called.
+pub fn channel_metered<T: Exchangeable>(
+    receiver: &Domain,
+    capacity: usize,
+    meter: fn(&T) -> usize,
+) -> (DomainSender<T>, DomainReceiver<T>) {
     let (tx, rx) = bounded(capacity);
     let core = Arc::new(ChannelCore {
         tx,
         closed: AtomicBool::new(false),
+        backend: Arc::clone(&receiver.inner.backend),
+        charged: receiver.inner.charged,
+        meter,
     });
     let weak = Arc::downgrade(&core);
     let slot = receiver
@@ -300,6 +368,7 @@ pub fn channel<T: Exchangeable>(
             rx,
             home: receiver.clone(),
             slot,
+            meter,
         },
     )
 }
@@ -470,6 +539,34 @@ mod tests {
         assert_eq!(obj.invoke(|o| *o).unwrap(), 5);
         rx.revoke();
         assert_eq!(d.exported_objects(), 1);
+    }
+
+    #[test]
+    fn metered_channel_charges_backend_crossings() {
+        let mgr = DomainManager::with_backend_kind(crate::backend::BackendKind::CopyBoundary);
+        let d = mgr.create_domain("consumer").unwrap();
+        let (tx, rx) = channel_metered::<Vec<u8>>(&d, 4, |v| v.len());
+        tx.send(vec![0u8; 100]).unwrap();
+        let t = mgr.backend_totals();
+        assert_eq!(t.crossings, 1, "send is one crossing");
+        assert_eq!(t.bytes, 100, "metered, not size_of");
+        let _ = rx.recv().unwrap();
+        let t = mgr.backend_totals();
+        assert_eq!(t.crossings, 2, "recv is the second crossing");
+        assert_eq!(t.bytes, 200);
+    }
+
+    #[test]
+    fn default_backend_charges_nothing() {
+        let d = setup();
+        let (tx, rx) = channel_metered::<Vec<u8>>(&d, 4, |v| v.len());
+        tx.send(vec![0u8; 100]).unwrap();
+        let _ = rx.recv().unwrap();
+        assert_eq!(
+            d.backend().stats(),
+            crate::backend::BackendTotals::default(),
+            "zero-cost backend keeps no counters at all"
+        );
     }
 
     #[test]

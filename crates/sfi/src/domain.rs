@@ -17,6 +17,7 @@
 //! [`Domain::handle_fault`], invoked from [`Domain::execute`] and from
 //! [`crate::RRef`] invocation when the callee panics.
 
+use crate::backend::{BackendKind, BackendTotals, Crossing, IsolationBackend};
 use crate::error::RpcError;
 use crate::policy::{AllowAll, Policy};
 use crate::reftable::RefTable;
@@ -59,6 +60,13 @@ pub(crate) struct DomainInner {
     interposed: AtomicBool,
     /// When set, invocations measure and attribute cycles to the domain.
     pub(crate) accounting: AtomicBool,
+    /// The isolation cost model every crossing of this boundary reports
+    /// to (see [`crate::backend`]).
+    pub(crate) backend: Arc<dyn IsolationBackend>,
+    /// Cached `!backend.zero_cost()`: the hot path charges crossings
+    /// only when true, so the default [`crate::backend::TypedSfi`]
+    /// backend costs one predictable branch (the `interposed` trick).
+    pub(crate) charged: bool,
     policy: RwLock<Arc<dyn Policy>>,
     recovery: Mutex<Option<Arc<RecoveryFn>>>,
 }
@@ -66,6 +74,15 @@ pub(crate) struct DomainInner {
 impl DomainInner {
     pub(crate) fn id(&self) -> DomainId {
         self.id
+    }
+
+    /// Charge one boundary crossing to the backend. Free (one branch)
+    /// under a zero-cost backend.
+    #[inline]
+    pub(crate) fn charge(&self, kind: Crossing, bytes: usize) {
+        if self.charged {
+            self.backend.crossing(self.id, kind, bytes);
+        }
     }
 
     fn load_state(&self) -> DomainState {
@@ -122,7 +139,8 @@ pub struct Domain {
 }
 
 impl Domain {
-    fn new(id: DomainId, name: String) -> Self {
+    fn new(id: DomainId, name: String, backend: Arc<dyn IsolationBackend>) -> Self {
+        let charged = !backend.zero_cost();
         Self {
             inner: Arc::new(DomainInner {
                 id,
@@ -133,6 +151,8 @@ impl Domain {
                 stats: DomainStats::new(),
                 interposed: AtomicBool::new(false),
                 accounting: AtomicBool::new(false),
+                backend,
+                charged,
                 policy: RwLock::new(Arc::new(AllowAll)),
                 recovery: Mutex::new(None),
             }),
@@ -212,6 +232,7 @@ impl Domain {
     /// ```
     pub fn execute<R>(&self, f: impl FnOnce() -> R) -> Result<R, RpcError> {
         self.check_callable(crate::tls::current_domain(), "execute")?;
+        self.inner.charge(Crossing::Call, 0);
         let accounting = self.inner.accounting.load(Ordering::Acquire);
         let start = if accounting {
             rbs_core::cycles::rdtsc()
@@ -227,6 +248,8 @@ impl Domain {
                         .record_cycles(rbs_core::cycles::rdtsc().saturating_sub(start));
                 }
                 self.inner.stats.record_invocation();
+                self.inner
+                    .charge(Crossing::Return, std::mem::size_of::<R>());
                 Ok(r)
             }
             Err(_) => {
@@ -249,7 +272,12 @@ impl Domain {
     /// [`Domain::recover`] before respawning a worker onto it.
     pub fn attach_thread(&self) -> Result<crate::tls::ThreadAttachment, RpcError> {
         match self.state() {
-            DomainState::Active => Ok(crate::tls::attach_thread(self.id())),
+            DomainState::Active => {
+                if self.inner.charged {
+                    self.inner.backend.thread_attached(self.id());
+                }
+                Ok(crate::tls::attach_thread(self.id()))
+            }
             DomainState::Failed => Err(RpcError::DomainFailed { domain: self.id() }),
             DomainState::Destroyed => Err(RpcError::DomainDestroyed { domain: self.id() }),
         }
@@ -263,6 +291,7 @@ impl Domain {
     /// Returns `true` when the domain is active again.
     pub(crate) fn handle_fault(&self) -> bool {
         self.inner.stats.record_fault();
+        self.inner.backend.domain_faulted(self.id());
         self.inner.store_state(DomainState::Failed);
         let (_revoked, inflight) = self.inner.ref_table.poison();
         self.inner.stats.record_inflight_at_fault(inflight as u64);
@@ -284,6 +313,7 @@ impl Domain {
             return false;
         }
         self.inner.stats.record_fault();
+        self.inner.backend.domain_faulted(self.id());
         self.inner.store_state(DomainState::Failed);
         let (_revoked, inflight) = self.inner.ref_table.poison();
         self.inner.stats.record_inflight_at_fault(inflight as u64);
@@ -328,6 +358,7 @@ impl Domain {
                 self.inner.store_state(DomainState::Active);
                 self.inner.generation.fetch_add(1, Ordering::Relaxed);
                 self.inner.stats.record_recovery();
+                self.inner.backend.domain_recovered(self.id());
                 true
             }
             Err(_) => false,
@@ -337,8 +368,17 @@ impl Domain {
     /// Destroys the domain: clears the table (freeing exported objects)
     /// and rejects all future calls. Idempotent.
     pub fn destroy(&self) {
+        let was_live = self.state() != DomainState::Destroyed;
         self.inner.store_state(DomainState::Destroyed);
         self.inner.ref_table.clear();
+        if was_live {
+            self.inner.backend.domain_destroyed(self.id());
+        }
+    }
+
+    /// The isolation backend this domain's crossings report to.
+    pub fn backend(&self) -> &Arc<dyn IsolationBackend> {
+        &self.inner.backend
     }
 }
 
@@ -386,23 +426,54 @@ struct ManagerInner {
     next_id: AtomicU64,
     registry: Mutex<Vec<Weak<DomainInner>>>,
     max_domains: Option<usize>,
+    backend: Arc<dyn IsolationBackend>,
 }
 
 impl DomainManager {
-    /// A manager with no domain quota.
+    /// A manager with no domain quota, on the default zero-cost
+    /// [`crate::backend::TypedSfi`] backend.
     pub fn new() -> Self {
         Self::with_quota(None)
     }
 
     /// A manager that refuses to create more than `max` live domains.
     pub fn with_quota(max: Option<usize>) -> Self {
+        Self::with_quota_and_backend(max, BackendKind::default().instantiate())
+    }
+
+    /// A manager whose domains run on one of the built-in isolation
+    /// backends.
+    pub fn with_backend_kind(kind: BackendKind) -> Self {
+        Self::with_quota_and_backend(None, kind.instantiate())
+    }
+
+    /// A manager whose domains run on `backend`.
+    pub fn with_backend(backend: Arc<dyn IsolationBackend>) -> Self {
+        Self::with_quota_and_backend(None, backend)
+    }
+
+    /// A manager with both a domain quota and an isolation backend.
+    pub fn with_quota_and_backend(max: Option<usize>, backend: Arc<dyn IsolationBackend>) -> Self {
         Self {
             inner: Arc::new(ManagerInner {
                 next_id: AtomicU64::new(1), // 0 is KERNEL_DOMAIN
                 registry: Mutex::new(Vec::new()),
                 max_domains: max,
+                backend,
             }),
         }
+    }
+
+    /// The isolation backend new domains are created on.
+    pub fn backend(&self) -> &Arc<dyn IsolationBackend> {
+        &self.inner.backend
+    }
+
+    /// Crossing totals accumulated by this manager's backend. Always
+    /// zero under the default zero-cost backend (nothing is counted, by
+    /// design — instrumentation would itself be a tax).
+    pub fn backend_totals(&self) -> BackendTotals {
+        self.inner.backend.stats()
     }
 
     /// Creates a new, active protection domain.
@@ -420,8 +491,9 @@ impl DomainManager {
             }
         }
         let id = DomainId::new(self.inner.next_id.fetch_add(1, Ordering::Relaxed));
-        let domain = Domain::new(id, name.into());
+        let domain = Domain::new(id, name.into(), Arc::clone(&self.inner.backend));
         registry.push(Arc::downgrade(&domain.inner));
+        self.inner.backend.domain_created(id);
         Ok(domain)
     }
 

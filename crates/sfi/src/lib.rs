@@ -33,6 +33,7 @@
 //! owned arguments change ownership permanently; `RRef` arguments keep
 //! their pointee in its home domain.
 
+pub mod backend;
 pub mod channel;
 pub mod domain;
 pub mod error;
@@ -44,11 +45,15 @@ pub mod rref;
 pub mod stats;
 pub mod tls;
 
-pub use channel::{channel, ChannelError, DomainReceiver, DomainSender};
+pub use backend::{
+    BackendKind, BackendStats, BackendTotals, CopyBoundary, CopyCostModel, Crossing,
+    IsolationBackend, MpkCostModel, MpkSim, TypedSfi,
+};
+pub use channel::{channel, channel_metered, ChannelError, DomainReceiver, DomainSender};
 pub use domain::{Domain, DomainManager, DomainState};
 pub use error::RpcError;
 pub use policy::{AclPolicy, AllowAll, DenyAll, Policy};
-pub use recycle::{recycle_path, RecycleReceiver, RecycleSender};
+pub use recycle::{recycle_path, recycle_path_metered, RecycleReceiver, RecycleSender};
 pub use rref::RRef;
 pub use stats::DomainStats;
 pub use tls::{current_domain, DomainId, ThreadAttachment, KERNEL_DOMAIN};

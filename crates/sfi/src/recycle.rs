@@ -24,7 +24,7 @@
 //!   and ownership guarantees they cannot be. The pool observes the leak
 //!   as `outstanding`, never as corruption.
 
-use crate::channel::{channel, DomainReceiver, DomainSender};
+use crate::channel::{channel, channel_metered, DomainReceiver, DomainSender};
 use crate::domain::Domain;
 use rbs_core::Exchangeable;
 use std::fmt;
@@ -110,6 +110,19 @@ pub fn recycle_path<T: Exchangeable>(
     capacity: usize,
 ) -> (RecycleSender<T>, RecycleReceiver<T>) {
     let (tx, rx) = channel(home, capacity);
+    (RecycleSender { inner: tx }, RecycleReceiver { inner: rx })
+}
+
+/// Like [`recycle_path`], with an explicit boundary meter (see
+/// [`channel_metered`]): a charging isolation backend bills the give and
+/// reclaim hand-offs by the bytes `meter` reports, since spent buffers
+/// crossing back are domain crossings too.
+pub fn recycle_path_metered<T: Exchangeable>(
+    home: &Domain,
+    capacity: usize,
+    meter: fn(&T) -> usize,
+) -> (RecycleSender<T>, RecycleReceiver<T>) {
+    let (tx, rx) = channel_metered(home, capacity, meter);
     (RecycleSender { inner: tx }, RecycleReceiver { inner: rx })
 }
 

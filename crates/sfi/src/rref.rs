@@ -169,6 +169,9 @@ impl<T: Send + 'static> RRef<T> {
             return Err(RpcError::Revoked);
         };
         self.home.check_callable(current_domain(), method)?;
+        // Entering the home domain is a boundary crossing; the return
+        // value moving back out is the second one.
+        self.home.charge(crate::backend::Crossing::Call, 0);
         let accounting = self
             .home
             .accounting
@@ -192,6 +195,8 @@ impl<T: Send + 'static> RRef<T> {
         match outcome {
             Ok(r) => {
                 self.home.stats.record_invocation();
+                self.home
+                    .charge(crate::backend::Crossing::Return, std::mem::size_of::<R>());
                 Ok(r)
             }
             Err(_) => {

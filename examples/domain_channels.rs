@@ -8,19 +8,40 @@
 //! observe the capability dying.
 //!
 //! ```sh
-//! cargo run --release --example domain_channels
+//! cargo run --release --example domain_channels [-- --backend typed|mpk|copy]
 //! ```
+//!
+//! `--backend` selects the isolation backend the consumer domain runs on
+//! (default `typed`, zero cost). A charging backend bills every send and
+//! recv by the batch's payload bytes; the example prints the census.
 
 use rust_beyond_safety::netfx::batch::PacketBatch;
 use rust_beyond_safety::netfx::operators::Counter;
 use rust_beyond_safety::netfx::pipeline::Operator;
 use rust_beyond_safety::netfx::pktgen::{PacketGen, TrafficConfig};
-use rust_beyond_safety::sfi::{channel, ChannelError, DomainManager, RRef};
+use rust_beyond_safety::sfi::{channel_metered, BackendKind, ChannelError, DomainManager, RRef};
+
+/// Parses `--backend <kind>` from the argument list (default typed-sfi).
+fn backend_from_args() -> BackendKind {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--backend" {
+            let v = args.next().unwrap_or_default();
+            return v.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        }
+    }
+    BackendKind::TypedSfi
+}
 
 fn main() {
-    let mgr = DomainManager::new();
+    let backend = backend_from_args();
+    println!("isolation backend: {backend}");
+    let mgr = DomainManager::with_backend_kind(backend);
     let consumer = mgr.create_domain("consumer").expect("no quota");
-    let (tx, rx) = channel::<PacketBatch>(&consumer, 32);
+    let (tx, rx) = channel_metered::<PacketBatch>(&consumer, 32, PacketBatch::total_bytes);
     let counter = RRef::new(&consumer, Counter::new());
 
     println!(
@@ -82,4 +103,11 @@ fn main() {
         "total consumed: {consumed}; counter agrees: {}",
         counter.invoke(|c| c.packets()).expect("healthy domain")
     );
+    let totals = mgr.backend_totals();
+    if totals.crossings > 0 {
+        println!(
+            "backend {backend} charged {} crossings, {} boundary bytes, {} modeled cycles",
+            totals.crossings, totals.bytes, totals.model_cycles
+        );
+    }
 }

@@ -12,8 +12,14 @@
 //! recovers the victim's domain and it rejoins.
 //!
 //! ```sh
-//! cargo run --release --example isolated_nf_pipeline
+//! cargo run --release --example isolated_nf_pipeline [-- --backend typed|mpk|copy]
 //! ```
+//!
+//! `--backend` selects the isolation backend every protection domain
+//! runs on (default `typed`, the paper's zero-cost model); `mpk` and
+//! `copy` charge each crossing per their cost models and the example
+//! prints the resulting crossing census (experiment E13 measures the
+//! full spectrum).
 
 use rust_beyond_safety::fwtrie::{Action, FirewallOp, FwTrie, Rule};
 use rust_beyond_safety::maglev::{Backend, MaglevLb};
@@ -23,8 +29,24 @@ use rust_beyond_safety::netfx::operators::TtlDecrement;
 use rust_beyond_safety::netfx::pktgen::{FlowDistribution, PacketGen, TrafficConfig};
 use rust_beyond_safety::netfx::{Operator, Packet, PacketBatch, PipelineSpec};
 use rust_beyond_safety::runtime::{shard_of_packet, RuntimeConfig, ShardedRuntime};
+use rust_beyond_safety::sfi::BackendKind;
 use rust_beyond_safety::IsolatedPipeline;
 use std::net::Ipv4Addr;
+
+/// Parses `--backend <kind>` from the argument list (default typed-sfi).
+fn backend_from_args() -> BackendKind {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--backend" {
+            let v = args.next().unwrap_or_default();
+            return v.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        }
+    }
+    BackendKind::TypedSfi
+}
 
 fn build_firewall() -> FirewallOp {
     let mut trie = FwTrie::new();
@@ -56,6 +78,9 @@ fn build_maglev() -> MaglevLb {
 }
 
 fn main() {
+    let backend = backend_from_args();
+    println!("isolation backend: {backend}");
+
     // Synthetic traffic: heavy-tailed flow mix to the VIP (the DPDK
     // stand-in; see DESIGN.md substitution 1).
     let mut gen = PacketGen::new(TrafficConfig {
@@ -65,7 +90,7 @@ fn main() {
         ..Default::default()
     });
 
-    let mut pipeline = IsolatedPipeline::new();
+    let mut pipeline = IsolatedPipeline::with_backend(backend);
     pipeline
         .add_stage("firewall", || Box::new(build_firewall()))
         .expect("no quota");
@@ -92,6 +117,13 @@ fn main() {
         }
     }
     println!("\nsent {sent} packets, delivered {delivered} to backends");
+    let totals = pipeline.manager().backend_totals();
+    if totals.crossings > 0 {
+        println!(
+            "backend {backend} charged {} crossings, {} boundary bytes, {} modeled cycles",
+            totals.crossings, totals.bytes, totals.model_cycles
+        );
+    }
 
     for d in pipeline.domains() {
         println!(
@@ -109,7 +141,7 @@ fn main() {
     // boundary; the stack trace would just be noise.
     std::panic::set_hook(Box::new(|_| {}));
     println!("\ninjecting a fault into a fresh pipeline stage...");
-    let mut flaky = IsolatedPipeline::new();
+    let mut flaky = IsolatedPipeline::with_backend(backend);
     let built = std::sync::atomic::AtomicUsize::new(0);
     flaky
         .add_stage("flaky-fw", move || {
@@ -135,7 +167,7 @@ fn main() {
         d.state()
     );
 
-    sharded_runtime_demo(&mut gen);
+    sharded_runtime_demo(&mut gen, backend);
 }
 
 /// The port that makes [`PoisonPort`] panic.
@@ -162,7 +194,7 @@ impl Operator for PoisonPort {
 
 /// Part 2: the same NF pipeline sharded across 4 workers, one of which
 /// is crashed mid-run and healed without disturbing the others.
-fn sharded_runtime_demo(gen: &mut PacketGen) {
+fn sharded_runtime_demo(gen: &mut PacketGen, backend: BackendKind) {
     const WORKERS: usize = 4;
     const BATCHES: usize = 400;
 
@@ -177,6 +209,7 @@ fn sharded_runtime_demo(gen: &mut PacketGen) {
         RuntimeConfig {
             workers: WORKERS,
             queue_capacity: 64,
+            backend,
             ..RuntimeConfig::default()
         },
     )
@@ -229,6 +262,13 @@ fn sharded_runtime_demo(gen: &mut PacketGen) {
         );
     }
 
+    let totals = rt.backend_totals();
+    if totals.crossings > 0 {
+        println!(
+            "backend {backend} charged {} crossings, {} boundary bytes, {} modeled cycles",
+            totals.crossings, totals.bytes, totals.model_cycles
+        );
+    }
     let report = rt.shutdown();
     println!(
         "total: {} packets in, {} delivered, {} batches lost with the crash, \

@@ -59,6 +59,15 @@ impl IsolatedPipeline {
         }
     }
 
+    /// An empty isolated pipeline whose stage domains run on the given
+    /// isolation backend (see [`rbs_sfi::IsolationBackend`]). The
+    /// default [`BackendKind::TypedSfi`](rbs_sfi::BackendKind::TypedSfi)
+    /// is the paper's zero-cost model; the others charge each remote
+    /// invocation per their cost models.
+    pub fn with_backend(kind: rbs_sfi::BackendKind) -> Self {
+        Self::with_manager(DomainManager::with_backend_kind(kind))
+    }
+
     /// Appends a stage: creates a protection domain named `name`, builds
     /// the operator inside it from `factory`, exports it as an [`RRef`],
     /// and registers recovery so a faulted stage rebuilds itself.
