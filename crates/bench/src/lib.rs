@@ -18,6 +18,7 @@
 //! | [`e11_recovery`] | ROADMAP robustness — checkpoint-backed warm recovery: state survival by snapshot cadence |
 //! | [`e12_hotpath`] | ROADMAP perf — zero-allocation hot path: pooled buffers, batch recycling, single-pass dispatch |
 //! | [`e13_isolation`] | ROADMAP isolation — the isolation-tax spectrum: typed-sfi vs. mpk-sim vs. copy-boundary backends |
+//! | [`e14_upgrade`] | ROADMAP robustness — live rolling upgrade under load: zero-loss commit, chaos-driven rollback |
 //!
 //! Each module exposes a `run(quick) -> String` that regenerates the
 //! table/series as text (the `experiments` binary prints them), plus
@@ -29,6 +30,7 @@ pub mod e10_chaos;
 pub mod e11_recovery;
 pub mod e12_hotpath;
 pub mod e13_isolation;
+pub mod e14_upgrade;
 pub mod e1_isolation;
 pub mod e2_remote_call;
 pub mod e3_recovery;

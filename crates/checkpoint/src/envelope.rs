@@ -21,7 +21,12 @@ use crate::snapshot::SnapshotError;
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"RBSE";
-const VERSION: u8 = 1;
+/// Envelope wire-format version. Bumped to 2 when the header grew the
+/// state-schema varint (live-upgrade support); an envelope sealed by a
+/// different format version is rejected with
+/// [`RestoreError::VersionMismatch`] — found and expected versions
+/// attached — before any metadata is parsed.
+pub const VERSION: u8 = 2;
 const KIND_FULL: u8 = 0;
 const KIND_DELTA: u8 = 1;
 /// Bytes of the checksum footer.
@@ -39,8 +44,18 @@ const FIXED_HEADER_LEN: usize = 6;
 pub enum RestoreError {
     /// Too short to even hold a header and footer.
     Truncated,
-    /// Bad magic, unsupported version, or unknown envelope kind.
+    /// Bad magic or unknown envelope kind.
     BadHeader,
+    /// The envelope was sealed by a different wire-format version. Kept
+    /// distinct from [`RestoreError::BadHeader`] so an upgrade path can
+    /// tell "foreign format" from "garbage": the envelope is intact
+    /// (its checksum verified), just written by other code.
+    VersionMismatch {
+        /// Version byte the envelope carries.
+        found: u8,
+        /// Version this build understands ([`VERSION`]).
+        expected: u8,
+    },
     /// The declared payload length does not match the bytes present.
     LengthMismatch {
         /// Length the header declared.
@@ -81,6 +96,7 @@ impl RestoreError {
         match self {
             RestoreError::Truncated => "truncated",
             RestoreError::BadHeader => "bad-header",
+            RestoreError::VersionMismatch { .. } => "version-mismatch",
             RestoreError::LengthMismatch { .. } => "length-mismatch",
             RestoreError::ChecksumMismatch { .. } => "checksum-mismatch",
             RestoreError::Codec(_) => "codec",
@@ -96,7 +112,13 @@ impl fmt::Display for RestoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RestoreError::Truncated => write!(f, "envelope truncated"),
-            RestoreError::BadHeader => write!(f, "bad envelope magic, version, or kind"),
+            RestoreError::BadHeader => write!(f, "bad envelope magic or kind"),
+            RestoreError::VersionMismatch { found, expected } => {
+                write!(
+                    f,
+                    "envelope format version {found}, this build reads {expected}"
+                )
+            }
             RestoreError::LengthMismatch { declared, actual } => {
                 write!(f, "payload length {declared} declared, {actual} present")
             }
@@ -150,6 +172,13 @@ pub struct SnapshotMeta {
     /// State items (rules, flows) the snapshot holds, as reported by the
     /// owner — the unit of state-loss accounting.
     pub items: u64,
+    /// State-schema version of the pipeline that exported this snapshot
+    /// (the owner's declared layout generation, not the envelope format
+    /// version). Restore paths compare it against the target pipeline's
+    /// schema and route mismatches through a
+    /// [`StateMigrator`](crate::migrate::StateMigrator) instead of
+    /// restoring a layout the new code no longer understands.
+    pub schema: u32,
 }
 
 impl SnapshotMeta {
@@ -190,6 +219,7 @@ fn seal(kind: u8, meta: SnapshotMeta, payload: &[u8]) -> Vec<u8> {
     codec::write_varint(&mut out, meta.base_epoch);
     codec::write_varint(&mut out, meta.tick);
     codec::write_varint(&mut out, meta.items);
+    codec::write_varint(&mut out, u64::from(meta.schema));
     codec::write_varint(&mut out, payload.len() as u64);
     out.extend_from_slice(payload);
     let checksum = fnv1a(&out);
@@ -236,8 +266,14 @@ pub fn open(bytes: &[u8]) -> Result<(SnapshotMeta, Payload), RestoreError> {
     if stored != computed {
         return Err(RestoreError::ChecksumMismatch { stored, computed });
     }
-    if &content[..4] != MAGIC || content[4] != VERSION {
+    if &content[..4] != MAGIC {
         return Err(RestoreError::BadHeader);
+    }
+    if content[4] != VERSION {
+        return Err(RestoreError::VersionMismatch {
+            found: content[4],
+            expected: VERSION,
+        });
     }
     let kind = content[5];
     let mut pos = FIXED_HEADER_LEN;
@@ -245,6 +281,8 @@ pub fn open(bytes: &[u8]) -> Result<(SnapshotMeta, Payload), RestoreError> {
     let base_epoch = read_varint(content, &mut pos)?;
     let tick = read_varint(content, &mut pos)?;
     let items = read_varint(content, &mut pos)?;
+    let schema = u32::try_from(read_varint(content, &mut pos)?)
+        .map_err(|_| RestoreError::Codec(CodecError::VarintOverflow))?;
     let declared =
         usize::try_from(read_varint(content, &mut pos)?).map_err(|_| RestoreError::Truncated)?;
     let payload = &content[pos..];
@@ -259,6 +297,7 @@ pub fn open(bytes: &[u8]) -> Result<(SnapshotMeta, Payload), RestoreError> {
         base_epoch,
         tick,
         items,
+        schema,
     };
     let payload = match kind {
         KIND_FULL if base_epoch == epoch => Payload::Full(codec::decode(payload)?),
@@ -280,6 +319,7 @@ mod tests {
             base_epoch: epoch,
             tick: 10,
             items: 3,
+            schema: 7,
         }
     }
 
@@ -306,6 +346,7 @@ mod tests {
             base_epoch: 5,
             tick: 11,
             items: 3,
+            schema: 2,
         };
         let bytes = seal_delta(m, &d);
         let (back_meta, payload) = open(&bytes).unwrap();
@@ -350,9 +391,28 @@ mod tests {
             base_epoch: 1,
             tick: 0,
             items: 0,
+            schema: 0,
         };
         let bytes = seal(KIND_FULL, m, &codec::encode(&cp));
         assert_eq!(open(&bytes).unwrap_err(), RestoreError::BadHeader);
+    }
+
+    #[test]
+    fn foreign_version_is_typed_not_garbage() {
+        // A structurally intact envelope stamped with a different format
+        // version: reseal the checksum so only the version byte differs.
+        let mut bytes = seal_full(meta(1), &checkpoint(&vec![1u8, 2]));
+        bytes[4] = VERSION + 1;
+        let content_len = bytes.len() - FOOTER_LEN;
+        let checksum = fnv1a(&bytes[..content_len]).to_le_bytes();
+        bytes[content_len..].copy_from_slice(&checksum);
+        assert_eq!(
+            open(&bytes).unwrap_err(),
+            RestoreError::VersionMismatch {
+                found: VERSION + 1,
+                expected: VERSION,
+            }
+        );
     }
 
     #[test]
@@ -367,5 +427,13 @@ mod tests {
             "checksum-mismatch"
         );
         assert_eq!(RestoreError::MissingSnapshot.kind(), "missing-snapshot");
+        assert_eq!(
+            RestoreError::VersionMismatch {
+                found: 9,
+                expected: VERSION
+            }
+            .kind(),
+            "version-mismatch"
+        );
     }
 }

@@ -32,7 +32,9 @@
 //! - [`envelope`] / [`store`]: sealed snapshots with integrity metadata
 //!   (checksum footer, monotonic epochs, typed [`RestoreError`]) and the
 //!   double-buffered full/delta [`SnapshotStore`] the runtime's warm
-//!   recovery restores from.
+//!   recovery restores from;
+//! - [`migrate`]: the [`StateMigrator`] hook live upgrades use to carry
+//!   snapshots across a state-schema change instead of restarting cold.
 //!
 //! # Quickstart
 //!
@@ -57,6 +59,7 @@ pub mod ctx;
 pub mod derive;
 pub mod diff;
 pub mod envelope;
+pub mod migrate;
 pub mod snapshot;
 pub mod store;
 pub mod traits;
@@ -71,6 +74,7 @@ pub use ctx::{
 };
 pub use diff::{apply, diff, Delta};
 pub use envelope::{RestoreError, SnapshotMeta};
+pub use migrate::{MigrateError, MigratorSet, StateMigrator};
 pub use snapshot::{Snapshot, SnapshotError};
 pub use store::{Buffered, SealedSnapshot, SnapshotStore, StoreStats};
 pub use traits::Checkpointable;

@@ -148,12 +148,16 @@ impl SnapshotStore {
 
     /// Seals `cp` into the store as the new latest record, rotating the
     /// old latest into `previous`. `tick` and `items` are recorded in
-    /// the envelope for state-loss accounting at restore time.
+    /// the envelope for state-loss accounting at restore time; `schema`
+    /// is the owner's state-schema version, which restore paths compare
+    /// against the target pipeline's schema to decide between a direct
+    /// restore and a [`StateMigrator`](crate::migrate::StateMigrator)
+    /// pass.
     ///
     /// Serialization happens before any mutation: a panic injected into
     /// the encoder (the `CheckpointEncode` chaos site) leaves the store
     /// exactly as it was.
-    pub fn record(&mut self, cp: &Checkpoint, tick: u64, items: u64) -> SnapshotMeta {
+    pub fn record(&mut self, cp: &Checkpoint, tick: u64, items: u64, schema: u32) -> SnapshotMeta {
         let epoch = self.next_epoch;
         let full = match &self.base {
             None => true,
@@ -165,6 +169,7 @@ impl SnapshotStore {
                 base_epoch: epoch,
                 tick,
                 items,
+                schema,
             };
             let bytes = Arc::new(envelope::seal_full(meta, cp));
             self.next_epoch += 1;
@@ -187,6 +192,7 @@ impl SnapshotStore {
                 base_epoch: base_meta.epoch,
                 tick,
                 items,
+                schema,
             };
             let delta_bytes = envelope::seal_delta(meta, &delta);
             let base_bytes = Arc::clone(base_bytes);
@@ -278,7 +284,7 @@ mod tests {
     fn full_delta_cadence() {
         let mut store = SnapshotStore::new(3);
         for i in 0..7u64 {
-            store.record(&cp_of(&[i]), i, 1);
+            store.record(&cp_of(&[i]), i, 1, 0);
         }
         // Records 1, 4, 7 are full (every 3rd), the rest deltas.
         let s = store.stats();
@@ -291,9 +297,9 @@ mod tests {
     fn epochs_are_monotonic_and_buffers_rotate() {
         let mut store = SnapshotStore::new(2);
         assert!(store.latest().is_none());
-        store.record(&cp_of(&[1]), 10, 1);
-        store.record(&cp_of(&[2]), 20, 1);
-        store.record(&cp_of(&[3]), 30, 1);
+        store.record(&cp_of(&[1]), 10, 1, 0);
+        store.record(&cp_of(&[2]), 20, 1, 0);
+        store.record(&cp_of(&[3]), 30, 1, 0);
         let latest = store.latest().unwrap().meta();
         let previous = store.previous().unwrap().meta();
         assert_eq!(latest.epoch, 3);
@@ -306,9 +312,9 @@ mod tests {
     fn delta_records_restore_exactly() {
         let mut base: Vec<u64> = (0..64).collect();
         let mut store = SnapshotStore::new(10);
-        store.record(&cp_of(&base), 1, 64);
+        store.record(&cp_of(&base), 1, 64, 0);
         base[40] = 999;
-        store.record(&cp_of(&base), 2, 64); // delta
+        store.record(&cp_of(&base), 2, 64, 0); // delta
         let latest = store.open_buffered(Buffered::Latest).unwrap().unwrap();
         assert_eq!(latest.root, cp_of(&base).root);
         let previous = store.open_buffered(Buffered::Previous).unwrap().unwrap();
@@ -324,8 +330,8 @@ mod tests {
     #[test]
     fn corruption_is_detected_per_buffer() {
         let mut store = SnapshotStore::new(1);
-        store.record(&cp_of(&[1, 2, 3]), 1, 3);
-        store.record(&cp_of(&[4, 5, 6]), 2, 3);
+        store.record(&cp_of(&[1, 2, 3]), 1, 3, 0);
+        store.record(&cp_of(&[4, 5, 6]), 2, 3, 0);
         assert!(store.corrupt(Buffered::Latest));
         assert!(store.open_buffered(Buffered::Latest).unwrap().is_err());
         // Previous is a separate full envelope: still intact.
@@ -336,9 +342,9 @@ mod tests {
     #[test]
     fn corrupting_a_delta_spares_its_shared_base() {
         let mut store = SnapshotStore::new(10);
-        store.record(&cp_of(&[1]), 1, 1); // full — becomes the shared base
-        store.record(&cp_of(&[2]), 2, 1); // delta on it
-        store.record(&cp_of(&[3]), 3, 1); // delta on it
+        store.record(&cp_of(&[1]), 1, 1, 0); // full — becomes the shared base
+        store.record(&cp_of(&[2]), 2, 1, 0); // delta on it
+        store.record(&cp_of(&[3]), 3, 1, 0); // delta on it
         assert!(store.corrupt(Buffered::Latest));
         assert!(store.open_buffered(Buffered::Latest).unwrap().is_err());
         // Previous shares the same base envelope and must survive.
@@ -350,7 +356,7 @@ mod tests {
     fn corrupt_empty_buffer_reports_nothing_to_corrupt() {
         let mut store = SnapshotStore::new(1);
         assert!(!store.corrupt(Buffered::Latest));
-        store.record(&cp_of(&[1]), 1, 1);
+        store.record(&cp_of(&[1]), 1, 1, 0);
         assert!(!store.corrupt(Buffered::Previous));
     }
 
@@ -359,7 +365,7 @@ mod tests {
         use rbs_core::fault::{self, FaultKind, FaultPlan, FaultSite};
         use std::sync::Arc;
         let mut store = SnapshotStore::new(1);
-        store.record(&cp_of(&[1]), 1, 1);
+        store.record(&cp_of(&[1]), 1, 1, 0);
         let plan = Arc::new(FaultPlan::new(0).inject_window(
             FaultSite::CheckpointEncode,
             FaultKind::Panic,
@@ -369,7 +375,7 @@ mod tests {
         ));
         fault::scoped(plan, || {
             let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                store.record(&cp_of(&[2]), 2, 1)
+                store.record(&cp_of(&[2]), 2, 1, 0)
             }));
             assert!(panicked.is_err(), "the injected fault must fire");
         });
@@ -377,7 +383,7 @@ mod tests {
         // previous still empty, and the next record gets epoch 2.
         assert_eq!(store.latest().unwrap().meta().epoch, 1);
         assert!(store.previous().is_none());
-        let meta = store.record(&cp_of(&[3]), 3, 1);
+        let meta = store.record(&cp_of(&[3]), 3, 1, 0);
         assert_eq!(meta.epoch, 2);
         assert_eq!(
             store.open_buffered(Buffered::Latest).unwrap().unwrap().root,

@@ -5,8 +5,10 @@
 //! `open` is total over arbitrary bytes.
 
 use proptest::prelude::*;
-use rbs_checkpoint::envelope::{open, seal_delta, seal_full, Payload};
-use rbs_checkpoint::{checkpoint, checkpointable, diff, restore, CkArc, CkRc, SnapshotMeta};
+use rbs_checkpoint::envelope::{open, seal_delta, seal_full, Payload, VERSION};
+use rbs_checkpoint::{
+    checkpoint, checkpointable, diff, restore, CkArc, CkRc, RestoreError, SnapshotMeta,
+};
 
 /// Leaf payload held behind the shared pointers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +72,21 @@ fn meta(epoch: u64) -> SnapshotMeta {
         base_epoch: epoch,
         tick: epoch,
         items: 0,
+        schema: 0,
     }
+}
+
+/// The envelope's checksum, recomputed independently (64-bit FNV-1a over
+/// everything before the 8-byte footer) so tests can reseal envelopes
+/// they deliberately malform.
+fn reseal_checksum(bytes: &mut [u8]) {
+    let content_len = bytes.len() - 8;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes[..content_len] {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    bytes[content_len..].copy_from_slice(&h.to_le_bytes());
 }
 
 proptest! {
@@ -158,7 +174,7 @@ proptest! {
         let delta = diff(&base, &next);
 
         let sealed = seal_delta(
-            SnapshotMeta { epoch: 2, base_epoch: 1, tick: 5, items: 0 },
+            SnapshotMeta { epoch: 2, base_epoch: 1, tick: 5, items: 0, schema: 0 },
             &delta,
         );
         let (m, payload) = open(&sealed).expect("own seal verifies");
@@ -187,6 +203,33 @@ proptest! {
         bytes in proptest::collection::vec(any::<u8>(), 0..512),
     ) {
         prop_assert!(open(&bytes).is_err(), "random bytes passed verification");
+    }
+
+    /// An envelope sealed by *any* other format version — a future
+    /// build's snapshot landing on this one, the live-upgrade hazard —
+    /// must fail with the typed `VersionMismatch` carrying the found and
+    /// expected versions: never a checksum error (the envelope is
+    /// intact), never a panic, and never a successful open.
+    #[test]
+    fn future_versions_fail_typed(
+        arc_labels in proptest::collection::vec(any::<u64>(), 1..5),
+        rc_pool in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..4), 1..4),
+        arc_picks in proptest::collection::vec(any::<u64>(), 0..10),
+        rc_picks in proptest::collection::vec(any::<u64>(), 0..8),
+        epoch in any::<u64>(),
+        foreign_version in any::<u8>().prop_filter("must differ", |v| *v != VERSION),
+    ) {
+        let (doc, _, _) = build_doc(&arc_labels, &arc_picks, &rc_pool, &rc_picks);
+        let mut sealed = seal_full(meta(epoch), &checkpoint(&doc));
+        // Byte 4 is the format version; reseal so the checksum stays
+        // valid and the *only* anomaly is the foreign version.
+        sealed[4] = foreign_version;
+        reseal_checksum(&mut sealed);
+        prop_assert_eq!(
+            open(&sealed).unwrap_err(),
+            RestoreError::VersionMismatch { found: foreign_version, expected: VERSION }
+        );
     }
 
     /// Truncating a valid envelope anywhere must be detected too (torn

@@ -39,6 +39,14 @@ pub enum FaultSite {
     /// Checkpoint serialization ([`encode`](FaultSite::CheckpointEncode)
     /// of a captured snapshot).
     CheckpointEncode,
+    /// A live upgrade pausing one worker's ingress and draining its
+    /// queue (stream = shard index, occurrence = per-shard quiesce
+    /// count). A kill here dies with work still queued.
+    UpgradeQuiesce,
+    /// A live upgrade restoring migrated state into the replacement
+    /// worker (same stream/occurrence convention). A kill here dies
+    /// after the old generation is gone but before the new one runs.
+    UpgradeRestore,
 }
 
 impl FaultSite {
@@ -49,6 +57,8 @@ impl FaultSite {
             FaultSite::DomainAttach => "domain-attach",
             FaultSite::ChannelSend => "channel-send",
             FaultSite::CheckpointEncode => "checkpoint-encode",
+            FaultSite::UpgradeQuiesce => "upgrade-quiesce",
+            FaultSite::UpgradeRestore => "upgrade-restore",
         }
     }
 
@@ -58,6 +68,8 @@ impl FaultSite {
             FaultSite::DomainAttach => 1,
             FaultSite::ChannelSend => 2,
             FaultSite::CheckpointEncode => 3,
+            FaultSite::UpgradeQuiesce => 4,
+            FaultSite::UpgradeRestore => 5,
         }
     }
 }

@@ -45,7 +45,7 @@ pub use flow::FiveTuple;
 pub use flowtrack::{FlowEntry, FlowTracker};
 pub use nat::SourceNat;
 pub use packet::{Packet, PacketError};
-pub use pipeline::{Operator, Pipeline, PipelineSpec, StageStats};
+pub use pipeline::{Operator, Pipeline, PipelineSpec, StageStateMap, StageStats};
 pub use pktgen::{FlowDistribution, PacketGen, TrafficConfig};
 pub use pool::{PacketPool, PoolStats};
 pub use ratelimit::{PerFlowRateLimiter, RateLimiter, TokenBucket};

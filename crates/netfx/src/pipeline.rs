@@ -259,6 +259,10 @@ impl std::fmt::Debug for Pipeline {
 #[derive(Clone, Default)]
 pub struct PipelineSpec {
     factories: Vec<Arc<dyn Fn() -> Box<dyn Operator> + Send + Sync>>,
+    /// Layout generation of the state this spec's pipelines export —
+    /// stamped into every sealed snapshot so restore paths can tell a
+    /// compatible checkpoint from one that needs migration.
+    state_schema: u32,
 }
 
 impl PipelineSpec {
@@ -275,6 +279,23 @@ impl PipelineSpec {
     {
         self.factories.push(Arc::new(move || Box::new(factory())));
         self
+    }
+
+    /// Declares the state-schema version of this spec's pipelines;
+    /// builder style. Specs default to schema 0. Bump the schema
+    /// whenever an upgrade changes the *layout* of exported state (stage
+    /// list, per-stage statefulness, or an operator's snapshot shape) —
+    /// restoring a snapshot across differing schemas requires a
+    /// [`StateMigrator`](rbs_checkpoint::StateMigrator).
+    #[must_use]
+    pub fn with_state_schema(mut self, schema: u32) -> Self {
+        self.state_schema = schema;
+        self
+    }
+
+    /// The state-schema version stamped into this spec's snapshots.
+    pub fn state_schema(&self) -> u32 {
+        self.state_schema
     }
 
     /// Number of stages a built pipeline will have.
@@ -311,7 +332,77 @@ impl std::fmt::Debug for PipelineSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PipelineSpec")
             .field("stages", &self.factories.len())
+            .field("state_schema", &self.state_schema)
             .finish()
+    }
+}
+
+/// A declarative [`StateMigrator`](rbs_checkpoint::StateMigrator) over
+/// pipeline-shaped checkpoints: for each stage of the *new* pipeline,
+/// name the old stage whose state it inherits — or none, to start that
+/// stage fresh from its factory.
+///
+/// [`Pipeline::export_state`] roots every checkpoint at a `Seq` with one
+/// `Opt` per stage, and [`Pipeline::import_state`] treats `Opt(None)` as
+/// "leave the freshly built stage untouched". That makes the common
+/// upgrade migrations pure index plumbing:
+///
+/// - **rule push**: map the firewall stage to *fresh* (its new rules
+///   come from the new spec's factory) and carry every other stage, so
+///   flow state survives a rule change without a cold start;
+/// - **chain reshape**: map each surviving stage to its old position and
+///   let inserted stages start fresh.
+///
+/// The shared-node table is carried verbatim: dropped subtrees may leave
+/// unreferenced shared entries behind, which restore ignores.
+pub struct StageStateMap {
+    from: u32,
+    to: u32,
+    sources: Vec<Option<usize>>,
+}
+
+impl StageStateMap {
+    /// A migrator from schema `from` to schema `to`, where new stage `i`
+    /// inherits old stage `sources[i]`'s state (`None` = start fresh).
+    pub fn new(from: u32, to: u32, sources: Vec<Option<usize>>) -> Self {
+        Self { from, to, sources }
+    }
+}
+
+impl rbs_checkpoint::StateMigrator for StageStateMap {
+    fn can_migrate(&self, from: u32, to: u32) -> bool {
+        from == self.from && to == self.to
+    }
+
+    fn migrate(
+        &self,
+        cp: &Checkpoint,
+        from: u32,
+        to: u32,
+    ) -> Result<Checkpoint, rbs_checkpoint::MigrateError> {
+        let err = |reason| rbs_checkpoint::MigrateError { from, to, reason };
+        if !self.can_migrate(from, to) {
+            return Err(err("unsupported-schema-pair"));
+        }
+        let Snapshot::Seq(old_stages) = &cp.root else {
+            return Err(err("root-not-stage-seq"));
+        };
+        let new_stages = self
+            .sources
+            .iter()
+            .map(|source| match source {
+                None => Ok(Snapshot::Opt(None)),
+                Some(i) => old_stages
+                    .get(*i)
+                    .cloned()
+                    .ok_or(err("source-out-of-range")),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Checkpoint {
+            root: Snapshot::Seq(new_stages),
+            shared: cp.shared.clone(),
+            stats: cp.stats,
+        })
     }
 }
 
@@ -548,6 +639,49 @@ mod tests {
             stateless.build_with_state(&cp).unwrap_err(),
             SnapshotError::TypeMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn stage_state_map_reshapes_and_refreshes() {
+        use rbs_checkpoint::StateMigrator;
+        // Old chain: [stateless, counter]; the counter has seen 9.
+        let old = PipelineSpec::new()
+            .stage(NullFilter::new)
+            .stage(|| SeenCounter { seen: 0 })
+            .with_state_schema(1);
+        let mut live = old.build();
+        live.run_batch(batch(9));
+        let cp = live.export_state();
+
+        // New chain: [stateless, counter, counter] — the old counter's
+        // state moves to position 1, the inserted stage starts fresh.
+        let new = PipelineSpec::new()
+            .stage(NullFilter::new)
+            .stage(|| SeenCounter { seen: 0 })
+            .stage(|| SeenCounter { seen: 0 })
+            .with_state_schema(2);
+        assert_eq!(new.state_schema(), 2);
+        let map = StageStateMap::new(1, 2, vec![None, Some(1), None]);
+        assert!(map.can_migrate(1, 2));
+        assert!(!map.can_migrate(2, 1));
+        let migrated = map.migrate(&cp, 1, 2).unwrap();
+        let replica = new.build_with_state(&migrated).unwrap();
+        assert_eq!(
+            replica.export_state().root,
+            Snapshot::Seq(vec![
+                Snapshot::Opt(None),
+                Snapshot::Opt(Some(Box::new(Snapshot::UInt(9)))),
+                Snapshot::Opt(Some(Box::new(Snapshot::UInt(0)))),
+            ])
+        );
+
+        // A source index past the old chain is a typed error, not a
+        // panic or a half-built checkpoint.
+        let broken = StageStateMap::new(1, 2, vec![Some(5)]);
+        assert_eq!(
+            broken.migrate(&cp, 1, 2).unwrap_err().reason,
+            "source-out-of-range"
+        );
     }
 
     #[test]

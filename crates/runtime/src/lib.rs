@@ -21,6 +21,9 @@
 //!   supervisor event journal.
 //! - [`stats`] — cumulative per-worker counters that survive respawns,
 //!   plus the merged [`RuntimeReport`].
+//! - [`upgrade`] — zero-downtime rolling reconfiguration: the policy
+//!   knobs, typed rejection, and per-upgrade outcome records for
+//!   [`ShardedRuntime::upgrade_pipeline`](runtime::ShardedRuntime::upgrade_pipeline).
 //!
 //! With the `fault-injection` feature, a seeded
 //! [`rbs_core::FaultPlan`](rbs_core::fault::FaultPlan) can be installed
@@ -61,6 +64,7 @@ pub mod runtime;
 pub mod shard;
 pub mod stats;
 pub mod supervisor;
+pub mod upgrade;
 pub mod worker;
 
 pub use rbs_checkpoint::{Buffered, SnapshotMeta};
@@ -69,4 +73,5 @@ pub use runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};
 pub use shard::{shard_for, shard_of_packet, shard_of_packet_mut};
 pub use stats::{RuntimeReport, WorkerSnapshot, WorkerStats};
 pub use supervisor::{BreakerState, RestartPolicy, SupervisorEvent, SupervisorEventKind};
+pub use upgrade::{UpgradeError, UpgradeOutcome, UpgradePolicy};
 pub use worker::WorkItem;

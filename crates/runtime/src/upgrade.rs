@@ -1,0 +1,223 @@
+//! Live pipeline upgrade: policy knobs, typed rejection, and the
+//! outcome record.
+//!
+//! A rolling upgrade walks the fleet one worker at a time — pause
+//! ingress, drain the queued tail, snapshot, tear down the old domain,
+//! spawn the new spec in a fresh one, restore (migrating state across a
+//! schema change when the policy carries a capable
+//! [`StateMigrator`]), resume. At most one shard of capacity is out at
+//! any moment; its packets ride the existing degradation machinery
+//! (redistribute to a healthy peer, shed with accounting as a last
+//! resort), so conservation `offered == packets_in + lost + shed` holds
+//! through the window and a compatible upgrade loses exactly zero
+//! packets.
+//!
+//! Failures mid-upgrade (chaos kills at the
+//! [`UpgradeQuiesce`](rbs_core::fault::FaultSite::UpgradeQuiesce) /
+//! [`UpgradeRestore`](rbs_core::fault::FaultSite::UpgradeRestore) sites,
+//! or a drain that blows its deadline) reverse direction: workers that
+//! already upgraded are swapped back to the old spec and restored from
+//! their latest snapshots. The fleet always ends uniform — all on the
+//! new spec or all on the old one, never mixed.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rbs_checkpoint::StateMigrator;
+
+/// Knobs for one [`upgrade_pipeline`](crate::ShardedRuntime::upgrade_pipeline)
+/// call.
+#[derive(Clone)]
+pub struct UpgradePolicy {
+    /// Wall-clock bound on one worker's post-pause queue drain. A worker
+    /// that has not exited by the deadline is force-failed (its thread
+    /// abandoned as a zombie) and the upgrade rolls back. Logical ticks
+    /// don't work here: the drain happens *between* ticks, on the
+    /// worker's own thread.
+    pub drain_deadline: Duration,
+    /// Carries snapshots across a state-schema change. `None` means only
+    /// same-schema upgrades are compatible; a schema-changing upgrade
+    /// whose pair the migrator cannot handle is rejected up front with
+    /// [`UpgradeError::IncompatibleSchema`] before any worker is
+    /// touched.
+    pub migrator: Option<Arc<dyn StateMigrator>>,
+}
+
+impl Default for UpgradePolicy {
+    fn default() -> Self {
+        Self {
+            drain_deadline: Duration::from_secs(5),
+            migrator: None,
+        }
+    }
+}
+
+impl UpgradePolicy {
+    /// Sets the migrator that carries state across a schema change.
+    #[must_use]
+    pub fn with_migrator(mut self, migrator: Arc<dyn StateMigrator>) -> Self {
+        self.migrator = Some(migrator);
+        self
+    }
+
+    /// Sets the wall-clock bound on one worker's post-pause drain.
+    #[must_use]
+    pub fn with_drain_deadline(mut self, deadline: Duration) -> Self {
+        self.drain_deadline = deadline;
+        self
+    }
+}
+
+impl fmt::Debug for UpgradePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UpgradePolicy")
+            .field("drain_deadline", &self.drain_deadline)
+            .field("migrator", &self.migrator.is_some())
+            .finish()
+    }
+}
+
+/// Why an upgrade was rejected before any worker was touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpgradeError {
+    /// Another upgrade is still walking the fleet.
+    InProgress,
+    /// The specs' state schemas differ and the policy's migrator (if
+    /// any) cannot carry state across the pair. Rejected up front: no
+    /// worker is paused, no packet is put at risk.
+    IncompatibleSchema {
+        /// Running spec's state schema.
+        from: u32,
+        /// Target spec's state schema.
+        to: u32,
+    },
+}
+
+impl fmt::Display for UpgradeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpgradeError::InProgress => write!(f, "an upgrade is already in progress"),
+            UpgradeError::IncompatibleSchema { from, to } => write!(
+                f,
+                "no migrator can carry state from schema {from} to schema {to}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UpgradeError {}
+
+/// How a finished upgrade ended — the per-upgrade accounting record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpgradeOutcome {
+    /// Every worker runs the target spec.
+    Committed {
+        /// Workers upgraded.
+        workers: usize,
+        /// Total supervision ticks worker ingress was paused, summed
+        /// over the fleet.
+        pause_ticks: u64,
+        /// Packets drained from paused queues (processed by the old
+        /// generations after their ingress stopped — not lost).
+        drained_packets: u64,
+        /// State items carried across a schema change by the migrator.
+        state_items_migrated: u64,
+        /// Tick the upgrade was accepted on.
+        started_tick: u64,
+        /// Tick the final worker committed on.
+        finished_tick: u64,
+    },
+    /// A mid-upgrade failure reversed direction; every worker runs the
+    /// old spec again, restored from its latest snapshot.
+    RolledBack {
+        /// Worker whose quiesce or restore failed.
+        failed_worker: usize,
+        /// Workers swapped back to the old spec (including the failed
+        /// one).
+        workers_rolled_back: usize,
+        /// Total supervision ticks worker ingress was paused.
+        pause_ticks: u64,
+        /// Packets drained from paused queues before the abort.
+        drained_packets: u64,
+        /// Tick the upgrade was accepted on.
+        started_tick: u64,
+        /// Tick the rollback completed on.
+        finished_tick: u64,
+    },
+}
+
+impl UpgradeOutcome {
+    /// True when the fleet ended on the target spec.
+    pub fn committed(&self) -> bool {
+        matches!(self, UpgradeOutcome::Committed { .. })
+    }
+
+    /// Stable short name (used in reports and JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            UpgradeOutcome::Committed { .. } => "committed",
+            UpgradeOutcome::RolledBack { .. } => "rolled-back",
+        }
+    }
+}
+
+/// Which way the walk is going.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UpgradeDirection {
+    /// Walking workers onto the target spec.
+    Forward,
+    /// A failure at `failed_worker` reversed the walk: already-upgraded
+    /// workers are being returned to the old spec.
+    Rollback {
+        /// Worker whose quiesce or restore failed.
+        failed_worker: usize,
+    },
+}
+
+/// The in-flight quiesce of one worker.
+#[derive(Debug)]
+pub(crate) struct Quiesce {
+    /// Worker being quiesced.
+    pub worker: usize,
+    /// Tick its ingress paused (the pause spans `paused_tick` →
+    /// completion tick).
+    pub paused_tick: u64,
+    /// `WorkerStats::packets_in()` at pause: packets processed beyond
+    /// this are the drained tail.
+    pub packets_at_pause: u64,
+    /// Whether the shutdown control item reached the worker's queue. A
+    /// send that timed out (queue full against a wedged worker) is
+    /// retried next tick before the drain deadline applies.
+    pub shutdown_sent: bool,
+}
+
+/// One upgrade's full walk state, owned by the runtime while in flight.
+pub(crate) struct UpgradeRun {
+    /// Spec the fleet is moving to.
+    pub target: rbs_netfx::PipelineSpec,
+    /// Spec the fleet is moving from (restored on rollback).
+    pub old: rbs_netfx::PipelineSpec,
+    /// Policy the call was made with.
+    pub policy: UpgradePolicy,
+    /// Forward, or rolling back after a failure.
+    pub direction: UpgradeDirection,
+    /// Workers still to walk (front is next).
+    pub queue: std::collections::VecDeque<usize>,
+    /// Workers already walked in the current direction.
+    pub done: Vec<usize>,
+    /// The worker currently quiescing, if any.
+    pub active: Option<Quiesce>,
+    /// The next quiesce target's `packets_in()` captured at the start
+    /// of its pause tick — before routing — so the drained-tail
+    /// accounting replays exactly in lockstep harnesses.
+    pub staged_packets_at_pause: Option<u64>,
+    /// Tick the upgrade was accepted on.
+    pub started_tick: u64,
+    /// Running total of pause ticks across the fleet.
+    pub pause_ticks: u64,
+    /// Running total of packets drained from paused queues.
+    pub drained_packets: u64,
+    /// Running total of state items migrated across the schema change.
+    pub items_migrated: u64,
+}

@@ -142,10 +142,11 @@ pub(crate) fn spawn_worker(
                 // encode fault unwinds to the boundary like any pipeline
                 // panic. The store seals before committing, so a fault
                 // mid-encode leaves both buffers intact.
+                let schema = spec.state_schema();
                 let take_snapshot = |pipeline: &rbs_netfx::Pipeline, tick: u64| {
                     let cp = pipeline.export_state();
                     let items = pipeline.state_items();
-                    store.lock().record(&cp, tick, items);
+                    store.lock().record(&cp, tick, items, schema);
                 };
                 loop {
                     match rx.recv() {
