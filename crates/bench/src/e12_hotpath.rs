@@ -38,7 +38,7 @@ use rbs_netfx::operators::{MacSwap, NullFilter, TtlDecrement};
 use rbs_netfx::pktgen::{PacketGen, TrafficConfig};
 use rbs_netfx::pool::PacketPool;
 use rbs_netfx::PipelineSpec;
-use rbs_runtime::{RuntimeConfig, ShardedRuntime};
+use rbs_runtime::{LaneConfig, LaneRuntime, RuntimeConfig, ShardedRuntime};
 
 use crate::alloc_count;
 
@@ -248,6 +248,99 @@ pub fn measure_point(
     }
 }
 
+/// One lane-mode (run-to-completion) configuration: each lane generates
+/// its RSS slice from its own pool, processes it in its own domain and
+/// recycles locally — the whole packet lifecycle never leaves the lane
+/// thread, so the zero-allocation claim covers generation too.
+///
+/// Stealing is off here by design: a thief recycles stolen buffers into
+/// its *own* pool, so buffers migrate between pools and a receiving
+/// pool's free list can outgrow its prewarm — an allocation that is the
+/// price of stealing, not of the steady path. E9's skew cell measures
+/// that price; this cell isolates the claim the pool exists for.
+#[derive(Debug, Clone)]
+pub struct LanePoint {
+    /// Lane (= thread) count.
+    pub lanes: usize,
+    /// Packets per generated batch.
+    pub batch_size: usize,
+    /// Whole-mix batches in the measured window.
+    pub rounds: usize,
+    /// Packets generated inside the measured window.
+    pub packets: u64,
+    /// Wall-clock nanoseconds of the measured window.
+    pub elapsed_ns: u128,
+    /// Million packets per second over the window.
+    pub mpps: f64,
+    /// Allocation events inside the window (`None` without the
+    /// `alloc-count` feature).
+    pub allocs_steady: Option<u64>,
+    /// Ledger balance: every generated packet handled exactly once.
+    pub conservation_ok: bool,
+    /// Every buffer taken from a lane pool was returned to one.
+    pub pool_balanced: bool,
+}
+
+impl LanePoint {
+    /// True when the zero-allocation claim was measured and held.
+    pub fn zero_alloc(&self) -> Option<bool> {
+        self.allocs_steady.map(|n| n == 0)
+    }
+}
+
+/// Runs one lane-mode configuration. The warmup rendezvous brackets the
+/// window exactly: every lane finishes its warmup quota and parks, the
+/// allocator counter is read, the fleet is released, and the counter is
+/// read again only after every lane has parked on the exit rendezvous.
+pub fn measure_lane_point(lanes: usize, batch_size: usize, rounds: usize) -> LanePoint {
+    let rt = LaneRuntime::start(
+        spec(),
+        LaneConfig {
+            lanes,
+            traffic: TrafficConfig {
+                flows: 4096,
+                payload_len: 64,
+                seed: 0x0E12,
+                ..Default::default()
+            },
+            total_batches: rounds as u64,
+            batch_size,
+            steal_batch: 0,
+            pool_slab_bytes: SLAB_BYTES,
+            warmup_batches: Some(WARMUP_ROUNDS as u64),
+            ..LaneConfig::default()
+        },
+    );
+    rt.wait_warmed();
+    // ---- measured window: nothing below may allocate ----
+    let allocs_before = alloc_count::allocations();
+    let start = Instant::now();
+    rt.release_warm();
+    rt.wait_done();
+    let elapsed = start.elapsed();
+    let allocs_after = alloc_count::allocations();
+    // ---- end of measured window ----
+    rt.release_exit();
+    let report = rt.join();
+
+    let packets = (rounds * batch_size) as u64;
+    let offered_total = ((rounds + WARMUP_ROUNDS) * batch_size) as u64;
+    assert_eq!(report.offered(), offered_total, "full quota generated");
+    assert!(report.lanes.iter().all(|l| !l.dead), "no lane died");
+    let allocs_steady = alloc_count::enabled().then(|| allocs_after - allocs_before);
+    LanePoint {
+        lanes,
+        batch_size,
+        rounds,
+        packets,
+        elapsed_ns: elapsed.as_nanos(),
+        mpps: packets as f64 / elapsed.as_secs_f64() / 1e6,
+        allocs_steady,
+        conservation_ok: report.unaccounted_packets() == 0,
+        pool_balanced: report.outstanding_buffers() == 0,
+    }
+}
+
 /// The full experiment result set.
 #[derive(Debug, Clone)]
 pub struct HotpathResults {
@@ -257,6 +350,8 @@ pub struct HotpathResults {
     pub alloc_counting: bool,
     /// Pooled sweep points plus the unpooled baseline (last).
     pub points: Vec<HotpathPoint>,
+    /// Lane-mode (run-to-completion) points.
+    pub lane_points: Vec<LanePoint>,
 }
 
 /// Runs the sweep: every worker count × batch size with the pool on,
@@ -273,6 +368,10 @@ pub fn measure(rounds: usize, batch_sizes: &[usize]) -> HotpathResults {
         host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
         alloc_counting: alloc_count::enabled(),
         points,
+        lane_points: [1usize, 2, 4]
+            .into_iter()
+            .map(|n| measure_lane_point(n, 256, rounds))
+            .collect(),
     }
 }
 
@@ -320,7 +419,36 @@ pub fn to_json(r: &HotpathResults) -> String {
             p.pool_misses,
             p.recycled_batches,
             p.recycle_drops,
-            if i + 1 < n { "," } else { "" },
+            if i + 1 < n || !r.lane_points.is_empty() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    let m = r.lane_points.len();
+    for (i, p) in r.lane_points.iter().enumerate() {
+        let zero = p
+            .zero_alloc()
+            .map_or_else(|| "null".into(), |b| b.to_string());
+        out.push_str(&format!(
+            "    {{\"kind\": \"stable\", \"mode\": \"lane\", \"lanes\": {}, \"batch_size\": {}, \"rounds\": {}, \"packets\": {}, \"conservation_ok\": {}, \"pool_balanced\": {}, \"zero_alloc_steady\": {}, \"allocs_steady\": {}}},\n",
+            p.lanes,
+            p.batch_size,
+            p.rounds,
+            p.packets,
+            p.conservation_ok,
+            p.pool_balanced,
+            zero,
+            fmt_opt_u64(p.allocs_steady),
+        ));
+        out.push_str(&format!(
+            "    {{\"kind\": \"timing\", \"mode\": \"lane\", \"lanes\": {}, \"batch_size\": {}, \"elapsed_ns\": {}, \"mpps\": {:.4}}}{}\n",
+            p.lanes,
+            p.batch_size,
+            p.elapsed_ns,
+            p.mpps,
+            if i + 1 < m { "," } else { "" },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -390,9 +518,26 @@ pub fn run(quick: bool) -> String {
             ));
         }
     }
+    out.push_str("\nlane mode (run-to-completion, stealing off):\n");
+    let mut lt = Table::new(&["lanes", "batch", "Mpps", "allocs", "balanced"]);
+    for p in &results.lane_points {
+        lt.row_owned(vec![
+            p.lanes.to_string(),
+            p.batch_size.to_string(),
+            fmt_f64(p.mpps, 3),
+            p.allocs_steady
+                .map_or_else(|| "n/a".into(), |n| n.to_string()),
+            p.pool_balanced.to_string(),
+        ]);
+    }
+    out.push_str(&lt.render());
     for p in &results.points {
         assert!(p.conservation_ok, "packet ledger must balance");
         assert!(p.pool_balanced, "pool ledger must balance");
+    }
+    for p in &results.lane_points {
+        assert!(p.conservation_ok, "lane ledger must balance");
+        assert!(p.pool_balanced, "lane pools must balance");
     }
     if results.alloc_counting {
         let dirty: Vec<_> = results
@@ -413,6 +558,18 @@ pub fn run(quick: bool) -> String {
                     p.batch_size,
                 ));
             }
+        }
+        for p in results
+            .lane_points
+            .iter()
+            .filter(|p| p.zero_alloc() == Some(false))
+        {
+            out.push_str(&format!(
+                "WARNING: {} allocs in lane steady state at lanes={} batch={}\n",
+                p.allocs_steady.unwrap_or(0),
+                p.lanes,
+                p.batch_size,
+            ));
         }
     }
 
@@ -464,6 +621,25 @@ mod tests {
     }
 
     #[test]
+    fn lane_point_conserves_and_balances() {
+        let p = measure_lane_point(2, 64, 24);
+        assert_eq!(p.packets, 24 * 64);
+        assert!(p.conservation_ok, "every generated packet handled once");
+        assert!(p.pool_balanced, "every buffer returned to a lane pool");
+        assert!(p.mpps > 0.0);
+        if alloc_count::enabled() {
+            assert_eq!(
+                p.allocs_steady,
+                Some(0),
+                "lane steady state must not allocate (recent sizes: {:?})",
+                alloc_count::recent_sizes()
+            );
+        } else {
+            assert!(p.allocs_steady.is_none());
+        }
+    }
+
+    #[test]
     fn json_separates_stable_from_timing() {
         let point = HotpathPoint {
             workers: 4,
@@ -487,6 +663,17 @@ mod tests {
             host_cpus: 1,
             alloc_counting: true,
             points: vec![point],
+            lane_points: vec![LanePoint {
+                lanes: 2,
+                batch_size: 256,
+                rounds: 10,
+                packets: 2560,
+                elapsed_ns: 1000,
+                mpps: 1.0,
+                allocs_steady: Some(0),
+                conservation_ok: true,
+                pool_balanced: true,
+            }],
         };
         let j = to_json(&r);
         assert_eq!(j.matches('{').count(), j.matches('}').count());

@@ -65,6 +65,13 @@ pub struct PacketGen {
     endpoints: Vec<(Ipv4Addr, Ipv4Addr, u16, u16)>,
     /// Cumulative probability table for Zipf sampling (empty for uniform).
     zipf_cdf: Vec<f64>,
+    /// Flow ids this generator draws from. Equal to `0..flows` for a
+    /// whole-mix generator; an RSS slice keeps only the flows whose
+    /// stable hash lands on its lane.
+    flow_ids: Vec<usize>,
+    /// This generator's probability mass within the whole mix (1.0 for
+    /// a whole-mix generator).
+    share: f64,
     generated: u64,
 }
 
@@ -76,9 +83,38 @@ impl PacketGen {
     /// Panics if `config.flows` is zero or a Zipf exponent is not
     /// positive and finite.
     pub fn new(config: TrafficConfig) -> Self {
+        Self::rss_slice(config, 0, 1)
+    }
+
+    /// Creates a generator for one RSS slice of `config`'s flow mix.
+    ///
+    /// The flow population, endpoints, and per-flow popularity weights
+    /// are materialized identically on every lane (same seed ⇒ same
+    /// flows everywhere); the slice then keeps exactly the flows whose
+    /// [`FiveTuple::stable_hash`] lands on `lane` modulo `lanes` — the
+    /// same mapping the dispatcher's `shard_for` uses — and
+    /// renormalizes the popularity distribution over the kept flows.
+    /// The union of all `lanes` slices is the whole mix, each flow on
+    /// exactly one lane; [`share`](Self::share) reports the slice's
+    /// probability mass so callers can split a packet budget
+    /// proportionally.
+    ///
+    /// `rss_slice(config, 0, 1)` is byte-identical to
+    /// [`new`](Self::new). For `lanes > 1` each lane draws from its own
+    /// seeded stream (derived from `config.seed` and `lane`), so runs
+    /// stay deterministic per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.flows` is zero, `lane >= lanes`, or a Zipf
+    /// exponent is not positive and finite. A slice that holds no flows
+    /// (population smaller than the lane count) is valid with
+    /// `share() == 0.0`; drawing from it panics.
+    pub fn rss_slice(config: TrafficConfig, lane: usize, lanes: usize) -> Self {
         assert!(config.flows > 0, "flow population must be non-empty");
+        assert!(lane < lanes, "lane {lane} out of range for {lanes} lanes");
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let endpoints = (0..config.flows)
+        let endpoints: Vec<(Ipv4Addr, Ipv4Addr, u16, u16)> = (0..config.flows)
             .map(|i| {
                 let src = Ipv4Addr::from(0x0A00_0000 | (i as u32 & 0x00FF_FFFF));
                 let dst = Ipv4Addr::new(192, 0, 2, 1); // the VIP, TEST-NET-1
@@ -87,46 +123,119 @@ impl PacketGen {
                 (src, dst, sport, dport)
             })
             .collect();
-        let zipf_cdf = match config.distribution {
-            FlowDistribution::Uniform => Vec::new(),
+        let proto = match config.proto {
+            IpProto::Tcp => IpProto::Tcp,
+            _ => IpProto::Udp,
+        };
+        let flow_ids: Vec<usize> = (0..config.flows)
+            .filter(|&i| {
+                if lanes == 1 {
+                    return true;
+                }
+                let (src, dst, sport, dport) = endpoints[i];
+                let tuple = FiveTuple {
+                    src_ip: src,
+                    dst_ip: dst,
+                    src_port: sport,
+                    dst_port: dport,
+                    proto,
+                };
+                (tuple.stable_hash() % lanes as u64) as usize == lane
+            })
+            .collect();
+        let weights: Vec<f64> = match config.distribution {
+            FlowDistribution::Uniform => vec![1.0 / config.flows as f64; config.flows],
             FlowDistribution::Zipf(s) => {
                 assert!(
                     s > 0.0 && s.is_finite(),
                     "Zipf exponent must be positive, got {s}"
                 );
-                let mut weights: Vec<f64> = (1..=config.flows)
+                let raw: Vec<f64> = (1..=config.flows)
                     .map(|rank| 1.0 / (rank as f64).powf(s))
                     .collect();
-                let total: f64 = weights.iter().sum();
+                let total: f64 = raw.iter().sum();
+                raw.into_iter().map(|w| w / total).collect()
+            }
+        };
+        // For the whole mix the mass is exactly 1.0 by definition; pin
+        // it so renormalization below is arithmetic-identical to the
+        // pre-slice generator (byte-stable streams stay byte-stable).
+        let share: f64 = if lanes == 1 {
+            1.0
+        } else {
+            flow_ids.iter().map(|&i| weights[i]).sum()
+        };
+        let zipf_cdf = match config.distribution {
+            FlowDistribution::Uniform => Vec::new(),
+            FlowDistribution::Zipf(_) => {
+                let mut cdf: Vec<f64> = Vec::with_capacity(flow_ids.len());
                 let mut acc = 0.0;
-                for w in &mut weights {
-                    acc += *w / total;
-                    *w = acc;
+                for &i in &flow_ids {
+                    acc += weights[i] / share.max(f64::MIN_POSITIVE);
+                    cdf.push(acc);
                 }
                 // Guard against floating-point shortfall at the end.
-                *weights.last_mut().expect("flows > 0") = 1.0;
-                weights
+                if let Some(last) = cdf.last_mut() {
+                    *last = 1.0;
+                }
+                cdf
             }
+        };
+        let rng = if lanes == 1 {
+            // Whole-mix: keep drawing from the endpoint rng so the
+            // stream is byte-identical to the pre-slice generator.
+            rng
+        } else {
+            StdRng::seed_from_u64(
+                config.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1),
+            )
         };
         Self {
             config,
             rng,
             endpoints,
             zipf_cdf,
+            flow_ids,
+            share,
             generated: 0,
         }
     }
 
-    /// Draws the next flow id according to the configured distribution.
+    /// Draws the next flow id according to the configured distribution,
+    /// restricted to this generator's slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice (`share() == 0.0`).
     pub fn next_flow_id(&mut self) -> usize {
+        assert!(!self.flow_ids.is_empty(), "drawing from an empty RSS slice");
         match self.config.distribution {
-            FlowDistribution::Uniform => self.rng.gen_range(0..self.config.flows),
+            FlowDistribution::Uniform => {
+                let k = self.rng.gen_range(0..self.flow_ids.len());
+                self.flow_ids[k]
+            }
             FlowDistribution::Zipf(_) => {
                 let u: f64 = self.rng.gen();
-                // First index whose CDF value reaches `u`.
-                self.zipf_cdf.partition_point(|&c| c < u)
+                // First slice index whose CDF value reaches `u`.
+                let k = self
+                    .zipf_cdf
+                    .partition_point(|&c| c < u)
+                    .min(self.flow_ids.len() - 1);
+                self.flow_ids[k]
             }
         }
+    }
+
+    /// This generator's probability mass within the whole configured
+    /// mix: 1.0 for a whole-mix generator, the renormalization factor
+    /// for an RSS slice.
+    pub fn share(&self) -> f64 {
+        self.share
+    }
+
+    /// Number of flows in this generator's slice.
+    pub fn flows_in_slice(&self) -> usize {
+        self.flow_ids.len()
     }
 
     /// Generates one packet.
@@ -357,6 +466,113 @@ mod tests {
         let p = g.next_packet();
         assert!(p.tcp().is_ok());
         assert_eq!(FiveTuple::of(&p).unwrap().proto, IpProto::Tcp);
+    }
+
+    #[test]
+    fn rss_slices_partition_the_population() {
+        let cfg = TrafficConfig {
+            flows: 512,
+            ..Default::default()
+        };
+        let lanes = 4;
+        let slices: Vec<_> = (0..lanes)
+            .map(|l| PacketGen::rss_slice(cfg.clone(), l, lanes))
+            .collect();
+        let total: usize = slices.iter().map(|s| s.flows_in_slice()).sum();
+        assert_eq!(total, 512, "every flow on exactly one lane");
+        let share_sum: f64 = slices.iter().map(|s| s.share()).sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "shares sum to 1, got {share_sum}"
+        );
+        // Uniform mix: shares proportional to slice sizes.
+        for s in &slices {
+            let expect = s.flows_in_slice() as f64 / 512.0;
+            assert!((s.share() - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rss_slice_draws_only_owned_flows() {
+        let cfg = TrafficConfig {
+            flows: 256,
+            distribution: FlowDistribution::Zipf(1.2),
+            ..Default::default()
+        };
+        let lanes = 3;
+        for lane in 0..lanes {
+            let mut g = PacketGen::rss_slice(cfg.clone(), lane, lanes);
+            if g.flows_in_slice() == 0 {
+                continue;
+            }
+            for _ in 0..500 {
+                let p = g.next_packet();
+                let tuple = FiveTuple::of(&p).unwrap();
+                assert_eq!(
+                    (tuple.stable_hash() % lanes as u64) as usize,
+                    lane,
+                    "slice generated a flow belonging to another lane"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rss_slice_of_one_is_byte_identical_to_new() {
+        for dist in [FlowDistribution::Uniform, FlowDistribution::Zipf(1.2)] {
+            let cfg = TrafficConfig {
+                flows: 128,
+                distribution: dist,
+                ..Default::default()
+            };
+            let mut a = PacketGen::new(cfg.clone());
+            let mut b = PacketGen::rss_slice(cfg, 0, 1);
+            for _ in 0..200 {
+                assert_eq!(a.next_packet().as_slice(), b.next_packet().as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn rss_slice_zipf_stays_skewed_within_slice() {
+        let cfg = TrafficConfig {
+            flows: 1000,
+            distribution: FlowDistribution::Zipf(1.2),
+            ..Default::default()
+        };
+        let mut g = PacketGen::rss_slice(cfg, 0, 2);
+        let first = g.flows_in_slice();
+        assert!(first > 0);
+        let mut counts: HashMap<usize, u64> = HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(g.next_flow_id()).or_default() += 1;
+        }
+        // The slice's most popular kept flow should dominate its median
+        // kept flow: renormalization preserves the skew.
+        let max = counts.values().max().copied().unwrap_or(0);
+        let avg = 20_000 / first.max(1) as u64;
+        assert!(max > 3 * avg, "slice lost its skew: max {max}, avg {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty RSS slice")]
+    fn empty_slice_draw_panics() {
+        // 1 flow over many lanes: most slices are empty.
+        let cfg = TrafficConfig {
+            flows: 1,
+            ..Default::default()
+        };
+        let mut empty = None;
+        for lane in 0..8 {
+            let g = PacketGen::rss_slice(cfg.clone(), lane, 8);
+            if g.flows_in_slice() == 0 {
+                empty = Some(g);
+                break;
+            }
+        }
+        let mut g = empty.expect("seven of eight slices must be empty");
+        assert_eq!(g.share(), 0.0);
+        g.next_flow_id();
     }
 
     #[test]

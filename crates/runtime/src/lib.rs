@@ -24,6 +24,12 @@
 //! - [`upgrade`] — zero-downtime rolling reconfiguration: the policy
 //!   knobs, typed rejection, and per-upgrade outcome records for
 //!   [`ShardedRuntime::upgrade_pipeline`](runtime::ShardedRuntime::upgrade_pipeline).
+//! - [`deque`] — the Chase–Lev work-stealing deque lanes trade work
+//!   through.
+//! - [`lane`] — the run-to-completion lane engine: N ingress lanes,
+//!   each generating, processing, and recycling its own RSS slice with
+//!   no central dispatcher, stealing across lanes when idle
+//!   ([`LaneRuntime`](lane::LaneRuntime)).
 //!
 //! With the `fault-injection` feature, a seeded
 //! [`rbs_core::FaultPlan`](rbs_core::fault::FaultPlan) can be installed
@@ -60,6 +66,8 @@
 //! assert_eq!(report.faults, 0);
 //! ```
 
+pub mod deque;
+pub mod lane;
 pub mod runtime;
 pub mod shard;
 pub mod stats;
@@ -67,6 +75,11 @@ pub mod supervisor;
 pub mod upgrade;
 pub mod worker;
 
+pub use deque::{LaneDeque, Steal, Stealer};
+pub use lane::{
+    LaneConfig, LaneEvent, LaneLedgerSnapshot, LaneOutcome, LaneReport, LaneRuntime,
+    LaneUpgradeError, LaneUpgradeOutcome, VictimOrder,
+};
 pub use rbs_checkpoint::{Buffered, SnapshotMeta};
 pub use rbs_sfi::backend::{BackendKind, BackendTotals};
 pub use runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};

@@ -288,6 +288,7 @@ impl WorkerSlot {
             import_failures: self.stats.import_failures(),
             recycled_batches: self.stats.recycled_batches(),
             recycle_drops: self.stats.recycle_drops(),
+            queue_depth_hwm: self.stats.queue_depth_hwm(),
             snapshots_taken,
             latest_snapshot,
             stage_stats: self.stats.final_stage_stats(),

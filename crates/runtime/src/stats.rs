@@ -49,6 +49,10 @@ pub struct WorkerStats {
     /// Output batches the worker tried to recycle but dropped (recycle
     /// queue full or revoked) — their buffers returned to the allocator.
     recycle_drops: AtomicU64,
+    /// High-water mark of the worker's input queue depth, sampled by the
+    /// worker each time it dequeues a batch. A mark near the queue
+    /// capacity means the dispatcher was outrunning this shard.
+    queue_depth_hwm: AtomicU64,
     /// Heartbeat: a token while a batch is executing (nanos since the
     /// runtime epoch, low bits the spawn sequence), zero while idle. The
     /// supervisor's watchdog reads it to tell *hung* from idle.
@@ -74,6 +78,7 @@ impl WorkerStats {
             import_failures: AtomicU64::new(0),
             recycled_batches: AtomicU64::new(0),
             recycle_drops: AtomicU64::new(0),
+            queue_depth_hwm: AtomicU64::new(0),
             busy_since: AtomicU64::new(0),
             cycles: Mutex::new(LogHistogram::new(CYCLE_HIST_PRECISION)),
             epoch,
@@ -108,6 +113,10 @@ impl WorkerStats {
         } else {
             self.recycle_drops.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    pub(crate) fn record_queue_depth(&self, depth: u64) {
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
     }
 
     /// Marks the start of a batch and returns the heartbeat token the
@@ -196,6 +205,11 @@ impl WorkerStats {
         self.recycle_drops.load(Ordering::Relaxed)
     }
 
+    /// Deepest the input queue has been when the worker dequeued.
+    pub fn queue_depth_hwm(&self) -> u64 {
+        self.queue_depth_hwm.load(Ordering::Relaxed)
+    }
+
     /// A copy of the per-batch cycle histogram.
     pub fn cycle_histogram(&self) -> LogHistogram {
         self.cycles.lock().clone()
@@ -280,6 +294,9 @@ pub struct WorkerSnapshot {
     pub recycled_batches: u64,
     /// Output batches dropped instead of recycled (queue full/revoked).
     pub recycle_drops: u64,
+    /// Deepest this worker's input queue got (batches queued at dequeue
+    /// time, sampled across all generations).
+    pub queue_depth_hwm: u64,
     /// Snapshots recorded into this worker's store (full + delta).
     pub snapshots_taken: u64,
     /// Metadata of the newest buffered snapshot, if any.
@@ -333,6 +350,9 @@ pub struct RuntimeReport {
     pub recycled_batches: u64,
     /// Output batches dropped instead of recycled.
     pub recycle_drops: u64,
+    /// Deepest any worker's input queue got — the max, not the sum, of
+    /// the per-worker high-water marks.
+    pub queue_depth_hwm: u64,
     /// Snapshots recorded across all workers (full + delta).
     pub snapshots_taken: u64,
     /// Times a worker's breaker opened.
@@ -422,6 +442,7 @@ impl RuntimeReport {
             import_failures: workers.iter().map(|w| w.import_failures).sum(),
             recycled_batches: workers.iter().map(|w| w.recycled_batches).sum(),
             recycle_drops: workers.iter().map(|w| w.recycle_drops).sum(),
+            queue_depth_hwm: workers.iter().map(|w| w.queue_depth_hwm).max().unwrap_or(0),
             snapshots_taken: workers.iter().map(|w| w.snapshots_taken).sum(),
             breaker_opens: count(|k| matches!(k, SupervisorEventKind::BreakerOpened { .. })),
             breaker_half_opens: count(|k| matches!(k, SupervisorEventKind::BreakerHalfOpened)),

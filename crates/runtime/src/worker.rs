@@ -152,6 +152,10 @@ pub(crate) fn spawn_worker(
                     match rx.recv() {
                         Ok(WorkItem::Batch(batch)) => {
                             let n_in = batch.len() as u64;
+                            // Depth *behind* this batch: +1 counts the
+                            // batch just dequeued, so a full queue reads
+                            // as `queue_capacity`, not capacity - 1.
+                            stats.record_queue_depth(rx.len() as u64 + 1);
                             // Heartbeat up while the batch executes; the
                             // watchdog reads this to tell hung from idle.
                             let token = stats.mark_busy(spawn_seq);

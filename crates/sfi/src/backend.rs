@@ -51,6 +51,12 @@ pub enum Crossing {
     ChannelSend,
     /// A value received out of a channel by its owning domain.
     ChannelRecv,
+    /// A work-stealing transfer: a batch pulled out of another lane's
+    /// deque crosses from the victim's domain into the thief's. Charged
+    /// by the thief (cost attribution follows the CPU doing the work)
+    /// with the batch's wire bytes, so the steal tax is visible per
+    /// backend exactly like a channel hand-off.
+    Steal,
 }
 
 impl Crossing {
@@ -61,6 +67,7 @@ impl Crossing {
             Crossing::Return => "return",
             Crossing::ChannelSend => "send",
             Crossing::ChannelRecv => "recv",
+            Crossing::Steal => "steal",
         }
     }
 }

@@ -260,6 +260,19 @@ impl Domain {
         }
     }
 
+    /// Charges one boundary crossing of `kind` carrying `bytes` to this
+    /// domain's backend without entering the domain.
+    ///
+    /// This is the metering hook for transfers that move data across
+    /// the boundary outside `execute`/channel plumbing — today the
+    /// work-stealing path ([`Crossing::Steal`]), where the thief charges
+    /// the transfer on its own domain. Free (one cached-bool branch)
+    /// under a zero-cost backend, exactly like every other crossing.
+    #[inline]
+    pub fn meter_crossing(&self, kind: Crossing, bytes: usize) {
+        self.inner.charge(kind, bytes);
+    }
+
     /// Dedicates the current thread to this domain until the returned
     /// attachment drops (see [`crate::tls::attach_thread`]).
     ///
