@@ -3,7 +3,7 @@
 //! ```text
 //! experiments [EXPERIMENT ...] [--quick]
 //!
-//! EXPERIMENT: fig2 | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 | e11 | e12 | e13 | e14 | all (default)
+//! EXPERIMENT: fig2 | e1 | e2 | e3 | e4 | e5 | e6 | e7 | e8 | e9 | e10 | e11 | e12 | e13 | e14 | e15 | all (default)
 //! --quick: smaller iteration counts for a fast smoke run
 //! ```
 
@@ -23,6 +23,7 @@ fn main() -> ExitCode {
 
     let all = [
         "fig2", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        "e15",
     ];
     let runs: Vec<&str> = if selected.contains(&"all") {
         all.to_vec()
@@ -46,9 +47,10 @@ fn main() -> ExitCode {
             "e12" => rbs_bench::e12_hotpath::run(quick),
             "e13" => rbs_bench::e13_isolation::run(quick),
             "e14" => rbs_bench::e14_upgrade::run(quick),
+            "e15" => rbs_bench::e15_tenants::run(quick),
             other => {
                 eprintln!(
-                    "unknown experiment {other:?}; known: fig2 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 all"
+                    "unknown experiment {other:?}; known: fig2 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14 e15 all"
                 );
                 return ExitCode::FAILURE;
             }

@@ -1,0 +1,649 @@
+//! E15 — tenant blast-radius containment: multi-tenant SLA under
+//! aggressor traffic, breaker churn, and warm recovery.
+//!
+//! Every cell multiplexes N tenants onto the [`TenantRuntime`]'s
+//! run-to-completion lanes and turns tenant 1 into an aggressor while
+//! the rest carry steady traffic:
+//!
+//! - **flood** — the aggressor's flow population offers ~2.6× the whole
+//!   baseline mix on top of its share, against a tight admission
+//!   contract. Containment is the token bucket: the flood sheds at
+//!   ingress (`shed_admission`) and never reaches a lane.
+//! - **fault-loop** — the aggressor's chain panics on every batch.
+//!   Containment is the circuit breaker: strikes throttle then open it
+//!   (domain destroyed, ingress shed at zero cost), half-open probes
+//!   keep re-testing, and the loop keeps re-opening it.
+//! - **slow-operator** — the aggressor's chain costs 8× per packet.
+//!   Containment is the work budget: over-budget ticks strike the
+//!   breaker exactly like faults do.
+//!
+//! All cells run the full storm besides the aggressor: background chaos
+//! panics (~0.08% of batches, any tenant), snapshot-cadence warm
+//! recovery, and mid-run tenant churn — the last tenant is removed at
+//! ⅓ of the run and re-added at ⅔, forcing two live Maglev rebuilds
+//! whose remap counts the report records. The SLA gate asserted in
+//! every cell: **every non-aggressor tenant keeps ≥ 99% goodput**, with
+//! per-tenant conservation exact (`offered == processed + lost + shed`).
+//!
+//! Results are also emitted as `BENCH_tenant.json` in the repo root.
+//! All fields are integers derived from the logical tick clock and the
+//! tenant ledgers — never wall time — so two runs of the same build are
+//! byte-identical (CI diffs them).
+
+use std::sync::Arc;
+
+use rbs_core::fault::{FaultKind, FaultPlan, FaultSite};
+use rbs_core::table::Table;
+use rbs_netfx::flow::FiveTuple;
+use rbs_netfx::pktgen::{PacketGen, TrafficConfig};
+use rbs_runtime::{TenantConfig, TenantOutcome, TenantReport, TenantRuntime, TenantSpec};
+
+use crate::harness::silence_panics;
+
+/// Packets in every baseline wave (one wave per tick).
+const WAVE: usize = 96;
+
+/// Extra aggressor packets per tick in flood cells.
+const FLOOD_EXTRA: usize = 256;
+
+/// Distinct flows in the baseline population.
+const FLOWS: usize = 768;
+
+/// The one seed behind every cell.
+const SEED: u64 = 0x0E15;
+
+/// Background chaos rate applied to every tenant's batches, in ppm.
+const CHAOS_PPM: u32 = 800;
+
+/// The tenant that misbehaves (always index 1).
+const AGGRESSOR: usize = 1;
+
+/// Run-to-completion lanes per cell.
+const LANES: usize = 2;
+
+/// Maglev table size (prime).
+const TABLE_SIZE: usize = 251;
+
+/// Per-tenant admission contract for well-behaved tenants.
+const BASE_RATE: u64 = 400;
+const BASE_BURST: u64 = 800;
+
+/// The flood cell's aggressor contract: tokens per tick and burst.
+const FLOOD_RATE: u64 = 25;
+const FLOOD_BURST: u64 = 50;
+
+/// Per-tick work budget in slow-operator cells (work units).
+const WORK_BUDGET: u64 = 80;
+
+/// Per-packet work cost of the slow aggressor's chain.
+const SLOW_COST: u64 = 8;
+
+/// How tenant load is skewed across the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Skew {
+    /// Every tenant weighted equally in the steering table.
+    Uniform,
+    /// Zipf-like integer weights (8, 5, 3, 2, 1, 1, ...): a few heavy
+    /// tenants, a long light tail.
+    Zipf,
+}
+
+impl Skew {
+    /// Stable name used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Skew::Uniform => "uniform",
+            Skew::Zipf => "zipf",
+        }
+    }
+
+    /// The Maglev weight of tenant `i` under this skew.
+    fn weight(self, i: usize) -> u32 {
+        match self {
+            Skew::Uniform => 1,
+            Skew::Zipf => match i {
+                0 => 8,
+                1 => 5,
+                2 => 3,
+                3 => 2,
+                _ => 1,
+            },
+        }
+    }
+}
+
+/// What tenant 1 does to the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggressor {
+    /// Offers far more than its admission contract.
+    Flood,
+    /// Panics on every executed batch.
+    FaultLoop,
+    /// Costs 8× lane work per packet.
+    SlowOperator,
+}
+
+impl Aggressor {
+    /// Every profile, in report order.
+    pub const ALL: [Aggressor; 3] = [
+        Aggressor::Flood,
+        Aggressor::FaultLoop,
+        Aggressor::SlowOperator,
+    ];
+
+    /// Stable name used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggressor::Flood => "flood",
+            Aggressor::FaultLoop => "fault-loop",
+            Aggressor::SlowOperator => "slow-operator",
+        }
+    }
+}
+
+/// A tenant's role in the cell.
+fn role(idx: usize, tenants: usize) -> &'static str {
+    if idx == AGGRESSOR {
+        "aggressor"
+    } else if idx == tenants - 1 {
+        "churn"
+    } else {
+        "victim"
+    }
+}
+
+/// One tenant's row in a cell's result.
+#[derive(Debug, Clone)]
+pub struct TenantRow {
+    /// `"victim"`, `"aggressor"`, or `"churn"`.
+    pub role: &'static str,
+    /// The runtime's full outcome for this tenant.
+    pub outcome: TenantOutcome,
+    /// The tenant's Maglev weight in this cell.
+    pub weight: u32,
+}
+
+/// One (tenants × skew × aggressor) cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct TenantCell {
+    /// Tenant count.
+    pub tenants: usize,
+    /// Load skew.
+    pub skew: Skew,
+    /// Aggressor profile.
+    pub aggressor: Aggressor,
+    /// Ticks of offered traffic (the drain at shutdown adds more).
+    pub ticks: u64,
+    /// Per-tenant rows, index order.
+    pub rows: Vec<TenantRow>,
+    /// Maglev entries remapped when the churn tenant left.
+    pub remap_entries_out: usize,
+    /// Maglev entries remapped when it returned (equal by determinism).
+    pub remap_entries_back: usize,
+    /// Batches shed by the lane high-water mark.
+    pub hwm_sheds: u64,
+    /// Times the aggressor's breaker opened.
+    pub aggressor_opens: u64,
+    /// The SLA gate: every non-aggressor kept ≥ 99% goodput.
+    pub victims_contained: bool,
+}
+
+impl TenantCell {
+    /// Stable cell name, e.g. `t8-zipf-fault-loop`.
+    pub fn name(&self) -> String {
+        format!(
+            "t{}-{}-{}",
+            self.tenants,
+            self.skew.name(),
+            self.aggressor.name()
+        )
+    }
+
+    /// Lowest goodput among non-aggressor tenants, in ppm.
+    pub fn worst_victim_goodput_ppm(&self) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| r.role != "aggressor")
+            .map(|r| r.outcome.ledger.goodput_ppm())
+            .min()
+            .unwrap_or(1_000_000)
+    }
+}
+
+/// Builds the cell's tenant population.
+fn population(tenants: usize, skew: Skew, aggressor: Aggressor) -> Vec<TenantSpec> {
+    (0..tenants)
+        .map(|i| {
+            let mut spec = TenantSpec::new(format!("tenant-{i}"))
+                .weight(skew.weight(i))
+                .rate(BASE_RATE, BASE_BURST)
+                .priority(if i == AGGRESSOR { 1 } else { 2 });
+            if i == AGGRESSOR {
+                match aggressor {
+                    Aggressor::Flood => spec = spec.rate(FLOOD_RATE, FLOOD_BURST),
+                    Aggressor::SlowOperator => spec = spec.cost_per_packet(SLOW_COST),
+                    Aggressor::FaultLoop => {}
+                }
+            }
+            spec
+        })
+        .collect()
+}
+
+/// The cell's fault plan: background chaos for everyone, plus the
+/// scripted permanent loop on the aggressor's stream in fault-loop
+/// cells.
+fn plan(aggressor: Aggressor) -> FaultPlan {
+    let plan = FaultPlan::new(SEED).inject(FaultSite::Operator(0), FaultKind::Panic, CHAOS_PPM);
+    match aggressor {
+        Aggressor::FaultLoop => plan.inject_window(
+            FaultSite::Operator(0),
+            FaultKind::Panic,
+            AGGRESSOR as u64,
+            0,
+            u64::MAX,
+        ),
+        _ => plan,
+    }
+}
+
+/// Runs one cell: `ticks` waves of steered traffic with the aggressor
+/// active throughout, churn at ⅓ and ⅔, chaos and snapshots on cadence.
+pub fn measure_cell(tenants: usize, skew: Skew, aggressor: Aggressor, ticks: u64) -> TenantCell {
+    silence_panics();
+    assert!(tenants >= 4, "cells need victims, an aggressor, and churn");
+    let config = TenantConfig {
+        tenants: population(tenants, skew, aggressor),
+        lanes: LANES,
+        table_size: TABLE_SIZE,
+        lane_capacity: 512,
+        queue_hwm: 4 * tenants,
+        work_budget_per_tick: match aggressor {
+            Aggressor::SlowOperator => WORK_BUDGET,
+            _ => 0,
+        },
+        snapshot_every_ticks: 4,
+        snapshot_full_every: 4,
+        faults: Some(Arc::new(plan(aggressor))),
+        ..TenantConfig::default()
+    };
+    let weights: Vec<u32> = config.tenants.iter().map(|t| t.weight).collect();
+    let mut rt = TenantRuntime::new(config).expect("tenant runtime");
+
+    let traffic = TrafficConfig {
+        flows: FLOWS,
+        payload_len: 64,
+        seed: SEED ^ ((tenants as u64) << 8),
+        ..Default::default()
+    };
+    // The flood draws only from flows that steer to the aggressor, so
+    // the extra load lands squarely on its admission contract.
+    let mut flood_gen = match aggressor {
+        Aggressor::Flood => {
+            let table = rt.table();
+            Some(PacketGen::subset(
+                traffic.clone(),
+                0x0F_100D,
+                |t: &FiveTuple| table.lookup(t.stable_hash()) == AGGRESSOR,
+            ))
+        }
+        _ => None,
+    };
+    let mut gen = PacketGen::new(traffic);
+
+    let churn_tenant = tenants - 1;
+    let (leave_at, return_at) = (ticks / 3, 2 * ticks / 3);
+    let mut remap_out = 0;
+    let mut remap_back = 0;
+    for tick in 0..ticks {
+        if tick == leave_at {
+            remap_out = rt.remove_tenant(churn_tenant).expect("churn remove");
+        }
+        if tick == return_at {
+            remap_back = rt.add_tenant(churn_tenant).expect("churn add");
+        }
+        rt.offer(gen.next_batch(WAVE));
+        if let Some(flood) = flood_gen.as_mut() {
+            rt.offer(flood.next_batch(FLOOD_EXTRA));
+        }
+        rt.step();
+    }
+    let report = rt.finish();
+    cell_from_report(
+        tenants, skew, aggressor, ticks, weights, remap_out, remap_back, report,
+    )
+}
+
+/// Audits the report against the cell's containment contract and folds
+/// it into a [`TenantCell`].
+#[allow(clippy::too_many_arguments)]
+fn cell_from_report(
+    tenants: usize,
+    skew: Skew,
+    aggressor: Aggressor,
+    ticks: u64,
+    weights: Vec<u32>,
+    remap_entries_out: usize,
+    remap_entries_back: usize,
+    report: TenantReport,
+) -> TenantCell {
+    let churn_tenant = tenants - 1;
+    let rows: Vec<TenantRow> = report
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, outcome)| TenantRow {
+            role: role(i, tenants),
+            outcome: outcome.clone(),
+            weight: weights[i],
+        })
+        .collect();
+    let aggressor_opens = report.tenants[AGGRESSOR].opens;
+    let victims_contained = rows
+        .iter()
+        .filter(|r| r.role != "aggressor")
+        .all(|r| r.outcome.ledger.goodput_ppm() >= 990_000);
+    let cell = TenantCell {
+        tenants,
+        skew,
+        aggressor,
+        ticks,
+        rows,
+        remap_entries_out,
+        remap_entries_back,
+        hwm_sheds: report.hwm_sheds,
+        aggressor_opens,
+        victims_contained,
+    };
+
+    // Exact conservation, per tenant and in aggregate.
+    assert_eq!(
+        report.unaccounted_packets(),
+        0,
+        "{}: packets vanished",
+        cell.name()
+    );
+    for row in &cell.rows {
+        assert_eq!(
+            row.outcome.ledger.unaccounted(),
+            0,
+            "{}: {} leaks packets",
+            cell.name(),
+            row.outcome.name
+        );
+    }
+    // The SLA gate: non-aggressors keep ≥ 99% goodput and never trip
+    // their own breakers.
+    for row in cell.rows.iter().filter(|r| r.role != "aggressor") {
+        assert!(
+            row.outcome.ledger.goodput_ppm() >= 990_000,
+            "{}: {} ({}) dropped to {} ppm",
+            cell.name(),
+            row.outcome.name,
+            row.role,
+            row.outcome.ledger.goodput_ppm()
+        );
+        assert_eq!(
+            row.outcome.opens,
+            0,
+            "{}: non-aggressor {} breaker opened",
+            cell.name(),
+            row.outcome.name
+        );
+        assert_eq!(
+            row.outcome.ledger.shed(),
+            0,
+            "{}: non-aggressor {} was shed",
+            cell.name(),
+            row.outcome.name
+        );
+    }
+    assert!(cell.victims_contained);
+    // Churn ran: two rebuilds, reversed exactly, fresh epoch.
+    assert_eq!(report.rebuilds.len(), 2, "{}", cell.name());
+    assert_eq!(remap_entries_out, remap_entries_back, "{}", cell.name());
+    assert!(remap_entries_out > 0, "{}", cell.name());
+    assert_eq!(report.tenants[churn_tenant].epoch, 1, "{}", cell.name());
+    // The profile-specific containment signal.
+    let aggr = &report.tenants[AGGRESSOR];
+    match aggressor {
+        Aggressor::Flood => assert!(
+            aggr.ledger.shed_admission > 0,
+            "{}: the flood never hit its bucket",
+            cell.name()
+        ),
+        Aggressor::FaultLoop => {
+            assert!(aggr.opens >= 1, "{}: the loop never opened", cell.name());
+            assert!(aggr.ledger.shed_open > 0, "{}", cell.name());
+        }
+        Aggressor::SlowOperator => assert!(
+            aggr.opens >= 1,
+            "{}: the work budget never opened the hog",
+            cell.name()
+        ),
+    }
+    cell
+}
+
+/// The full tenants × skew × aggressor matrix.
+#[derive(Debug, Clone)]
+pub struct TenantResults {
+    /// Ticks per cell.
+    pub ticks: u64,
+    /// The 12 cells, tenants-major.
+    pub cells: Vec<TenantCell>,
+}
+
+/// Runs every cell.
+pub fn measure(ticks: u64) -> TenantResults {
+    let mut cells = Vec::new();
+    for tenants in [4usize, 8] {
+        for skew in [Skew::Uniform, Skew::Zipf] {
+            for aggressor in Aggressor::ALL {
+                cells.push(measure_cell(tenants, skew, aggressor, ticks));
+            }
+        }
+    }
+    TenantResults { ticks, cells }
+}
+
+/// Renders the result set as the `BENCH_tenant.json` payload.
+///
+/// Integer-only by construction: two runs of the same build must
+/// produce byte-identical output (CI diffs them).
+pub fn to_json(r: &TenantResults) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e15_tenants\",\n");
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"wave\": {WAVE},\n"));
+    out.push_str(&format!("  \"flood_extra\": {FLOOD_EXTRA},\n"));
+    out.push_str(&format!("  \"flows\": {FLOWS},\n"));
+    out.push_str(&format!("  \"lanes\": {LANES},\n"));
+    out.push_str(&format!("  \"chaos_ppm\": {CHAOS_PPM},\n"));
+    out.push_str(&format!("  \"ticks\": {},\n", r.ticks));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in r.cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"cell\": \"{}\", \"tenants\": {}, \"skew\": \"{}\", \"aggressor\": \"{}\", \"ticks\": {}, \"remap_entries_out\": {}, \"remap_entries_back\": {}, \"hwm_sheds\": {}, \"aggressor_opens\": {}, \"worst_victim_goodput_ppm\": {}, \"victims_contained\": {}, \"rows\": [\n",
+            c.name(),
+            c.tenants,
+            c.skew.name(),
+            c.aggressor.name(),
+            c.ticks,
+            c.remap_entries_out,
+            c.remap_entries_back,
+            c.hwm_sheds,
+            c.aggressor_opens,
+            c.worst_victim_goodput_ppm(),
+            c.victims_contained,
+        ));
+        for (j, row) in c.rows.iter().enumerate() {
+            let o = &row.outcome;
+            let l = &o.ledger;
+            out.push_str(&format!(
+                "      {{\"tenant\": \"{}\", \"role\": \"{}\", \"priority\": {}, \"weight\": {}, \"offered\": {}, \"processed\": {}, \"out\": {}, \"drops\": {}, \"lost\": {}, \"shed_admission\": {}, \"shed_open\": {}, \"shed_backpressure\": {}, \"shed_removed\": {}, \"goodput_ppm\": {}, \"p99_delay_ticks\": {}, \"max_delay_ticks\": {}, \"faults\": {}, \"opens\": {}, \"throttles\": {}, \"respawns\": {}, \"warm_restores\": {}, \"cold_restores\": {}, \"state_items_restored\": {}, \"final_state_items\": {}, \"epoch\": {}, \"unaccounted\": {}}}{}\n",
+                o.name,
+                row.role,
+                o.priority,
+                row.weight,
+                l.offered,
+                l.processed,
+                l.out,
+                l.drops,
+                l.lost,
+                l.shed_admission,
+                l.shed_open,
+                l.shed_backpressure,
+                l.shed_removed,
+                l.goodput_ppm(),
+                o.p99_delay_ticks,
+                o.max_delay_ticks,
+                o.faults,
+                o.opens,
+                o.throttles,
+                o.respawns,
+                o.warm_restores,
+                o.cold_restores,
+                o.state_items_restored,
+                o.final_state_items,
+                o.epoch,
+                l.unaccounted(),
+                if j + 1 < c.rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < r.cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Regenerates the tenant containment matrix, writing
+/// `BENCH_tenant.json` beside it.
+pub fn run(quick: bool) -> String {
+    let ticks = if quick { 48 } else { 120 };
+    let results = measure(ticks);
+
+    let mut t = Table::new(&[
+        "cell",
+        "aggr goodput %",
+        "worst victim %",
+        "aggr opens",
+        "shed adm",
+        "shed open",
+        "remap",
+        "contained",
+    ]);
+    for c in &results.cells {
+        let aggr = &c.rows[AGGRESSOR].outcome.ledger;
+        t.row_owned(vec![
+            c.name(),
+            format!("{:.2}", aggr.goodput_ppm() as f64 / 10_000.0),
+            format!("{:.2}", c.worst_victim_goodput_ppm() as f64 / 10_000.0),
+            c.aggressor_opens.to_string(),
+            aggr.shed_admission.to_string(),
+            aggr.shed_open.to_string(),
+            c.remap_entries_out.to_string(),
+            c.victims_contained.to_string(),
+        ]);
+    }
+
+    let mut out = String::from(
+        "E15 — tenant blast-radius containment: per-tenant breakers and admission under aggressor load\n",
+    );
+    out.push_str(&t.render());
+    out.push_str(
+        "\nEvery cell churns one tenant out and back mid-run (two live Maglev rebuilds) with\n\
+         background chaos and warm recovery active; non-aggressor tenants keep >= 99% goodput\n\
+         in every cell and every per-tenant ledger balances exactly.\n",
+    );
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tenant.json");
+    match std::fs::write(json_path, to_json(&results)) {
+        Ok(()) => out.push_str(&format!("\nwrote {json_path}\n")),
+        Err(e) => out.push_str(&format!("\ncould not write {json_path}: {e}\n")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_cell_contains_the_flood_at_admission() {
+        let c = measure_cell(4, Skew::Uniform, Aggressor::Flood, 24);
+        assert!(c.victims_contained);
+        let aggr = &c.rows[AGGRESSOR].outcome.ledger;
+        assert!(aggr.shed_admission > 0);
+        // The flood's goodput collapses; nobody else's does.
+        assert!(aggr.goodput_ppm() < 500_000);
+    }
+
+    #[test]
+    fn fault_loop_cell_opens_the_breaker() {
+        let c = measure_cell(4, Skew::Zipf, Aggressor::FaultLoop, 24);
+        assert!(c.victims_contained);
+        let aggr = &c.rows[AGGRESSOR].outcome;
+        assert!(aggr.opens >= 1);
+        assert!(aggr.ledger.shed_open > aggr.ledger.lost);
+    }
+
+    #[test]
+    fn slow_operator_cell_trips_the_work_budget() {
+        let c = measure_cell(4, Skew::Uniform, Aggressor::SlowOperator, 24);
+        assert!(c.victims_contained);
+        assert!(c.rows[AGGRESSOR].outcome.opens >= 1);
+        assert_eq!(
+            c.rows[AGGRESSOR].outcome.faults, 0,
+            "the hog never faults — the budget alone contains it"
+        );
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let a = measure_cell(8, Skew::Zipf, Aggressor::FaultLoop, 24);
+        let b = measure_cell(8, Skew::Zipf, Aggressor::FaultLoop, 24);
+        let key = |c: &TenantCell| {
+            c.rows
+                .iter()
+                .map(|r| {
+                    (
+                        r.outcome.ledger,
+                        r.outcome.faults,
+                        r.outcome.opens,
+                        r.outcome.p99_delay_ticks,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+        assert_eq!(a.remap_entries_out, b.remap_entries_out);
+        assert_eq!(
+            to_json(&TenantResults {
+                ticks: 24,
+                cells: vec![a]
+            }),
+            to_json(&TenantResults {
+                ticks: 24,
+                cells: vec![b]
+            })
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let c = measure_cell(4, Skew::Uniform, Aggressor::Flood, 12);
+        let j = to_json(&TenantResults {
+            ticks: 12,
+            cells: vec![c],
+        });
+        assert!(j.contains("\"experiment\": \"e15_tenants\""));
+        assert!(j.contains("\"role\": \"aggressor\""));
+        assert!(j.contains("\"victims_contained\": true"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

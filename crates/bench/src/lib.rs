@@ -19,6 +19,7 @@
 //! | [`e12_hotpath`] | ROADMAP perf — zero-allocation hot path: pooled buffers, batch recycling, single-pass dispatch |
 //! | [`e13_isolation`] | ROADMAP isolation — the isolation-tax spectrum: typed-sfi vs. mpk-sim vs. copy-boundary backends |
 //! | [`e14_upgrade`] | ROADMAP robustness — live rolling upgrade under load: zero-loss commit, chaos-driven rollback |
+//! | [`e15_tenants`] | ROADMAP robustness — tenant blast-radius containment: breakers, admission, and the multi-tenant SLA |
 //!
 //! Each module exposes a `run(quick) -> String` that regenerates the
 //! table/series as text (the `experiments` binary prints them), plus
@@ -31,6 +32,7 @@ pub mod e11_recovery;
 pub mod e12_hotpath;
 pub mod e13_isolation;
 pub mod e14_upgrade;
+pub mod e15_tenants;
 pub mod e1_isolation;
 pub mod e2_remote_call;
 pub mod e3_recovery;

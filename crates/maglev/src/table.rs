@@ -174,18 +174,59 @@ impl MaglevTable {
     ///
     /// Panics if the two tables have different sizes.
     pub fn disruption(&self, other: &MaglevTable) -> f64 {
+        self.disrupted_entries(other) as f64 / self.size() as f64
+    }
+
+    /// Number of entries that map to a different backend in `other` —
+    /// the integer core of [`disruption`](Self::disruption), exact for
+    /// byte-stable reports and bound assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables have different sizes.
+    pub fn disrupted_entries(&self, other: &MaglevTable) -> usize {
         assert_eq!(
             self.size(),
             other.size(),
             "disruption requires equal table sizes"
         );
-        let moved = self
-            .entries
+        self.entries
             .iter()
             .zip(&other.entries)
             .filter(|&(&a, &b)| self.backends[a as usize].name != other.backends[b as usize].name)
-            .count();
-        moved as f64 / self.size() as f64
+            .count()
+    }
+
+    /// Of the entries that changed hands between `self` and `other`,
+    /// the number whose backend exists in **both** tables — collateral
+    /// movement, beyond what the add/remove itself forced. Consistent
+    /// hashing promises this stays a small fraction of the necessary
+    /// movement; the disruption-bound tests pin it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two tables have different sizes.
+    pub fn collateral_moves(&self, other: &MaglevTable) -> usize {
+        assert_eq!(
+            self.size(),
+            other.size(),
+            "disruption requires equal table sizes"
+        );
+        let self_names: std::collections::HashSet<&str> =
+            self.backends.iter().map(|b| b.name.as_str()).collect();
+        let other_names: std::collections::HashSet<&str> =
+            other.backends.iter().map(|b| b.name.as_str()).collect();
+        self.entries
+            .iter()
+            .zip(&other.entries)
+            .filter(|&(&a, &b)| {
+                let from = self.backends[a as usize].name.as_str();
+                let to = other.backends[b as usize].name.as_str();
+                // Forced moves have an endpoint that only one table
+                // knows: off a removed backend, onto an added one.
+                from != to && other_names.contains(from) && self_names.contains(to)
+            })
+            .count()
     }
 }
 

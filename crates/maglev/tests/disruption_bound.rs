@@ -1,0 +1,124 @@
+//! The consistent-hashing contract the tenant layer leans on: adding or
+//! removing one backend remaps only about that backend's share of the
+//! table, and rebuilds are a pure function of the backend list.
+//!
+//! The bound asserted here is the satellite's `≤ table_size / N`
+//! **collateral** budget: entries the change did not force to move
+//! (both endpoints exist in both tables) must stay within one backend's
+//! share. The forced movement — the removed backend's own entries, or
+//! the share a new backend claims — is necessary by definition and is
+//! asserted separately as a lower bound.
+
+use rbs_maglev::{Backend, MaglevTable};
+
+const TABLE_SIZE: usize = 4099; // prime
+
+fn backends(n: usize) -> Vec<Backend> {
+    (0..n)
+        .map(|i| Backend::new(format!("tenant-{i}")))
+        .collect()
+}
+
+#[test]
+fn removal_remaps_at_most_one_share_of_collateral() {
+    for n in [4usize, 8, 16] {
+        let full = MaglevTable::new(backends(n), TABLE_SIZE).unwrap();
+        for victim in 0..n {
+            let mut rest = backends(n);
+            rest.remove(victim);
+            let reduced = MaglevTable::new(rest, TABLE_SIZE).unwrap();
+
+            let victim_share = full.entry_counts()[victim];
+            let moved = full.disrupted_entries(&reduced);
+            let collateral = full.collateral_moves(&reduced);
+
+            // The victim's own entries must all move — nothing else is
+            // obligated to.
+            assert!(
+                moved >= victim_share,
+                "n={n} victim={victim}: moved {moved} < forced {victim_share}"
+            );
+            assert_eq!(moved - collateral, victim_share);
+            // The satellite bound: collateral stays within one
+            // backend's share of the table.
+            assert!(
+                collateral <= TABLE_SIZE / n,
+                "n={n} victim={victim}: collateral {collateral} > {}",
+                TABLE_SIZE / n
+            );
+        }
+    }
+}
+
+#[test]
+fn addition_remaps_at_most_one_share_of_collateral() {
+    for n in [4usize, 8, 16] {
+        let before = MaglevTable::new(backends(n), TABLE_SIZE).unwrap();
+        let after = MaglevTable::new(backends(n + 1), TABLE_SIZE).unwrap();
+
+        let newcomer_share = after.entry_counts()[n];
+        let moved = before.disrupted_entries(&after);
+        let collateral = before.collateral_moves(&after);
+
+        // Every entry the newcomer claims must move to it; the rest of
+        // the movement is collateral.
+        assert_eq!(moved, newcomer_share + collateral);
+        assert!(
+            collateral <= TABLE_SIZE / n,
+            "n={n}: collateral {collateral} > {}",
+            TABLE_SIZE / n
+        );
+        // The newcomer ends up near its fair share.
+        let fair = TABLE_SIZE / (n + 1);
+        assert!(
+            newcomer_share >= fair / 2 && newcomer_share <= fair * 2,
+            "n={n}: newcomer took {newcomer_share}, fair {fair}"
+        );
+    }
+}
+
+#[test]
+fn rebuild_is_deterministic_per_backend_list() {
+    // The backend names are the seed: two builds of the same list are
+    // entry-for-entry identical — a mid-run rebuild on another host (or
+    // in a replayed experiment) steers every flow the same way.
+    let a = MaglevTable::new(backends(8), TABLE_SIZE).unwrap();
+    let b = MaglevTable::new(backends(8), TABLE_SIZE).unwrap();
+    assert_eq!(a.disrupted_entries(&b), 0);
+    for h in (0..50_000u64).step_by(13) {
+        assert_eq!(a.lookup(h), b.lookup(h));
+    }
+}
+
+#[test]
+fn remove_then_readd_restores_the_original_table_exactly() {
+    // Tenant churn round-trip: a tenant that leaves and comes back under
+    // the same name gets exactly its old entries — returning flows
+    // re-home to their original backend with zero residual disruption.
+    let original = MaglevTable::new(backends(6), TABLE_SIZE).unwrap();
+    let mut without = backends(6);
+    without.remove(2);
+    let reduced = MaglevTable::new(without, TABLE_SIZE).unwrap();
+    assert!(original.disrupted_entries(&reduced) > 0);
+
+    let restored = MaglevTable::new(backends(6), TABLE_SIZE).unwrap();
+    assert_eq!(original.disrupted_entries(&restored), 0);
+}
+
+#[test]
+fn weighted_removal_respects_weighted_share() {
+    // A weight-2 backend owns ~2 shares; removing it forces exactly its
+    // entries to move and the collateral budget still holds.
+    let mut list = backends(7);
+    list[3] = Backend::weighted("tenant-3", 2);
+    let full = MaglevTable::new(list.clone(), TABLE_SIZE).unwrap();
+    list.remove(3);
+    let reduced = MaglevTable::new(list, TABLE_SIZE).unwrap();
+
+    let victim_share = full.entry_counts()[3];
+    let moved = full.disrupted_entries(&reduced);
+    let collateral = full.collateral_moves(&reduced);
+    assert_eq!(moved - collateral, victim_share);
+    assert!(victim_share > TABLE_SIZE / 8, "weight 2 of 8 shares");
+    assert!(collateral <= TABLE_SIZE / 7);
+}

@@ -48,4 +48,4 @@ pub use packet::{Packet, PacketError};
 pub use pipeline::{Operator, Pipeline, PipelineSpec, StageStateMap, StageStats};
 pub use pktgen::{FlowDistribution, PacketGen, TrafficConfig};
 pub use pool::{PacketPool, PoolStats};
-pub use ratelimit::{PerFlowRateLimiter, RateLimiter, TokenBucket};
+pub use ratelimit::{PerFlowRateLimiter, RateLimiter, TickBucket, TokenBucket};

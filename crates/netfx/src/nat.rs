@@ -385,6 +385,61 @@ mod tests {
     }
 
     #[test]
+    fn allocation_skips_colliding_ports() {
+        // Round-robin allocation must walk over in-use candidates: after
+        // a release, `next_port` can point at a port that is still held
+        // by another connection — the allocator must skip it, not hand
+        // the same external port to two inside endpoints.
+        let mut n = nat();
+        for i in 0..4 {
+            let mut p = outbound(6000 + i);
+            assert!(n.translate(&mut p));
+        }
+        // Free 40_001 only; next_port has wrapped to 40_000 (in use).
+        assert!(n.release(Ipv4Addr::new(10, 1, 2, 3), 6001, IpProto::Udp));
+        let mut fresh = outbound(7777);
+        assert!(n.translate(&mut fresh));
+        assert_eq!(
+            fresh.udp().unwrap().src_port(),
+            40_001,
+            "allocator must skip the three in-use ports and land on the freed one"
+        );
+        // No double-grant: all four mappings point at distinct ports.
+        assert_eq!(n.active_mappings(), 4);
+        let mut fifth = outbound(8888);
+        assert!(!n.translate(&mut fifth), "pool genuinely full again");
+    }
+
+    #[test]
+    fn proto_spaces_do_not_collide() {
+        // The same external port number is independent per protocol: a
+        // UDP mapping on 40_000 must not block the TCP allocator, and
+        // inbound lookups must respect the protocol key.
+        use crate::headers::tcp::TcpFlags;
+        let mut n = nat();
+        // Exhaust the pool with UDP mappings.
+        for i in 0..4 {
+            let mut p = outbound(6000 + i);
+            assert!(n.translate(&mut p));
+        }
+        let mut overflow = outbound(6004);
+        assert!(!n.translate(&mut overflow), "UDP space is full");
+        // TCP still allocates: port numbers are keyed by protocol.
+        let mut t = Packet::build_tcp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(10, 1, 2, 3),
+            Ipv4Addr::new(8, 8, 8, 8),
+            5000,
+            443,
+            TcpFlags(TcpFlags::SYN),
+            0,
+        );
+        assert!(n.translate(&mut t), "TCP draws from its own port space");
+        assert_eq!(n.active_mappings(), 5);
+    }
+
+    #[test]
     fn tcp_roundtrip() {
         use crate::headers::tcp::TcpFlags;
         let mut n = nat();

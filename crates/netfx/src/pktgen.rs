@@ -113,50 +113,18 @@ impl PacketGen {
     pub fn rss_slice(config: TrafficConfig, lane: usize, lanes: usize) -> Self {
         assert!(config.flows > 0, "flow population must be non-empty");
         assert!(lane < lanes, "lane {lane} out of range for {lanes} lanes");
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let endpoints: Vec<(Ipv4Addr, Ipv4Addr, u16, u16)> = (0..config.flows)
-            .map(|i| {
-                let src = Ipv4Addr::from(0x0A00_0000 | (i as u32 & 0x00FF_FFFF));
-                let dst = Ipv4Addr::new(192, 0, 2, 1); // the VIP, TEST-NET-1
-                let sport = rng.gen_range(1024..=u16::MAX);
-                let dport = 80;
-                (src, dst, sport, dport)
-            })
-            .collect();
-        let proto = match config.proto {
-            IpProto::Tcp => IpProto::Tcp,
-            _ => IpProto::Udp,
-        };
+        let (rng, endpoints) = Self::materialize_endpoints(&config);
+        let proto = Self::wire_proto(&config);
         let flow_ids: Vec<usize> = (0..config.flows)
             .filter(|&i| {
                 if lanes == 1 {
                     return true;
                 }
-                let (src, dst, sport, dport) = endpoints[i];
-                let tuple = FiveTuple {
-                    src_ip: src,
-                    dst_ip: dst,
-                    src_port: sport,
-                    dst_port: dport,
-                    proto,
-                };
+                let tuple = Self::tuple_of(&endpoints, i, proto);
                 (tuple.stable_hash() % lanes as u64) as usize == lane
             })
             .collect();
-        let weights: Vec<f64> = match config.distribution {
-            FlowDistribution::Uniform => vec![1.0 / config.flows as f64; config.flows],
-            FlowDistribution::Zipf(s) => {
-                assert!(
-                    s > 0.0 && s.is_finite(),
-                    "Zipf exponent must be positive, got {s}"
-                );
-                let raw: Vec<f64> = (1..=config.flows)
-                    .map(|rank| 1.0 / (rank as f64).powf(s))
-                    .collect();
-                let total: f64 = raw.iter().sum();
-                raw.into_iter().map(|w| w / total).collect()
-            }
-        };
+        let weights = Self::weights_for(&config);
         // For the whole mix the mass is exactly 1.0 by definition; pin
         // it so renormalization below is arithmetic-identical to the
         // pre-slice generator (byte-stable streams stay byte-stable).
@@ -198,6 +166,128 @@ impl PacketGen {
             flow_ids,
             share,
             generated: 0,
+        }
+    }
+
+    /// Creates a generator restricted to the flows `keep` accepts — the
+    /// targeted-traffic constructor (e.g. a flood aimed at exactly the
+    /// flows a Maglev table steers to one backend).
+    ///
+    /// The flow population, endpoints, and popularity weights are
+    /// materialized exactly as [`new`](Self::new) would (same seed ⇒
+    /// same flows), then the kept subset is renormalized like an RSS
+    /// slice. Draws come from an independent seeded stream derived from
+    /// `config.seed` and `stream_salt`, so a subset generator never
+    /// perturbs — and is never perturbed by — the whole-mix generator
+    /// it was carved from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.flows` is zero or a Zipf exponent is invalid.
+    /// A subset that keeps no flows is valid with `share() == 0.0`;
+    /// drawing from it panics.
+    pub fn subset(
+        config: TrafficConfig,
+        stream_salt: u64,
+        keep: impl Fn(&FiveTuple) -> bool,
+    ) -> Self {
+        assert!(config.flows > 0, "flow population must be non-empty");
+        let (_, endpoints) = Self::materialize_endpoints(&config);
+        let proto = Self::wire_proto(&config);
+        let flow_ids: Vec<usize> = (0..config.flows)
+            .filter(|&i| keep(&Self::tuple_of(&endpoints, i, proto)))
+            .collect();
+        let weights = Self::weights_for(&config);
+        let share: f64 = flow_ids.iter().map(|&i| weights[i]).sum();
+        let zipf_cdf = match config.distribution {
+            FlowDistribution::Uniform => Vec::new(),
+            FlowDistribution::Zipf(_) => {
+                let mut cdf: Vec<f64> = Vec::with_capacity(flow_ids.len());
+                let mut acc = 0.0;
+                for &i in &flow_ids {
+                    acc += weights[i] / share.max(f64::MIN_POSITIVE);
+                    cdf.push(acc);
+                }
+                if let Some(last) = cdf.last_mut() {
+                    *last = 1.0;
+                }
+                cdf
+            }
+        };
+        let rng = StdRng::seed_from_u64(
+            config.seed ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(stream_salt.wrapping_add(1)),
+        );
+        Self {
+            config,
+            rng,
+            endpoints,
+            zipf_cdf,
+            flow_ids,
+            share,
+            generated: 0,
+        }
+    }
+
+    /// Materializes the flow endpoints for `config` — identical for
+    /// every constructor, so the same seed yields the same population
+    /// no matter how the flows are then filtered. Returns the RNG in
+    /// its post-materialization state (the whole-mix generator keeps
+    /// drawing from it).
+    fn materialize_endpoints(
+        config: &TrafficConfig,
+    ) -> (StdRng, Vec<(Ipv4Addr, Ipv4Addr, u16, u16)>) {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let endpoints = (0..config.flows)
+            .map(|i| {
+                let src = Ipv4Addr::from(0x0A00_0000 | (i as u32 & 0x00FF_FFFF));
+                let dst = Ipv4Addr::new(192, 0, 2, 1); // the VIP, TEST-NET-1
+                let sport = rng.gen_range(1024..=u16::MAX);
+                let dport = 80;
+                (src, dst, sport, dport)
+            })
+            .collect();
+        (rng, endpoints)
+    }
+
+    /// The transport protocol packets are actually built with.
+    fn wire_proto(config: &TrafficConfig) -> IpProto {
+        match config.proto {
+            IpProto::Tcp => IpProto::Tcp,
+            _ => IpProto::Udp,
+        }
+    }
+
+    /// The five-tuple of flow `i`.
+    fn tuple_of(
+        endpoints: &[(Ipv4Addr, Ipv4Addr, u16, u16)],
+        i: usize,
+        proto: IpProto,
+    ) -> FiveTuple {
+        let (src, dst, sport, dport) = endpoints[i];
+        FiveTuple {
+            src_ip: src,
+            dst_ip: dst,
+            src_port: sport,
+            dst_port: dport,
+            proto,
+        }
+    }
+
+    /// Normalized popularity weights over the whole population.
+    fn weights_for(config: &TrafficConfig) -> Vec<f64> {
+        match config.distribution {
+            FlowDistribution::Uniform => vec![1.0 / config.flows as f64; config.flows],
+            FlowDistribution::Zipf(s) => {
+                assert!(
+                    s > 0.0 && s.is_finite(),
+                    "Zipf exponent must be positive, got {s}"
+                );
+                let raw: Vec<f64> = (1..=config.flows)
+                    .map(|rank| 1.0 / (rank as f64).powf(s))
+                    .collect();
+                let total: f64 = raw.iter().sum();
+                raw.into_iter().map(|w| w / total).collect()
+            }
         }
     }
 
@@ -552,6 +642,63 @@ mod tests {
         let max = counts.values().max().copied().unwrap_or(0);
         let avg = 20_000 / first.max(1) as u64;
         assert!(max > 3 * avg, "slice lost its skew: max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn subset_draws_only_kept_flows() {
+        let cfg = TrafficConfig {
+            flows: 256,
+            ..Default::default()
+        };
+        let mut g = PacketGen::subset(cfg, 7, |t| t.stable_hash() % 3 == 0);
+        assert!(g.flows_in_slice() > 0);
+        for _ in 0..300 {
+            let p = g.next_packet();
+            let tuple = FiveTuple::of(&p).unwrap();
+            assert_eq!(tuple.stable_hash() % 3, 0, "subset leaked a filtered flow");
+        }
+    }
+
+    #[test]
+    fn subset_population_matches_whole_mix() {
+        // The subset must see the same endpoints the whole-mix generator
+        // builds: a keep-everything subset covers exactly the same flows.
+        let cfg = TrafficConfig {
+            flows: 64,
+            ..Default::default()
+        };
+        let mut whole = PacketGen::new(cfg.clone());
+        let mut all = PacketGen::subset(cfg, 0, |_| true);
+        assert_eq!(all.flows_in_slice(), 64);
+        assert!((all.share() - 1.0).abs() < 1e-9);
+        let mut whole_tuples = std::collections::HashSet::new();
+        let mut subset_tuples = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            whole_tuples.insert(FiveTuple::of(&whole.next_packet()).unwrap());
+            subset_tuples.insert(FiveTuple::of(&all.next_packet()).unwrap());
+        }
+        assert_eq!(whole_tuples, subset_tuples);
+    }
+
+    #[test]
+    fn subset_is_deterministic_per_salt() {
+        let cfg = TrafficConfig {
+            flows: 128,
+            distribution: FlowDistribution::Zipf(1.2),
+            ..Default::default()
+        };
+        let mut a = PacketGen::subset(cfg.clone(), 3, |t| t.src_port % 2 == 0);
+        let mut b = PacketGen::subset(cfg.clone(), 3, |t| t.src_port % 2 == 0);
+        let mut c = PacketGen::subset(cfg, 4, |t| t.src_port % 2 == 0);
+        let mut diverged = false;
+        for _ in 0..100 {
+            let pa = a.next_packet();
+            assert_eq!(pa.as_slice(), b.next_packet().as_slice());
+            if pa.as_slice() != c.next_packet().as_slice() {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "distinct salts must draw independent streams");
     }
 
     #[test]

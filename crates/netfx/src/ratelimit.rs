@@ -72,6 +72,92 @@ impl TokenBucket {
     }
 }
 
+/// An integer token bucket on an abstract tick clock: `rate_per_tick`
+/// tokens accrue per elapsed tick, up to `burst` capacity.
+///
+/// This is the admission-control primitive for deterministic runtimes
+/// (the tenant layer clocks it with its logical tick counter): every
+/// quantity is a `u64`, so two runs of the same tick/request sequence
+/// produce identical grants — no floating point, no wall clock.
+///
+/// The refill arithmetic **saturates**: a huge tick gap (clock jump,
+/// tenant parked for millions of ticks, `u64::MAX` handed in by a
+/// confused caller) refills to exactly `burst`, never wraps through
+/// zero. The property tests pin `granted ≤ rate × elapsed + burst`
+/// over arbitrary — including non-monotone — tick sequences.
+#[derive(Debug, Clone)]
+pub struct TickBucket {
+    rate_per_tick: u64,
+    burst: u64,
+    tokens: u64,
+    last_tick: u64,
+}
+
+impl TickBucket {
+    /// A bucket starting full at tick 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst` is zero (the bucket could never admit).
+    pub fn new(rate_per_tick: u64, burst: u64) -> Self {
+        assert!(burst > 0, "burst must be positive");
+        Self {
+            rate_per_tick,
+            burst,
+            tokens: burst,
+            last_tick: 0,
+        }
+    }
+
+    /// Accrues tokens for the ticks elapsed since the last refill.
+    /// Time must be monotone; regressions are ignored. The product
+    /// `elapsed × rate` saturates, then clamps to `burst` — a large gap
+    /// yields a full bucket, never an empty one.
+    pub fn refill(&mut self, now_tick: u64) {
+        if now_tick > self.last_tick {
+            let elapsed = now_tick - self.last_tick;
+            let accrued = elapsed.saturating_mul(self.rate_per_tick);
+            self.tokens = self.tokens.saturating_add(accrued).min(self.burst);
+            self.last_tick = now_tick;
+        }
+    }
+
+    /// Tries to admit one unit at `now_tick`.
+    pub fn admit(&mut self, now_tick: u64) -> bool {
+        self.take(now_tick, 1) == 1
+    }
+
+    /// Takes up to `want` tokens at `now_tick`, returning how many were
+    /// granted (partial grants model per-packet admission of a batch).
+    pub fn take(&mut self, now_tick: u64, want: u64) -> u64 {
+        self.refill(now_tick);
+        let granted = want.min(self.tokens);
+        self.tokens -= granted;
+        granted
+    }
+
+    /// Tokens currently available (as of the last refill).
+    pub fn available(&self) -> u64 {
+        self.tokens
+    }
+
+    /// The refill rate in tokens per tick.
+    pub fn rate_per_tick(&self) -> u64 {
+        self.rate_per_tick
+    }
+
+    /// The burst capacity.
+    pub fn burst(&self) -> u64 {
+        self.burst
+    }
+
+    /// Changes the refill rate in place (breaker throttling). Tokens
+    /// already accrued are kept; future refills use the new rate.
+    pub fn set_rate(&mut self, rate_per_tick: u64) {
+        self.rate_per_tick = rate_per_tick;
+    }
+}
+
 /// A pipeline stage enforcing one global packet rate.
 pub struct RateLimiter {
     bucket: TokenBucket,
@@ -327,6 +413,104 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(rl.admitted(), 2);
         assert_eq!(rl.dropped(), 1);
+    }
+
+    #[test]
+    fn tick_bucket_starts_full_and_drains() {
+        let mut b = TickBucket::new(2, 3);
+        assert_eq!(b.take(0, 10), 3, "initial burst");
+        assert!(!b.admit(0));
+        // One tick refills 2.
+        assert_eq!(b.take(1, 10), 2);
+        assert_eq!(b.available(), 0);
+    }
+
+    #[test]
+    fn tick_bucket_saturates_on_huge_gaps() {
+        let mut b = TickBucket::new(u64::MAX, 5);
+        b.take(0, 5);
+        // elapsed × rate would wrap catastrophically without saturation.
+        b.refill(u64::MAX);
+        assert_eq!(b.available(), 5, "gap refills to burst, never wraps");
+        let mut c = TickBucket::new(3, 10);
+        c.take(0, 10);
+        c.refill(u64::MAX / 2);
+        assert_eq!(c.available(), 10);
+    }
+
+    #[test]
+    fn tick_bucket_ignores_time_regression() {
+        let mut b = TickBucket::new(1, 1);
+        assert!(b.admit(10));
+        b.refill(0);
+        assert!(!b.admit(10), "no free tokens from a regressing clock");
+        assert!(b.admit(11));
+    }
+
+    #[test]
+    fn tick_bucket_enforces_sustained_rate() {
+        let mut b = TickBucket::new(4, 8);
+        let mut granted = 0;
+        for tick in 0..100u64 {
+            granted += b.take(tick, 100);
+        }
+        // 8 initial + 4/tick × 99 elapsed ticks.
+        assert_eq!(granted, 8 + 4 * 99);
+    }
+
+    #[test]
+    fn tick_bucket_set_rate_applies_forward() {
+        let mut b = TickBucket::new(10, 100);
+        b.take(0, 100);
+        b.set_rate(1);
+        assert_eq!(b.take(5, 100), 5, "new rate governs the refill");
+    }
+
+    #[test]
+    #[should_panic(expected = "burst must be positive")]
+    fn tick_bucket_zero_burst_rejected() {
+        TickBucket::new(1, 0);
+    }
+
+    proptest::proptest! {
+        /// The satellite invariant: over ANY tick/request sequence —
+        /// non-monotone, overflowing, arbitrary request sizes — the
+        /// total granted never exceeds `rate × elapsed + burst`, where
+        /// elapsed is the furthest the clock ever advanced.
+        #[test]
+        fn tick_bucket_never_overgrants(
+            rate in 0u64..=u64::MAX,
+            burst in 1u64..=u64::MAX,
+            ops in proptest::collection::vec((0u64..=u64::MAX, 0u64..=4096), 1..64),
+        ) {
+            let mut b = TickBucket::new(rate, burst);
+            let mut granted: u128 = 0;
+            let mut max_tick: u128 = 0;
+            for &(tick, want) in &ops {
+                granted += u128::from(b.take(tick, want));
+                max_tick = max_tick.max(u128::from(tick));
+            }
+            let bound = u128::from(rate) * max_tick + u128::from(burst);
+            proptest::prop_assert!(
+                granted <= bound,
+                "granted {granted} exceeds rate×elapsed+burst = {bound}"
+            );
+        }
+
+        /// Saturation, not wrap: after any sequence the available token
+        /// count is still within the burst cap.
+        #[test]
+        fn tick_bucket_tokens_never_exceed_burst(
+            rate in 0u64..=u64::MAX,
+            burst in 1u64..=u64::MAX,
+            ticks in proptest::collection::vec(0u64..=u64::MAX, 1..64),
+        ) {
+            let mut b = TickBucket::new(rate, burst);
+            for &t in &ticks {
+                b.refill(t);
+                proptest::prop_assert!(b.available() <= b.burst());
+            }
+        }
     }
 
     #[test]

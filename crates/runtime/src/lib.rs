@@ -72,6 +72,7 @@ pub mod runtime;
 pub mod shard;
 pub mod stats;
 pub mod supervisor;
+pub mod tenant;
 pub mod upgrade;
 pub mod worker;
 
@@ -86,5 +87,10 @@ pub use runtime::{RuntimeConfig, RuntimeError, ShardedRuntime};
 pub use shard::{shard_for, shard_of_packet, shard_of_packet_mut};
 pub use stats::{RuntimeReport, WorkerSnapshot, WorkerStats};
 pub use supervisor::{BreakerState, RestartPolicy, SupervisorEvent, SupervisorEventKind};
+pub use tenant::{
+    default_tenant_chain, BreakerPhase, BreakerPolicy, RebuildRecord, TenantChainFactory,
+    TenantConfig, TenantError, TenantEvent, TenantEventKind, TenantLedger, TenantOutcome,
+    TenantReport, TenantRuntime, TenantSpec,
+};
 pub use upgrade::{UpgradeError, UpgradeOutcome, UpgradePolicy};
 pub use worker::WorkItem;

@@ -1,13 +1,21 @@
 //! Integration: a full NFV service chain — firewall → per-flow rate
 //! limiter → source NAT — each stage in its own protection domain,
 //! with bidirectional traffic and translated return flows.
+//!
+//! The headline test runs the chain on the production [`LaneRuntime`]
+//! (sharded run-to-completion lanes with work stealing) rather than a
+//! hand-driven pipeline: generated traffic is steered, executed, and
+//! audited in-chain, and the lane ledgers prove exact conservation.
 
 use rust_beyond_safety::fwtrie::{Action, FirewallOp, FwTrie, Rule};
 use rust_beyond_safety::netfx::batch::PacketBatch;
 use rust_beyond_safety::netfx::headers::ethernet::MacAddr;
 use rust_beyond_safety::netfx::nat::SourceNat;
 use rust_beyond_safety::netfx::packet::Packet;
+use rust_beyond_safety::netfx::pipeline::{Operator, PipelineSpec};
+use rust_beyond_safety::netfx::pktgen::TrafficConfig;
 use rust_beyond_safety::netfx::ratelimit::PerFlowRateLimiter;
+use rust_beyond_safety::runtime::{LaneConfig, LaneRuntime};
 use rust_beyond_safety::IsolatedPipeline;
 use std::net::Ipv4Addr;
 
@@ -25,64 +33,85 @@ fn outbound_packet(host: u8, sport: u16) -> Packet {
     )
 }
 
-fn egress_chain() -> IsolatedPipeline {
-    let mut p = IsolatedPipeline::new();
-    p.add_stage("firewall", || {
-        let mut trie = FwTrie::new();
-        // Only DNS egress is allowed.
-        trie.insert(
-            Rule::new(1, "allow-dns", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(53, 53),
-        );
-        Box::new(FirewallOp::new(trie, Action::Deny))
-    })
-    .unwrap();
-    p.add_stage("limiter", || {
-        Box::new(PerFlowRateLimiter::new(1_000_000.0, 100.0, 10_000))
-    })
-    .unwrap();
-    p.add_stage("nat", || {
-        Box::new(SourceNat::new(
-            NAT_IP,
-            Ipv4Addr::new(10, 0, 0, 0),
-            8,
-            40_000..=50_000,
-        ))
-    })
-    .unwrap();
-    p
+/// In-chain auditor: panics (→ a counted domain fault) unless every
+/// packet leaving the NAT is translated, in-range, and checksum-clean.
+/// `report.faults == 0` is therefore a per-packet correctness proof.
+struct EgressAudit;
+
+impl Operator for EgressAudit {
+    fn process(&mut self, batch: PacketBatch) -> PacketBatch {
+        for p in batch.iter() {
+            let ip = p.ipv4().expect("audit: not IPv4");
+            assert_eq!(ip.src(), NAT_IP, "audit: source not translated");
+            assert!(ip.checksum_ok(), "audit: bad IP checksum");
+            let udp = p.udp().expect("audit: not UDP");
+            assert!(
+                (40_000..=50_000).contains(&udp.src_port()),
+                "audit: NAT port out of pool"
+            );
+            assert!(
+                udp.checksum_ok(ip.src(), ip.dst()),
+                "audit: bad UDP checksum"
+            );
+        }
+        batch
+    }
+
+    fn name(&self) -> &str {
+        "egress-audit"
+    }
 }
 
 #[test]
 fn outbound_traffic_is_filtered_limited_and_translated() {
-    let mut chain = egress_chain();
-    let batch: PacketBatch = vec![
-        outbound_packet(1, 1111), // DNS, allowed
-        outbound_packet(2, 2222), // DNS, allowed
-        {
-            // HTTP, denied by the firewall before NAT ever sees it.
-            let mut p = outbound_packet(3, 3333);
-            p.udp_mut().unwrap().set_dst_port(80);
-            let (src, dst) = {
-                let ip = p.ipv4().unwrap();
-                (ip.src(), ip.dst())
-            };
-            p.udp_mut().unwrap().update_checksum(src, dst);
-            p
-        },
-    ]
-    .into_iter()
-    .collect();
+    // The same egress chain, on the production lane runtime: two
+    // run-to-completion lanes generate 200 batches of synthetic port-80
+    // traffic from the 10.0.0.0/8 inside net, and the audit stage
+    // verifies every surviving packet in-chain.
+    let spec = PipelineSpec::new()
+        .stage(|| {
+            let mut trie = FwTrie::new();
+            trie.insert(
+                Rule::new(1, "allow-http", Ipv4Addr::UNSPECIFIED, 0, Action::Allow).dports(80, 80),
+            );
+            FirewallOp::new(trie, Action::Deny)
+        })
+        .stage(|| PerFlowRateLimiter::new(1_000_000.0, 100.0, 10_000))
+        .stage(|| SourceNat::new(NAT_IP, Ipv4Addr::new(10, 0, 0, 0), 8, 40_000..=50_000))
+        .stage(|| EgressAudit);
 
-    let out = chain.run_batch(batch).expect("healthy chain");
-    assert_eq!(out.len(), 2, "only the DNS flows survive");
-    for p in out.iter() {
-        let ip = p.ipv4().unwrap();
-        assert_eq!(ip.src(), NAT_IP, "source translated");
-        assert!(ip.checksum_ok());
-        let udp = p.udp().unwrap();
-        assert!((40_000..=50_000).contains(&udp.src_port()));
-        assert!(udp.checksum_ok(ip.src(), ip.dst()));
+    let report = LaneRuntime::run(
+        spec,
+        LaneConfig {
+            lanes: 2,
+            traffic: TrafficConfig {
+                flows: 256,
+                seed: 0x0E15_CAFE,
+                ..TrafficConfig::default()
+            },
+            total_batches: 200,
+            batch_size: 32,
+            ..LaneConfig::default()
+        },
+    );
+
+    assert_eq!(report.offered(), 200 * 32);
+    assert_eq!(report.unaccounted_packets(), 0, "lane ledgers leak");
+    assert_eq!(report.lost(), 0, "domain faults destroyed packets");
+    assert_eq!(report.shed(), 0, "a lane died and shed backlog");
+    for lane in &report.lanes {
+        assert_eq!(
+            lane.faults, 0,
+            "lane {}: the egress audit tripped",
+            lane.lane
+        );
+        assert!(!lane.dead);
     }
+    // Every generated packet is port-80 from the inside net: the
+    // firewall passes it, the limiter's burst covers it, the NAT pool
+    // holds 256 flows with room to spare — so goodput is exactly 1.
+    assert_eq!(report.packets_out(), report.offered());
+    assert_eq!(report.goodput(), 1.0);
 }
 
 #[test]
