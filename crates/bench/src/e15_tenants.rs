@@ -1,14 +1,16 @@
-//! E15 — tenant blast-radius containment: multi-tenant SLA under
-//! aggressor traffic, breaker churn, and warm recovery.
+//! E15 — tenant blast-radius containment at wall-clock scale:
+//! multi-tenant SLA under aggressor traffic, breaker churn, warm
+//! recovery, and priority-aware cross-tenant work stealing on real lane
+//! threads.
 //!
-//! Every cell multiplexes N tenants onto the [`TenantRuntime`]'s
-//! run-to-completion lanes and turns tenant 1 into an aggressor while
-//! the rest carry steady traffic:
+//! Every cell places N tenant domains onto four [`TenantLaneRuntime`]
+//! lane *threads* by the weighted placement policy and turns tenant 1
+//! into an aggressor while the rest carry steady traffic:
 //!
-//! - **flood** — the aggressor's flow population offers ~2.6× the whole
-//!   baseline mix on top of its share, against a tight admission
-//!   contract. Containment is the token bucket: the flood sheds at
-//!   ingress (`shed_admission`) and never reaches a lane.
+//! - **flood** — the aggressor's flow population offers a large multiple
+//!   of its share against a tight admission contract. Containment is
+//!   the token bucket: the flood sheds at ingress (`shed_admission`)
+//!   and never reaches a lane.
 //! - **fault-loop** — the aggressor's chain panics on every batch.
 //!   Containment is the circuit breaker: strikes throttle then open it
 //!   (domain destroyed, ingress shed at zero cost), half-open probes
@@ -18,48 +20,55 @@
 //!   breaker exactly like faults do.
 //!
 //! All cells run the full storm besides the aggressor: background chaos
-//! panics (~0.08% of batches, any tenant), snapshot-cadence warm
-//! recovery, and mid-run tenant churn — the last tenant is removed at
-//! ⅓ of the run and re-added at ⅔, forcing two live Maglev rebuilds
-//! whose remap counts the report records. The SLA gate asserted in
-//! every cell: **every non-aggressor tenant keeps ≥ 99% goodput**, with
-//! per-tenant conservation exact (`offered == processed + lost + shed`).
+//! panics (any tenant), snapshot-cadence warm recovery, and mid-run
+//! tenant churn — the last tenant is removed at ⅓ of the run and
+//! re-added at ⅔, forcing two live Maglev rebuilds whose remap counts
+//! the report records. The SLA gate asserted in every cell: **every
+//! non-aggressor tenant keeps ≥ 99% goodput**, with per-tenant
+//! conservation exact (`offered == processed + lost + shed`) including
+//! steal credits, and **zero priority inversions** across every
+//! schedule the lane threads happen to take.
 //!
 //! Results are also emitted as `BENCH_tenant.json` in the repo root.
-//! All fields are integers derived from the logical tick clock and the
-//! tenant ledgers — never wall time — so two runs of the same build are
-//! byte-identical (CI diffs them).
+//! Records are split into stable lines (tick-clock and ledger derived —
+//! byte-identical across runs of the same build) and `"kind": "timing"`
+//! lines (wall-clock throughput and who-stole-what, which depend on
+//! scheduling). CI diffs two runs after `grep -v '"kind": "timing"'`.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use rbs_core::fault::{FaultKind, FaultPlan, FaultSite};
 use rbs_core::table::Table;
 use rbs_netfx::flow::FiveTuple;
 use rbs_netfx::pktgen::{PacketGen, TrafficConfig};
-use rbs_runtime::{TenantConfig, TenantOutcome, TenantReport, TenantRuntime, TenantSpec};
+use rbs_runtime::{
+    LaneOccupancy, TenantLaneConfig, TenantLaneRuntime, TenantOutcome, TenantReport, TenantSpec,
+};
 
 use crate::harness::silence_panics;
 
-/// Packets in every baseline wave (one wave per tick).
-const WAVE: usize = 96;
+/// Baseline packets per tenant per tick (the wave scales with N so the
+/// per-tenant load is comparable at 8 and at 64 tenants).
+const WAVE_PER_TENANT: usize = 24;
 
 /// Extra aggressor packets per tick in flood cells.
 const FLOOD_EXTRA: usize = 256;
 
 /// Distinct flows in the baseline population.
-const FLOWS: usize = 768;
+const FLOWS: usize = 4096;
 
 /// The one seed behind every cell.
 const SEED: u64 = 0x0E15;
 
 /// Background chaos rate applied to every tenant's batches, in ppm.
-const CHAOS_PPM: u32 = 800;
+const CHAOS_PPM: u32 = 400;
 
 /// The tenant that misbehaves (always index 1).
 const AGGRESSOR: usize = 1;
 
-/// Run-to-completion lanes per cell.
-const LANES: usize = 2;
+/// Lane threads per cell.
+const LANES: usize = 4;
 
 /// Maglev table size (prime).
 const TABLE_SIZE: usize = 251;
@@ -72,11 +81,24 @@ const BASE_BURST: u64 = 800;
 const FLOOD_RATE: u64 = 25;
 const FLOOD_BURST: u64 = 50;
 
-/// Per-tick work budget in slow-operator cells (work units).
-const WORK_BUDGET: u64 = 80;
-
 /// Per-packet work cost of the slow aggressor's chain.
 const SLOW_COST: u64 = 8;
+
+/// Per-tick work budget in slow-operator cells: three times the heaviest
+/// *innocent* tenant's expected draw, so legitimate heavy traffic never
+/// strikes while the 8×-cost hog overruns every tick. An operator sets
+/// this from the contracted loads; the matrix derives it the same way.
+fn work_budget(wave: usize, specs: &[TenantSpec]) -> u64 {
+    let total_w: u64 = specs.iter().map(|s| u64::from(s.weight)).sum();
+    let max_innocent_w = specs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != AGGRESSOR)
+        .map(|(_, s)| u64::from(s.weight))
+        .max()
+        .unwrap_or(1);
+    3 * (wave as u64) * max_innocent_w / total_w.max(1)
+}
 
 /// How tenant load is skewed across the population.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,6 +208,12 @@ pub struct TenantCell {
     pub aggressor_opens: u64,
     /// The SLA gate: every non-aggressor kept ≥ 99% goodput.
     pub victims_contained: bool,
+    /// Per-lane placement and steal observability from the report.
+    pub occupancy: Vec<LaneOccupancy>,
+    /// Total packets offered across tenants.
+    pub offered: u64,
+    /// Wall-clock time of the offered-traffic loop, nanoseconds.
+    pub elapsed_ns: u128,
 }
 
 impl TenantCell {
@@ -207,6 +235,32 @@ impl TenantCell {
             .map(|r| r.outcome.ledger.goodput_ppm())
             .min()
             .unwrap_or(1_000_000)
+    }
+
+    /// Offered throughput over the traffic loop, in Mpps (wall-clock —
+    /// a timing quantity, never part of the stable record).
+    pub fn mpps(&self) -> f64 {
+        self.offered as f64 / (self.elapsed_ns as f64 / 1e9) / 1e6
+    }
+
+    /// Work items stolen across lanes (scheduling-dependent).
+    pub fn steals(&self) -> u64 {
+        self.occupancy.iter().map(|l| l.steals_in).sum()
+    }
+
+    /// Wire bytes charged as the steal tax (scheduling-dependent).
+    pub fn steal_bytes(&self) -> u64 {
+        self.occupancy.iter().map(|l| l.steal_bytes).sum()
+    }
+
+    /// Packets credited to origin-tenant `stolen` ledgers.
+    pub fn stolen_packets(&self) -> u64 {
+        self.rows.iter().map(|r| r.outcome.ledger.stolen).sum()
+    }
+
+    /// Priority inversions observed by the steal audit (must be zero).
+    pub fn priority_inversions(&self) -> u64 {
+        self.occupancy.iter().map(|l| l.priority_inversions).sum()
     }
 }
 
@@ -247,28 +301,31 @@ fn plan(aggressor: Aggressor) -> FaultPlan {
     }
 }
 
-/// Runs one cell: `ticks` waves of steered traffic with the aggressor
-/// active throughout, churn at ⅓ and ⅔, chaos and snapshots on cadence.
+/// Runs one cell: `ticks` waves of steered traffic on four lane threads
+/// with the aggressor active throughout, churn at ⅓ and ⅔, chaos and
+/// snapshots on cadence. The wave scales with the tenant count so the
+/// per-tenant load is the same at every scale.
 pub fn measure_cell(tenants: usize, skew: Skew, aggressor: Aggressor, ticks: u64) -> TenantCell {
     silence_panics();
     assert!(tenants >= 4, "cells need victims, an aggressor, and churn");
-    let config = TenantConfig {
-        tenants: population(tenants, skew, aggressor),
+    let wave = WAVE_PER_TENANT * tenants;
+    let specs = population(tenants, skew, aggressor);
+    let config = TenantLaneConfig {
         lanes: LANES,
         table_size: TABLE_SIZE,
-        lane_capacity: 512,
         queue_hwm: 4 * tenants,
         work_budget_per_tick: match aggressor {
-            Aggressor::SlowOperator => WORK_BUDGET,
+            Aggressor::SlowOperator => work_budget(wave, &specs),
             _ => 0,
         },
+        tenants: specs,
         snapshot_every_ticks: 4,
         snapshot_full_every: 4,
         faults: Some(Arc::new(plan(aggressor))),
-        ..TenantConfig::default()
+        ..TenantLaneConfig::default()
     };
     let weights: Vec<u32> = config.tenants.iter().map(|t| t.weight).collect();
-    let mut rt = TenantRuntime::new(config).expect("tenant runtime");
+    let mut rt = TenantLaneRuntime::new(config).expect("tenant lane runtime");
 
     let traffic = TrafficConfig {
         flows: FLOWS,
@@ -295,6 +352,7 @@ pub fn measure_cell(tenants: usize, skew: Skew, aggressor: Aggressor, ticks: u64
     let (leave_at, return_at) = (ticks / 3, 2 * ticks / 3);
     let mut remap_out = 0;
     let mut remap_back = 0;
+    let start = Instant::now();
     for tick in 0..ticks {
         if tick == leave_at {
             remap_out = rt.remove_tenant(churn_tenant).expect("churn remove");
@@ -302,15 +360,20 @@ pub fn measure_cell(tenants: usize, skew: Skew, aggressor: Aggressor, ticks: u64
         if tick == return_at {
             remap_back = rt.add_tenant(churn_tenant).expect("churn add");
         }
-        rt.offer(gen.next_batch(WAVE));
+        // Two half-waves per tick: a chaos panic costs its tenant half
+        // a tick's traffic, so the blast a single background fault can
+        // do stays well inside the 1% SLA at every tenant scale.
+        rt.offer(gen.next_batch(wave / 2));
+        rt.offer(gen.next_batch(wave - wave / 2));
         if let Some(flood) = flood_gen.as_mut() {
             rt.offer(flood.next_batch(FLOOD_EXTRA));
         }
         rt.step();
     }
+    let elapsed_ns = start.elapsed().as_nanos();
     let report = rt.finish();
     cell_from_report(
-        tenants, skew, aggressor, ticks, weights, remap_out, remap_back, report,
+        tenants, skew, aggressor, ticks, weights, remap_out, remap_back, elapsed_ns, report,
     )
 }
 
@@ -325,6 +388,7 @@ fn cell_from_report(
     weights: Vec<u32>,
     remap_entries_out: usize,
     remap_entries_back: usize,
+    elapsed_ns: u128,
     report: TenantReport,
 ) -> TenantCell {
     let churn_tenant = tenants - 1;
@@ -348,15 +412,19 @@ fn cell_from_report(
         skew,
         aggressor,
         ticks,
+        offered: report.offered(),
         rows,
         remap_entries_out,
         remap_entries_back,
         hwm_sheds: report.hwm_sheds,
         aggressor_opens,
         victims_contained,
+        occupancy: report.occupancy.clone(),
+        elapsed_ns,
     };
 
-    // Exact conservation, per tenant and in aggregate.
+    // Exact conservation, per tenant and in aggregate, with steal
+    // credits a subset of processed work.
     assert_eq!(
         report.unaccounted_packets(),
         0,
@@ -371,7 +439,27 @@ fn cell_from_report(
             cell.name(),
             row.outcome.name
         );
+        assert!(
+            row.outcome.ledger.stolen <= row.outcome.ledger.processed,
+            "{}: {} credited more steals than work",
+            cell.name(),
+            row.outcome.name
+        );
     }
+    // The steal audit: no schedule may claim work past a higher band,
+    // and the executor and origin views must describe the same thefts.
+    assert_eq!(
+        cell.priority_inversions(),
+        0,
+        "{}: priority inverted",
+        cell.name()
+    );
+    let by_origin: u64 = cell
+        .occupancy
+        .iter()
+        .flat_map(|l| l.stolen_from.iter().map(|&(_, n)| n))
+        .sum();
+    assert_eq!(cell.steals(), by_origin, "{}", cell.name());
     // The SLA gate: non-aggressors keep ≥ 99% goodput and never trip
     // their own breakers.
     for row in cell.rows.iter().filter(|r| r.role != "aggressor") {
@@ -434,10 +522,11 @@ pub struct TenantResults {
     pub cells: Vec<TenantCell>,
 }
 
-/// Runs every cell.
+/// Runs every cell: small-population and large-population tenant scale
+/// on the same four lane threads.
 pub fn measure(ticks: u64) -> TenantResults {
     let mut cells = Vec::new();
-    for tenants in [4usize, 8] {
+    for tenants in [8usize, 64] {
         for skew in [Skew::Uniform, Skew::Zipf] {
             for aggressor in Aggressor::ALL {
                 cells.push(measure_cell(tenants, skew, aggressor, ticks));
@@ -449,13 +538,17 @@ pub fn measure(ticks: u64) -> TenantResults {
 
 /// Renders the result set as the `BENCH_tenant.json` payload.
 ///
-/// Integer-only by construction: two runs of the same build must
-/// produce byte-identical output (CI diffs them).
+/// Stable lines are integer-only, derived from the tick clock and the
+/// ledgers: two runs of the same build produce them byte-identically.
+/// Lines tagged `"kind": "timing"` carry wall-clock throughput and
+/// steal attribution, which depend on scheduling; CI strips them with
+/// `grep -v '"kind": "timing"'` before diffing.
 pub fn to_json(r: &TenantResults) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"e15_tenants\",\n");
+    out.push_str("  \"engine\": \"tenant-lanes-threaded\",\n");
     out.push_str(&format!("  \"seed\": {SEED},\n"));
-    out.push_str(&format!("  \"wave\": {WAVE},\n"));
+    out.push_str(&format!("  \"wave_per_tenant\": {WAVE_PER_TENANT},\n"));
     out.push_str(&format!("  \"flood_extra\": {FLOOD_EXTRA},\n"));
     out.push_str(&format!("  \"flows\": {FLOWS},\n"));
     out.push_str(&format!("  \"lanes\": {LANES},\n"));
@@ -463,8 +556,22 @@ pub fn to_json(r: &TenantResults) -> String {
     out.push_str(&format!("  \"ticks\": {},\n", r.ticks));
     out.push_str("  \"cells\": [\n");
     for (i, c) in r.cells.iter().enumerate() {
+        let placement: Vec<String> = c
+            .occupancy
+            .iter()
+            .map(|l| {
+                format!(
+                    "[{}]",
+                    l.residents
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+            .collect();
         out.push_str(&format!(
-            "    {{\"cell\": \"{}\", \"tenants\": {}, \"skew\": \"{}\", \"aggressor\": \"{}\", \"ticks\": {}, \"remap_entries_out\": {}, \"remap_entries_back\": {}, \"hwm_sheds\": {}, \"aggressor_opens\": {}, \"worst_victim_goodput_ppm\": {}, \"victims_contained\": {}, \"rows\": [\n",
+            "    {{\"cell\": \"{}\", \"tenants\": {}, \"skew\": \"{}\", \"aggressor\": \"{}\", \"ticks\": {}, \"remap_entries_out\": {}, \"remap_entries_back\": {}, \"hwm_sheds\": {}, \"aggressor_opens\": {}, \"worst_victim_goodput_ppm\": {}, \"victims_contained\": {}, \"priority_inversions\": {}, \"placement\": [{}], \"rows\": [\n",
             c.name(),
             c.tenants,
             c.skew.name(),
@@ -476,6 +583,8 @@ pub fn to_json(r: &TenantResults) -> String {
             c.aggressor_opens,
             c.worst_victim_goodput_ppm(),
             c.victims_contained,
+            c.priority_inversions(),
+            placement.join(", "),
         ));
         for (j, row) in c.rows.iter().enumerate() {
             let o = &row.outcome;
@@ -516,6 +625,31 @@ pub fn to_json(r: &TenantResults) -> String {
             if i + 1 < r.cells.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"timing\": [\n");
+    for (i, c) in r.cells.iter().enumerate() {
+        let by_lane: Vec<String> = c
+            .occupancy
+            .iter()
+            .map(|l| {
+                format!(
+                    "{{\"lane\": {}, \"executed_batches\": {}, \"executed_packets\": {}, \"steals_in\": {}, \"steal_bytes\": {}}}",
+                    l.lane, l.executed_batches, l.executed_packets, l.steals_in, l.steal_bytes
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "    {{\"kind\": \"timing\", \"cell\": \"{}\", \"elapsed_ns\": {}, \"mpps\": {:.4}, \"steals\": {}, \"steal_bytes\": {}, \"stolen_packets\": {}, \"lanes\": [{}]}}{}\n",
+            c.name(),
+            c.elapsed_ns,
+            c.mpps(),
+            c.steals(),
+            c.steal_bytes(),
+            c.stolen_packets(),
+            by_lane.join(", "),
+            if i + 1 < r.cells.len() { "," } else { "" }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -523,16 +657,16 @@ pub fn to_json(r: &TenantResults) -> String {
 /// Regenerates the tenant containment matrix, writing
 /// `BENCH_tenant.json` beside it.
 pub fn run(quick: bool) -> String {
-    let ticks = if quick { 48 } else { 120 };
+    let ticks = if quick { 96 } else { 120 };
     let results = measure(ticks);
 
     let mut t = Table::new(&[
         "cell",
+        "Mpps",
         "aggr goodput %",
         "worst victim %",
         "aggr opens",
-        "shed adm",
-        "shed open",
+        "steals",
         "remap",
         "contained",
     ]);
@@ -540,24 +674,26 @@ pub fn run(quick: bool) -> String {
         let aggr = &c.rows[AGGRESSOR].outcome.ledger;
         t.row_owned(vec![
             c.name(),
+            format!("{:.2}", c.mpps()),
             format!("{:.2}", aggr.goodput_ppm() as f64 / 10_000.0),
             format!("{:.2}", c.worst_victim_goodput_ppm() as f64 / 10_000.0),
             c.aggressor_opens.to_string(),
-            aggr.shed_admission.to_string(),
-            aggr.shed_open.to_string(),
+            c.steals().to_string(),
             c.remap_entries_out.to_string(),
             c.victims_contained.to_string(),
         ]);
     }
 
     let mut out = String::from(
-        "E15 — tenant blast-radius containment: per-tenant breakers and admission under aggressor load\n",
+        "E15 — tenant blast-radius containment on threaded lanes: breakers, admission, and priority-aware stealing under aggressor load\n",
     );
     out.push_str(&t.render());
     out.push_str(
-        "\nEvery cell churns one tenant out and back mid-run (two live Maglev rebuilds) with\n\
-         background chaos and warm recovery active; non-aggressor tenants keep >= 99% goodput\n\
-         in every cell and every per-tenant ledger balances exactly.\n",
+        "\nEvery cell places its tenants onto four lane threads, churns one tenant out and back\n\
+         mid-run (two live Maglev rebuilds) with background chaos and warm recovery active;\n\
+         non-aggressor tenants keep >= 99% goodput in every cell, every per-tenant ledger\n\
+         balances exactly (steal credits included), and the steal audit observed zero\n\
+         priority inversions.\n",
     );
 
     let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tenant.json");
@@ -571,10 +707,12 @@ pub fn run(quick: bool) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alloc_count;
+    use rbs_runtime::{TenantConfig, TenantRuntime};
 
     #[test]
     fn flood_cell_contains_the_flood_at_admission() {
-        let c = measure_cell(4, Skew::Uniform, Aggressor::Flood, 24);
+        let c = measure_cell(8, Skew::Uniform, Aggressor::Flood, 24);
         assert!(c.victims_contained);
         let aggr = &c.rows[AGGRESSOR].outcome.ledger;
         assert!(aggr.shed_admission > 0);
@@ -584,7 +722,7 @@ mod tests {
 
     #[test]
     fn fault_loop_cell_opens_the_breaker() {
-        let c = measure_cell(4, Skew::Zipf, Aggressor::FaultLoop, 24);
+        let c = measure_cell(8, Skew::Zipf, Aggressor::FaultLoop, 24);
         assert!(c.victims_contained);
         let aggr = &c.rows[AGGRESSOR].outcome;
         assert!(aggr.opens >= 1);
@@ -593,7 +731,7 @@ mod tests {
 
     #[test]
     fn slow_operator_cell_trips_the_work_budget() {
-        let c = measure_cell(4, Skew::Uniform, Aggressor::SlowOperator, 24);
+        let c = measure_cell(8, Skew::Uniform, Aggressor::SlowOperator, 24);
         assert!(c.victims_contained);
         assert!(c.rows[AGGRESSOR].outcome.opens >= 1);
         assert_eq!(
@@ -603,6 +741,23 @@ mod tests {
     }
 
     #[test]
+    fn tenant_scale_cell_holds_the_sla() {
+        // The scale point of the matrix: 64 tenants on 4 lane threads.
+        // measure_cell asserts the SLA, conservation, and the inversion
+        // audit in-cell; this pins the placement shape on top.
+        let c = measure_cell(64, Skew::Uniform, Aggressor::FaultLoop, 24);
+        assert!(c.victims_contained);
+        assert_eq!(c.occupancy.len(), LANES);
+        let placed: usize = c.occupancy.iter().map(|l| l.residents.len()).sum();
+        assert_eq!(placed, 64, "every tenant has a home lane");
+        assert_eq!(c.priority_inversions(), 0);
+    }
+
+    /// Everything but scheduling must replay byte-identically: the
+    /// stable JSON (ledgers, events-derived counters, placement) is
+    /// compared after stripping `"kind": "timing"` lines, exactly like
+    /// CI does.
+    #[test]
     fn cells_are_deterministic() {
         let a = measure_cell(8, Skew::Zipf, Aggressor::FaultLoop, 24);
         let b = measure_cell(8, Skew::Zipf, Aggressor::FaultLoop, 24);
@@ -610,8 +765,10 @@ mod tests {
             c.rows
                 .iter()
                 .map(|r| {
+                    let mut ledger = r.outcome.ledger;
+                    ledger.stolen = 0; // scheduling-dependent
                     (
-                        r.outcome.ledger,
+                        ledger,
                         r.outcome.faults,
                         r.outcome.opens,
                         r.outcome.p99_delay_ticks,
@@ -621,12 +778,19 @@ mod tests {
         };
         assert_eq!(key(&a), key(&b));
         assert_eq!(a.remap_entries_out, b.remap_entries_out);
+        let stable = |r: &TenantResults| {
+            to_json(r)
+                .lines()
+                .filter(|l| !l.contains("\"kind\": \"timing\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
         assert_eq!(
-            to_json(&TenantResults {
+            stable(&TenantResults {
                 ticks: 24,
                 cells: vec![a]
             }),
-            to_json(&TenantResults {
+            stable(&TenantResults {
                 ticks: 24,
                 cells: vec![b]
             })
@@ -634,8 +798,8 @@ mod tests {
     }
 
     #[test]
-    fn json_is_well_formed_enough() {
-        let c = measure_cell(4, Skew::Uniform, Aggressor::Flood, 12);
+    fn json_separates_stable_from_timing() {
+        let c = measure_cell(8, Skew::Uniform, Aggressor::Flood, 12);
         let j = to_json(&TenantResults {
             ticks: 12,
             cells: vec![c],
@@ -643,7 +807,115 @@ mod tests {
         assert!(j.contains("\"experiment\": \"e15_tenants\""));
         assert!(j.contains("\"role\": \"aggressor\""));
         assert!(j.contains("\"victims_contained\": true"));
+        assert!(j.contains("\"placement\": ["));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+        // Every wall-clock field lives on a line CI strips before
+        // diffing; every other line is byte-stable by construction.
+        for line in j.lines() {
+            if line.contains("\"mpps\"")
+                || line.contains("\"elapsed_ns\"")
+                || line.contains("\"steals\"")
+            {
+                assert!(
+                    line.contains("\"kind\": \"timing\""),
+                    "timing field on a stable line: {line}"
+                );
+            }
+        }
+    }
+
+    /// Satellite audit for the batched-steering fast path: with cached
+    /// flow hashes, `offer` performs one Maglev lookup per flow-hash
+    /// run and its allocation count depends on the number of staged
+    /// *batches*, not packets — offering 4× the packets costs exactly
+    /// the same allocations once the staging buffers are warm.
+    #[test]
+    fn steering_is_alloc_free_per_packet() {
+        let mut rt = TenantRuntime::new(TenantConfig {
+            tenants: (0..8)
+                .map(|i| TenantSpec::new(format!("steer-{i}")).rate(1 << 20, 1 << 20))
+                .collect(),
+            lanes: 2,
+            table_size: TABLE_SIZE,
+            lane_capacity: 4 << 10,
+            queue_hwm: 1 << 20,
+            ..TenantConfig::default()
+        })
+        .expect("tenant runtime");
+        // A NIC delivering RSS-coalesced bursts hands the runtime runs
+        // of same-flow packets; `n / 64` consecutive packets per flow
+        // models that, with per-flow counts exact so every staging cell
+        // sees the same share in every batch.
+        let runs = |n: usize| {
+            use rbs_netfx::headers::ethernet::MacAddr;
+            use rbs_netfx::Packet;
+            use std::net::Ipv4Addr;
+            let mut pkts = Vec::with_capacity(n);
+            for flow in 0..64u16 {
+                for _ in 0..(n / 64) {
+                    let mut p = Packet::build_udp(
+                        MacAddr::ZERO,
+                        MacAddr::ZERO,
+                        Ipv4Addr::new(10, 0, 0, (flow % 23) as u8 + 1),
+                        Ipv4Addr::new(192, 0, 2, 1),
+                        flow + 1_024,
+                        80,
+                        16,
+                    );
+                    let hash = rbs_netfx::flow::packet_flow_hash(&p);
+                    p.set_cached_flow_hash(hash);
+                    pkts.push(p);
+                }
+            }
+            rbs_netfx::PacketBatch::from_packets(pkts)
+        };
+        let small: Vec<_> = (0..4).map(|_| runs(256)).collect();
+        let big: Vec<_> = (0..4).map(|_| runs(1_024)).collect();
+
+        // Warm the staging buffers and queues past the high-water mark
+        // the measured windows will reach: eight undrained offers grow
+        // every Vec/VecDeque on the path beyond what four can need.
+        for batch in (0..8).map(|_| runs(1_024)) {
+            rt.offer(batch);
+        }
+        for _ in 0..8 {
+            rt.step();
+        }
+
+        // Measure the offer path alone (steps drain between windows,
+        // outside the measurement): its allocations are one
+        // exact-capacity Vec per queued *batch*, never per packet.
+        let lookups_before = rt.steering_lookups();
+        let before = alloc_count::allocations();
+        for batch in small {
+            rt.offer(batch);
+        }
+        let after_small = alloc_count::allocations();
+        rt.step();
+        let mid = alloc_count::allocations();
+        for batch in big {
+            rt.offer(batch);
+        }
+        let after_big = alloc_count::allocations();
+        rt.step();
+
+        // Run-batched steering: far fewer lookups than packets.
+        let lookups = rt.steering_lookups() - lookups_before;
+        assert!(lookups > 0);
+        assert!(
+            lookups < (4 * 256 + 4 * 1_024) / 2,
+            "steering resolved per packet: {lookups} lookups"
+        );
+        if alloc_count::enabled() {
+            let small_allocs = after_small - before;
+            let big_allocs = after_big - mid;
+            assert_eq!(
+                small_allocs, big_allocs,
+                "steering allocations scale with packets (N: {small_allocs}, 4N: {big_allocs})"
+            );
+        }
+        let report = rt.finish();
+        assert_eq!(report.unaccounted_packets(), 0);
     }
 }

@@ -255,7 +255,7 @@ fn measure_lane_run(
     batches: usize,
     traffic: TrafficConfig,
     steal_batch: usize,
-) -> (u64, u128, u64, u64, f64) {
+) -> (u64, u128, u64, u64, f64, Option<f64>) {
     let warmup = (batches as u64 / 10).clamp(n as u64, 64);
     let rt = LaneRuntime::start(
         spec(),
@@ -291,12 +291,20 @@ fn measure_lane_run(
     let stolen: u64 = report.lanes.iter().map(|l| l.stolen_in_batches).sum();
     let steal_bytes: u64 = report.lanes.iter().map(|l| l.steal_bytes).sum();
     let max_share = report.lanes.iter().map(|l| l.share).fold(0.0, f64::max);
-    (measured, elapsed.as_nanos(), stolen, steal_bytes, max_share)
+    let cycles_p50 = report.cycles().map(|s| s.p50);
+    (
+        measured,
+        elapsed.as_nanos(),
+        stolen,
+        steal_bytes,
+        max_share,
+        cycles_p50,
+    )
 }
 
 /// One lane-mode point on the uniform-mix scaling curve.
 pub fn measure_lane_point(n: usize, batches: usize, host: &HostInfo) -> ScalingPoint {
-    let (packets, elapsed_ns, stolen, _, _) = measure_lane_run(
+    let (packets, elapsed_ns, stolen, _, _, cycles_p50) = measure_lane_run(
         n,
         batches,
         uniform_traffic(),
@@ -307,7 +315,7 @@ pub fn measure_lane_point(n: usize, batches: usize, host: &HostInfo) -> ScalingP
         packets,
         elapsed_ns,
         mpps: packets as f64 / (elapsed_ns as f64 / 1e9) / 1e6,
-        cycles_per_batch_p50: None,
+        cycles_per_batch_p50: cycles_p50,
         stolen_batches: stolen,
         oversubscribed: n > host.logical_cores,
     }
@@ -323,7 +331,7 @@ pub fn measure_skew_run(batches: usize, steal: bool) -> SkewRun {
         ..Default::default()
     };
     let steal_batch = if steal { 2 } else { 0 };
-    let (packets, elapsed_ns, stolen, steal_bytes, max_share) =
+    let (packets, elapsed_ns, stolen, steal_bytes, max_share, _) =
         measure_lane_run(SKEW_LANES, batches, mix, steal_batch);
     SkewRun {
         steal,
@@ -741,13 +749,17 @@ mod tests {
             stolen_batches: 0,
             oversubscribed: false,
         };
+        let lane_point = ScalingPoint {
+            cycles_per_batch_p50: Some(124.0),
+            ..point.clone()
+        };
         let r = ScalingResults {
             batches: 1,
             host: HostInfo {
                 logical_cores: 1,
                 physical_cores: 1,
             },
-            lane_points: vec![point.clone()],
+            lane_points: vec![lane_point],
             dispatcher_points: vec![point],
             skew: vec![SkewRun {
                 steal: true,
@@ -773,7 +785,10 @@ mod tests {
         };
         let j = to_json(&r);
         assert!(j.contains("\"experiment\": \"e9_scaling\""));
+        // The dispatcher fixture point has no histogram; the lane point
+        // carries one — both renderings must survive.
         assert!(j.contains("\"cycles_per_batch_p50\": null"));
+        assert!(j.contains("\"cycles_per_batch_p50\": 124"));
         assert!(j.contains("\"lane_points\""));
         assert!(j.contains("\"skew\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());

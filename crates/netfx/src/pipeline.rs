@@ -101,7 +101,7 @@ pub struct StageStats {
 /// An ordered chain of boxed operators.
 #[derive(Default)]
 pub struct Pipeline {
-    stages: Vec<Box<dyn Operator>>,
+    stages: Vec<Box<dyn Operator + Send>>,
     stage_stats: Vec<StageStats>,
     batches_processed: u64,
     packets_in: u64,
@@ -119,13 +119,13 @@ impl Pipeline {
         clippy::should_implement_trait,
         reason = "builder-style add, not arithmetic"
     )]
-    pub fn add(mut self, op: impl Operator + 'static) -> Self {
+    pub fn add(mut self, op: impl Operator + Send + 'static) -> Self {
         self.add_boxed(Box::new(op));
         self
     }
 
     /// Appends a boxed stage.
-    pub fn add_boxed(&mut self, op: Box<dyn Operator>) {
+    pub fn add_boxed(&mut self, op: Box<dyn Operator + Send>) {
         self.stages.push(op);
         self.stage_stats.push(StageStats::default());
     }
@@ -250,15 +250,18 @@ impl std::fmt::Debug for Pipeline {
 
 /// A cloneable, thread-shippable *recipe* for a [`Pipeline`].
 ///
-/// `Box<dyn Operator>` is neither `Clone` nor required to be `Send`, so a
-/// built pipeline cannot be handed to N workers. A spec stores operator
-/// *factories* instead; every [`PipelineSpec::build`] call instantiates a
-/// fresh, fully independent pipeline. This is exactly what a supervisor
-/// needs to respawn a worker after a fault: rebuild from the spec and the
-/// replacement starts from clean per-operator state.
+/// A built [`Pipeline`] is not `Clone`, so one instance cannot be handed
+/// to N workers. A spec stores operator *factories* instead; every
+/// [`PipelineSpec::build`] call instantiates a fresh, fully independent
+/// pipeline. This is exactly what a supervisor needs to respawn a worker
+/// after a fault: rebuild from the spec and the replacement starts from
+/// clean per-operator state. Stages are `Send` (but not `Sync`), so a
+/// built pipeline may *migrate* between threads — the tenant-lane
+/// runtime's work stealing moves a tenant's chain execution to whichever
+/// lane claims it, one thread at a time.
 #[derive(Clone, Default)]
 pub struct PipelineSpec {
-    factories: Vec<Arc<dyn Fn() -> Box<dyn Operator> + Send + Sync>>,
+    factories: Vec<Arc<dyn Fn() -> Box<dyn Operator + Send> + Send + Sync>>,
     /// Layout generation of the state this spec's pipelines export —
     /// stamped into every sealed snapshot so restore paths can tell a
     /// compatible checkpoint from one that needs migration.
@@ -274,7 +277,7 @@ impl PipelineSpec {
     /// Appends a stage factory; builder style.
     pub fn stage<O, F>(mut self, factory: F) -> Self
     where
-        O: Operator + 'static,
+        O: Operator + Send + 'static,
         F: Fn() -> O + Send + Sync + 'static,
     {
         self.factories.push(Arc::new(move || Box::new(factory())));

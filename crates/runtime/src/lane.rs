@@ -75,6 +75,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rbs_core::fault::FaultPlan;
+use rbs_core::histogram::LogHistogram;
+use rbs_core::stats::Summary;
 use rbs_netfx::pktgen::{PacketGen, TrafficConfig};
 use rbs_netfx::pool::{PacketPool, PoolStats};
 use rbs_netfx::{PacketBatch, Pipeline, PipelineSpec};
@@ -82,6 +84,7 @@ use rbs_sfi::backend::{BackendKind, BackendTotals, Crossing};
 use rbs_sfi::{Domain, DomainManager, ThreadAttachment};
 
 use crate::deque::{LaneDeque, Steal, Stealer};
+use crate::stats::CYCLE_HIST_PRECISION;
 
 /// In what order an idle lane scans victims for work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -336,6 +339,9 @@ pub struct LaneOutcome {
     pub executed_packets: u64,
     /// Cycles spent inside `run_batch` on this lane.
     pub executed_cycles: u64,
+    /// Per-batch cycle histogram, the lane-side twin of the dispatcher
+    /// path's `WorkerStats` histogram (same precision, mergeable).
+    pub cycle_hist: LogHistogram,
     /// Batches this lane stole from other deques.
     pub stolen_in_batches: u64,
     /// Packets in those stolen batches.
@@ -404,6 +410,17 @@ impl LaneReport {
     /// Total packets processed on a lane other than their origin.
     pub fn stolen(&self) -> u64 {
         self.ledgers.iter().map(|l| l.stolen).sum()
+    }
+
+    /// Summary of per-batch processing cycles merged across all lanes,
+    /// `None` when no lane executed a batch — the same shape the
+    /// dispatcher path reports via `RuntimeReport::cycles`.
+    pub fn cycles(&self) -> Option<Summary> {
+        let mut merged = LogHistogram::new(CYCLE_HIST_PRECISION);
+        for lane in &self.lanes {
+            merged.merge(&lane.cycle_hist);
+        }
+        merged.summary()
     }
 
     /// `offered - processed - lost - shed` over the whole fleet: zero
@@ -552,9 +569,9 @@ impl LaneRuntime {
             .enumerate()
             .map(|(index, (deque, gen))| {
                 // Everything thread-local (domain, pipeline, pool wiring)
-                // is constructed *inside* the lane thread: the pipeline
-                // holds `Box<dyn Operator>` stages that are not `Send`,
-                // exactly like the dispatcher's workers.
+                // is constructed *inside* the lane thread — a lane's
+                // pipeline belongs to its CPU for the whole run, exactly
+                // like the dispatcher's workers.
                 let spec = spec.clone();
                 let shared = Arc::clone(&shared);
                 let manager = Arc::clone(&manager);
@@ -781,6 +798,7 @@ struct LaneCtx {
     executed_batches: u64,
     executed_packets: u64,
     executed_cycles: u64,
+    cycle_hist: LogHistogram,
     stolen_in_batches: u64,
     stolen_in_packets: u64,
     steal_bytes: u64,
@@ -847,6 +865,7 @@ impl LaneCtx {
             executed_batches: 0,
             executed_packets: 0,
             executed_cycles: 0,
+            cycle_hist: LogHistogram::new(CYCLE_HIST_PRECISION),
             stolen_in_batches: 0,
             stolen_in_packets: 0,
             steal_bytes: 0,
@@ -970,6 +989,7 @@ impl LaneCtx {
                 self.executed_batches += 1;
                 self.executed_packets += n_in;
                 self.executed_cycles += cycles;
+                self.cycle_hist.record(cycles);
                 if stolen {
                     self.stolen_in_batches += 1;
                     self.stolen_in_packets += n_in;
@@ -1162,6 +1182,7 @@ impl LaneCtx {
             executed_batches: self.executed_batches,
             executed_packets: self.executed_packets,
             executed_cycles: self.executed_cycles,
+            cycle_hist: self.cycle_hist,
             stolen_in_batches: self.stolen_in_batches,
             stolen_in_packets: self.stolen_in_packets,
             steal_bytes: self.steal_bytes,

@@ -73,6 +73,7 @@ pub mod shard;
 pub mod stats;
 pub mod supervisor;
 pub mod tenant;
+pub mod tenant_lanes;
 pub mod upgrade;
 pub mod worker;
 
@@ -88,9 +89,10 @@ pub use shard::{shard_for, shard_of_packet, shard_of_packet_mut};
 pub use stats::{RuntimeReport, WorkerSnapshot, WorkerStats};
 pub use supervisor::{BreakerState, RestartPolicy, SupervisorEvent, SupervisorEventKind};
 pub use tenant::{
-    default_tenant_chain, BreakerPhase, BreakerPolicy, RebuildRecord, TenantChainFactory,
-    TenantConfig, TenantError, TenantEvent, TenantEventKind, TenantLedger, TenantOutcome,
-    TenantReport, TenantRuntime, TenantSpec,
+    default_tenant_chain, BreakerPhase, BreakerPolicy, LaneOccupancy, RebuildRecord,
+    TenantChainFactory, TenantConfig, TenantError, TenantEvent, TenantEventKind, TenantLedger,
+    TenantOutcome, TenantReport, TenantRuntime, TenantSpec,
 };
+pub use tenant_lanes::{TenantLaneConfig, TenantLaneRuntime};
 pub use upgrade::{UpgradeError, UpgradeOutcome, UpgradePolicy};
 pub use worker::WorkItem;

@@ -19,7 +19,7 @@ use crate::supervisor::{BreakerState, SupervisorEvent, SupervisorEventKind};
 
 /// Sub-buckets per octave for per-batch cycle histograms (~3% relative
 /// error, 16 KiB per worker).
-const CYCLE_HIST_PRECISION: u32 = 32;
+pub(crate) const CYCLE_HIST_PRECISION: u32 = 32;
 
 /// Low bits of a heartbeat token reserved for the spawn sequence, so a
 /// zombie generation's stale `mark_idle` can never clear its

@@ -303,6 +303,11 @@ pub struct TenantLedger {
     pub shed_backpressure: u64,
     /// Queued packets stranded by removal with a dead chain.
     pub shed_removed: u64,
+    /// Of `processed`, packets executed by a lane other than the
+    /// tenant's home lane (work stealing). Informational — a subset of
+    /// `processed`, not a term of the conservation identity. Always zero
+    /// on the single-threaded [`TenantRuntime`].
+    pub stolen: u64,
 }
 
 impl TenantLedger {
@@ -427,6 +432,34 @@ pub struct TenantOutcome {
     pub batches_executed: u64,
 }
 
+/// What one lane of a threaded tenant runtime hosted and executed —
+/// placement made observable. Residency is decided by the deterministic
+/// weighted placement policy; the executed/steal counters describe what
+/// the lane's CPU actually did and are scheduling-dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneOccupancy {
+    /// Lane index.
+    pub lane: usize,
+    /// Tenant indices resident on this lane at shutdown (home placement,
+    /// deterministic).
+    pub residents: Vec<usize>,
+    /// Batches this lane's thread executed (resident + stolen).
+    pub executed_batches: u64,
+    /// Packets this lane's thread executed.
+    pub executed_packets: u64,
+    /// Work items this lane stole from other lanes' deques.
+    pub steals_in: u64,
+    /// Wire bytes charged as `Crossing::Steal` for those thefts.
+    pub steal_bytes: u64,
+    /// Per origin tenant: work items this lane stole from it
+    /// (`(tenant, items)`, only non-zero entries, tenant-ordered).
+    pub stolen_from: Vec<(usize, u64)>,
+    /// Times this lane stole a band while a higher-priority band still
+    /// had queued work anywhere. The banded steal sweep makes this
+    /// structurally zero; the counter is the audit.
+    pub priority_inversions: u64,
+}
+
 /// Everything a finished [`TenantRuntime`] observed.
 #[derive(Debug, Clone)]
 pub struct TenantReport {
@@ -442,6 +475,10 @@ pub struct TenantReport {
     pub events: Vec<TenantEvent>,
     /// Ticks the runtime ran (including the drain at finish).
     pub ticks: u64,
+    /// Per-lane placement and steal observability. Populated by the
+    /// threaded [`TenantLaneRuntime`](crate::tenant_lanes::TenantLaneRuntime);
+    /// empty on the single-threaded reference runtime.
+    pub occupancy: Vec<LaneOccupancy>,
 }
 
 impl TenantReport {
@@ -459,6 +496,17 @@ impl TenantReport {
     /// balances.
     pub fn unaccounted_packets(&self) -> i128 {
         self.tenants.iter().map(|t| t.ledger.unaccounted()).sum()
+    }
+
+    /// Priority inversions observed across all lanes (see
+    /// [`LaneOccupancy::priority_inversions`]); must be zero.
+    pub fn priority_inversions(&self) -> u64 {
+        self.occupancy.iter().map(|l| l.priority_inversions).sum()
+    }
+
+    /// Work items stolen across lanes, fleet-wide.
+    pub fn steals(&self) -> u64 {
+        self.occupancy.iter().map(|l| l.steals_in).sum()
     }
 }
 
@@ -522,6 +570,14 @@ pub struct TenantRuntime {
     table: MaglevTable,
     /// Table backend position → tenant index (absent tenants skipped).
     table_map: Vec<usize>,
+    /// Permanent staging buffers for [`offer`](TenantRuntime::offer),
+    /// indexed `lane * tenants + tenant`. Draining (not replacing) them
+    /// keeps their capacity, so a warmed-up offer path allocates only
+    /// the queued batches themselves — never per packet.
+    staged: Vec<Vec<rbs_netfx::Packet>>,
+    /// Maglev lookups actually performed; with run-batched steering this
+    /// counts flow runs, not packets.
+    steering_lookups: u64,
     lane_queues: Vec<VecDeque<QueuedWork>>,
     lane_debt: Vec<u64>,
     lane_depth_hwm: Vec<usize>,
@@ -618,6 +674,10 @@ impl TenantRuntime {
             factory,
             table,
             table_map,
+            staged: (0..config.lanes * config.tenants.len())
+                .map(|_| Vec::new())
+                .collect(),
+            steering_lookups: 0,
             lane_queues: (0..config.lanes).map(|_| VecDeque::new()).collect(),
             lane_debt: vec![0; config.lanes],
             lane_depth_hwm: vec![0; config.lanes],
@@ -688,16 +748,30 @@ impl TenantRuntime {
     /// Steers one wave of traffic: Maglev lookup → ledger attribution →
     /// breaker gate → admission bucket → lane queue, then applies the
     /// per-lane high-water mark.
+    ///
+    /// Steering is run-batched: consecutive packets with the same cached
+    /// flow hash resolve the Maglev table once, so a flow's packet train
+    /// costs one lookup. Together with the permanent staging buffers
+    /// this makes the warmed-up offer path alloc-free per packet (one
+    /// exact-capacity allocation per queued *batch*, never per packet) —
+    /// `steering_is_alloc_free_per_packet` in rbs-bench audits this with
+    /// the counting allocator.
     pub fn offer(&mut self, batch: PacketBatch) {
         let now = self.now;
         let tcount = self.tenants.len();
-        let mut staged: Vec<Vec<rbs_netfx::Packet>> = Vec::new();
-        staged.resize_with(self.lanes * tcount, Vec::new);
+        let mut last_hash = 0u64;
+        let mut last_idx = usize::MAX;
 
         for p in batch.into_packets() {
             let hash = p.cached_flow_hash().unwrap_or_else(|| packet_flow_hash(&p));
-            let slot = self.table.lookup(hash);
-            let idx = self.table_map[slot];
+            let idx = if last_idx != usize::MAX && hash == last_hash {
+                last_idx
+            } else {
+                self.steering_lookups += 1;
+                last_hash = hash;
+                last_idx = self.table_map[self.table.lookup(hash)];
+                last_idx
+            };
             let lane = (hash as usize) % self.lanes;
             let t = &mut self.tenants[idx];
             t.ledger.offered += 1;
@@ -709,15 +783,17 @@ impl TenantRuntime {
                 t.ledger.shed_admission += 1;
                 continue;
             }
-            staged[lane * tcount + idx].push(p);
+            self.staged[lane * tcount + idx].push(p);
         }
 
         for lane in 0..self.lanes {
             for idx in 0..tcount {
-                let pkts = std::mem::take(&mut staged[lane * tcount + idx]);
-                if pkts.is_empty() {
+                let cell = lane * tcount + idx;
+                if self.staged[cell].is_empty() {
                     continue;
                 }
+                let mut pkts = Vec::with_capacity(self.staged[cell].len());
+                pkts.append(&mut self.staged[cell]);
                 let cost = (pkts.len() as u64) * self.tenants[idx].spec.cost_per_packet.max(1);
                 self.lane_queues[lane].push_back(QueuedWork {
                     tenant: idx,
@@ -730,6 +806,12 @@ impl TenantRuntime {
             self.lane_depth_hwm[lane] = self.lane_depth_hwm[lane].max(self.lane_queues[lane].len());
             self.apply_hwm(lane);
         }
+    }
+
+    /// Maglev lookups performed so far. With run-batched steering this
+    /// advances once per flow run, not once per packet.
+    pub fn steering_lookups(&self) -> u64 {
+        self.steering_lookups
     }
 
     /// Sheds lowest-priority queued work (newest first within a
@@ -1222,6 +1304,7 @@ impl TenantRuntime {
             rebuilds: self.rebuilds.clone(),
             events: self.events.clone(),
             ticks: self.now,
+            occupancy: Vec::new(),
         }
     }
 }

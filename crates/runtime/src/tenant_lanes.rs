@@ -1,0 +1,1504 @@
+//! Threaded tenant lanes: blast-radius containment at wall-clock scale.
+//!
+//! [`TenantRuntime`](crate::tenant::TenantRuntime) proves the containment
+//! *semantics* — breakers, admission, churn, exact ledgers — on a
+//! single-threaded logical tick clock. This module re-proves them on
+//! real CPUs: a [`TenantLaneRuntime`] places tenant domains onto N lane
+//! **threads** with a weighted placement policy, each lane tick-processes
+//! only its resident tenants with no cross-thread hand-off on the steady
+//! path, and idle lanes steal *whole tenant work items* through the same
+//! Chase–Lev deques the lane engine trades batches on — under a
+//! priority-aware policy that never steals ahead of a higher-priority
+//! tenant's queued work.
+//!
+//! The design walks a narrow line: wall-clock parallel execution whose
+//! *accounting* is still byte-deterministic.
+//!
+//! - **Tick barrier.** The control thread steers, admits, and stages a
+//!   tick's work while the lanes are parked; the lanes then run the
+//!   tick's entire work set to completion and park again. Nothing is
+//!   pushed mid-tick, so every deque only shrinks while thieves scan —
+//!   the lemma behind the no-inversion guarantee.
+//! - **Per-tenant serialization.** Each tenant's admitted batches sit in
+//!   a FIFO behind the tenant's own mutex; the deques carry *claim
+//!   tokens*, not batches. Whichever lane claims a token executes the
+//!   tenant's *next* batch, so a tenant's execution stream (and hence
+//!   its fault-plan occurrence stream, breaker transitions, and ledger)
+//!   is identical no matter which CPUs ran it. Only wall-clock-side
+//!   counters (Mpps, who-stole-what) vary between runs.
+//! - **Priority bands.** Every lane owns one deque per distinct
+//!   priority. Owners drain their highest band first; a thief sweeps
+//!   band-major (all victims' top bands before anyone's second band) and
+//!   audits each theft, counting a `priority_inversion` if a higher band
+//!   anywhere still held work — structurally impossible, and asserted
+//!   zero in the tests.
+//! - **O(resident) ticks.** Per tick the control thread touches only the
+//!   tenants that received traffic (a dirty list), open breakers (a
+//!   watch list), and one staggered snapshot bucket — never the whole
+//!   tenant table. Scale to hundreds of tenants costs the lanes nothing.
+//!
+//! Thefts are metered as [`Crossing::Steal`] against the *origin
+//! tenant's* domain and credited to its ledger (`TenantLedger::stolen`,
+//! a subset of `processed`), so the steal tax shows up in the isolation
+//! accounting exactly like the lane engine's.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+use rbs_checkpoint::SnapshotStore;
+#[cfg(feature = "fault-injection")]
+use rbs_core::fault::FaultPlan;
+use rbs_core::fault::{self, FaultKind, FaultSite};
+use rbs_maglev::{Backend, MaglevTable};
+use rbs_netfx::flow::packet_flow_hash;
+use rbs_netfx::{Packet, PacketBatch, Pipeline, PipelineSpec, TickBucket};
+use rbs_sfi::backend::Crossing;
+use rbs_sfi::{BackendKind, Domain, DomainManager};
+
+use crate::deque::{LaneDeque, Steal, Stealer};
+use crate::tenant::{
+    default_tenant_chain, BreakerPhase, BreakerPolicy, LaneOccupancy, RebuildRecord,
+    TenantChainFactory, TenantError, TenantEvent, TenantEventKind, TenantOutcome, TenantReport,
+    TenantSpec,
+};
+
+/// Configuration for a [`TenantLaneRuntime`].
+#[derive(Clone)]
+pub struct TenantLaneConfig {
+    /// The tenant population. Index order is identity for the whole run.
+    pub tenants: Vec<TenantSpec>,
+    /// Lane *threads* tenants are placed onto.
+    pub lanes: usize,
+    /// Maglev table size; must be prime.
+    pub table_size: usize,
+    /// Queued batches per lane above which the lowest-priority queued
+    /// work is shed (`shed_backpressure`).
+    pub queue_hwm: usize,
+    /// Breaker thresholds and timers.
+    pub breaker: BreakerPolicy,
+    /// Work units one tenant may consume per tick before the overrun
+    /// counts as a strike. `0` disables the budget.
+    pub work_budget_per_tick: u64,
+    /// Snapshot cadence in ticks (`0` disables warm recovery). Tenants
+    /// are staggered across the cadence window so a tick never snapshots
+    /// more than ~`tenants / cadence` chains.
+    pub snapshot_every_ticks: u64,
+    /// Full-snapshot cadence handed to each tenant's [`SnapshotStore`].
+    pub snapshot_full_every: u32,
+    /// Isolation backend for the per-tenant domains.
+    pub backend: BackendKind,
+    /// Chain builder; `None` uses [`default_tenant_chain`].
+    pub chain: Option<TenantChainFactory>,
+    /// Whether idle lanes steal resident work from busy lanes.
+    pub steal: bool,
+    /// Deterministic fault plan; stream = tenant index, occurrence = the
+    /// tenant's executed batch count (identical semantics to the
+    /// single-threaded runtime, *including* under stealing — the
+    /// per-tenant FIFO serializes the occurrence stream).
+    #[cfg(feature = "fault-injection")]
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for TenantLaneConfig {
+    fn default() -> Self {
+        Self {
+            tenants: Vec::new(),
+            lanes: 4,
+            table_size: 251,
+            queue_hwm: 64,
+            breaker: BreakerPolicy::default(),
+            work_budget_per_tick: 0,
+            snapshot_every_ticks: 0,
+            snapshot_full_every: 4,
+            backend: BackendKind::TypedSfi,
+            chain: None,
+            steal: true,
+            #[cfg(feature = "fault-injection")]
+            faults: None,
+        }
+    }
+}
+
+/// One admitted wave for one tenant, queued on its FIFO.
+struct TenantWork {
+    epoch: u64,
+    batch: PacketBatch,
+    enqueue_tick: u64,
+    cost: u64,
+}
+
+/// A tenant's live chain: its protection domain and the pipeline inside.
+struct LaneChain {
+    domain: Domain,
+    pipeline: Pipeline,
+}
+
+/// Everything about one tenant, serialized behind one mutex. The control
+/// thread holds it at ingress and supervision points; exactly one lane
+/// holds it while executing — which is what makes per-tenant streams
+/// executor-invariant.
+struct TenantInner {
+    spec: TenantSpec,
+    present: bool,
+    phase: BreakerPhase,
+    epoch: u64,
+    strikes: u32,
+    open_until: u64,
+    probes_left: u64,
+    bucket: TickBucket,
+    ledger: crate::tenant::TenantLedger,
+    occurrence: u64,
+    faults: u64,
+    respawns: u64,
+    opens: u64,
+    throttles: u64,
+    warm_restores: u64,
+    cold_restores: u64,
+    state_items_restored: u64,
+    snapshots_taken: u64,
+    delays: Vec<u64>,
+    batches_executed: u64,
+    work_this_tick: u64,
+    home_lane: usize,
+    queue: VecDeque<TenantWork>,
+    chain: Option<LaneChain>,
+    pipeline_spec: PipelineSpec,
+    store: SnapshotStore,
+    events: Vec<TenantEvent>,
+    dirty_since_snapshot: bool,
+}
+
+impl TenantInner {
+    fn push_event(&mut self, tick: u64, idx: usize, kind: TenantEventKind) {
+        self.events.push(TenantEvent {
+            tick,
+            tenant: idx,
+            kind,
+        });
+    }
+
+    /// One strike: throttle or open per the policy thresholds. A strike
+    /// in half-open reopens immediately — the probe failed.
+    fn strike(&mut self, idx: usize, now: u64, policy: &BreakerPolicy, manager: &DomainManager) {
+        self.strikes += 1;
+        match self.phase {
+            BreakerPhase::HalfOpen => self.open(idx, now, policy, manager, true),
+            BreakerPhase::Running | BreakerPhase::Throttled => {
+                if self.strikes >= policy.open_after_strikes {
+                    self.open(idx, now, policy, manager, false);
+                } else if self.phase == BreakerPhase::Running
+                    && self.strikes >= policy.throttle_after_strikes
+                {
+                    self.phase = BreakerPhase::Throttled;
+                    self.throttles += 1;
+                    let throttled = (self.spec.rate_per_tick / policy.throttle_divisor).max(1);
+                    self.bucket.set_rate(throttled);
+                    let strikes = self.strikes;
+                    self.push_event(now, idx, TenantEventKind::Throttled { strikes });
+                }
+            }
+            BreakerPhase::Open => {}
+        }
+    }
+
+    /// Opens the breaker: destroy the domain and refuse ingress until
+    /// the timer expires. Batches still queued this tick are shed lazily
+    /// by the tokens that claim them (each token accounts exactly one
+    /// batch, open or not — conservation holds per token).
+    fn open(
+        &mut self,
+        idx: usize,
+        now: u64,
+        policy: &BreakerPolicy,
+        manager: &DomainManager,
+        reopen: bool,
+    ) {
+        self.phase = BreakerPhase::Open;
+        self.open_until = now + policy.open_ticks;
+        self.opens += 1;
+        if let Some(chain) = self.chain.take() {
+            manager.destroy_domain(&chain.domain);
+        }
+        let strikes = self.strikes;
+        self.push_event(
+            now,
+            idx,
+            if reopen {
+                TenantEventKind::Reopened
+            } else {
+                TenantEventKind::Opened { strikes }
+            },
+        );
+    }
+
+    /// Open timer expired: rebuild the chain (warm if a snapshot
+    /// verifies) and probe at the throttled admission rate.
+    fn half_open(&mut self, idx: usize, now: u64, policy: &BreakerPolicy, manager: &DomainManager) {
+        self.phase = BreakerPhase::HalfOpen;
+        self.probes_left = policy.half_open_probes.max(1);
+        let throttled = (self.spec.rate_per_tick / policy.throttle_divisor).max(1);
+        self.bucket.set_rate(throttled);
+        self.push_event(now, idx, TenantEventKind::HalfOpened);
+        self.respawn(idx, now, manager);
+    }
+
+    /// Probes passed: full admission restored, strikes forgiven.
+    fn close(&mut self, idx: usize, now: u64) {
+        self.phase = BreakerPhase::Running;
+        self.strikes = 0;
+        let rate = self.spec.rate_per_tick;
+        self.bucket.set_rate(rate);
+        self.push_event(now, idx, TenantEventKind::Closed);
+    }
+
+    /// Rebuilds the tenant's chain in a fresh domain, restoring from the
+    /// latest verified snapshot (then the previous; then cold).
+    fn respawn(&mut self, idx: usize, now: u64, manager: &DomainManager) {
+        if let Some(chain) = self.chain.take() {
+            manager.destroy_domain(&chain.domain);
+        }
+        self.respawns += 1;
+        let name = format!(
+            "tlane-{}-e{}-g{}",
+            self.spec.name, self.epoch, self.respawns
+        );
+        let domain = manager.create_domain(name).expect("tenant domain");
+        let mut pipeline: Option<Pipeline> = None;
+        for sealed in [self.store.latest(), self.store.previous()]
+            .into_iter()
+            .flatten()
+        {
+            if let Ok(cp) = sealed.open() {
+                if let Ok(p) = self.pipeline_spec.build_with_state(&cp) {
+                    pipeline = Some(p);
+                    break;
+                }
+            }
+        }
+        let (pipeline, warm) = match pipeline {
+            Some(p) => (p, true),
+            None => (self.pipeline_spec.build(), false),
+        };
+        let items = pipeline.state_items();
+        if warm {
+            self.warm_restores += 1;
+            self.state_items_restored += items;
+        } else {
+            self.cold_restores += 1;
+        }
+        self.chain = Some(LaneChain { domain, pipeline });
+        self.push_event(now, idx, TenantEventKind::Respawned { warm, items });
+    }
+}
+
+/// Per-lane state shared with thieves and the control thread.
+struct LaneShared {
+    /// Tokens the control thread staged for this lane's coming tick,
+    /// band-indexed. The lane (deque owner) adopts them at tick start.
+    staged: Mutex<Vec<Vec<u32>>>,
+    /// Steal handles onto this lane's band deques.
+    stealers: Vec<Stealer<u32>>,
+}
+
+/// State shared by the control thread and every lane thread.
+struct Shared {
+    slots: Vec<Mutex<TenantInner>>,
+    lanes: Vec<LaneShared>,
+    /// Tokens staged for the current tick and not yet consumed. Lanes
+    /// run until this hits zero, then park at the tick barrier.
+    outstanding: AtomicU64,
+    /// The tick the lanes are currently executing.
+    tick: AtomicU64,
+    shutdown: AtomicBool,
+    /// Control + lanes: releases a staged tick (or the shutdown flag).
+    start: Barrier,
+    /// Lanes only: every owner has adopted its staged tokens. After this
+    /// point no deque grows for the rest of the tick.
+    pushed: Barrier,
+    /// Control + lanes: the tick's work set is fully consumed.
+    done: Barrier,
+    manager: DomainManager,
+    policy: BreakerPolicy,
+    /// Tenant index → priority band (0 = highest priority).
+    band_of: Vec<usize>,
+    steal: bool,
+    #[cfg(feature = "fault-injection")]
+    faults: Option<Arc<FaultPlan>>,
+}
+
+/// What one lane thread hands back at shutdown.
+struct LaneSideOutcome {
+    executed_batches: u64,
+    executed_packets: u64,
+    steals_in: u64,
+    steal_bytes: u64,
+    stolen_from: Vec<u64>,
+    priority_inversions: u64,
+}
+
+/// Everything one lane thread owns.
+struct LaneCtx {
+    index: usize,
+    shared: Arc<Shared>,
+    /// Owner handles of this lane's band deques (band 0 = highest).
+    bands: Vec<LaneDeque<u32>>,
+    executed_batches: u64,
+    executed_packets: u64,
+    steals_in: u64,
+    steal_bytes: u64,
+    stolen_from: Vec<u64>,
+    priority_inversions: u64,
+}
+
+impl LaneCtx {
+    fn run(mut self) -> LaneSideOutcome {
+        loop {
+            self.shared.start.wait();
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            // Adopt the staged tokens: only the deque owner may push,
+            // so the control thread stages and the lane publishes.
+            {
+                let mut staged = self.shared.lanes[self.index].staged.lock();
+                for (band, list) in staged.iter_mut().enumerate() {
+                    for &t in list.iter() {
+                        self.bands[band].push(t);
+                    }
+                    list.clear();
+                }
+            }
+            self.shared.pushed.wait();
+            let now = self.shared.tick.load(Ordering::Acquire);
+            self.process_tick(now);
+            self.shared.done.wait();
+        }
+        LaneSideOutcome {
+            executed_batches: self.executed_batches,
+            executed_packets: self.executed_packets,
+            steals_in: self.steals_in,
+            steal_bytes: self.steal_bytes,
+            stolen_from: self.stolen_from,
+            priority_inversions: self.priority_inversions,
+        }
+    }
+
+    /// Consumes tokens until the tick's work set is exhausted: own bands
+    /// highest-priority first, then a band-major steal sweep, then spin
+    /// (some token is in flight on another lane).
+    fn process_tick(&mut self, now: u64) {
+        while self.shared.outstanding.load(Ordering::Acquire) > 0 {
+            if let Some(t) = self.pop_own() {
+                self.run_token(t, now, false);
+                continue;
+            }
+            if self.shared.steal {
+                if let Some((t, band)) = self.steal_token() {
+                    self.audit_no_inversion(band);
+                    self.run_token(t, now, true);
+                    continue;
+                }
+            }
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+    }
+
+    /// Pops this lane's own work, highest band first.
+    fn pop_own(&mut self) -> Option<u32> {
+        for band in &self.bands {
+            if let Some(t) = band.pop() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Band-major steal sweep: every victim's band 0 is scanned before
+    /// anyone's band 1, so a theft can never jump ahead of queued
+    /// higher-priority work.
+    fn steal_token(&mut self) -> Option<(u32, usize)> {
+        let lanes = self.shared.lanes.len();
+        for band in 0..self.bands.len() {
+            for step in 1..lanes {
+                let victim = (self.index + step) % lanes;
+                let stealer = &self.shared.lanes[victim].stealers[band];
+                loop {
+                    match stealer.steal() {
+                        Steal::Taken(t) => return Some((t, band)),
+                        Steal::Retry => continue,
+                        Steal::Empty | Steal::Closed => break,
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Audits a theft from `band`: within a tick deques only shrink, so
+    /// any non-empty higher band here would be a genuine inversion.
+    fn audit_no_inversion(&mut self, band: usize) {
+        for b in 0..band {
+            if !self.bands[b].is_empty() {
+                self.priority_inversions += 1;
+                return;
+            }
+            for lane in &self.shared.lanes {
+                if !lane.stealers[b].is_empty() {
+                    self.priority_inversions += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Redeems one token: locks the tenant, executes (or accounts) its
+    /// next queued batch, releases the tick's outstanding count.
+    fn run_token(&mut self, t: u32, now: u64, stolen: bool) {
+        let idx = t as usize;
+        let shared = Arc::clone(&self.shared);
+        {
+            let mut g = shared.slots[idx].lock();
+            self.execute_one(idx, &mut g, now, stolen);
+        }
+        shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    fn execute_one(&mut self, idx: usize, g: &mut TenantInner, now: u64, stolen: bool) {
+        let Some(work) = g.queue.pop_front() else {
+            // The batch this token claimed was already accounted (HWM
+            // shed after staging); the token still pays its count.
+            return;
+        };
+        let n_in = work.batch.len() as u64;
+        if !g.present || work.epoch != g.epoch {
+            g.ledger.shed_removed += n_in;
+            return;
+        }
+        if g.phase == BreakerPhase::Open {
+            g.ledger.shed_open += n_in;
+            return;
+        }
+        g.delays.push(now - work.enqueue_tick);
+        g.batches_executed += 1;
+        g.work_this_tick += work.cost;
+        let occurrence = g.occurrence;
+        g.occurrence += 1;
+        #[cfg(feature = "fault-injection")]
+        let fire = self
+            .shared
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.decide(FaultSite::Operator(0), idx as u64, occurrence));
+        #[cfg(not(feature = "fault-injection"))]
+        let fire: Option<FaultKind> = {
+            let _ = occurrence;
+            None
+        };
+        let chain = g.chain.as_mut().expect("live tenant has a chain");
+        if stolen {
+            // The batch is executing off its home lane: bill the steal
+            // tax to the tenant's own isolation account.
+            let bytes = work.batch.total_bytes();
+            chain.domain.meter_crossing(Crossing::Steal, bytes);
+            self.steal_bytes += bytes as u64;
+        }
+        let pipeline = &mut chain.pipeline;
+        let batch = work.batch;
+        let result = chain.domain.execute(move || {
+            if let Some(kind) = fire {
+                match kind {
+                    FaultKind::Panic | FaultKind::PoisonTable | FaultKind::CloseChannel => {
+                        fault::fire_panic(FaultSite::Operator(0))
+                    }
+                    sleepy => fault::fire_sleep(sleepy),
+                }
+            }
+            pipeline.run_batch(batch)
+        });
+        self.executed_batches += 1;
+        self.executed_packets += n_in;
+        if stolen {
+            self.steals_in += 1;
+            self.stolen_from[idx] += 1;
+        }
+        match result {
+            Ok(out) => {
+                g.ledger.processed += n_in;
+                g.ledger.out += out.len() as u64;
+                g.ledger.drops += n_in - out.len() as u64;
+                g.dirty_since_snapshot = true;
+                if stolen {
+                    g.ledger.stolen += n_in;
+                }
+                if g.phase == BreakerPhase::HalfOpen {
+                    g.probes_left = g.probes_left.saturating_sub(1);
+                    if g.probes_left == 0 {
+                        g.close(idx, now);
+                    }
+                }
+            }
+            Err(_) => {
+                // The batch moved into the domain and died with it.
+                g.ledger.lost += n_in;
+                g.faults += 1;
+                g.strike(idx, now, &self.shared.policy, &self.shared.manager);
+                if g.phase != BreakerPhase::Open {
+                    g.respawn(idx, now, &self.shared.manager);
+                }
+            }
+        }
+    }
+}
+
+/// Multi-tenant containment on real lane threads with priority-aware
+/// work stealing. Same call shape as the single-threaded reference:
+/// alternate [`offer`](TenantLaneRuntime::offer) and
+/// [`step`](TenantLaneRuntime::step), churn between ticks, then
+/// [`finish`](TenantLaneRuntime::finish).
+pub struct TenantLaneRuntime {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<LaneSideOutcome>>,
+    factory: TenantChainFactory,
+    specs: Vec<TenantSpec>,
+    present: Vec<bool>,
+    table: MaglevTable,
+    table_map: Vec<usize>,
+    /// Permanent per-tenant staging buffers (drained, never replaced —
+    /// the warmed-up offer path allocates per queued batch, not per
+    /// packet).
+    staged: Vec<Vec<Packet>>,
+    /// Tenants with queued work since the last step (the dirty list).
+    active: Vec<usize>,
+    is_active: Vec<bool>,
+    /// Queued batches per lane awaiting the next tick.
+    lane_depth: Vec<usize>,
+    lane_depth_hwm: Vec<usize>,
+    hwm_sheds: u64,
+    /// Present tenants resident on each lane (home placement).
+    residents: Vec<Vec<usize>>,
+    /// Placement load (total weight) per lane.
+    lane_weight: Vec<u64>,
+    /// Tenants with an open breaker, watched for timer expiry.
+    open_watch: Vec<usize>,
+    /// `snap_buckets[(now + 1) % cadence]` = tenants snapshotting then.
+    snap_buckets: Vec<Vec<usize>>,
+    rebuilds: Vec<RebuildRecord>,
+    now: u64,
+    lanes: usize,
+    table_size: usize,
+    queue_hwm: usize,
+    work_budget: u64,
+    snapshot_every: u64,
+    snapshot_full_every: u32,
+    steering_lookups: u64,
+}
+
+impl TenantLaneRuntime {
+    /// Builds the runtime: weighted placement of every tenant onto a
+    /// lane, one domain + cold chain per tenant, per-priority band
+    /// deques on every lane, and the lane threads (parked until the
+    /// first [`step`](TenantLaneRuntime::step)).
+    pub fn new(config: TenantLaneConfig) -> Result<Self, TenantError> {
+        if config.tenants.is_empty() {
+            return Err(TenantError::BadConfig("no tenants"));
+        }
+        if config.lanes == 0 {
+            return Err(TenantError::BadConfig("zero lanes"));
+        }
+        if config.tenants.iter().any(|t| t.burst == 0) {
+            return Err(TenantError::BadConfig("zero admission burst"));
+        }
+        let tcount = config.tenants.len();
+        let factory: TenantChainFactory = config
+            .chain
+            .clone()
+            .unwrap_or_else(|| Arc::new(default_tenant_chain));
+        let manager = DomainManager::with_backend_kind(config.backend);
+
+        // Priority bands: distinct priorities, highest first.
+        let mut prios: Vec<u8> = config.tenants.iter().map(|t| t.priority).collect();
+        prios.sort_unstable_by(|a, b| b.cmp(a));
+        prios.dedup();
+        let band_of: Vec<usize> = config
+            .tenants
+            .iter()
+            .map(|t| prios.iter().position(|&p| p == t.priority).expect("band"))
+            .collect();
+        let bands = prios.len();
+
+        // Weighted placement: heaviest tenants first, each onto the
+        // least-loaded lane (ties to the lowest lane index).
+        let mut order: Vec<usize> = (0..tcount).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(config.tenants[i].weight), i));
+        let mut lane_weight = vec![0u64; config.lanes];
+        let mut residents: Vec<Vec<usize>> = vec![Vec::new(); config.lanes];
+        let mut home_lane = vec![0usize; tcount];
+        for &i in &order {
+            let lane = (0..config.lanes)
+                .min_by_key(|&l| (lane_weight[l], l))
+                .expect("at least one lane");
+            home_lane[i] = lane;
+            residents[lane].push(i);
+            lane_weight[lane] += u64::from(config.tenants[i].weight.max(1));
+        }
+        for lane in &mut residents {
+            lane.sort_unstable();
+        }
+
+        let mut slots = Vec::with_capacity(tcount);
+        for (idx, spec) in config.tenants.iter().enumerate() {
+            let pipeline_spec = factory(idx, spec);
+            let domain = manager
+                .create_domain(format!("tlane-{}-e0-g0", spec.name))
+                .expect("tenant domain");
+            let pipeline = pipeline_spec.build();
+            slots.push(Mutex::new(TenantInner {
+                bucket: TickBucket::new(spec.rate_per_tick, spec.burst),
+                spec: spec.clone(),
+                present: true,
+                phase: BreakerPhase::Running,
+                epoch: 0,
+                strikes: 0,
+                open_until: 0,
+                probes_left: 0,
+                ledger: crate::tenant::TenantLedger::default(),
+                occurrence: 0,
+                faults: 0,
+                respawns: 0,
+                opens: 0,
+                throttles: 0,
+                warm_restores: 0,
+                cold_restores: 0,
+                state_items_restored: 0,
+                snapshots_taken: 0,
+                delays: Vec::new(),
+                batches_executed: 0,
+                work_this_tick: 0,
+                home_lane: home_lane[idx],
+                queue: VecDeque::new(),
+                chain: Some(LaneChain { domain, pipeline }),
+                pipeline_spec,
+                store: SnapshotStore::new(config.snapshot_full_every),
+                events: Vec::new(),
+                dirty_since_snapshot: false,
+            }));
+        }
+
+        // Band deques: owners move into the lane threads, stealers are
+        // published to everyone.
+        let mut owners: Vec<Vec<LaneDeque<u32>>> = Vec::with_capacity(config.lanes);
+        let mut lane_shared = Vec::with_capacity(config.lanes);
+        for _ in 0..config.lanes {
+            let mut lane_owners = Vec::with_capacity(bands);
+            let mut stealers = Vec::with_capacity(bands);
+            for _ in 0..bands {
+                let (deque, stealer) = LaneDeque::with_capacity(64);
+                lane_owners.push(deque);
+                stealers.push(stealer);
+            }
+            owners.push(lane_owners);
+            lane_shared.push(LaneShared {
+                staged: Mutex::new(vec![Vec::new(); bands]),
+                stealers,
+            });
+        }
+
+        let backends: Vec<Backend> = config
+            .tenants
+            .iter()
+            .map(|t| Backend::weighted(t.name.clone(), t.weight))
+            .collect();
+        let table = MaglevTable::new(backends, config.table_size)?;
+        let table_map: Vec<usize> = (0..tcount).collect();
+
+        let snap_buckets = if config.snapshot_every_ticks > 0 {
+            let se = config.snapshot_every_ticks as usize;
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); se];
+            for idx in 0..tcount {
+                buckets[(se - idx % se) % se].push(idx);
+            }
+            buckets
+        } else {
+            Vec::new()
+        };
+
+        let shared = Arc::new(Shared {
+            slots,
+            lanes: lane_shared,
+            outstanding: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            start: Barrier::new(config.lanes + 1),
+            pushed: Barrier::new(config.lanes),
+            done: Barrier::new(config.lanes + 1),
+            manager,
+            policy: config.breaker,
+            band_of,
+            steal: config.steal,
+            #[cfg(feature = "fault-injection")]
+            faults: config.faults.clone(),
+        });
+
+        let handles = owners
+            .into_iter()
+            .enumerate()
+            .map(|(index, bands)| {
+                let ctx = LaneCtx {
+                    index,
+                    shared: Arc::clone(&shared),
+                    bands,
+                    executed_batches: 0,
+                    executed_packets: 0,
+                    steals_in: 0,
+                    steal_bytes: 0,
+                    stolen_from: vec![0; tcount],
+                    priority_inversions: 0,
+                };
+                std::thread::Builder::new()
+                    .name(format!("tenant-lane-{index}"))
+                    .spawn(move || ctx.run())
+                    .expect("spawning tenant lane")
+            })
+            .collect();
+
+        Ok(Self {
+            shared,
+            handles,
+            factory,
+            specs: config.tenants.clone(),
+            present: vec![true; tcount],
+            table,
+            table_map,
+            staged: (0..tcount).map(|_| Vec::new()).collect(),
+            active: Vec::new(),
+            is_active: vec![false; tcount],
+            lane_depth: vec![0; config.lanes],
+            lane_depth_hwm: vec![0; config.lanes],
+            hwm_sheds: 0,
+            residents,
+            lane_weight,
+            open_watch: Vec::new(),
+            snap_buckets,
+            rebuilds: Vec::new(),
+            now: 0,
+            lanes: config.lanes,
+            table_size: config.table_size,
+            queue_hwm: config.queue_hwm,
+            work_budget: config.work_budget_per_tick,
+            snapshot_every: config.snapshot_every_ticks,
+            snapshot_full_every: config.snapshot_full_every,
+            steering_lookups: 0,
+        })
+    }
+
+    /// The current logical tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The live steering table.
+    pub fn table(&self) -> &MaglevTable {
+        &self.table
+    }
+
+    /// A tenant's breaker phase.
+    pub fn phase(&self, idx: usize) -> BreakerPhase {
+        self.shared.slots[idx].lock().phase
+    }
+
+    /// A tenant's conservation ledger so far.
+    pub fn ledger(&self, idx: usize) -> crate::tenant::TenantLedger {
+        self.shared.slots[idx].lock().ledger
+    }
+
+    /// A tenant's epoch (times re-added).
+    pub fn epoch(&self, idx: usize) -> u64 {
+        self.shared.slots[idx].lock().epoch
+    }
+
+    /// The lane a tenant is placed on.
+    pub fn home_lane(&self, idx: usize) -> usize {
+        self.shared.slots[idx].lock().home_lane
+    }
+
+    /// Snapshots sealed in the tenant's current epoch.
+    pub fn snapshots_taken(&self, idx: usize) -> u64 {
+        self.shared.slots[idx].lock().snapshots_taken
+    }
+
+    /// Maglev lookups performed; with run-batched steering this counts
+    /// flow runs, not packets.
+    pub fn steering_lookups(&self) -> u64 {
+        self.steering_lookups
+    }
+
+    /// Live state items in the tenant's chain, measured inside its
+    /// domain (0 if the chain is down).
+    pub fn state_items(&self, idx: usize) -> u64 {
+        let g = self.shared.slots[idx].lock();
+        match &g.chain {
+            Some(chain) => chain
+                .domain
+                .execute(|| chain.pipeline.state_items())
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Steers one wave: run-batched Maglev lookup → ledger attribution →
+    /// breaker gate → admission → the tenant's FIFO on its home lane,
+    /// then the per-lane high-water mark. Runs on the control thread
+    /// while the lanes are parked, so it is exactly as deterministic as
+    /// the single-threaded runtime's offer.
+    pub fn offer(&mut self, batch: PacketBatch) {
+        let now = self.now;
+        let mut last_hash = 0u64;
+        let mut last_idx = usize::MAX;
+        let mut touched_lanes = 0u64;
+
+        for p in batch.into_packets() {
+            let hash = p.cached_flow_hash().unwrap_or_else(|| packet_flow_hash(&p));
+            let idx = if last_idx != usize::MAX && hash == last_hash {
+                last_idx
+            } else {
+                self.steering_lookups += 1;
+                last_hash = hash;
+                last_idx = self.table_map[self.table.lookup(hash)];
+                last_idx
+            };
+            let mut g = self.shared.slots[idx].lock();
+            g.ledger.offered += 1;
+            if g.phase == BreakerPhase::Open {
+                g.ledger.shed_open += 1;
+                continue;
+            }
+            if g.bucket.take(now, 1) == 0 {
+                g.ledger.shed_admission += 1;
+                continue;
+            }
+            drop(g);
+            self.staged[idx].push(p);
+            if !self.is_active[idx] {
+                self.is_active[idx] = true;
+                self.active.push(idx);
+            }
+        }
+
+        // Queue one batch per touched tenant, canonical (index) order.
+        self.active.sort_unstable();
+        for pos in 0..self.active.len() {
+            let idx = self.active[pos];
+            if self.staged[idx].is_empty() {
+                continue;
+            }
+            let mut pkts = Vec::with_capacity(self.staged[idx].len());
+            pkts.append(&mut self.staged[idx]);
+            let cost = (pkts.len() as u64) * self.specs[idx].cost_per_packet.max(1);
+            let mut g = self.shared.slots[idx].lock();
+            let lane = g.home_lane;
+            let epoch = g.epoch;
+            g.queue.push_back(TenantWork {
+                epoch,
+                batch: PacketBatch::from_packets(pkts),
+                enqueue_tick: now,
+                cost,
+            });
+            drop(g);
+            self.lane_depth[lane] += 1;
+            touched_lanes |= 1 << (lane % 64);
+        }
+
+        for lane in 0..self.lanes {
+            if touched_lanes & (1 << (lane % 64)) == 0 && self.lane_depth[lane] <= self.queue_hwm {
+                continue;
+            }
+            self.lane_depth_hwm[lane] = self.lane_depth_hwm[lane].max(self.lane_depth[lane]);
+            self.apply_hwm(lane);
+        }
+    }
+
+    /// Sheds the newest batch of the lowest-priority resident (ties to
+    /// the higher tenant index) until the lane is back under its
+    /// high-water mark.
+    fn apply_hwm(&mut self, lane: usize) {
+        while self.lane_depth[lane] > self.queue_hwm {
+            let mut victim = usize::MAX;
+            let mut victim_prio = u8::MAX;
+            for &idx in &self.residents[lane] {
+                if self.shared.slots[idx].lock().queue.is_empty() {
+                    continue;
+                }
+                let prio = self.specs[idx].priority;
+                if prio <= victim_prio {
+                    victim_prio = prio;
+                    victim = idx;
+                }
+            }
+            if victim == usize::MAX {
+                break;
+            }
+            let mut g = self.shared.slots[victim].lock();
+            let work = g.queue.pop_back().expect("victim has queued work");
+            g.ledger.shed_backpressure += work.batch.len() as u64;
+            drop(g);
+            self.lane_depth[lane] -= 1;
+            self.hwm_sheds += 1;
+        }
+    }
+
+    /// Executes one tick on the lane threads: stage claim tokens for
+    /// every queued batch, release the lanes through the tick barrier,
+    /// wait for run-to-completion, then apply the deterministic
+    /// supervision pass (work-budget strikes, open-timer expiry, the
+    /// staggered snapshot cadence). Advances the clock.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.active.sort_unstable();
+        let mut total = 0u64;
+        for &idx in &self.active {
+            let g = self.shared.slots[idx].lock();
+            let n = g.queue.len();
+            let lane = g.home_lane;
+            drop(g);
+            if n == 0 {
+                continue;
+            }
+            let band = self.shared.band_of[idx];
+            let mut staged = self.shared.lanes[lane].staged.lock();
+            for _ in 0..n {
+                staged[band].push(idx as u32);
+            }
+            total += n as u64;
+        }
+        self.shared.outstanding.store(total, Ordering::Release);
+        self.shared.tick.store(now, Ordering::Release);
+        self.shared.start.wait();
+        self.shared.done.wait();
+
+        // Supervision pass, tenant-index order (active is sorted).
+        for pos in 0..self.active.len() {
+            let idx = self.active[pos];
+            self.is_active[idx] = false;
+            let mut g = self.shared.slots[idx].lock();
+            let spent = g.work_this_tick;
+            g.work_this_tick = 0;
+            if self.work_budget > 0
+                && g.present
+                && g.phase != BreakerPhase::Open
+                && spent > self.work_budget
+            {
+                g.strike(idx, now, &self.shared.policy, &self.shared.manager);
+            }
+            if g.phase == BreakerPhase::Open {
+                drop(g);
+                self.open_watch.push(idx);
+            }
+        }
+        self.active.clear();
+        self.lane_depth.iter_mut().for_each(|d| *d = 0);
+
+        // Open-timer expiry over the watch list only.
+        self.open_watch.sort_unstable();
+        self.open_watch.dedup();
+        let mut still_open = Vec::new();
+        for pos in 0..self.open_watch.len() {
+            let idx = self.open_watch[pos];
+            let mut g = self.shared.slots[idx].lock();
+            if !g.present || g.phase != BreakerPhase::Open {
+                continue;
+            }
+            if now >= g.open_until {
+                g.half_open(idx, now, &self.shared.policy, &self.shared.manager);
+            } else {
+                still_open.push(idx);
+            }
+        }
+        self.open_watch = still_open;
+
+        // Staggered snapshots: one bucket of tenants per tick.
+        if self.snapshot_every > 0 {
+            let bucket = ((now + 1) % self.snapshot_every) as usize;
+            for pos in 0..self.snap_buckets[bucket].len() {
+                let idx = self.snap_buckets[bucket][pos];
+                let mut g = self.shared.slots[idx].lock();
+                if !g.present || g.phase == BreakerPhase::Open || !g.dirty_since_snapshot {
+                    continue;
+                }
+                let Some(chain) = &g.chain else { continue };
+                let Ok((cp, items)) = chain
+                    .domain
+                    .execute(|| (chain.pipeline.export_state(), chain.pipeline.state_items()))
+                else {
+                    continue;
+                };
+                let schema = g.pipeline_spec.state_schema();
+                g.store.record(&cp, now, items, schema);
+                g.snapshots_taken += 1;
+                g.dirty_since_snapshot = false;
+            }
+        }
+
+        self.now = now + 1;
+    }
+
+    /// Removes a tenant between ticks: sheds anything still queued,
+    /// destroys its chain and snapshot store, vacates its lane, and
+    /// rebuilds the steering table around it. Returns the remapped
+    /// entry count.
+    pub fn remove_tenant(&mut self, idx: usize) -> Result<usize, TenantError> {
+        if idx >= self.specs.len() {
+            return Err(TenantError::UnknownTenant(idx));
+        }
+        if !self.present[idx] {
+            return Err(TenantError::NotPresent(idx));
+        }
+        if self.present.iter().filter(|p| **p).count() < 2 {
+            return Err(TenantError::LastTenant);
+        }
+        let now = self.now;
+        let home = {
+            let mut g = self.shared.slots[idx].lock();
+            while let Some(work) = g.queue.pop_front() {
+                g.ledger.shed_removed += work.batch.len() as u64;
+                self.lane_depth[g.home_lane] = self.lane_depth[g.home_lane].saturating_sub(1);
+            }
+            if let Some(chain) = g.chain.take() {
+                self.shared.manager.destroy_domain(&chain.domain);
+            }
+            g.present = false;
+            g.phase = BreakerPhase::Running;
+            g.strikes = 0;
+            g.snapshots_taken = 0;
+            // Epoch keying: the departed epoch's snapshots can never
+            // serve a future incarnation of this tenant.
+            g.store = SnapshotStore::new(self.snapshot_full_every);
+            g.home_lane
+        };
+        self.present[idx] = false;
+        self.residents[home].retain(|&t| t != idx);
+        self.lane_weight[home] -= u64::from(self.specs[idx].weight.max(1));
+        let remapped = self.rebuild_table()?;
+        self.rebuilds.push(RebuildRecord {
+            tick: now,
+            action: "remove",
+            tenant: idx,
+            remapped_entries: remapped,
+        });
+        self.shared.slots[idx].lock().push_event(
+            now,
+            idx,
+            TenantEventKind::Removed {
+                remapped_entries: remapped,
+            },
+        );
+        Ok(remapped)
+    }
+
+    /// Re-adds a removed tenant under a fresh epoch: cold chain, empty
+    /// snapshot store, full-rate admission, placement onto the
+    /// least-loaded lane, and a table rebuild that hands back its old
+    /// entries. Returns the remapped entry count.
+    pub fn add_tenant(&mut self, idx: usize) -> Result<usize, TenantError> {
+        if idx >= self.specs.len() {
+            return Err(TenantError::UnknownTenant(idx));
+        }
+        if self.present[idx] {
+            return Err(TenantError::AlreadyPresent(idx));
+        }
+        let now = self.now;
+        let lane = (0..self.lanes)
+            .min_by_key(|&l| (self.lane_weight[l], l))
+            .expect("at least one lane");
+        let epoch = {
+            let mut g = self.shared.slots[idx].lock();
+            g.epoch += 1;
+            g.present = true;
+            g.phase = BreakerPhase::Running;
+            g.strikes = 0;
+            g.probes_left = 0;
+            g.bucket = TickBucket::new(g.spec.rate_per_tick, g.spec.burst);
+            g.home_lane = lane;
+            g.pipeline_spec = (self.factory)(idx, &g.spec);
+            let domain = self
+                .shared
+                .manager
+                .create_domain(format!("tlane-{}-e{}-g0", g.spec.name, g.epoch))
+                .expect("tenant domain");
+            let pipeline = g.pipeline_spec.build();
+            g.chain = Some(LaneChain { domain, pipeline });
+            g.store = SnapshotStore::new(self.snapshot_full_every);
+            g.dirty_since_snapshot = false;
+            g.epoch
+        };
+        self.present[idx] = true;
+        self.residents[lane].push(idx);
+        self.residents[lane].sort_unstable();
+        self.lane_weight[lane] += u64::from(self.specs[idx].weight.max(1));
+        let remapped = self.rebuild_table()?;
+        self.rebuilds.push(RebuildRecord {
+            tick: now,
+            action: "add",
+            tenant: idx,
+            remapped_entries: remapped,
+        });
+        self.shared.slots[idx].lock().push_event(
+            now,
+            idx,
+            TenantEventKind::Added {
+                epoch,
+                remapped_entries: remapped,
+            },
+        );
+        Ok(remapped)
+    }
+
+    /// Rebuilds the Maglev table over the present tenants and counts the
+    /// entries that changed owner.
+    fn rebuild_table(&mut self) -> Result<usize, TenantError> {
+        let mut backends = Vec::new();
+        let mut map = Vec::new();
+        for (i, spec) in self.specs.iter().enumerate() {
+            if self.present[i] {
+                backends.push(Backend::weighted(spec.name.clone(), spec.weight));
+                map.push(i);
+            }
+        }
+        let table = MaglevTable::new(backends, self.table_size)?;
+        let remapped = self.table.disrupted_entries(&table);
+        self.table = table;
+        self.table_map = map;
+        Ok(remapped)
+    }
+
+    /// Runs any still-queued work to completion, retires the lane
+    /// threads, destroys all domains, and returns the final report.
+    pub fn finish(mut self) -> TenantReport {
+        while !self.active.is_empty() {
+            self.step();
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.start.wait();
+        let sides: Vec<LaneSideOutcome> = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("lane thread panicked"))
+            .collect();
+
+        let tcount = self.specs.len();
+        let mut outcomes = Vec::with_capacity(tcount);
+        let mut events: Vec<TenantEvent> = Vec::new();
+        for idx in 0..tcount {
+            let final_state_items = self.state_items(idx);
+            let mut g = self.shared.slots[idx].lock();
+            g.delays.sort_unstable();
+            let p99 = if g.delays.is_empty() {
+                0
+            } else {
+                g.delays[(g.delays.len() - 1) * 99 / 100]
+            };
+            let max = g.delays.last().copied().unwrap_or(0);
+            events.append(&mut g.events);
+            outcomes.push(TenantOutcome {
+                name: g.spec.name.clone(),
+                priority: g.spec.priority,
+                ledger: g.ledger,
+                final_phase: g.phase,
+                epoch: g.epoch,
+                faults: g.faults,
+                respawns: g.respawns,
+                opens: g.opens,
+                throttles: g.throttles,
+                warm_restores: g.warm_restores,
+                cold_restores: g.cold_restores,
+                state_items_restored: g.state_items_restored,
+                final_state_items,
+                snapshots_taken: g.snapshots_taken,
+                p99_delay_ticks: p99,
+                max_delay_ticks: max,
+                batches_executed: g.batches_executed,
+            });
+            if let Some(chain) = g.chain.take() {
+                self.shared.manager.destroy_domain(&chain.domain);
+            }
+        }
+        // Canonical journal order: per-tenant streams are already
+        // tick-ordered; a stable sort on tick yields (tick, tenant, seq).
+        events.sort_by_key(|e| e.tick);
+
+        let occupancy = sides
+            .into_iter()
+            .enumerate()
+            .map(|(lane, s)| LaneOccupancy {
+                lane,
+                residents: self.residents[lane].clone(),
+                executed_batches: s.executed_batches,
+                executed_packets: s.executed_packets,
+                steals_in: s.steals_in,
+                steal_bytes: s.steal_bytes,
+                stolen_from: s
+                    .stolen_from
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(t, &n)| (t, n))
+                    .collect(),
+                priority_inversions: s.priority_inversions,
+            })
+            .collect();
+
+        TenantReport {
+            tenants: outcomes,
+            lane_depth_hwm: self.lane_depth_hwm.clone(),
+            hwm_sheds: self.hwm_sheds,
+            rebuilds: self.rebuilds.clone(),
+            events,
+            ticks: self.now,
+            occupancy,
+        }
+    }
+}
+
+impl Drop for TenantLaneRuntime {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.start.wait();
+            for h in self.handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+        for slot in &self.shared.slots {
+            let mut g = slot.lock();
+            if let Some(chain) = g.chain.take() {
+                self.shared.manager.destroy_domain(&chain.domain);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbs_netfx::headers::ethernet::MacAddr;
+    use std::net::Ipv4Addr;
+
+    fn http_packet(src_host: u8, sport: u16) -> Packet {
+        let mut p = Packet::build_udp(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            Ipv4Addr::new(10, 0, 0, src_host),
+            Ipv4Addr::new(192, 0, 2, 1),
+            sport,
+            80,
+            16,
+        );
+        let hash = packet_flow_hash(&p);
+        p.set_cached_flow_hash(hash);
+        p
+    }
+
+    fn wave(round: u32, count: u32) -> PacketBatch {
+        (0..count)
+            .map(|i| {
+                let n = round * count + i;
+                http_packet((n % 23) as u8 + 1, (n % 52_000) as u16 + 1_024)
+            })
+            .collect()
+    }
+
+    fn population(n: usize) -> Vec<TenantSpec> {
+        (0..n)
+            .map(|i| {
+                TenantSpec::new(format!("tenant-{i}"))
+                    .rate(400, 800)
+                    .priority(if i % 3 == 0 { 2 } else { 1 })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_run_conserves_and_places_every_tenant() {
+        let mut rt = TenantLaneRuntime::new(TenantLaneConfig {
+            tenants: population(12),
+            lanes: 3,
+            ..TenantLaneConfig::default()
+        })
+        .unwrap();
+        for round in 0..12 {
+            rt.offer(wave(round, 192));
+            rt.step();
+        }
+        let report = rt.finish();
+        assert_eq!(report.unaccounted_packets(), 0);
+        assert_eq!(report.priority_inversions(), 0);
+        for t in &report.tenants {
+            assert_eq!(t.ledger.unaccounted(), 0, "{} leaks packets", t.name);
+            assert!(t.ledger.stolen <= t.ledger.processed);
+        }
+        // Placement partitions the population across the lanes.
+        let mut seen: Vec<usize> = report
+            .occupancy
+            .iter()
+            .flat_map(|l| l.residents.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        // Executor-side counts cover exactly the executed batches.
+        let executed: u64 = report.occupancy.iter().map(|l| l.executed_batches).sum();
+        let batches: u64 = report.tenants.iter().map(|t| t.batches_executed).sum();
+        assert_eq!(executed, batches);
+    }
+
+    #[test]
+    fn steal_accounting_is_consistent() {
+        // One fat tenant on each of two lanes plus an empty third lane:
+        // any thefts that do occur must balance across all three views
+        // (lane counters, per-origin counters, tenant ledgers).
+        let mut rt = TenantLaneRuntime::new(TenantLaneConfig {
+            tenants: population(2),
+            lanes: 3,
+            ..TenantLaneConfig::default()
+        })
+        .unwrap();
+        for round in 0..20 {
+            for _ in 0..4 {
+                rt.offer(wave(round, 96));
+            }
+            rt.step();
+        }
+        let report = rt.finish();
+        assert_eq!(report.unaccounted_packets(), 0);
+        assert_eq!(report.priority_inversions(), 0);
+        let steals: u64 = report.occupancy.iter().map(|l| l.steals_in).sum();
+        let by_origin: u64 = report
+            .occupancy
+            .iter()
+            .flat_map(|l| l.stolen_from.iter().map(|&(_, n)| n))
+            .sum();
+        assert_eq!(steals, by_origin);
+        if steals > 0 {
+            let stolen_packets: u64 = report.tenants.iter().map(|t| t.ledger.stolen).sum();
+            assert!(stolen_packets > 0, "ledger steal credits missing");
+            let steal_bytes: u64 = report.occupancy.iter().map(|l| l.steal_bytes).sum();
+            assert!(steal_bytes > 0, "steal tax was not metered");
+        }
+    }
+
+    #[test]
+    fn hwm_sheds_lowest_priority_resident() {
+        let mut tenants = population(4);
+        for t in &mut tenants {
+            t.priority = 2;
+        }
+        tenants[3].priority = 1;
+        // Four tenants each queue one batch per tick; HWM 3 sheds
+        // exactly one — which must always be the low-priority tenant.
+        let mut rt = TenantLaneRuntime::new(TenantLaneConfig {
+            tenants,
+            lanes: 1,
+            queue_hwm: 3,
+            ..TenantLaneConfig::default()
+        })
+        .unwrap();
+        for round in 0..8 {
+            rt.offer(wave(round, 256));
+            rt.step();
+        }
+        let report = rt.finish();
+        assert_eq!(report.unaccounted_packets(), 0);
+        assert!(report.hwm_sheds > 0, "hwm never triggered");
+        assert!(
+            report.tenants[3].ledger.shed_backpressure > 0,
+            "low-priority tenant was not the shed victim"
+        );
+        for idx in [0usize, 1, 2] {
+            assert_eq!(
+                report.tenants[idx].ledger.shed_backpressure, 0,
+                "high-priority tenant {idx} was shed"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_round_trip_reverses_the_remap() {
+        let mut rt = TenantLaneRuntime::new(TenantLaneConfig {
+            tenants: population(6),
+            lanes: 2,
+            ..TenantLaneConfig::default()
+        })
+        .unwrap();
+        for round in 0..4 {
+            rt.offer(wave(round, 96));
+            rt.step();
+        }
+        let out = rt.remove_tenant(5).unwrap();
+        for round in 4..8 {
+            rt.offer(wave(round, 96));
+            rt.step();
+        }
+        let back = rt.add_tenant(5).unwrap();
+        assert_eq!(out, back, "same-name re-add must reverse the remap");
+        assert_eq!(rt.epoch(5), 1);
+        for round in 8..12 {
+            rt.offer(wave(round, 96));
+            rt.step();
+        }
+        let report = rt.finish();
+        assert_eq!(report.unaccounted_packets(), 0);
+        assert_eq!(report.rebuilds.len(), 2);
+    }
+
+    /// The stable half of the report replays byte-identically; only the
+    /// executor-side occupancy (who stole what) may differ between runs.
+    #[test]
+    fn threaded_run_is_deterministic_modulo_scheduling() {
+        let run = || {
+            let mut rt = TenantLaneRuntime::new(TenantLaneConfig {
+                tenants: population(8),
+                lanes: 4,
+                queue_hwm: 4,
+                work_budget_per_tick: 4_000,
+                snapshot_every_ticks: 4,
+                ..TenantLaneConfig::default()
+            })
+            .unwrap();
+            for round in 0..16 {
+                if round == 6 {
+                    rt.remove_tenant(7).unwrap();
+                }
+                if round == 12 {
+                    rt.add_tenant(7).unwrap();
+                }
+                rt.offer(wave(round, 384));
+                rt.step();
+            }
+            let report = rt.finish();
+            assert_eq!(report.priority_inversions(), 0);
+            (
+                report
+                    .tenants
+                    .iter()
+                    .map(|t| {
+                        let mut ledger = t.ledger;
+                        ledger.stolen = 0; // scheduling-dependent
+                        (ledger, t.faults, t.opens, t.throttles, t.batches_executed)
+                    })
+                    .collect::<Vec<_>>(),
+                report.events,
+                report.rebuilds,
+                report.hwm_sheds,
+                report.lane_depth_hwm.clone(),
+                report
+                    .occupancy
+                    .iter()
+                    .map(|l| l.residents.clone())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}
